@@ -1,0 +1,19 @@
+//! Table 5.2: area results for the synchronous and desynchronized
+//! ARM-like scan design (Low-Leakage library, single group).
+
+use drd_flow::experiment::{area_comparison, CaseStudy};
+use drd_flow::report::render_area_table;
+
+fn main() {
+    let case = CaseStudy::armlike(&drd_designs::armlike::ArmParams::full()).unwrap();
+    let cmp = area_comparison(&case).unwrap();
+    print!("{}", render_area_table(&cmp));
+    println!();
+    println!("paper: +7.94% core size, +40.70% sequential, +0.21% combinational");
+    println!(
+        "here : {:+.2}% core size, {:+.2}% sequential, {:+.2}% combinational",
+        cmp.core_overhead(),
+        cmp.sequential_overhead(),
+        cmp.combinational_overhead()
+    );
+}

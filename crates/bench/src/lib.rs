@@ -1,0 +1,30 @@
+//! # drd-bench — reproduction harnesses for every table and figure
+//!
+//! One binary per evaluation artifact of the paper (see DESIGN.md's
+//! per-experiment index):
+//!
+//! | binary      | artifact   | what it prints                               |
+//! |-------------|------------|----------------------------------------------|
+//! | `table_2_1` | Table 2.1  | C-Muller element truth table, checked live   |
+//! | `fig_2_4`   | Fig. 2.4   | protocol concurrency ordering + classification|
+//! | `table_5_1` | Table 5.1  | DLX vs DDLX area rows                        |
+//! | `table_5_2` | Table 5.2  | ARM vs DARM area rows                        |
+//! | `fig_5_3`   | Fig. 5.3   | effective period vs delay selection, 2 corners|
+//! | `fig_5_4`   | Fig. 5.4   | per-chip delay distribution vs sync worst    |
+//! | `fig_5_5`   | Fig. 5.5   | total power vs delay selection               |
+//!
+//! `benches/kernels.rs` additionally benchmarks the tool's own kernels
+//! (parsing, grouping, STA, reachability, simulation, desynchronization).
+
+/// Medium DLX configuration used by the sweep figures: large enough to be
+/// representative, small enough that 16 two-corner simulations finish in
+/// minutes.
+pub fn sweep_dlx_params() -> drd_designs::dlx::DlxParams {
+    drd_designs::dlx::DlxParams {
+        width: 16,
+        regs_log2: 4,
+        rom_log2: 5,
+        ram_log2: 3,
+        seed: 0xD1_5C0DE,
+    }
+}

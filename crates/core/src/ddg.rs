@@ -1,0 +1,190 @@
+//! Data-dependency graph construction (§2.4.1, §3.2.4, Fig. 2.6).
+//!
+//! Nodes are regions; a directed edge `r1 → r2` records a combinational
+//! path from an output of `r1` (a register output, since region outputs
+//! are always driven by registers) to an input of `r2`. The controller
+//! network must respect these dependencies (Fig. 2.7).
+
+use std::collections::{HashMap, HashSet};
+
+use drd_liberty::Library;
+use drd_netlist::{Conn, Endpoint, Module};
+
+use crate::region::Regions;
+use crate::DesyncError;
+
+/// The region-level data-dependency graph.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    /// Directed edges `(from, to)` over region indices.
+    pub edges: Vec<(usize, usize)>,
+    /// Predecessors per region.
+    pub preds: Vec<Vec<usize>>,
+    /// Successors per region.
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl Ddg {
+    /// Regions with no predecessors (fed only by primary inputs).
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.preds.len())
+            .filter(|&r| self.preds[r].is_empty())
+            .collect()
+    }
+
+    /// Regions with no successors.
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.succs.len())
+            .filter(|&r| self.succs[r].is_empty())
+            .collect()
+    }
+}
+
+/// Builds the data-dependency graph of `regions` over `module`.
+///
+/// Self-edges are recorded when a region's cloud reads its own registers
+/// (e.g. a counter or an accumulator): the region's own master then
+/// consumes its own slave's data, and the controller network must join it
+/// into both the request and acknowledge paths.
+///
+/// # Errors
+/// Propagates connectivity errors.
+pub fn build(module: &Module, lib: &Library, regions: &Regions) -> Result<Ddg, DesyncError> {
+    let mut region_of: HashMap<&str, usize> = HashMap::new();
+    for (i, r) in regions.regions.iter().enumerate() {
+        for cell in &r.cells {
+            region_of.insert(cell.as_str(), i);
+        }
+    }
+    let conn = module.connectivity(lib)?;
+    let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
+    for (cid, cell) in module.cells() {
+        let Some(&to) = region_of.get(cell.name.as_str()) else {
+            continue;
+        };
+        for (_, c) in cell.pins() {
+            let Conn::Net(net) = c else { continue };
+            let Some(Endpoint::Pin(p)) = conn.driver(*net) else {
+                continue;
+            };
+            if p.cell == cid {
+                continue; // the cell's own output pin
+            }
+            let driver = module.cell(p.cell);
+            let Some(&from) = region_of.get(driver.name.as_str()) else {
+                continue;
+            };
+            if from != to {
+                edge_set.insert((from, to));
+            } else if lib.is_sequential(&driver.kind) {
+                // The cloud reads the region's own registers.
+                edge_set.insert((from, from));
+            }
+        }
+    }
+    let n = regions.regions.len();
+    let mut edges: Vec<(usize, usize)> = edge_set.into_iter().collect();
+    edges.sort_unstable();
+    let mut preds = vec![Vec::new(); n];
+    let mut succs = vec![Vec::new(); n];
+    for &(from, to) in &edges {
+        succs[from].push(to);
+        preds[to].push(from);
+    }
+    Ok(Ddg { edges, preds, succs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{group, GroupingOptions};
+    use drd_liberty::vlib90;
+    use drd_netlist::PortDir;
+
+    /// in → r_in(g0) → c1 → r1 → c2 → r2, with c2 also reading r_in.
+    fn pipeline() -> Module {
+        let mut m = Module::new("p");
+        m.add_port("clk", PortDir::Input).unwrap();
+        m.add_port("din", PortDir::Input).unwrap();
+        let clk = m.find_net("clk").unwrap();
+        let din = m.find_net("din").unwrap();
+        let q0 = m.add_net("q0").unwrap();
+        m.add_cell(
+            "r_in",
+            "DFFX1",
+            &[("D", Conn::Net(din)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q0))],
+        )
+        .unwrap();
+        let n1 = m.add_net("n1").unwrap();
+        m.add_cell("c1", "INVX1", &[("A", Conn::Net(q0)), ("Z", Conn::Net(n1))])
+            .unwrap();
+        let q1 = m.add_net("q1").unwrap();
+        m.add_cell(
+            "r1",
+            "DFFX1",
+            &[("D", Conn::Net(n1)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q1))],
+        )
+        .unwrap();
+        let n2 = m.add_net("n2").unwrap();
+        m.add_cell(
+            "c2",
+            "NAND2X1",
+            &[("A", Conn::Net(q1)), ("B", Conn::Net(q0)), ("Z", Conn::Net(n2))],
+        )
+        .unwrap();
+        let q2 = m.add_net("q2").unwrap();
+        m.add_cell(
+            "r2",
+            "DFFX1",
+            &[("D", Conn::Net(n2)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q2))],
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn pipeline_dependencies() {
+        let m = pipeline();
+        let lib = vlib90::high_speed();
+        let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        let ddg = build(&m, &lib, &regions).unwrap();
+
+        let idx = |cell: &str| regions.region_of(cell).unwrap();
+        let (rg1, rg2, rg0) = (idx("r1"), idx("r2"), idx("r_in"));
+        // g0 → stage1, g0 → stage2 (c2 reads q0 directly), stage1 → stage2.
+        assert!(ddg.edges.contains(&(rg0, rg1)));
+        assert!(ddg.edges.contains(&(rg0, rg2)));
+        assert!(ddg.edges.contains(&(rg1, rg2)));
+        assert_eq!(ddg.edges.len(), 3, "no self loops in a pure pipeline");
+        assert_eq!(ddg.sources(), vec![rg0]);
+        assert_eq!(ddg.sinks(), vec![rg2]);
+        assert_eq!(ddg.preds[rg2].len(), 2);
+    }
+
+    #[test]
+    fn feedback_produces_cyclic_ddg() {
+        // r2's cloud feeds back into stage 1 → cycle in the DDG.
+        let mut m = pipeline();
+        let lib = vlib90::high_speed();
+        let q2 = m.find_net("q2").unwrap();
+        let c1 = m.find_cell("c1").unwrap();
+        // Replace c1 with a 2-input gate reading q2 as well.
+        let q0 = m.find_net("q0").unwrap();
+        let n1 = m.find_net("n1").unwrap();
+        m.remove_cell(c1);
+        m.add_cell(
+            "c1",
+            "NAND2X1",
+            &[("A", Conn::Net(q0)), ("B", Conn::Net(q2)), ("Z", Conn::Net(n1))],
+        )
+        .unwrap();
+        let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        let ddg = build(&m, &lib, &regions).unwrap();
+        let (r1, r2) = (
+            regions.region_of("r1").unwrap(),
+            regions.region_of("r2").unwrap(),
+        );
+        assert!(ddg.edges.contains(&(r1, r2)));
+        assert!(ddg.edges.contains(&(r2, r1)));
+    }
+}

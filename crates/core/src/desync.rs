@@ -1,0 +1,429 @@
+//! The one-call desynchronization pipeline (§3.2, Fig. 2.1).
+
+use std::collections::HashMap;
+
+use drd_liberty::gatefile::Gatefile;
+use drd_liberty::{Corner, Library, SeqKind};
+use drd_netlist::{Design, Module};
+use drd_sta::{GraphOptions, TimingGraph};
+
+use crate::ddg;
+use crate::ffsub;
+use crate::network::{self, enable_net_names};
+use crate::region::{self, GroupingOptions, Regions};
+use crate::sdc;
+use crate::DesyncError;
+
+/// Options for a desynchronization run.
+#[derive(Debug, Clone)]
+pub struct DesyncOptions {
+    /// Region-creation options (§3.2.2).
+    pub grouping: GroupingOptions,
+    /// Remove synthesis buffering before grouping (§3.2.2, IPO flow:
+    /// "the removed logic does not need to be put back").
+    pub clean_logic: bool,
+    /// Safety margin on matched delays (§2.5: "delay elements must include
+    /// margins to cope with uncorrelated variability").
+    pub delay_margin: f64,
+    /// Use 8-tap multiplexed delay elements with `dsel[2:0]` calibration
+    /// ports (§3.2.5, the Fig. 5.3 sweep).
+    pub muxed_delay_elements: bool,
+    /// Clock port name; auto-detected when `None`.
+    pub clock_port: Option<String>,
+    /// Original clock period for constraint generation (ns).
+    pub clock_period_ns: f64,
+}
+
+impl Default for DesyncOptions {
+    fn default() -> Self {
+        DesyncOptions {
+            grouping: GroupingOptions::recommended(),
+            clean_logic: true,
+            delay_margin: 1.08,
+            muxed_delay_elements: false,
+            clock_port: None,
+            clock_period_ns: 2.4,
+        }
+    }
+}
+
+/// Summary of what the tool did.
+#[derive(Debug, Clone)]
+pub struct DesyncReport {
+    /// The identified clock net name.
+    pub clock_net: String,
+    /// Region summaries `(name, cells, ffs, critical_delay_ns,
+    /// delem_levels)`.
+    pub regions: Vec<RegionSummary>,
+    /// Data-dependency edges as region-name pairs.
+    pub ddg_edges: Vec<(String, String)>,
+    /// Flip-flops substituted.
+    pub substituted_ffs: usize,
+    /// Extra gates inserted by the substitution.
+    pub extra_gates: usize,
+    /// Controller instances inserted.
+    pub controllers: usize,
+    /// C-elements inserted.
+    pub celements: usize,
+    /// Buffers/inverter pairs removed by cleaning.
+    pub cleaned_cells: usize,
+}
+
+/// Per-region summary.
+#[derive(Debug, Clone)]
+pub struct RegionSummary {
+    /// Region name (`g0` = input registers).
+    pub name: String,
+    /// Total cells before substitution.
+    pub cells: usize,
+    /// Flip-flops substituted.
+    pub ffs: usize,
+    /// Typical-corner critical-path delay of the cloud (ns).
+    pub critical_delay_ns: f64,
+    /// Matched delay-element levels.
+    pub delem_levels: usize,
+}
+
+/// The outcome of desynchronization.
+#[derive(Debug, Clone)]
+pub struct DesyncResult {
+    /// The desynchronized design: top module plus generated controller and
+    /// delay-element modules.
+    pub design: Design,
+    /// Backend physical timing constraints (Synopsys SDC).
+    pub sdc: String,
+    /// What happened.
+    pub report: DesyncReport,
+}
+
+/// The desynchronization tool.
+#[derive(Debug, Clone)]
+pub struct Desynchronizer<'a> {
+    lib: &'a Library,
+    gatefile: Gatefile,
+}
+
+impl<'a> Desynchronizer<'a> {
+    /// Prepares the tool for `lib` (builds the gatefile, §3.1).
+    ///
+    /// # Errors
+    /// Returns [`DesyncError::Library`] if the library cannot support
+    /// desynchronization (e.g. no latch).
+    pub fn new(lib: &'a Library) -> Result<Self, DesyncError> {
+        Ok(Desynchronizer {
+            lib,
+            gatefile: Gatefile::from_library(lib)?,
+        })
+    }
+
+    /// The prepared gatefile.
+    pub fn gatefile(&self) -> &Gatefile {
+        &self.gatefile
+    }
+
+    /// Desynchronizes `module`.
+    ///
+    /// # Errors
+    /// Returns [`DesyncError`] if the clock cannot be identified, a
+    /// flip-flop has no replacement rule, or a netlist/STA pass fails.
+    pub fn run(&self, module: &Module, opts: &DesyncOptions) -> Result<DesyncResult, DesyncError> {
+        let lib = self.lib;
+        let mut working = module.clone();
+
+        // 1. Logic cleaning (§3.2.2).
+        let cleaned = if opts.clean_logic {
+            let stats = region::clean_for_grouping(&mut working, lib);
+            stats.buffers_removed + 2 * stats.inverter_pairs_removed
+        } else {
+            0
+        };
+
+        // 2. Clock identification.
+        let clock_net = match &opts.clock_port {
+            Some(port) => working
+                .find_net(port)
+                .ok_or_else(|| DesyncError::Clock {
+                    message: format!("clock port `{port}` not found"),
+                })?,
+            None => region::find_clock_net(&working, lib).ok_or_else(|| DesyncError::Clock {
+                message: "no sequential cells, nothing to desynchronize".into(),
+            })?,
+        };
+        let clock_name = working.net(clock_net).name.clone();
+
+        // 3. Region creation.
+        let mut grouping = opts.grouping.clone();
+        grouping.false_path_nets.push(clock_name.clone());
+        let regions = region::group(&working, lib, &grouping)?;
+
+        // 4. Data-dependency graph.
+        let graph = ddg::build(&working, lib, &regions)?;
+
+        // 5. Region critical-path delays (STA on the pre-substitution
+        // netlist; the datapath is unchanged by substitution).
+        let delays = region_delays(&working, lib, &regions)?;
+
+        // 6. Flip-flop substitution per region.
+        let mut substituted = 0usize;
+        let mut extra_gates = 0usize;
+        for r in &regions.regions {
+            if r.seq_cells.is_empty() {
+                continue;
+            }
+            let (gm_name, gs_name) = enable_net_names(&r.name);
+            let gm = working.add_net(gm_name)?;
+            let gs = working.add_net(gs_name)?;
+            let rep = ffsub::substitute_ffs(&mut working, lib, &self.gatefile, &r.seq_cells, gm, gs)?;
+            substituted += rep.substituted;
+            extra_gates += rep.extra_gates;
+        }
+
+        // 7. Control-network insertion.
+        let mut design = Design::new();
+        let top = design.insert(working);
+        let net_report = network::insert_control_network(
+            &mut design,
+            top,
+            &regions,
+            &graph,
+            &delays,
+            lib,
+            opts.muxed_delay_elements,
+            opts.delay_margin,
+        )?;
+
+        // 8. Constraint generation.
+        let delem_min: Vec<(String, f64)> = regions
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| !r.seq_cells.is_empty() && delays[*i] > 0.0)
+            .map(|(i, r)| (format!("drd_{}_delem", r.name), delays[i]))
+            .collect();
+        let spec = sdc::spec_from_report(
+            opts.clock_period_ns,
+            &clock_name,
+            &net_report,
+            &delem_min,
+        );
+        let sdc_text = sdc::generate(&spec);
+
+        let region_summaries = regions
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RegionSummary {
+                name: r.name.clone(),
+                cells: r.cells.len(),
+                ffs: r.seq_cells.len(),
+                critical_delay_ns: delays[i],
+                delem_levels: net_report.delem_levels[i],
+            })
+            .collect();
+        let ddg_edges = graph
+            .edges
+            .iter()
+            .map(|&(a, b)| {
+                (
+                    regions.regions[a].name.clone(),
+                    regions.regions[b].name.clone(),
+                )
+            })
+            .collect();
+
+        Ok(DesyncResult {
+            design,
+            sdc: sdc_text,
+            report: DesyncReport {
+                clock_net: clock_name,
+                regions: region_summaries,
+                ddg_edges,
+                substituted_ffs: substituted,
+                extra_gates,
+                controllers: net_report.controllers,
+                celements: net_report.celements,
+                cleaned_cells: cleaned,
+            },
+        })
+    }
+}
+
+/// Per-region combinational critical-path delay: the worst arrival at any
+/// data input of the region's sequential cells (§3.2.5).
+pub fn region_delays(
+    module: &Module,
+    lib: &Library,
+    regions: &Regions,
+) -> Result<Vec<f64>, DesyncError> {
+    let graph = TimingGraph::build(module, lib, &GraphOptions::default())?;
+    let arrivals = graph.arrivals(Corner::typical())?;
+    let mut delays = vec![0.0f64; regions.regions.len()];
+    let kind_of: HashMap<&str, &str> = module
+        .cells()
+        .map(|(_, c)| (c.name.as_str(), c.kind.name()))
+        .collect();
+    for (i, r) in regions.regions.iter().enumerate() {
+        let mut worst = 0.0f64;
+        for cell_name in &r.seq_cells {
+            let Some(kind) = kind_of.get(cell_name.as_str()) else { continue };
+            let Some(lc) = lib.cell(kind) else { continue };
+            let clockish = match &lc.seq {
+                SeqKind::FlipFlop(ff) => Some(ff.clocked_on.clone()),
+                SeqKind::Latch(l) => Some(l.enable.clone()),
+                _ => None,
+            };
+            for pin in lc.input_pins() {
+                if Some(&pin.name) == clockish.as_ref() {
+                    continue;
+                }
+                if let Some(node) = graph.find_pin(cell_name, &pin.name) {
+                    worst = worst.max(arrivals.at(node));
+                }
+            }
+        }
+        // Account for the latch setup time the delayed request must cover.
+        delays[i] = if worst > 0.0 { worst + 0.05 } else { 0.0 };
+    }
+    Ok(delays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drd_liberty::{vlib90, Lv};
+    use drd_netlist::{Conn, PortDir};
+    use drd_sim::{compare_capture_logs, SimOptions, Simulator};
+
+    /// Self-contained two-region design:
+    /// * region A: `r0` toggles (D = !Q0),
+    /// * region B: `r1` accumulates parity (D = Q0 ^ Q1).
+    fn toggle_parity() -> Module {
+        let mut m = Module::new("tp");
+        m.add_port("clk", PortDir::Input).unwrap();
+        m.add_port("out0", PortDir::Output).unwrap();
+        m.add_port("out1", PortDir::Output).unwrap();
+        let clk = m.find_net("clk").unwrap();
+        let q0 = m.find_net("out0").unwrap();
+        let q1 = m.find_net("out1").unwrap();
+        let d0 = m.add_net("d0").unwrap();
+        m.add_cell("inv0", "INVX1", &[("A", Conn::Net(q0)), ("Z", Conn::Net(d0))])
+            .unwrap();
+        m.add_cell(
+            "r0",
+            "DFFX1",
+            &[("D", Conn::Net(d0)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q0))],
+        )
+        .unwrap();
+        let d1 = m.add_net("d1").unwrap();
+        m.add_cell(
+            "xor1",
+            "XOR2X1",
+            &[("A", Conn::Net(q0)), ("B", Conn::Net(q1)), ("Z", Conn::Net(d1))],
+        )
+        .unwrap();
+        m.add_cell(
+            "r1",
+            "DFFX1",
+            &[("D", Conn::Net(d1)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q1))],
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn report_shape() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let result = tool.run(&toggle_parity(), &DesyncOptions::default()).unwrap();
+        let rep = &result.report;
+        assert_eq!(rep.clock_net, "clk");
+        assert_eq!(rep.substituted_ffs, 2);
+        assert_eq!(rep.regions.len(), 2, "{:?}", rep.regions);
+        assert_eq!(rep.controllers, 4);
+        // Region A feeds region B; both regions read their own registers.
+        assert!(rep.ddg_edges.len() >= 3, "{:?}", rep.ddg_edges);
+        assert!(result.sdc.contains("create_clock"));
+        // The exported design parses back (write → parse round trip).
+        let text = drd_netlist::verilog::write_design(&result.design);
+        drd_netlist::verilog::parse_design(&text).expect("exported Verilog parses");
+    }
+
+    /// The headline property: the desynchronized circuit is
+    /// flow-equivalent to its synchronous counterpart (§2.1).
+    #[test]
+    fn desynchronized_circuit_is_flow_equivalent() {
+        let lib = vlib90::high_speed();
+        let module = toggle_parity();
+
+        // Synchronous reference: 20 clocked cycles.
+        let mut sync_design = Design::new();
+        sync_design.insert(module.clone());
+        let mut reference = Simulator::new(&sync_design, &lib, SimOptions::default()).unwrap();
+        reference.schedule_clock("clk", 2.0, 1.0, 20).unwrap();
+        reference.run_for(45.0);
+        assert_eq!(reference.captures().capture_count("r0"), 20);
+
+        // Desynchronized version, free-running after reset.
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let result = tool.run(&module, &DesyncOptions::default()).unwrap();
+        let mut dut = Simulator::new(&result.design, &lib, SimOptions::default()).unwrap();
+        dut.poke("drd_rst", Lv::Zero).unwrap();
+        dut.run_for(2.0);
+        dut.poke("drd_rst", Lv::One).unwrap();
+        dut.run_for(200.0);
+        assert!(
+            dut.captures().capture_count("r0_ls") >= 10,
+            "desynchronized circuit runs: {} slave captures",
+            dut.captures().capture_count("r0_ls")
+        );
+
+        let check = compare_capture_logs(reference.captures(), dut.captures(), |n| {
+            format!("{n}_ls")
+        });
+        assert!(check.is_equivalent(), "flow equivalence: {check:?}");
+    }
+
+    /// Effective period scales with the operating corner — the circuit is
+    /// self-timed (§2.5).
+    #[test]
+    fn effective_period_tracks_corner() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let result = tool.run(&toggle_parity(), &DesyncOptions::default()).unwrap();
+        let period_at = |corner| {
+            let mut sim =
+                Simulator::new(&result.design, &lib, SimOptions::at_corner(corner)).unwrap();
+            sim.watch("drd_g1_gs").unwrap();
+            sim.poke("drd_rst", Lv::Zero).unwrap();
+            sim.run_for(2.0);
+            sim.poke("drd_rst", Lv::One).unwrap();
+            sim.run_for(300.0);
+            let edges = sim.rising_edges("drd_g1_gs");
+            assert!(edges.len() > 5, "oscillates at {}", corner.name);
+            (edges[edges.len() - 1] - edges[1]) / (edges.len() - 2) as f64
+        };
+        let best = period_at(Corner::best());
+        let worst = period_at(Corner::worst());
+        let ratio = worst / best;
+        let expected = Corner::worst().delay_factor / Corner::best().delay_factor;
+        assert!(
+            (ratio / expected - 1.0).abs() < 0.1,
+            "period ratio {ratio} tracks corner ratio {expected}"
+        );
+    }
+
+    #[test]
+    fn no_clock_is_an_error() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let mut m = Module::new("comb");
+        let a = m.add_net("a").unwrap();
+        let z = m.add_net("z").unwrap();
+        m.add_cell("u", "INVX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(z))])
+            .unwrap();
+        assert!(matches!(
+            tool.run(&m, &DesyncOptions::default()),
+            Err(DesyncError::Clock { .. })
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Desynchronization error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the desynchronization passes.
+#[derive(Debug, Clone)]
+pub enum DesyncError {
+    /// The netlist references an unknown library cell.
+    UnknownCell {
+        /// The missing cell name.
+        name: String,
+    },
+    /// No clock could be identified (or the design has multiple clocks —
+    /// "Currently the desynchronization flow supports only single clock
+    /// circuits", §4.1).
+    Clock {
+        /// Explanation.
+        message: String,
+    },
+    /// Library preparation failed (no latch, unsupported flip-flop, …).
+    Library(drd_liberty::LibraryError),
+    /// A netlist operation failed.
+    Netlist(drd_netlist::NetlistError),
+    /// Static timing analysis failed.
+    Sta(drd_sta::StaError),
+    /// A flip-flop has no replacement rule in the gatefile.
+    NoRule {
+        /// The flip-flop cell name.
+        cell: String,
+    },
+}
+
+impl fmt::Display for DesyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesyncError::UnknownCell { name } => write!(f, "unknown library cell `{name}`"),
+            DesyncError::Clock { message } => write!(f, "clock identification failed: {message}"),
+            DesyncError::Library(e) => write!(f, "library preparation failed: {e}"),
+            DesyncError::Netlist(e) => write!(f, "netlist operation failed: {e}"),
+            DesyncError::Sta(e) => write!(f, "timing analysis failed: {e}"),
+            DesyncError::NoRule { cell } => {
+                write!(f, "no gatefile replacement rule for flip-flop `{cell}`")
+            }
+        }
+    }
+}
+
+impl Error for DesyncError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DesyncError::Library(e) => Some(e),
+            DesyncError::Netlist(e) => Some(e),
+            DesyncError::Sta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<drd_liberty::LibraryError> for DesyncError {
+    fn from(e: drd_liberty::LibraryError) -> Self {
+        DesyncError::Library(e)
+    }
+}
+
+impl From<drd_netlist::NetlistError> for DesyncError {
+    fn from(e: drd_netlist::NetlistError) -> Self {
+        DesyncError::Netlist(e)
+    }
+}
+
+impl From<drd_sta::StaError> for DesyncError {
+    fn from(e: drd_sta::StaError) -> Self {
+        DesyncError::Sta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DesyncError::NoRule { cell: "DFFZ".into() };
+        assert!(e.to_string().contains("DFFZ"));
+        let e: DesyncError = drd_liberty::LibraryError::new("boom").into();
+        assert!(e.source().is_some());
+    }
+}

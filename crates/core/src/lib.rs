@@ -1,0 +1,48 @@
+//! # drd-core — the `drdesync` desynchronization tool
+//!
+//! The paper's primary contribution (Chapter 3): a tool that transforms a
+//! post-synthesis synchronous gate-level netlist into a desynchronized —
+//! asynchronous, handshake-controlled — netlist, plus the backend timing
+//! constraints that let a conventional synchronous flow finish the chip.
+//!
+//! The pipeline (§3.2) is exposed both as individual passes and through
+//! the one-call [`Desynchronizer`]:
+//!
+//! 1. design import — [`drd_netlist::verilog`] (the netlist crate)
+//! 2. automatic region creation — [`region`] (Figs. 3.3–3.6)
+//! 3. flip-flop substitution — [`ffsub`] (Fig. 3.1), driven by the
+//!    library's [`drd_liberty::gatefile`] replacement rules
+//! 4. data-dependency graph — [`ddg`] (Fig. 2.6)
+//! 5. delay-element creation — [`delay_element`] (Figs. 2.8/2.9), sized by
+//!    STA
+//! 6. control-network insertion — [`controller`] + [`celement`] +
+//!    [`network`] (Figs. 2.7/2.11)
+//! 7. design export + physical timing constraints — [`sdc`] (Figs. 4.2/4.5)
+//!
+//! ```no_run
+//! use drd_core::{DesyncOptions, Desynchronizer};
+//! use drd_liberty::vlib90;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = vlib90::high_speed();
+//! let module = drd_netlist::verilog::parse_module(&std::fs::read_to_string("chip.v")?)?;
+//! let result = Desynchronizer::new(&lib)?.run(&module, &DesyncOptions::default())?;
+//! std::fs::write("chip_desync.v", drd_netlist::verilog::write_design(&result.design))?;
+//! std::fs::write("chip_desync.sdc", &result.sdc)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod celement;
+pub mod controller;
+pub mod ddg;
+pub mod delay_element;
+mod desync;
+mod error;
+pub mod ffsub;
+pub mod network;
+pub mod region;
+pub mod sdc;
+
+pub use desync::{DesyncOptions, DesyncReport, DesyncResult, Desynchronizer};
+pub use error::DesyncError;

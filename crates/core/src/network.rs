@@ -1,0 +1,413 @@
+//! Control-network insertion (§2.4.2, §2.4.5, §3.2.6, Figs. 2.7/2.11).
+//!
+//! Every region gets a master/slave pair of semi-decoupled controllers.
+//! Requests flow along the data-dependency graph: the slave request of
+//! each predecessor, joined by a C-element tree and delayed by the
+//! region's matched delay element, becomes the master's input request;
+//! acknowledgements flow backwards symmetrically. Regions without
+//! predecessors (input registers) loop their own slave request back —
+//! the environment is always ready, mirroring the synchronous circuit
+//! re-sampling its inputs every cycle; regions without successors get an
+//! eager output environment (`ao = ro`).
+
+use drd_liberty::Library;
+use drd_netlist::{Conn, Design, ModuleId, NetId};
+
+use crate::celement;
+use crate::controller::{build_controller, ControllerRole};
+use crate::ddg::Ddg;
+use crate::delay_element;
+use crate::region::Regions;
+use crate::DesyncError;
+
+/// Naming helper: the master/slave enable nets of a region.
+pub fn enable_net_names(region: &str) -> (String, String) {
+    (format!("drd_{region}_gm"), format!("drd_{region}_gs"))
+}
+
+/// Report from control-network insertion.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkReport {
+    /// Controller instances inserted (2 per controlled region).
+    pub controllers: usize,
+    /// C-elements inserted for request/acknowledge joins.
+    pub celements: usize,
+    /// Delay-element instances inserted.
+    pub delay_elements: usize,
+    /// Chain length (matched levels) per region (0 = no controller).
+    pub delem_levels: Vec<usize>,
+    /// Names of all controller instances (`(master, slave)` per region).
+    pub controller_instances: Vec<(String, String)>,
+    /// Buffers inserted for the low-skew enable trees.
+    pub enable_tree_buffers: usize,
+}
+
+/// Inserts the full controller network into `design`'s module `top`.
+///
+/// `region_delays_ns` holds the typical-corner critical-path delay of each
+/// region's logic cloud; delay elements are sized to cover it with
+/// `margin`. If `muxed` is set, 8-tap multiplexed delay elements are used
+/// and `dsel[2:0]` input ports are added.
+///
+/// # Errors
+/// Propagates netlist and STA errors.
+pub fn insert_control_network(
+    design: &mut Design,
+    top: ModuleId,
+    regions: &Regions,
+    ddg: &Ddg,
+    region_delays_ns: &[f64],
+    lib: &Library,
+    muxed: bool,
+    margin: f64,
+) -> Result<NetworkReport, DesyncError> {
+    let mut report = NetworkReport::default();
+
+    // Controller modules (once).
+    for role in [ControllerRole::Master, ControllerRole::Slave] {
+        if design.find_module(role.module_name()).is_none() {
+            design.insert(build_controller(role));
+        }
+    }
+
+    // Reset / calibration ports.
+    let rst = {
+        let m = design.module_mut(top);
+        match m.find_port("drd_rst") {
+            Some(p) => m.port(p).net,
+            None => {
+                let p = m.add_port("drd_rst", drd_netlist::PortDir::Input)?;
+                m.port(p).net
+            }
+        }
+    };
+    let sel_nets: Vec<NetId> = if muxed {
+        let m = design.module_mut(top);
+        (0..3)
+            .map(|b| {
+                let name = format!("dsel[{b}]");
+                match m.find_port(&name) {
+                    Some(p) => Ok(m.port(p).net),
+                    None => {
+                        let p = m.add_port(name, drd_netlist::PortDir::Input)?;
+                        Ok(m.port(p).net)
+                    }
+                }
+            })
+            .collect::<Result<_, drd_netlist::NetlistError>>()?
+    } else {
+        Vec::new()
+    };
+
+    let n = regions.regions.len();
+    let controlled: Vec<bool> = regions
+        .regions
+        .iter()
+        .map(|r| !r.seq_cells.is_empty())
+        .collect();
+
+    // Per-region handshake nets (created up-front so joins can reference
+    // any region).
+    let mut rom = vec![None; n];
+    let mut ros = vec![None; n];
+    let mut aim = vec![None; n];
+    let mut ais = vec![None; n];
+    {
+        let m = design.module_mut(top);
+        for (i, r) in regions.regions.iter().enumerate() {
+            if !controlled[i] {
+                continue;
+            }
+            rom[i] = Some(m.add_net_auto(&format!("drd_{}_rom", r.name)));
+            ros[i] = Some(m.add_net_auto(&format!("drd_{}_ros", r.name)));
+            aim[i] = Some(m.add_net_auto(&format!("drd_{}_aim", r.name)));
+            ais[i] = Some(m.add_net_auto(&format!("drd_{}_ais", r.name)));
+        }
+    }
+
+    // Delay-element sizing and module creation.
+    let mut delem_levels = vec![0usize; n];
+    let overhead = if muxed {
+        delay_element::mux_overhead_levels(lib)?
+    } else {
+        0
+    };
+    for i in 0..n {
+        if !controlled[i] {
+            continue;
+        }
+        let target = region_delays_ns.get(i).copied().unwrap_or(0.0);
+        delem_levels[i] = if target <= 0.0 {
+            1
+        } else {
+            delay_element::levels_for_delay(lib, target, margin)?
+        };
+        let module_name = delem_module_name(muxed, delem_levels[i]);
+        if design.find_module(&module_name).is_none() {
+            let module = if muxed {
+                delay_element::build_muxed(&module_name, delem_levels[i], overhead)
+            } else {
+                delay_element::build_fixed(&module_name, delem_levels[i])
+            };
+            design.insert(module);
+        }
+    }
+    report.delem_levels = delem_levels.clone();
+
+    // Wiring per region.
+    for (i, r) in regions.regions.iter().enumerate() {
+        if !controlled[i] {
+            report.controller_instances.push((String::new(), String::new()));
+            continue;
+        }
+        let m = design.module_mut(top);
+        let (gm_name, gs_name) = enable_net_names(&r.name);
+        let gm = m
+            .find_net(&gm_name)
+            .ok_or_else(|| DesyncError::Clock {
+                message: format!("enable net `{gm_name}` missing (run ffsub first)"),
+            })?;
+        let gs = m.find_net(&gs_name).ok_or_else(|| DesyncError::Clock {
+            message: format!("enable net `{gs_name}` missing (run ffsub first)"),
+        })?;
+
+        // Input requests: predecessors' slave ro, joined and delayed.
+        let pred_reqs: Vec<NetId> = ddg.preds[i]
+            .iter()
+            .filter(|&&p| controlled[p])
+            .map(|&p| ros[p].expect("controlled predecessor has nets"))
+            .collect();
+        let raw_req = if pred_reqs.is_empty() {
+            // Environment loopback: always-ready input.
+            ros[i].expect("own nets exist")
+        } else {
+            let (net, c) = celement::join(m, &pred_reqs, &format!("drd_{}_ri", r.name))?;
+            report.celements += c.celements;
+            net
+        };
+        let rim = m.add_net_auto(&format!("drd_{}_rim", r.name));
+        let delem_name = delem_module_name(muxed, delem_levels[i]);
+        let mut delem_pins: Vec<(&str, Conn)> =
+            vec![("in1", Conn::Net(raw_req)), ("out1", Conn::Net(rim))];
+        let sel_names: Vec<String> = (0..3).map(|b| format!("sel[{b}]")).collect();
+        if muxed {
+            for (b, sel_net) in sel_nets.iter().enumerate() {
+                delem_pins.push((sel_names[b].as_str(), Conn::Net(*sel_net)));
+            }
+        }
+        m.add_instance(
+            m.unique_cell_name(&format!("drd_{}_delem", r.name)),
+            delem_name,
+            &delem_pins,
+        )?;
+        report.delay_elements += 1;
+
+        // Output acknowledgements: successors' master ai, joined.
+        let succ_acks: Vec<NetId> = ddg.succs[i]
+            .iter()
+            .filter(|&&s| controlled[s])
+            .map(|&s| aim[s].expect("controlled successor has nets"))
+            .collect();
+        let slave_ao = if succ_acks.is_empty() {
+            // Eager output environment: acknowledge own request.
+            ros[i].expect("own nets exist")
+        } else {
+            let (net, c) = celement::join(m, &succ_acks, &format!("drd_{}_ao", r.name))?;
+            report.celements += c.celements;
+            net
+        };
+
+        // The controller pair.
+        let master_name = m.unique_cell_name(&format!("drd_{}_ctlm", r.name));
+        m.add_instance(
+            master_name.clone(),
+            ControllerRole::Master.module_name(),
+            &[
+                ("ri", Conn::Net(rim)),
+                ("ao", Conn::Net(ais[i].expect("own nets"))),
+                ("rst", Conn::Net(rst)),
+                ("ai", Conn::Net(aim[i].expect("own nets"))),
+                ("ro", Conn::Net(rom[i].expect("own nets"))),
+                ("g", Conn::Net(gm)),
+            ],
+        )?;
+        let slave_name = m.unique_cell_name(&format!("drd_{}_ctls", r.name));
+        m.add_instance(
+            slave_name.clone(),
+            ControllerRole::Slave.module_name(),
+            &[
+                ("ri", Conn::Net(rom[i].expect("own nets"))),
+                ("ao", Conn::Net(slave_ao)),
+                ("rst", Conn::Net(rst)),
+                ("ai", Conn::Net(ais[i].expect("own nets"))),
+                ("ro", Conn::Net(ros[i].expect("own nets"))),
+                ("g", Conn::Net(gs)),
+            ],
+        )?;
+        report.controllers += 2;
+        report
+            .controller_instances
+            .push((master_name, slave_name));
+    }
+
+    // Low-skew enable trees: bound every enable net's fanout so large
+    // regions' latch phases stay crisp (CTS's job in the paper's backend).
+    for r in regions.regions.iter().filter(|r| !r.seq_cells.is_empty()) {
+        let (gm_name, gs_name) = enable_net_names(&r.name);
+        for name in [gm_name, gs_name] {
+            report.enable_tree_buffers +=
+                buffer_enable_tree(design, top, lib, &name, 16)?;
+        }
+    }
+    Ok(report)
+}
+
+/// Builds a balanced buffer tree so the latch-enable net drives at most
+/// `max_fanout` loads per stage — the low-skew tree CTS would synthesize
+/// (§4.5.1); required for correct pre-layout simulation of large regions.
+fn buffer_enable_tree(
+    design: &mut Design,
+    top: ModuleId,
+    lib: &Library,
+    net_name: &str,
+    max_fanout: usize,
+) -> Result<usize, DesyncError> {
+    let mut inserted = 0usize;
+    loop {
+        let m = design.module_mut(top);
+        let Some(net) = m.find_net(net_name) else {
+            return Ok(inserted);
+        };
+        let dirs = {
+            // Resolve instance pins through the design.
+            let d: &Design = design;
+            let conn = {
+                let dirs = d.pin_dirs(lib);
+                d.module(top).connectivity(&dirs)?
+            };
+            conn
+        };
+        let loads: Vec<drd_netlist::Endpoint> = dirs.loads(net).to_vec();
+        if loads.len() <= max_fanout {
+            return Ok(inserted);
+        }
+        let m = design.module_mut(top);
+        for (g, chunk) in loads.chunks(max_fanout).enumerate() {
+            let out = m.add_net_auto(&format!("{net_name}_ct{g}"));
+            let cell = m.unique_cell_name(&format!("{net_name}_ctb"));
+            m.add_cell(
+                cell,
+                "BUFX2",
+                &[("A", Conn::Net(net)), ("Z", Conn::Net(out))],
+            )?;
+            inserted += 1;
+            for load in chunk {
+                if let drd_netlist::Endpoint::Pin(p) = load {
+                    let pin = m.cell(p.cell).pins()[p.pin as usize].0.clone();
+                    m.set_pin(p.cell, &pin, Conn::Net(out));
+                }
+            }
+        }
+    }
+}
+
+fn delem_module_name(muxed: bool, levels: usize) -> String {
+    if muxed {
+        format!("drd_delemx_{levels}")
+    } else {
+        format!("drd_delem_{levels}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg;
+    use crate::ffsub::substitute_ffs;
+    use crate::region::{group, GroupingOptions};
+    use drd_liberty::gatefile::Gatefile;
+    use drd_liberty::vlib90;
+    use drd_netlist::{Module, PortDir};
+
+    /// 2-region pipeline ready for network insertion.
+    fn prepared() -> (Design, ModuleId, Regions, Ddg, Vec<f64>) {
+        let lib = vlib90::high_speed();
+        let gf = Gatefile::from_library(&lib).unwrap();
+        let mut m = Module::new("p");
+        m.add_port("clk", PortDir::Input).unwrap();
+        m.add_port("din", PortDir::Input).unwrap();
+        m.add_port("dout", PortDir::Output).unwrap();
+        let clk = m.find_net("clk").unwrap();
+        let din = m.find_net("din").unwrap();
+        let dout = m.find_net("dout").unwrap();
+        let q0 = m.add_net("q0").unwrap();
+        m.add_cell(
+            "r_in",
+            "DFFX1",
+            &[("D", Conn::Net(din)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q0))],
+        )
+        .unwrap();
+        let n1 = m.add_net("n1").unwrap();
+        m.add_cell("c1", "INVX1", &[("A", Conn::Net(q0)), ("Z", Conn::Net(n1))])
+            .unwrap();
+        m.add_cell(
+            "r1",
+            "DFFX1",
+            &[("D", Conn::Net(n1)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(dout))],
+        )
+        .unwrap();
+        let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        let graph = ddg::build(&m, &lib, &regions).unwrap();
+        // Substitute each region's flip-flops.
+        for r in &regions.regions {
+            let (gm_name, gs_name) = enable_net_names(&r.name);
+            let gm = m.add_net(gm_name).unwrap();
+            let gs = m.add_net(gs_name).unwrap();
+            substitute_ffs(&mut m, &lib, &gf, &r.seq_cells, gm, gs).unwrap();
+        }
+        let delays = vec![0.1; regions.regions.len()];
+        let mut design = Design::new();
+        let top = design.insert(m);
+        (design, top, regions, graph, delays)
+    }
+
+    #[test]
+    fn network_insertion_wires_controller_pairs() {
+        let (mut design, top, regions, graph, delays) = prepared();
+        let lib = vlib90::high_speed();
+        let report =
+            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, false, 1.1)
+                .unwrap();
+        assert_eq!(report.controllers, 4, "2 regions × (master + slave)");
+        assert_eq!(report.delay_elements, 2);
+        let m = design.module(top);
+        assert!(m.find_port("drd_rst").is_some());
+        // The region with a predecessor has its request joined/delayed
+        // from the predecessor's slave request.
+        assert!(design.find_module("drd_ctrl_master").is_some());
+        assert!(design.find_module("drd_ctrl_slave").is_some());
+        // Every controlled region has a delay element instance.
+        let delems = m
+            .cells()
+            .filter(|(_, c)| c.kind.name().starts_with("drd_delem"))
+            .count();
+        assert_eq!(delems, 2);
+    }
+
+    #[test]
+    fn muxed_network_adds_sel_ports() {
+        let (mut design, top, regions, graph, delays) = prepared();
+        let lib = vlib90::high_speed();
+        let report =
+            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, true, 1.1)
+                .unwrap();
+        let m = design.module(top);
+        for b in 0..3 {
+            assert!(m.find_port(&format!("dsel[{b}]")).is_some());
+        }
+        assert!(report.delem_levels.iter().all(|&l| l >= 1));
+        assert!(design
+            .modules()
+            .any(|(_, module)| module.name.starts_with("drd_delemx_")));
+    }
+}

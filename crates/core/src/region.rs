@@ -1,0 +1,604 @@
+//! Automatic region creation — the grouping algorithm (§3.2.2).
+//!
+//! A *region* is a combinational logic cloud together with the flip-flops
+//! it drives; regions must be independent (no connections between the
+//! clouds of different regions). The algorithm of Fig. 3.3/3.4:
+//!
+//! 1. group together all combinational gates connected to each other (and
+//!    the sequential elements they drive),
+//! 2. add to each group the sequential elements directly driven by the
+//!    group's sequential members (FF→FF history chains),
+//! 3. assign all remaining sequential elements — flip-flops registering
+//!    circuit inputs — to the extra *Group 0*.
+//!
+//! Heuristics from the paper: logic cleaning (buffers and inverter pairs
+//! removed first, Fig. 3.5 — see [`clean_for_grouping`]), by-name bus
+//! grouping (Fig. 3.6), and user-marked false-path nets (global resets,
+//! clock-gating controls) that are ignored during traversal. The clock
+//! net is excluded automatically.
+
+use std::collections::{HashMap, HashSet};
+
+use drd_liberty::{CellClass, Library, SeqKind};
+use drd_netlist::passes::{clean_logic, CleanKind, CleanStats};
+use drd_netlist::{Cell, CellId, Conn, Endpoint, Module, NetId};
+
+use crate::DesyncError;
+
+/// Options for the grouping pass.
+#[derive(Debug, Clone, Default)]
+pub struct GroupingOptions {
+    /// Use the by-name bus heuristic (Fig. 3.6). Default: true via
+    /// [`GroupingOptions::default`]? No — all fields default off except
+    /// where noted; use [`GroupingOptions::recommended`] for the paper's
+    /// configuration.
+    pub bus_grouping: bool,
+    /// Net names to ignore as false paths (§3.2.2 "False Paths").
+    pub false_path_nets: Vec<String>,
+    /// Put the whole circuit in a single region (the paper's ARM design,
+    /// §5.3: "the ARM design was implemented using only one group").
+    pub single_group: bool,
+}
+
+impl GroupingOptions {
+    /// The paper's default configuration: bus grouping on.
+    pub fn recommended() -> Self {
+        GroupingOptions {
+            bus_grouping: true,
+            ..GroupingOptions::default()
+        }
+    }
+}
+
+/// One desynchronization region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Region name (`g0` is the input-register region).
+    pub name: String,
+    /// All member cells, by instance name.
+    pub cells: Vec<String>,
+    /// The sequential members (targets of flip-flop substitution).
+    pub seq_cells: Vec<String>,
+    /// True for Group 0 (input-registering flip-flops with no logic cloud).
+    pub is_input_region: bool,
+}
+
+/// The grouping result.
+#[derive(Debug, Clone)]
+pub struct Regions {
+    /// Regions, `g0` (if any) last.
+    pub regions: Vec<Region>,
+}
+
+impl Regions {
+    /// Index of the region containing cell `name`.
+    pub fn region_of(&self, name: &str) -> Option<usize> {
+        self.regions
+            .iter()
+            .position(|r| r.cells.iter().any(|c| c == name))
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if no regions were formed.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// Identifies the clock net: the net driving the largest number of
+/// sequential clock/enable pins.
+pub fn find_clock_net(module: &Module, lib: &Library) -> Option<NetId> {
+    let mut counts: HashMap<NetId, usize> = HashMap::new();
+    for (_, cell) in module.cells() {
+        let Some(lc) = lib.cell_of(&cell.kind) else { continue };
+        let clock_pin = match &lc.seq {
+            SeqKind::FlipFlop(ff) => Some(ff.clocked_on.as_str()),
+            SeqKind::Latch(l) => Some(l.enable.as_str()),
+            _ => None,
+        };
+        if let Some(pin) = clock_pin {
+            if let Some(Conn::Net(n)) = cell.pin(pin) {
+                *counts.entry(n).or_insert(0) += 1;
+            }
+        }
+    }
+    counts.into_iter().max_by_key(|&(_, c)| c).map(|(n, _)| n)
+}
+
+/// Classifier for the cleaning pass: buffers and inverters of `lib`.
+pub fn clean_classifier(lib: &Library) -> impl Fn(&Cell) -> Option<CleanKind> + '_ {
+    |cell: &Cell| {
+        let lc = lib.cell_of(&cell.kind)?;
+        if lc.class() != CellClass::Combinational {
+            return None;
+        }
+        let inputs: Vec<_> = lc.input_pins().collect();
+        let outputs: Vec<_> = lc.output_pins().collect();
+        if inputs.len() != 1 || outputs.len() != 1 {
+            return None;
+        }
+        let f = outputs[0].function.as_ref()?;
+        use drd_liberty::function::Expr;
+        match f {
+            Expr::Var(v) if *v == inputs[0].name => Some(CleanKind::Buffer {
+                input: inputs[0].name.clone(),
+                output: outputs[0].name.clone(),
+            }),
+            Expr::Not(inner) => match inner.as_ref() {
+                Expr::Var(v) if *v == inputs[0].name => Some(CleanKind::Inverter {
+                    input: inputs[0].name.clone(),
+                    output: outputs[0].name.clone(),
+                }),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// Removes synthesis buffering from `module` so grouping sees only true
+/// data dependencies (§3.2.2 "Logic Cleaning", Fig. 3.5).
+pub fn clean_for_grouping(module: &mut Module, lib: &Library) -> CleanStats {
+    clean_logic(module, lib, clean_classifier(lib))
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = i;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb) as u32;
+        }
+    }
+}
+
+/// Runs the grouping algorithm on a (cleaned) module.
+///
+/// # Errors
+/// Returns [`DesyncError::UnknownCell`] for cells missing from the
+/// library, and propagates connectivity errors.
+pub fn group(
+    module: &Module,
+    lib: &Library,
+    opts: &GroupingOptions,
+) -> Result<Regions, DesyncError> {
+    let cells: Vec<(CellId, &Cell)> = module.cells().collect();
+    let index_of: HashMap<CellId, usize> =
+        cells.iter().enumerate().map(|(i, (id, _))| (*id, i)).collect();
+    for (_, cell) in &cells {
+        if lib.cell_of(&cell.kind).is_none() {
+            return Err(DesyncError::UnknownCell {
+                name: cell.kind.name().to_owned(),
+            });
+        }
+    }
+
+    if opts.single_group {
+        let mut all = Vec::new();
+        let mut seq = Vec::new();
+        for (_, cell) in &cells {
+            all.push(cell.name.clone());
+            if lib.is_sequential(&cell.kind) {
+                seq.push(cell.name.clone());
+            }
+        }
+        return Ok(Regions {
+            regions: vec![Region {
+                name: "g1".into(),
+                cells: all,
+                seq_cells: seq,
+                is_input_region: false,
+            }],
+        });
+    }
+
+    // False-path nets: user-marked plus the clock.
+    let mut false_nets: HashSet<NetId> = opts
+        .false_path_nets
+        .iter()
+        .filter_map(|n| module.find_net(n))
+        .collect();
+    if let Some(clk) = find_clock_net(module, lib) {
+        false_nets.insert(clk);
+    }
+
+    let conn = module.connectivity(lib)?;
+    let mut uf = UnionFind::new(cells.len());
+
+    // Clock/enable pin names per seq cell kind, to skip during traversal.
+    let clockish_pin = |cell: &Cell| -> Option<String> {
+        match &lib.cell_of(&cell.kind)?.seq {
+            SeqKind::FlipFlop(ff) => Some(ff.clocked_on.clone()),
+            SeqKind::Latch(l) => Some(l.enable.clone()),
+            _ => None,
+        }
+    };
+
+    // Step 1: connected components over combinational connections, pulling
+    // in the driven sequential elements.
+    for (i, (cid, cell)) in cells.iter().enumerate() {
+        let is_comb = !lib.is_sequential(&cell.kind);
+        if !is_comb {
+            continue;
+        }
+        for (pin_idx, (_, c)) in cell.pins().iter().enumerate() {
+            let Conn::Net(net) = c else { continue };
+            if false_nets.contains(net) {
+                continue;
+            }
+            let driving = conn.driver(*net)
+                == Some(Endpoint::Pin(drd_netlist::PinUse {
+                    cell: *cid,
+                    pin: pin_idx as u32,
+                }));
+            if driving {
+                // Union with every load (combinational neighbours and the
+                // driven sequential elements) — but never through a
+                // sequential clock/enable pin.
+                for load in conn.loads(*net) {
+                    let Endpoint::Pin(p) = load else { continue };
+                    let load_cell = cells[index_of[&p.cell]].1;
+                    if let Some(clk_pin) = clockish_pin(load_cell) {
+                        let pin_name = &load_cell.pins()[p.pin as usize].0;
+                        if *pin_name == clk_pin {
+                            continue;
+                        }
+                    }
+                    uf.union(i, index_of[&p.cell]);
+                }
+            } else {
+                // Union with a combinational source.
+                if let Some(Endpoint::Pin(p)) = conn.driver(*net) {
+                    let src = cells[index_of[&p.cell]].1;
+                    if !lib.is_sequential(&src.kind) {
+                        uf.union(i, index_of[&p.cell]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Bus heuristic (Fig. 3.6): drivers of bits of the same bus group
+    // together.
+    if opts.bus_grouping {
+        let mut bus_driver: HashMap<&str, usize> = HashMap::new();
+        for (nid, net) in module.nets() {
+            let Some(bus) = &net.bus else { continue };
+            if false_nets.contains(&nid) {
+                continue;
+            }
+            let Some(Endpoint::Pin(p)) = conn.driver(nid) else { continue };
+            let idx = index_of[&p.cell];
+            match bus_driver.get(bus.base.as_str()) {
+                Some(&first) => uf.union(first, idx),
+                None => {
+                    bus_driver.insert(bus.base.as_str(), idx);
+                }
+            }
+        }
+    }
+
+    // Step 2: sequential elements directly driven by grouped sequential
+    // elements join the driver's region.
+    for (i, (cid, cell)) in cells.iter().enumerate() {
+        if !lib.is_sequential(&cell.kind) {
+            continue;
+        }
+        for (pin_idx, (_, c)) in cell.pins().iter().enumerate() {
+            let Conn::Net(net) = c else { continue };
+            if false_nets.contains(net) {
+                continue;
+            }
+            let driving = conn.driver(*net)
+                == Some(Endpoint::Pin(drd_netlist::PinUse {
+                    cell: *cid,
+                    pin: pin_idx as u32,
+                }));
+            if !driving {
+                continue;
+            }
+            for load in conn.loads(*net) {
+                let Endpoint::Pin(p) = load else { continue };
+                let load_cell = cells[index_of[&p.cell]].1;
+                if !lib.is_sequential(&load_cell.kind) {
+                    continue;
+                }
+                if let Some(clk_pin) = clockish_pin(load_cell) {
+                    let pin_name = &load_cell.pins()[p.pin as usize].0;
+                    if *pin_name == clk_pin {
+                        continue;
+                    }
+                }
+                uf.union(i, index_of[&p.cell]);
+            }
+        }
+    }
+
+    // Collect classes. Classes without any combinational member and of
+    // size 1 fall into Group 0 (step 3) — as do all cells whose class
+    // contains only sequential elements with no cloud.
+    let mut class_members: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..cells.len() {
+        let root = uf.find(i);
+        class_members.entry(root).or_default().push(i);
+    }
+    let mut regions: Vec<Region> = Vec::new();
+    let mut group0: Vec<usize> = Vec::new();
+    let mut roots: Vec<usize> = class_members.keys().copied().collect();
+    roots.sort_unstable();
+    for root in roots {
+        let members = &class_members[&root];
+        let has_comb = members
+            .iter()
+            .any(|&i| !lib.is_sequential(&cells[i].1.kind));
+        let has_multiple_seq = members.len() > 1;
+        if !has_comb && !has_multiple_seq {
+            group0.extend(members.iter().copied());
+            continue;
+        }
+        let name = format!("g{}", regions.len() + 1);
+        let mut cell_names = Vec::with_capacity(members.len());
+        let mut seq_names = Vec::new();
+        for &i in members {
+            cell_names.push(cells[i].1.name.clone());
+            if lib.is_sequential(&cells[i].1.kind) {
+                seq_names.push(cells[i].1.name.clone());
+            }
+        }
+        regions.push(Region {
+            name,
+            cells: cell_names,
+            seq_cells: seq_names,
+            is_input_region: false,
+        });
+    }
+    if !group0.is_empty() {
+        let cell_names: Vec<String> = group0.iter().map(|&i| cells[i].1.name.clone()).collect();
+        regions.push(Region {
+            name: "g0".into(),
+            seq_cells: cell_names.clone(),
+            cells: cell_names,
+            is_input_region: true,
+        });
+    }
+    Ok(Regions { regions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drd_liberty::vlib90;
+    use drd_netlist::PortDir;
+
+    /// Builds a 2-stage pipeline: in → r_in → cloud1 → r1 → cloud2 → r2.
+    fn pipeline() -> Module {
+        let mut m = Module::new("p");
+        m.add_port("clk", PortDir::Input).unwrap();
+        m.add_port("din", PortDir::Input).unwrap();
+        let clk = m.find_net("clk").unwrap();
+        let din = m.find_net("din").unwrap();
+        let q0 = m.add_net("q0").unwrap();
+        m.add_cell(
+            "r_in",
+            "DFFX1",
+            &[("D", Conn::Net(din)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q0))],
+        )
+        .unwrap();
+        let n1 = m.add_net("n1").unwrap();
+        m.add_cell("c1", "INVX1", &[("A", Conn::Net(q0)), ("Z", Conn::Net(n1))])
+            .unwrap();
+        let q1 = m.add_net("q1").unwrap();
+        m.add_cell(
+            "r1",
+            "DFFX1",
+            &[("D", Conn::Net(n1)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q1))],
+        )
+        .unwrap();
+        let n2 = m.add_net("n2").unwrap();
+        m.add_cell(
+            "c2",
+            "NAND2X1",
+            &[("A", Conn::Net(q1)), ("B", Conn::Net(q0)), ("Z", Conn::Net(n2))],
+        )
+        .unwrap();
+        let q2 = m.add_net("q2").unwrap();
+        m.add_cell(
+            "r2",
+            "DFFX1",
+            &[("D", Conn::Net(n2)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q2))],
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn clock_net_is_found() {
+        let m = pipeline();
+        let lib = vlib90::high_speed();
+        let clk = find_clock_net(&m, &lib).unwrap();
+        assert_eq!(m.net(clk).name, "clk");
+    }
+
+    #[test]
+    fn pipeline_groups_into_stage_regions() {
+        let m = pipeline();
+        let lib = vlib90::high_speed();
+        let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        // Expected: {c1, r1}, {c2, r2}, and g0 = {r_in}.
+        assert_eq!(regions.len(), 3);
+        let r_c1 = regions.region_of("c1").unwrap();
+        assert_eq!(regions.region_of("r1"), Some(r_c1));
+        let r_c2 = regions.region_of("c2").unwrap();
+        assert_eq!(regions.region_of("r2"), Some(r_c2));
+        assert_ne!(r_c1, r_c2);
+        let g0 = regions.region_of("r_in").unwrap();
+        assert!(regions.regions[g0].is_input_region);
+        assert_eq!(regions.regions[g0].name, "g0");
+    }
+
+    #[test]
+    fn single_group_mode() {
+        let m = pipeline();
+        let lib = vlib90::high_speed();
+        let regions = group(
+            &m,
+            &lib,
+            &GroupingOptions {
+                single_group: true,
+                ..GroupingOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions.regions[0].cells.len(), 5);
+        assert_eq!(regions.regions[0].seq_cells.len(), 3);
+    }
+
+    #[test]
+    fn false_path_nets_are_ignored() {
+        // A comb-driven global net (e.g. a decoded clock-gating control)
+        // tied to both clouds merges them; marking it as a false path
+        // keeps them separate.
+        let mut m = pipeline();
+        let q0 = m.find_net("q0").unwrap();
+        let g = m.add_net("gate_en").unwrap();
+        m.add_cell("genv", "INVX1", &[("A", Conn::Net(q0)), ("Z", Conn::Net(g))])
+            .unwrap();
+        let n1b = m.add_net("n1b").unwrap();
+        let c1 = m.find_cell("c1").unwrap();
+        // Re-route cloud1 through an AND with the global signal.
+        let n1 = m.find_net("n1").unwrap();
+        m.set_pin(c1, "Z", Conn::Net(n1b));
+        m.add_cell(
+            "c1g",
+            "AND2X1",
+            &[("A", Conn::Net(n1b)), ("B", Conn::Net(g)), ("Z", Conn::Net(n1))],
+        )
+        .unwrap();
+        let c2 = m.find_cell("c2").unwrap();
+        let n2 = m.find_net("n2").unwrap();
+        let n2b = m.add_net("n2b").unwrap();
+        m.set_pin(c2, "Z", Conn::Net(n2b));
+        m.add_cell(
+            "c2g",
+            "AND2X1",
+            &[("A", Conn::Net(n2b)), ("B", Conn::Net(g)), ("Z", Conn::Net(n2))],
+        )
+        .unwrap();
+        let lib = vlib90::high_speed();
+
+        let merged = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        assert_eq!(
+            merged.region_of("c1"),
+            merged.region_of("c2"),
+            "global net merges clouds without false-path marking"
+        );
+
+        let opts = GroupingOptions {
+            bus_grouping: true,
+            false_path_nets: vec!["gate_en".into()],
+            ..GroupingOptions::default()
+        };
+        let split = group(&m, &lib, &opts).unwrap();
+        assert_ne!(split.region_of("c1"), split.region_of("c2"));
+    }
+
+    #[test]
+    fn buffer_cleaning_removes_false_dependencies() {
+        // Fig. 3.5: a buffer inserted between two clouds creates a false
+        // dependency; cleaning removes it.
+        let mut m = pipeline();
+        let lib = vlib90::high_speed();
+        // Insert a buffer driving both clouds' inputs from q0.
+        let q0 = m.find_net("q0").unwrap();
+        let bufd = m.add_net("q0_buf").unwrap();
+        let c1 = m.find_cell("c1").unwrap();
+        let c2 = m.find_cell("c2").unwrap();
+        m.set_pin(c1, "A", Conn::Net(bufd));
+        m.set_pin(c2, "B", Conn::Net(bufd));
+        m.add_cell("buf0", "BUFX1", &[("A", Conn::Net(q0)), ("Z", Conn::Net(bufd))])
+            .unwrap();
+        // Without cleaning the buffer is itself a comb cell connected to
+        // both clouds → everything merges.
+        let merged = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        assert_eq!(merged.region_of("c1"), merged.region_of("c2"));
+        // After cleaning, the regions split again.
+        let stats = clean_for_grouping(&mut m, &lib);
+        assert_eq!(stats.buffers_removed, 1);
+        let split = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        assert_ne!(split.region_of("c1"), split.region_of("c2"));
+    }
+
+    #[test]
+    fn bus_grouping_merges_bus_bit_drivers() {
+        let lib = vlib90::high_speed();
+        let mut m = Module::new("b");
+        m.add_port("clk", PortDir::Input).unwrap();
+        let clk = m.find_net("clk").unwrap();
+        // Two independent clouds driving bits of the same output bus.
+        for i in 0..2 {
+            let qa = m.add_net(format!("qa{i}")).unwrap();
+            let qb = m.add_net(format!("d[{i}]")).unwrap();
+            m.add_cell(
+                format!("rin{i}"),
+                "DFFX1",
+                &[("D", Conn::Net(qb)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(qa))],
+            )
+            .unwrap();
+            let bus_bit = m.add_net(format!("bus[{i}]")).unwrap();
+            m.add_cell(
+                format!("inv{i}"),
+                "INVX1",
+                &[("A", Conn::Net(qa)), ("Z", Conn::Net(bus_bit))],
+            )
+            .unwrap();
+        }
+        let no_bus = group(&m, &lib, &GroupingOptions::default()).unwrap();
+        assert_ne!(no_bus.region_of("inv0"), no_bus.region_of("inv1"));
+        let with_bus = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        assert_eq!(with_bus.region_of("inv0"), with_bus.region_of("inv1"));
+    }
+
+    #[test]
+    fn ff_to_ff_chains_join_the_driver_region() {
+        let lib = vlib90::high_speed();
+        let mut m = pipeline();
+        // r2 directly drives a history flip-flop r3.
+        let clk = m.find_net("clk").unwrap();
+        let q2 = m.find_net("q2").unwrap();
+        let q3 = m.add_net("q3").unwrap();
+        m.add_cell(
+            "r3",
+            "DFFX1",
+            &[("D", Conn::Net(q2)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q3))],
+        )
+        .unwrap();
+        let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        assert_eq!(regions.region_of("r3"), regions.region_of("r2"));
+    }
+}

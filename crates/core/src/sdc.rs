@@ -1,0 +1,154 @@
+//! Backend timing-constraint generation (§4.4–§4.6, Figs. 4.2/4.5).
+//!
+//! The desynchronized circuit has the same datapath as its synchronous
+//! counterpart, but it is a latch design with an asynchronous controller
+//! network, so its constraints are stricter:
+//!
+//! * the original clock becomes two non-overlapping master/slave clocks
+//!   whose source pins are the controllers' latch-enable drivers
+//!   (Fig. 4.2) — the backend then optimizes the datapath exactly as it
+//!   would the synchronous version (Fig. 4.3);
+//! * the controller timing loops are broken at specific timing-disabled
+//!   pins, keeping the critical cycle constrained (Fig. 4.5);
+//! * controller gates are `size_only` so re-synthesis cannot introduce
+//!   hazards (§4.6.2);
+//! * delay-element paths get min/max delay constraints so timing-driven
+//!   P&R preserves the matching.
+
+use std::fmt::Write as _;
+
+use crate::controller;
+use crate::network::NetworkReport;
+
+/// Inputs for SDC generation.
+#[derive(Debug, Clone)]
+pub struct SdcSpec {
+    /// Original synchronous clock period (ns).
+    pub period_ns: f64,
+    /// Original clock port name.
+    pub clock_port: String,
+    /// Controller instance names per region (from
+    /// [`NetworkReport::controller_instances`]).
+    pub controllers: Vec<(String, String)>,
+    /// Delay-element instance names and their minimum matched delay (ns).
+    pub delay_elements: Vec<(String, f64)>,
+}
+
+/// Generates the SDC text.
+pub fn generate(spec: &SdcSpec) -> String {
+    let mut out = String::new();
+    let p = spec.period_ns;
+    let _ = writeln!(out, "# drdesync generated constraints");
+    let _ = writeln!(
+        out,
+        "# original: create_clock -name \"Clk\" -period {p:.2} -waveform {{0 {:.2}}} [get_ports {}]",
+        p / 2.0,
+        spec.clock_port
+    );
+    // Fig. 4.2: the falling edge of the master and the rising edge of the
+    // slave coincide with the original rising edge.
+    let m_rise = p * 5.0 / 12.0;
+    let s_fall = p * 7.0 / 6.0;
+    let _ = writeln!(
+        out,
+        "create_clock -name \"ClkM\" -period {p:.2} -waveform {{{m_rise:.2} {p:.2}}} \
+         [get_pins {{*_ctlm/u_g/Z}}]"
+    );
+    let _ = writeln!(
+        out,
+        "create_clock -name \"ClkS\" -period {p:.2} -waveform {{{p:.2} {s_fall:.2}}} \
+         [get_pins {{*_ctls/u_g/Z}}]"
+    );
+    out.push('\n');
+
+    let _ = writeln!(out, "# controller loop breaking (Fig. 4.5)");
+    for (master, slave) in &spec.controllers {
+        for inst in [master, slave] {
+            if inst.is_empty() {
+                continue;
+            }
+            for (cell, pin) in controller::disabled_pins() {
+                let _ = writeln!(out, "set_disable_timing [get_pins {{{inst}/{cell}/{pin}}}]");
+            }
+        }
+    }
+    out.push('\n');
+
+    let _ = writeln!(out, "# allow only safe optimizations (§4.6.2)");
+    for (master, slave) in &spec.controllers {
+        for inst in [master, slave] {
+            if inst.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "set_size_only [get_cells {{{inst}/*}}]");
+        }
+    }
+    out.push('\n');
+
+    let _ = writeln!(out, "# matched delay elements: preserve minimum delays");
+    for (inst, min_delay) in &spec.delay_elements {
+        let _ = writeln!(
+            out,
+            "set_min_delay {min_delay:.3} -from [get_pins {{{inst}/in1}}] -to [get_pins {{{inst}/out1}}]"
+        );
+        let _ = writeln!(out, "set_dont_touch [get_cells {{{inst}}}]");
+    }
+    out
+}
+
+/// Convenience: builds the [`SdcSpec`] from a network report.
+pub fn spec_from_report(
+    period_ns: f64,
+    clock_port: &str,
+    report: &NetworkReport,
+    delem_min_delays: &[(String, f64)],
+) -> SdcSpec {
+    SdcSpec {
+        period_ns,
+        clock_port: clock_port.to_owned(),
+        controllers: report
+            .controller_instances
+            .iter()
+            .filter(|(m, _)| !m.is_empty())
+            .cloned()
+            .collect(),
+        delay_elements: delem_min_delays.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SdcSpec {
+        SdcSpec {
+            period_ns: 2.4,
+            clock_port: "clk".into(),
+            controllers: vec![("drd_g1_ctlm".into(), "drd_g1_ctls".into())],
+            delay_elements: vec![("drd_g1_delem".into(), 0.84)],
+        }
+    }
+
+    #[test]
+    fn clock_transformation_matches_figure_4_2() {
+        let sdc = generate(&sample());
+        assert!(sdc.contains("create_clock -name \"ClkM\" -period 2.40 -waveform {1.00 2.40}"));
+        assert!(sdc.contains("create_clock -name \"ClkS\" -period 2.40 -waveform {2.40 2.80}"));
+        assert!(sdc.contains("[get_pins {*_ctlm/u_g/Z}]"));
+    }
+
+    #[test]
+    fn loop_breaking_and_size_only() {
+        let sdc = generate(&sample());
+        assert!(sdc.contains("set_disable_timing [get_pins {drd_g1_ctlm/u_nro/A}]"));
+        assert!(sdc.contains("set_disable_timing [get_pins {drd_g1_ctls/u_nro/A}]"));
+        assert!(sdc.contains("set_size_only [get_cells {drd_g1_ctlm/*}]"));
+    }
+
+    #[test]
+    fn delay_elements_constrained() {
+        let sdc = generate(&sample());
+        assert!(sdc.contains("set_min_delay 0.840"));
+        assert!(sdc.contains("set_dont_touch [get_cells {drd_g1_delem}]"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # drd-designs — the paper's case-study designs, generated at gate level
+//!
+//! The paper evaluates desynchronization on two processors implemented
+//! from RTL through Synopsys synthesis: a 4-stage DLX RISC CPU (§5.2) and
+//! the ARM966E-S (§5.3). Neither the RTL nor the synthesis tool is
+//! available, so this crate *generates technology-mapped netlists
+//! directly*: a word-level [`builder`] DSL (adders, muxes, register files,
+//! ROMs) lowers to `vlib90` gates, producing flat gate-level modules of
+//! the same structural character the desynchronizer consumed in the paper
+//! (buses, pipeline registers, register-file feedback, scan chains).
+//!
+//! * [`dlx`] — a parameterizable 4/5-region DLX-style pipeline with an
+//!   embedded instruction ROM and data RAM so it is fully self-contained
+//!   (required for the flow-equivalence comparisons).
+//! * [`armlike`] — a larger scan-friendly RISC core with a multiplier
+//!   array, desynchronized as a single group as the paper's ARM was.
+//! * [`sample`] — the small 5-region circuit of Fig. 2.2, used as the
+//!   worked example throughout Chapter 2.
+//!
+//! All generators are deterministic: the same parameters produce the same
+//! netlist.
+
+pub mod armlike;
+pub mod builder;
+pub mod dlx;
+pub mod sample;
+
+pub use builder::{Builder, Word};

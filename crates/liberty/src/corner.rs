@@ -1,0 +1,130 @@
+//! PVT (process / voltage / temperature) operating corners.
+//!
+//! The paper's library is characterized at *best* and *worst* corners only
+//! ("The library does not include typical case conditions", §5 fn. 1);
+//! synchronous designs must be clocked at the worst corner, while the
+//! desynchronized circuit's delay elements track the actual silicon
+//! (§2.5, §5.2.2). Corner derating factors here are shared by the STA
+//! engine and the simulator so both see the same timing model.
+
+/// An operating corner, expressed as derating factors applied to the
+/// library's typical-corner characterization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Corner name for reports ("best", "typical", "worst", "mc").
+    pub name: &'static str,
+    /// Multiplier applied to every gate delay.
+    pub delay_factor: f64,
+    /// Multiplier applied to leakage power.
+    pub leakage_factor: f64,
+    /// Supply voltage (V); dynamic power scales with `voltage²`.
+    pub voltage: f64,
+}
+
+impl Corner {
+    /// Fast process, high voltage, low temperature.
+    pub const fn best() -> Corner {
+        Corner {
+            name: "best",
+            delay_factor: 0.68,
+            leakage_factor: 2.2,
+            voltage: 1.10,
+        }
+    }
+
+    /// Nominal process, voltage and temperature.
+    pub const fn typical() -> Corner {
+        Corner {
+            name: "typical",
+            delay_factor: 1.0,
+            leakage_factor: 1.0,
+            voltage: 1.00,
+        }
+    }
+
+    /// Slow process, low voltage, high temperature.
+    pub const fn worst() -> Corner {
+        Corner {
+            name: "worst",
+            delay_factor: 1.45,
+            leakage_factor: 0.55,
+            voltage: 0.90,
+        }
+    }
+
+    /// Linear interpolation between best (`t = 0`) and worst (`t = 1`),
+    /// used for per-chip Monte-Carlo process sampling (Fig. 5.4).
+    ///
+    /// # Panics
+    /// Panics if `t` is not finite.
+    pub fn interpolate(t: f64) -> Corner {
+        assert!(t.is_finite(), "interpolation parameter must be finite");
+        let t = t.clamp(0.0, 1.0);
+        let b = Corner::best();
+        let w = Corner::worst();
+        let lerp = |x: f64, y: f64| x + (y - x) * t;
+        Corner {
+            name: "mc",
+            delay_factor: lerp(b.delay_factor, w.delay_factor),
+            leakage_factor: lerp(b.leakage_factor, w.leakage_factor),
+            voltage: lerp(b.voltage, w.voltage),
+        }
+    }
+
+    /// Derates a typical-corner delay to this corner.
+    pub fn delay(&self, typical_delay: f64) -> f64 {
+        typical_delay * self.delay_factor
+    }
+
+    /// Scale factor for dynamic switching energy at this corner (`V²`
+    /// relative to nominal).
+    pub fn dynamic_energy_factor(&self) -> f64 {
+        let nominal = Corner::typical().voltage;
+        (self.voltage / nominal).powi(2)
+    }
+}
+
+impl Default for Corner {
+    fn default() -> Self {
+        Corner::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_corners() {
+        assert!(Corner::best().delay_factor < Corner::typical().delay_factor);
+        assert!(Corner::typical().delay_factor < Corner::worst().delay_factor);
+        // Best/worst delay spread is roughly the 2.1x the paper's Fig 5.4
+        // implies (1.14 ns best vs 2.44 ns worst for the synchronous DLX).
+        let ratio = Corner::worst().delay_factor / Corner::best().delay_factor;
+        assert!(ratio > 1.9 && ratio < 2.4, "spread ratio {ratio}");
+    }
+
+    #[test]
+    fn interpolation_endpoints() {
+        let b = Corner::interpolate(0.0);
+        let w = Corner::interpolate(1.0);
+        assert!((b.delay_factor - Corner::best().delay_factor).abs() < 1e-12);
+        assert!((w.delay_factor - Corner::worst().delay_factor).abs() < 1e-12);
+        // Out-of-range values clamp.
+        assert_eq!(Corner::interpolate(-3.0).delay_factor, b.delay_factor);
+        assert_eq!(Corner::interpolate(9.0).delay_factor, w.delay_factor);
+    }
+
+    #[test]
+    fn derating() {
+        assert!((Corner::worst().delay(2.0) - 2.9).abs() < 1e-12);
+        assert!(Corner::best().dynamic_energy_factor() > 1.0);
+        assert!(Corner::worst().dynamic_energy_factor() < 1.0);
+    }
+
+    #[test]
+    #[should_panic = "finite"]
+    fn interpolate_rejects_nan() {
+        let _ = Corner::interpolate(f64::NAN);
+    }
+}

@@ -1,0 +1,41 @@
+//! # drd-liberty — technology-library support
+//!
+//! The library-preparation layer of the desynchronization flow (§3.1 of the
+//! paper). It provides:
+//!
+//! * a ternary [`Lv`] logic value and a boolean-[`function`] engine for
+//!   Liberty `function` strings,
+//! * a parser for a practical subset of the Liberty (`.lib`) format
+//!   ([`parse_library`]),
+//! * the [`Library`]/[`LibCell`] model: pins, directions, functions,
+//!   per-arc delays, areas, power coefficients and sequential semantics,
+//! * the [`gatefile`] — the paper's per-library preparation artifact, with
+//!   the flip-flop → master/slave-latch replacement rules (§3.1.1, §3.1.2),
+//! * [`vlib90`] — a synthetic 90 nm-class library (High-Speed and
+//!   Low-Leakage variants) standing in for the proprietary ST CORE9 library
+//!   used by the paper (see DESIGN.md, substitution table),
+//! * PVT [`Corner`] derating shared by STA and simulation.
+//!
+//! ```
+//! use drd_liberty::{vlib90, CellClass};
+//!
+//! let lib = vlib90::high_speed();
+//! let nand = lib.cell("NAND2X1").expect("vlib90 has NAND2X1");
+//! assert_eq!(nand.class(), CellClass::Combinational);
+//! assert!(nand.area > 0.0);
+//! ```
+
+mod cell;
+mod corner;
+pub mod function;
+pub mod gatefile;
+mod library;
+mod logic;
+mod parser;
+pub mod vlib90;
+
+pub use cell::{CellClass, FfInfo, LatchInfo, LibCell, Pin, SeqKind, TimingArc};
+pub use corner::Corner;
+pub use library::{Library, LibraryError};
+pub use logic::Lv;
+pub use parser::parse_library;

@@ -1,0 +1,172 @@
+//! Ternary logic values.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A ternary logic value: `0`, `1` or unknown (`X`).
+///
+/// `X` propagates pessimistically through the operators, with the usual
+/// dominance rules (`0 & X = 0`, `1 | X = 1`).
+///
+/// ```
+/// use drd_liberty::Lv;
+/// assert_eq!(Lv::Zero & Lv::X, Lv::Zero);
+/// assert_eq!(Lv::One | Lv::X, Lv::One);
+/// assert_eq!(Lv::One ^ Lv::X, Lv::X);
+/// assert_eq!(!Lv::X, Lv::X);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lv {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Lv {
+    /// Converts a `bool` into `Zero`/`One`.
+    pub fn from_bool(b: bool) -> Lv {
+        if b {
+            Lv::One
+        } else {
+            Lv::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for known values, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Lv::Zero => Some(false),
+            Lv::One => Some(true),
+            Lv::X => None,
+        }
+    }
+
+    /// True if the value is known (not `X`).
+    pub fn is_known(self) -> bool {
+        self != Lv::X
+    }
+}
+
+impl From<bool> for Lv {
+    fn from(b: bool) -> Lv {
+        Lv::from_bool(b)
+    }
+}
+
+impl fmt::Display for Lv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Lv::Zero => "0",
+            Lv::One => "1",
+            Lv::X => "x",
+        })
+    }
+}
+
+impl Not for Lv {
+    type Output = Lv;
+    fn not(self) -> Lv {
+        match self {
+            Lv::Zero => Lv::One,
+            Lv::One => Lv::Zero,
+            Lv::X => Lv::X,
+        }
+    }
+}
+
+impl BitAnd for Lv {
+    type Output = Lv;
+    fn bitand(self, rhs: Lv) -> Lv {
+        match (self, rhs) {
+            (Lv::Zero, _) | (_, Lv::Zero) => Lv::Zero,
+            (Lv::One, Lv::One) => Lv::One,
+            _ => Lv::X,
+        }
+    }
+}
+
+impl BitOr for Lv {
+    type Output = Lv;
+    fn bitor(self, rhs: Lv) -> Lv {
+        match (self, rhs) {
+            (Lv::One, _) | (_, Lv::One) => Lv::One,
+            (Lv::Zero, Lv::Zero) => Lv::Zero,
+            _ => Lv::X,
+        }
+    }
+}
+
+impl BitXor for Lv {
+    type Output = Lv;
+    fn bitxor(self, rhs: Lv) -> Lv {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Lv::from_bool(a ^ b),
+            _ => Lv::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Lv; 3] = [Lv::Zero, Lv::One, Lv::X];
+
+    #[test]
+    fn and_dominance() {
+        for v in ALL {
+            assert_eq!(Lv::Zero & v, Lv::Zero);
+            assert_eq!(v & Lv::Zero, Lv::Zero);
+        }
+        assert_eq!(Lv::One & Lv::One, Lv::One);
+        assert_eq!(Lv::One & Lv::X, Lv::X);
+    }
+
+    #[test]
+    fn or_dominance() {
+        for v in ALL {
+            assert_eq!(Lv::One | v, Lv::One);
+            assert_eq!(v | Lv::One, Lv::One);
+        }
+        assert_eq!(Lv::Zero | Lv::Zero, Lv::Zero);
+        assert_eq!(Lv::Zero | Lv::X, Lv::X);
+    }
+
+    #[test]
+    fn xor_and_not() {
+        assert_eq!(Lv::One ^ Lv::One, Lv::Zero);
+        assert_eq!(Lv::Zero ^ Lv::One, Lv::One);
+        assert_eq!(Lv::X ^ Lv::Zero, Lv::X);
+        assert_eq!(!Lv::Zero, Lv::One);
+        assert_eq!(!Lv::One, Lv::Zero);
+    }
+
+    #[test]
+    fn demorgan_holds_for_known_values() {
+        for a in [Lv::Zero, Lv::One] {
+            for b in [Lv::Zero, Lv::One] {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(Lv::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Lv::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Lv::X.to_bool(), None);
+        assert_eq!(Lv::from(true), Lv::One);
+        assert!(Lv::One.is_known());
+        assert!(!Lv::X.is_known());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}{}{}", Lv::Zero, Lv::One, Lv::X), "01x");
+    }
+}

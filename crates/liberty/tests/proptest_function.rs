@@ -1,0 +1,62 @@
+//! Property: the boolean-function engine round-trips through its Display
+//! form with identical truth tables, and evaluation is monotone in X.
+
+use proptest::prelude::*;
+
+use drd_liberty::function::Expr;
+use drd_liberty::Lv;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Expr::Var(format!("P{i}"))),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_bits(e: &Expr, bits: u8) -> Lv {
+    e.eval(&mut |name: &str| {
+        let i: u8 = name[1..].parse().unwrap();
+        Lv::from_bool((bits >> i) & 1 == 1)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_preserves_truth_table(e in arb_expr()) {
+        let reparsed = Expr::parse(&e.to_string()).unwrap();
+        for bits in 0u8..16 {
+            prop_assert_eq!(eval_bits(&e, bits), eval_bits(&reparsed, bits));
+        }
+    }
+
+    /// X-monotonicity: replacing a known input by X can only move the
+    /// output to X, never flip it between 0 and 1.
+    #[test]
+    fn x_is_monotone(e in arb_expr(), bits in 0u8..16, xed in 0u8..4) {
+        let known = eval_bits(&e, bits);
+        let with_x = e.eval(&mut |name: &str| {
+            let i: u8 = name[1..].parse().unwrap();
+            if i == xed {
+                Lv::X
+            } else {
+                Lv::from_bool((bits >> i) & 1 == 1)
+            }
+        });
+        prop_assert!(
+            with_x == known || with_x == Lv::X,
+            "{:?} -> {:?}",
+            known,
+            with_x
+        );
+    }
+}

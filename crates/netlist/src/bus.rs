@@ -1,0 +1,86 @@
+//! Bus-bit name inference (`base[index]`), used by the by-name bus-grouping
+//! heuristic of the desynchronizer (§3.2.2, Fig. 3.6).
+//!
+//! The paper notes that bus grouping "can be used only if the synthesis tool
+//! has not collapsed the bus in individual nets, i.e. `bus[n]` versus `bus_n`
+//! naming" — so only the `base[index]` form is recognized here.
+
+use crate::module::BusBit;
+
+/// Parses a net name of the form `base[index]` into its [`BusBit`].
+///
+/// Returns `None` for names that are not bus bits (including `bus_n`-style
+/// collapsed names, negative-looking garbage, or empty base names).
+///
+/// ```
+/// use drd_netlist::bus::parse_bus_bit;
+/// let bit = parse_bus_bit("data[12]").unwrap();
+/// assert_eq!(bit.base, "data");
+/// assert_eq!(bit.index, 12);
+/// assert!(parse_bus_bit("data_12").is_none());
+/// ```
+pub fn parse_bus_bit(name: &str) -> Option<BusBit> {
+    let name = name.strip_suffix(']')?;
+    let open = name.rfind('[')?;
+    let (base, idx) = name.split_at(open);
+    if base.is_empty() {
+        return None;
+    }
+    let index: i64 = idx[1..].parse().ok()?;
+    if index < 0 {
+        return None;
+    }
+    Some(BusBit {
+        base: base.to_owned(),
+        index,
+    })
+}
+
+/// Formats a bus bit back into its `base[index]` net name.
+///
+/// ```
+/// use drd_netlist::bus::{bus_bit_name, parse_bus_bit};
+/// let bit = parse_bus_bit("q[3]").unwrap();
+/// assert_eq!(bus_bit_name(&bit.base, bit.index), "q[3]");
+/// ```
+pub fn bus_bit_name(base: &str, index: i64) -> String {
+    format!("{base}[{index}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_bus_bits() {
+        let b = parse_bus_bit("addr[0]").unwrap();
+        assert_eq!((b.base.as_str(), b.index), ("addr", 0));
+        let b = parse_bus_bit("x.y/z[31]").unwrap();
+        assert_eq!((b.base.as_str(), b.index), ("x.y/z", 31));
+    }
+
+    #[test]
+    fn rejects_non_bus_names() {
+        assert!(parse_bus_bit("clk").is_none());
+        assert!(parse_bus_bit("bus_3").is_none());
+        assert!(parse_bus_bit("[3]").is_none());
+        assert!(parse_bus_bit("a[b]").is_none());
+        assert!(parse_bus_bit("a[3").is_none());
+        assert!(parse_bus_bit("a[-3]").is_none());
+        assert!(parse_bus_bit("a[]").is_none());
+    }
+
+    #[test]
+    fn nested_brackets_use_last_group() {
+        let b = parse_bus_bit("mem[2][7]").unwrap();
+        assert_eq!((b.base.as_str(), b.index), ("mem[2]", 7));
+    }
+
+    #[test]
+    fn roundtrip() {
+        for name in ["a[0]", "data[31]", "q[100]"] {
+            let b = parse_bus_bit(name).unwrap();
+            assert_eq!(bus_bit_name(&b.base, b.index), name);
+        }
+    }
+}

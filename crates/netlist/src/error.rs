@@ -1,0 +1,91 @@
+//! Error type shared by netlist construction, editing and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, editing or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net, cell, port or module name was declared twice in one scope.
+    DuplicateName {
+        /// What kind of object collided ("net", "cell", "port", "module").
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// A name lookup failed.
+    UnknownName {
+        /// What kind of object was looked up.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// Two different cells (or a cell and a port) drive the same net.
+    MultipleDrivers {
+        /// Name of the multiply-driven net.
+        net: String,
+    },
+    /// A syntax error from the structural Verilog reader.
+    Parse {
+        /// 1-based line where the error was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A structurally valid construct that this subset does not support.
+    Unsupported {
+        /// 1-based line where the construct appeared (0 if not from a file).
+        line: usize,
+        /// Description of the unsupported construct.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            NetlistError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} `{name}`")
+            }
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::Unsupported { line, message } => {
+                write!(f, "unsupported construct at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = NetlistError::DuplicateName {
+            kind: "net",
+            name: "clk".into(),
+        };
+        assert_eq!(e.to_string(), "duplicate net name `clk`");
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "expected `;`".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<NetlistError>();
+    }
+}

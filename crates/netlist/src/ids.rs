@@ -1,0 +1,85 @@
+//! Typed index handles into a [`crate::Module`] / [`crate::Design`].
+//!
+//! Newtype indices (C-NEWTYPE) prevent mixing net, cell, port and module
+//! identifier spaces at compile time. Each id is a dense `u32` index into the
+//! owning container, so lookups are O(1) and ids are `Copy`.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw dense index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+
+            /// Returns the raw dense index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Handle to a [`crate::Net`] inside a module.
+    NetId,
+    "n"
+);
+define_id!(
+    /// Handle to a [`crate::Cell`] (instance) inside a module.
+    CellId,
+    "c"
+);
+define_id!(
+    /// Handle to a [`crate::Port`] of a module.
+    PortId,
+    "p"
+);
+define_id!(
+    /// Handle to a [`crate::Module`] inside a design.
+    ModuleId,
+    "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = CellId::from_index(1);
+        let b = CellId::from_index(2);
+        assert!(a < b);
+        let set: HashSet<CellId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,687 @@
+//! Core netlist data model: modules, nets, cells, ports and connectivity.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{CellId, NetId, NetlistError, PortId};
+
+/// Direction of a module port (or, via a [`PinDirs`] resolver, a cell pin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Signal flows into the module/cell.
+    Input,
+    /// Signal flows out of the module/cell.
+    Output,
+    /// Bidirectional signal.
+    Inout,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+            PortDir::Inout => "inout",
+        })
+    }
+}
+
+/// A top-level connection point of a [`Module`].
+///
+/// Every port is permanently associated with a like-named internal [`Net`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name (identical to the associated net's name).
+    pub name: String,
+    /// Port direction.
+    pub dir: PortDir,
+    /// The internal net carrying this port's signal.
+    pub net: NetId,
+}
+
+/// Bus membership of a net, inferred from `base[index]` naming (§3.2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BusBit {
+    /// Bus base name (`data` for `data[3]`).
+    pub base: String,
+    /// Bit index within the bus.
+    pub index: i64,
+}
+
+/// A single wire of the netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Unique (within the module) net name.
+    pub name: String,
+    /// Bus membership, if the name has the form `base[index]`.
+    pub bus: Option<BusBit>,
+}
+
+/// What a [`Cell`] instantiates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// An instance of a technology-library cell, by cell name.
+    Lib(String),
+    /// An instance of another module of the same design, by module name.
+    Instance(String),
+}
+
+impl CellKind {
+    /// The referenced cell or module name.
+    pub fn name(&self) -> &str {
+        match self {
+            CellKind::Lib(n) | CellKind::Instance(n) => n,
+        }
+    }
+}
+
+/// What a cell pin is connected to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Conn {
+    /// Connected to a net.
+    Net(NetId),
+    /// Tied to constant logic 0 (`1'b0`).
+    Const0,
+    /// Tied to constant logic 1 (`1'b1`).
+    Const1,
+    /// Left unconnected (`.PIN()` or missing).
+    Open,
+}
+
+impl Conn {
+    /// Returns the connected net, if any.
+    pub fn net(self) -> Option<NetId> {
+        match self {
+            Conn::Net(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// An instance of a library cell or of a submodule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Unique (within the module) instance name.
+    pub name: String,
+    /// What this cell instantiates.
+    pub kind: CellKind,
+    /// Named pin connections, in declaration order.
+    pins: Vec<(String, Conn)>,
+    /// Marks hazard-free logic that backend tools may only resize (§4.6.2).
+    pub size_only: bool,
+    pub(crate) alive: bool,
+}
+
+impl Cell {
+    /// Pin connections in declaration order as `(pin_name, connection)`.
+    pub fn pins(&self) -> &[(String, Conn)] {
+        &self.pins
+    }
+
+    /// Looks up the connection of pin `pin`.
+    pub fn pin(&self, pin: &str) -> Option<Conn> {
+        self.pins.iter().find(|(p, _)| p == pin).map(|(_, c)| *c)
+    }
+
+    /// Index of pin `pin` within [`Cell::pins`].
+    pub fn pin_index(&self, pin: &str) -> Option<usize> {
+        self.pins.iter().position(|(p, _)| p == pin)
+    }
+}
+
+/// A `(cell, pin-index)` reference, used in connectivity tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PinUse {
+    /// The referencing cell.
+    pub cell: CellId,
+    /// Index into that cell's pin list.
+    pub pin: u32,
+}
+
+/// A driver or load of a net: either a cell pin or a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A cell pin.
+    Pin(PinUse),
+    /// A module port (input ports drive nets; output ports load them).
+    Port(PortId),
+}
+
+/// Resolves the direction of a cell pin; implemented by technology libraries.
+pub trait PinDirs {
+    /// Direction of pin `pin` on cells of kind `kind`, or `None` if unknown.
+    fn pin_dir(&self, kind: &CellKind, pin: &str) -> Option<PortDir>;
+}
+
+impl<F> PinDirs for F
+where
+    F: Fn(&CellKind, &str) -> Option<PortDir>,
+{
+    fn pin_dir(&self, kind: &CellKind, pin: &str) -> Option<PortDir> {
+        self(kind, pin)
+    }
+}
+
+/// A single flattened circuit: nets, cells and ports.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    ports: Vec<Port>,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    net_names: HashMap<String, NetId>,
+    cell_names: HashMap<String, CellId>,
+    port_names: HashMap<String, PortId>,
+    const_ties: Vec<(NetId, bool)>,
+    dead_cells: usize,
+}
+
+impl Module {
+    /// Creates an empty module named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            ..Module::default()
+        }
+    }
+
+    // ---- nets -----------------------------------------------------------
+
+    /// Adds a net named `name`.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::DuplicateName`] if a net of that name exists.
+    pub fn add_net(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if self.net_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName {
+                kind: "net",
+                name,
+            });
+        }
+        let id = NetId::from_index(self.nets.len());
+        let bus = crate::bus::parse_bus_bit(&name);
+        self.net_names.insert(name.clone(), id);
+        self.nets.push(Net { name, bus });
+        Ok(id)
+    }
+
+    /// Adds a net with a unique name starting with `prefix`.
+    pub fn add_net_auto(&mut self, prefix: &str) -> NetId {
+        let name = self.unique_net_name(prefix);
+        self.add_net(name).expect("unique name cannot collide")
+    }
+
+    /// Returns a net name starting with `prefix` that is not yet in use.
+    pub fn unique_net_name(&self, prefix: &str) -> String {
+        if !self.net_names.contains_key(prefix) {
+            return prefix.to_owned();
+        }
+        let mut i = self.nets.len();
+        loop {
+            let candidate = format!("{prefix}_{i}");
+            if !self.net_names.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Returns the net with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds for this module.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks a net up by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// Iterates over all nets as `(id, net)`.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId::from_index(i), n))
+    }
+
+    /// Number of nets (including nets only referenced by dead cells).
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    // ---- ports ----------------------------------------------------------
+
+    /// Adds a port and its like-named net.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::DuplicateName`] if the port or net name exists.
+    pub fn add_port(
+        &mut self,
+        name: impl Into<String>,
+        dir: PortDir,
+    ) -> Result<PortId, NetlistError> {
+        let name = name.into();
+        if self.port_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName {
+                kind: "port",
+                name,
+            });
+        }
+        let net = match self.find_net(&name) {
+            Some(n) => n,
+            None => self.add_net(name.clone())?,
+        };
+        let id = PortId::from_index(self.ports.len());
+        self.port_names.insert(name.clone(), id);
+        self.ports.push(Port { name, dir, net });
+        Ok(id)
+    }
+
+    /// Returns the port with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds for this module.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+
+    /// Looks a port up by name.
+    pub fn find_port(&self, name: &str) -> Option<PortId> {
+        self.port_names.get(name).copied()
+    }
+
+    /// Iterates over all ports as `(id, port)`.
+    pub fn ports(&self) -> impl Iterator<Item = (PortId, &Port)> {
+        self.ports
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PortId::from_index(i), p))
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    // ---- cells ----------------------------------------------------------
+
+    /// Adds a library-cell instance named `name` of cell `lib_cell`.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::DuplicateName`] if the instance name exists.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        lib_cell: impl Into<String>,
+        pins: &[(&str, Conn)],
+    ) -> Result<CellId, NetlistError> {
+        self.add_cell_of_kind(name, CellKind::Lib(lib_cell.into()), pins)
+    }
+
+    /// Adds an instance of another module of the design.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::DuplicateName`] if the instance name exists.
+    pub fn add_instance(
+        &mut self,
+        name: impl Into<String>,
+        module: impl Into<String>,
+        pins: &[(&str, Conn)],
+    ) -> Result<CellId, NetlistError> {
+        self.add_cell_of_kind(name, CellKind::Instance(module.into()), pins)
+    }
+
+    /// Adds a cell of an explicit [`CellKind`].
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::DuplicateName`] if the instance name exists.
+    pub fn add_cell_of_kind(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        pins: &[(&str, Conn)],
+    ) -> Result<CellId, NetlistError> {
+        let name = name.into();
+        if self.cell_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName {
+                kind: "cell",
+                name,
+            });
+        }
+        let id = CellId::from_index(self.cells.len());
+        self.cell_names.insert(name.clone(), id);
+        self.cells.push(Cell {
+            name,
+            kind,
+            pins: pins.iter().map(|(p, c)| ((*p).to_owned(), *c)).collect(),
+            size_only: false,
+            alive: true,
+        });
+        Ok(id)
+    }
+
+    /// Returns a cell name starting with `prefix` that is not yet in use.
+    pub fn unique_cell_name(&self, prefix: &str) -> String {
+        if !self.cell_names.contains_key(prefix) {
+            return prefix.to_owned();
+        }
+        let mut i = self.cells.len();
+        loop {
+            let candidate = format!("{prefix}_{i}");
+            if !self.cell_names.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Returns the cell with id `id` (dead or alive).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds for this module.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Whether the cell has not been removed.
+    pub fn is_cell_alive(&self, id: CellId) -> bool {
+        self.cells[id.index()].alive
+    }
+
+    /// Looks a live cell up by instance name.
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cell_names
+            .get(name)
+            .copied()
+            .filter(|id| self.cells[id.index()].alive)
+    }
+
+    /// Iterates over live cells as `(id, cell)`.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive)
+            .map(|(i, c)| (CellId::from_index(i), c))
+    }
+
+    /// Number of live cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len() - self.dead_cells
+    }
+
+    /// Removes (tombstones) a cell. Its name becomes reusable.
+    pub fn remove_cell(&mut self, id: CellId) {
+        let cell = &mut self.cells[id.index()];
+        if cell.alive {
+            cell.alive = false;
+            self.dead_cells += 1;
+            self.cell_names.remove(&cell.name);
+        }
+    }
+
+    /// Reconnects pin `pin` of cell `id` to `conn`, adding the pin if absent.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds for this module.
+    pub fn set_pin(&mut self, id: CellId, pin: &str, conn: Conn) {
+        let cell = &mut self.cells[id.index()];
+        match cell.pins.iter_mut().find(|(p, _)| p == pin) {
+            Some((_, c)) => *c = conn,
+            None => cell.pins.push((pin.to_owned(), conn)),
+        }
+    }
+
+    /// Marks a cell `size_only` so backend optimization may not restructure it.
+    pub fn set_size_only(&mut self, id: CellId, size_only: bool) {
+        self.cells[id.index()].size_only = size_only;
+    }
+
+    /// Rewrites every connection to `from` so it points at `to` instead.
+    pub fn rewire_net(&mut self, from: NetId, to: Conn) {
+        for cell in self.cells.iter_mut().filter(|c| c.alive) {
+            for (_, conn) in cell.pins.iter_mut() {
+                if *conn == Conn::Net(from) {
+                    *conn = to;
+                }
+            }
+        }
+    }
+
+    /// Rewrites many nets in a single pass over all cells.
+    ///
+    /// Equivalent to calling [`Module::rewire_net`] for every map entry, but
+    /// O(pins) instead of O(nets × pins).
+    pub fn rewire_many(&mut self, map: &HashMap<NetId, Conn>) {
+        if map.is_empty() {
+            return;
+        }
+        for cell in self.cells.iter_mut().filter(|c| c.alive) {
+            for (_, conn) in cell.pins.iter_mut() {
+                if let Conn::Net(n) = conn {
+                    if let Some(to) = map.get(n) {
+                        *conn = *to;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-points every port whose net is `from` at net `to` (used when
+    /// `assign` aliases merge a port net into another net).
+    pub fn merge_port_net(&mut self, from: NetId, to: NetId) {
+        for port in self.ports.iter_mut() {
+            if port.net == from {
+                port.net = to;
+            }
+        }
+    }
+
+    /// Records that `net` is tied to the constant `value` by a continuous
+    /// assignment (`assign net = 1'b0/1`).
+    pub fn add_const_tie(&mut self, net: NetId, value: bool) {
+        if !self.const_ties.iter().any(|(n, _)| *n == net) {
+            self.const_ties.push((net, value));
+        }
+    }
+
+    /// Constant continuous-assignment ties recorded on this module.
+    pub fn const_ties(&self) -> &[(NetId, bool)] {
+        &self.const_ties
+    }
+
+    // ---- connectivity ---------------------------------------------------
+
+    /// Builds the driver/load tables for the current netlist state.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::MultipleDrivers`] if two endpoints drive one
+    /// net, and [`NetlistError::UnknownName`] if a pin direction cannot be
+    /// resolved by `dirs`.
+    pub fn connectivity(&self, dirs: &impl PinDirs) -> Result<Connectivity, NetlistError> {
+        let mut drivers: Vec<Option<Endpoint>> = vec![None; self.nets.len()];
+        let mut loads: Vec<Vec<Endpoint>> = vec![Vec::new(); self.nets.len()];
+        for (pid, port) in self.ports() {
+            match port.dir {
+                PortDir::Input => {
+                    if drivers[port.net.index()].is_some() {
+                        return Err(NetlistError::MultipleDrivers {
+                            net: self.net(port.net).name.clone(),
+                        });
+                    }
+                    drivers[port.net.index()] = Some(Endpoint::Port(pid));
+                }
+                PortDir::Output | PortDir::Inout => {
+                    loads[port.net.index()].push(Endpoint::Port(pid));
+                }
+            }
+        }
+        for (cid, cell) in self.cells() {
+            for (idx, (pin, conn)) in cell.pins().iter().enumerate() {
+                let Conn::Net(net) = conn else { continue };
+                let dir = dirs.pin_dir(&cell.kind, pin).ok_or_else(|| {
+                    NetlistError::UnknownName {
+                        kind: "pin",
+                        name: format!("{}/{}", cell.kind.name(), pin),
+                    }
+                })?;
+                let endpoint = Endpoint::Pin(PinUse {
+                    cell: cid,
+                    pin: idx as u32,
+                });
+                match dir {
+                    PortDir::Output => {
+                        if drivers[net.index()].is_some() {
+                            return Err(NetlistError::MultipleDrivers {
+                                net: self.net(*net).name.clone(),
+                            });
+                        }
+                        drivers[net.index()] = Some(endpoint);
+                    }
+                    PortDir::Input | PortDir::Inout => loads[net.index()].push(endpoint),
+                }
+            }
+        }
+        Ok(Connectivity { drivers, loads })
+    }
+}
+
+/// Driver/load tables for one [`Module`], built by [`Module::connectivity`].
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    drivers: Vec<Option<Endpoint>>,
+    loads: Vec<Vec<Endpoint>>,
+}
+
+impl Connectivity {
+    /// The endpoint driving `net`, if any.
+    pub fn driver(&self, net: NetId) -> Option<Endpoint> {
+        self.drivers[net.index()]
+    }
+
+    /// The endpoints loading (reading) `net`.
+    pub fn loads(&self, net: NetId) -> &[Endpoint] {
+        &self.loads[net.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dirs(kind: &CellKind, pin: &str) -> Option<PortDir> {
+        let _ = kind;
+        match pin {
+            "Z" | "Q" => Some(PortDir::Output),
+            _ => Some(PortDir::Input),
+        }
+    }
+
+    fn inv(module: &mut Module, name: &str, a: NetId, z: NetId) -> CellId {
+        module
+            .add_cell(name, "INVX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(z))])
+            .expect("fresh name")
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut m = Module::new("top");
+        let a = m.add_port("a", PortDir::Input).unwrap();
+        let z = m.add_port("z", PortDir::Output).unwrap();
+        let mid = m.add_net("mid").unwrap();
+        let a_net = m.port(a).net;
+        let z_net = m.port(z).net;
+        let u1 = inv(&mut m, "u1", a_net, mid);
+        let u2 = inv(&mut m, "u2", mid, z_net);
+        assert_eq!(m.cell_count(), 2);
+        assert_eq!(m.find_cell("u1"), Some(u1));
+        assert_eq!(m.cell(u2).pin("A"), Some(Conn::Net(mid)));
+
+        let conn = m.connectivity(&dirs).unwrap();
+        assert_eq!(
+            conn.driver(mid),
+            Some(Endpoint::Pin(PinUse { cell: u1, pin: 1 }))
+        );
+        assert_eq!(conn.loads(mid).len(), 1);
+        assert_eq!(conn.driver(a_net), Some(Endpoint::Port(a)));
+        assert_eq!(conn.loads(z_net), &[Endpoint::Port(z)]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new("top");
+        m.add_net("n").unwrap();
+        assert!(matches!(
+            m.add_net("n"),
+            Err(NetlistError::DuplicateName { kind: "net", .. })
+        ));
+        let n = m.find_net("n").unwrap();
+        inv(&mut m, "u", n, n);
+        assert!(m
+            .add_cell("u", "BUFX1", &[("A", Conn::Net(n))])
+            .is_err());
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut m = Module::new("top");
+        let n = m.add_net("n").unwrap();
+        let a = m.add_net("a").unwrap();
+        inv(&mut m, "u1", a, n);
+        inv(&mut m, "u2", a, n);
+        assert!(matches!(
+            m.connectivity(&dirs),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_cell_frees_name_and_updates_count() {
+        let mut m = Module::new("top");
+        let n = m.add_net("n").unwrap();
+        let u = inv(&mut m, "u", n, n);
+        m.remove_cell(u);
+        assert_eq!(m.cell_count(), 0);
+        assert_eq!(m.find_cell("u"), None);
+        assert!(!m.is_cell_alive(u));
+        // Name is reusable after removal.
+        inv(&mut m, "u", n, n);
+        assert_eq!(m.cell_count(), 1);
+    }
+
+    #[test]
+    fn rewire_net_redirects_connections() {
+        let mut m = Module::new("top");
+        let a = m.add_net("a").unwrap();
+        let b = m.add_net("b").unwrap();
+        let u = inv(&mut m, "u", a, b);
+        m.rewire_net(a, Conn::Const1);
+        assert_eq!(m.cell(u).pin("A"), Some(Conn::Const1));
+        assert_eq!(m.cell(u).pin("Z"), Some(Conn::Net(b)));
+    }
+
+    #[test]
+    fn unique_names_do_not_collide() {
+        let mut m = Module::new("top");
+        m.add_net("x").unwrap();
+        let name = m.unique_net_name("x");
+        assert_ne!(name, "x");
+        m.add_net(name).unwrap();
+    }
+
+    #[test]
+    fn bus_bits_are_inferred() {
+        let mut m = Module::new("top");
+        let n = m.add_net("data[5]").unwrap();
+        let bus = m.net(n).bus.as_ref().unwrap();
+        assert_eq!(bus.base, "data");
+        assert_eq!(bus.index, 5);
+        let plain = m.add_net("clk").unwrap();
+        assert!(m.net(plain).bus.is_none());
+    }
+}

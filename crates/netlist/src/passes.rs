@@ -1,0 +1,330 @@
+//! Generic netlist cleaning passes.
+//!
+//! The desynchronizer's grouping algorithm requires "clean logic", free of
+//! buffers and inverter pairs inserted by synthesis for signal buffering,
+//! because such cells induce *false* logic dependencies between regions
+//! (§3.2.2, Fig. 3.5). These passes are library-agnostic: the caller
+//! supplies a classifier describing which cells are buffers/inverters.
+
+use std::collections::HashMap;
+
+use crate::{Cell, CellId, Conn, Module, NetId, PinDirs};
+
+/// Classification of a cell for the cleaning passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CleanKind {
+    /// A non-inverting buffer: `output = input`.
+    Buffer {
+        /// Name of the input pin.
+        input: String,
+        /// Name of the output pin.
+        output: String,
+    },
+    /// An inverter: `output = !input`.
+    Inverter {
+        /// Name of the input pin.
+        input: String,
+        /// Name of the output pin.
+        output: String,
+    },
+}
+
+/// Statistics returned by [`clean_logic`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanStats {
+    /// Buffers removed.
+    pub buffers_removed: usize,
+    /// Inverter *pairs* removed (2 cells per pair).
+    pub inverter_pairs_removed: usize,
+}
+
+/// Removes buffers and back-to-back inverter pairs, rewiring their fanout to
+/// the original source signal. Buffers driving module ports are kept so
+/// every port stays driven.
+///
+/// Returns how many cells were eliminated. Runs to fixpoint.
+pub fn clean_logic(
+    module: &mut Module,
+    dirs: &impl PinDirs,
+    classify: impl Fn(&Cell) -> Option<CleanKind>,
+) -> CleanStats {
+    let mut stats = CleanStats::default();
+    loop {
+        let Ok(conn) = module.connectivity(dirs) else {
+            // Inconsistent netlist: leave it to the caller's validation.
+            return stats;
+        };
+        let port_nets: std::collections::HashSet<NetId> =
+            module.ports().map(|(_, p)| p.net).collect();
+
+        let mut remap: HashMap<NetId, Conn> = HashMap::new();
+        let mut removed: Vec<CellId> = Vec::new();
+        let mut touched: std::collections::HashSet<CellId> = std::collections::HashSet::new();
+
+        for (cid, cell) in module.cells() {
+            if touched.contains(&cid) {
+                continue;
+            }
+            match classify(cell) {
+                Some(CleanKind::Buffer { input, output }) => {
+                    let Some(Conn::Net(out_net)) = cell.pin(&output) else {
+                        continue;
+                    };
+                    if port_nets.contains(&out_net) || remap.contains_key(&out_net) {
+                        continue;
+                    }
+                    let Some(in_conn) = cell.pin(&input) else {
+                        continue;
+                    };
+                    if let Conn::Net(in_net) = in_conn {
+                        if remap.contains_key(&in_net) {
+                            continue;
+                        }
+                    }
+                    remap.insert(out_net, in_conn);
+                    removed.push(cid);
+                    touched.insert(cid);
+                    stats.buffers_removed += 1;
+                }
+                Some(CleanKind::Inverter { input, output }) => {
+                    // Look for inverter pairs: this inverter's output feeds
+                    // exactly one load which is another inverter.
+                    let Some(Conn::Net(mid_net)) = cell.pin(&output) else {
+                        continue;
+                    };
+                    if port_nets.contains(&mid_net) || remap.contains_key(&mid_net) {
+                        continue;
+                    }
+                    let loads = conn.loads(mid_net);
+                    if loads.len() != 1 {
+                        continue;
+                    }
+                    let crate::Endpoint::Pin(pin_use) = loads[0] else {
+                        continue;
+                    };
+                    if touched.contains(&pin_use.cell) || pin_use.cell == cid {
+                        continue;
+                    }
+                    let second = module.cell(pin_use.cell);
+                    let Some(CleanKind::Inverter {
+                        input: in2,
+                        output: out2,
+                    }) = classify(second)
+                    else {
+                        continue;
+                    };
+                    // The mid net must enter the second inverter's input pin.
+                    if second.pins()[pin_use.pin as usize].0 != in2 {
+                        continue;
+                    }
+                    let Some(Conn::Net(out_net)) = second.pin(&out2) else {
+                        continue;
+                    };
+                    if port_nets.contains(&out_net) || remap.contains_key(&out_net) {
+                        continue;
+                    }
+                    let Some(in_conn) = cell.pin(&input) else {
+                        continue;
+                    };
+                    if let Conn::Net(in_net) = in_conn {
+                        if remap.contains_key(&in_net) {
+                            continue;
+                        }
+                    }
+                    remap.insert(out_net, in_conn);
+                    removed.push(cid);
+                    removed.push(pin_use.cell);
+                    touched.insert(cid);
+                    touched.insert(pin_use.cell);
+                    stats.inverter_pairs_removed += 1;
+                }
+                None => {}
+            }
+        }
+
+        if removed.is_empty() {
+            return stats;
+        }
+        module.rewire_many(&remap);
+        for cid in removed {
+            module.remove_cell(cid);
+        }
+    }
+}
+
+/// Removes cells none of whose outputs reach any load (transitively), while
+/// keeping every cell for which `keep` returns true.
+///
+/// Returns the number of cells swept.
+pub fn sweep_dangling(
+    module: &mut Module,
+    dirs: &impl PinDirs,
+    keep: impl Fn(&Cell) -> bool,
+) -> usize {
+    let mut swept = 0;
+    loop {
+        let Ok(conn) = module.connectivity(dirs) else {
+            return swept;
+        };
+        let mut removed = Vec::new();
+        for (cid, cell) in module.cells() {
+            if keep(cell) {
+                continue;
+            }
+            let mut has_load = false;
+            let mut has_output = false;
+            for (idx, (_, c)) in cell.pins().iter().enumerate() {
+                let Conn::Net(net) = c else { continue };
+                // Is this pin the driver of `net`?
+                let driving = conn.driver(*net)
+                    == Some(crate::Endpoint::Pin(crate::PinUse {
+                        cell: cid,
+                        pin: idx as u32,
+                    }));
+                if driving {
+                    has_output = true;
+                    if !conn.loads(*net).is_empty() {
+                        has_load = true;
+                        break;
+                    }
+                }
+            }
+            if has_output && !has_load {
+                removed.push(cid);
+            }
+        }
+        if removed.is_empty() {
+            return swept;
+        }
+        swept += removed.len();
+        for cid in removed {
+            module.remove_cell(cid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, PortDir};
+
+    fn dirs(_: &CellKind, pin: &str) -> Option<PortDir> {
+        Some(match pin {
+            "Z" | "Q" => PortDir::Output,
+            _ => PortDir::Input,
+        })
+    }
+
+    fn classify(cell: &Cell) -> Option<CleanKind> {
+        match cell.kind.name() {
+            "BUFX1" => Some(CleanKind::Buffer {
+                input: "A".into(),
+                output: "Z".into(),
+            }),
+            "INVX1" => Some(CleanKind::Inverter {
+                input: "A".into(),
+                output: "Z".into(),
+            }),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn buffer_chain_is_collapsed() {
+        let mut m = Module::new("t");
+        m.add_port("a", PortDir::Input).unwrap();
+        m.add_port("z", PortDir::Output).unwrap();
+        let a = m.find_net("a").unwrap();
+        let z = m.find_net("z").unwrap();
+        let b1 = m.add_net("b1").unwrap();
+        let b2 = m.add_net("b2").unwrap();
+        m.add_cell("u1", "BUFX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(b1))])
+            .unwrap();
+        m.add_cell("u2", "BUFX1", &[("A", Conn::Net(b1)), ("Z", Conn::Net(b2))])
+            .unwrap();
+        m.add_cell(
+            "g",
+            "NAND2X1",
+            &[("A", Conn::Net(b2)), ("B", Conn::Net(a)), ("Z", Conn::Net(z))],
+        )
+        .unwrap();
+        let stats = clean_logic(&mut m, &dirs, classify);
+        assert_eq!(stats.buffers_removed, 2);
+        assert_eq!(m.cell_count(), 1);
+        let g = m.find_cell("g").unwrap();
+        assert_eq!(m.cell(g).pin("A"), Some(Conn::Net(a)));
+    }
+
+    #[test]
+    fn inverter_pair_is_removed_but_single_inverter_kept() {
+        let mut m = Module::new("t");
+        m.add_port("a", PortDir::Input).unwrap();
+        m.add_port("z", PortDir::Output).unwrap();
+        m.add_port("y", PortDir::Output).unwrap();
+        let a = m.find_net("a").unwrap();
+        let z = m.find_net("z").unwrap();
+        let y = m.find_net("y").unwrap();
+        let n1 = m.add_net("n1").unwrap();
+        let n2 = m.add_net("n2").unwrap();
+        m.add_cell("i1", "INVX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(n1))])
+            .unwrap();
+        m.add_cell("i2", "INVX1", &[("A", Conn::Net(n1)), ("Z", Conn::Net(n2))])
+            .unwrap();
+        m.add_cell(
+            "g",
+            "NAND2X1",
+            &[("A", Conn::Net(n2)), ("B", Conn::Net(a)), ("Z", Conn::Net(z))],
+        )
+        .unwrap();
+        // A lone inverter driving a port must survive.
+        m.add_cell("i3", "INVX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(y))])
+            .unwrap();
+        let stats = clean_logic(&mut m, &dirs, classify);
+        assert_eq!(stats.inverter_pairs_removed, 1);
+        assert!(m.find_cell("i3").is_some());
+        let g = m.find_cell("g").unwrap();
+        assert_eq!(m.cell(g).pin("A"), Some(Conn::Net(a)));
+    }
+
+    #[test]
+    fn buffer_driving_port_survives() {
+        let mut m = Module::new("t");
+        m.add_port("a", PortDir::Input).unwrap();
+        m.add_port("z", PortDir::Output).unwrap();
+        let a = m.find_net("a").unwrap();
+        let z = m.find_net("z").unwrap();
+        m.add_cell("u", "BUFX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(z))])
+            .unwrap();
+        let stats = clean_logic(&mut m, &dirs, classify);
+        assert_eq!(stats.buffers_removed, 0);
+        assert_eq!(m.cell_count(), 1);
+    }
+
+    #[test]
+    fn sweep_removes_transitively_dangling() {
+        let mut m = Module::new("t");
+        m.add_port("a", PortDir::Input).unwrap();
+        let a = m.find_net("a").unwrap();
+        let n1 = m.add_net("n1").unwrap();
+        let n2 = m.add_net("n2").unwrap();
+        m.add_cell("u1", "INVX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(n1))])
+            .unwrap();
+        m.add_cell("u2", "INVX1", &[("A", Conn::Net(n1)), ("Z", Conn::Net(n2))])
+            .unwrap();
+        let swept = sweep_dangling(&mut m, &dirs, |_| false);
+        assert_eq!(swept, 2);
+        assert_eq!(m.cell_count(), 0);
+    }
+
+    #[test]
+    fn sweep_respects_keep() {
+        let mut m = Module::new("t");
+        let a = m.add_net("a").unwrap();
+        let n = m.add_net("n").unwrap();
+        m.add_cell("u", "DFFX1", &[("D", Conn::Net(a)), ("Q", Conn::Net(n))])
+            .unwrap();
+        let swept = sweep_dangling(&mut m, &dirs, |c| c.kind.name().starts_with("DFF"));
+        assert_eq!(swept, 0);
+        assert_eq!(m.cell_count(), 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Tokenizer for the structural-Verilog subset.
+
+use crate::NetlistError;
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword. Escaped identifiers (`\foo `) arrive with the
+    /// backslash stripped and `escaped == true`.
+    Id { name: String, escaped: bool },
+    /// A sized constant such as `1'b0` or `8'hFF`: (width, base, digits).
+    SizedConst {
+        width: u32,
+        base: char,
+        digits: String,
+    },
+    /// A bare unsigned decimal number (used in ranges and indices).
+    Number(u64),
+    /// Single-character punctuation: `( ) [ ] { } , ; : . =` etc.
+    Punct(char),
+    Eof,
+}
+
+impl TokenKind {
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Id { name, .. } => format!("identifier `{name}`"),
+            TokenKind::SizedConst { width, base, digits } => {
+                format!("constant `{width}'{base}{digits}`")
+            }
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Punct(c) => format!("`{c}`"),
+            TokenKind::Eof => "end of file".to_owned(),
+        }
+    }
+}
+
+/// Tokenizes `source`, skipping `//`, `/* */` comments and attributes
+/// `(* ... *)`.
+pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, NetlistError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' if i + 1 < n && bytes[i + 1] == b'*' => {
+                // Attribute instance `(* ... *)` — skipped.
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: "unterminated attribute".into(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\\' => {
+                // Escaped identifier: up to the next whitespace.
+                let start = i + 1;
+                let mut j = start;
+                while j < n && !(bytes[j] as char).is_whitespace() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: "empty escaped identifier".into(),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Id {
+                        name: source[start..j].to_owned(),
+                        escaped: true,
+                    },
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < n {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Id {
+                        name: source[start..i].to_owned(),
+                        escaped: false,
+                    },
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let value: u64 =
+                    source[start..i]
+                        .parse()
+                        .map_err(|_| NetlistError::Parse {
+                            line,
+                            message: "number too large".into(),
+                        })?;
+                if i < n && bytes[i] == b'\'' {
+                    i += 1;
+                    if i >= n {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: "truncated sized constant".into(),
+                        });
+                    }
+                    let base = (bytes[i] as char).to_ascii_lowercase();
+                    if !matches!(base, 'b' | 'h' | 'd' | 'o') {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: format!("unknown constant base `{base}`"),
+                        });
+                    }
+                    i += 1;
+                    let dstart = i;
+                    while i < n {
+                        let c = (bytes[i] as char).to_ascii_lowercase();
+                        if c.is_ascii_hexdigit() || c == '_' || c == 'x' || c == 'z' {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if i == dstart {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: "sized constant has no digits".into(),
+                        });
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::SizedConst {
+                            width: value as u32,
+                            base,
+                            digits: source[dstart..i].replace('_', ""),
+                        },
+                        line,
+                    });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Number(value),
+                        line,
+                    });
+                }
+            }
+            '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | ':' | '.' | '=' | '#' => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn identifiers_and_punct() {
+        let toks = kinds("module top (a, b);");
+        assert_eq!(toks.len(), 9); // module top ( a , b ) ; EOF
+        assert!(matches!(&toks[0], TokenKind::Id { name, escaped: false } if name == "module"));
+        assert!(matches!(&toks[2], TokenKind::Punct('(')));
+    }
+
+    #[test]
+    fn comments_and_attributes_are_skipped() {
+        let toks = kinds("a // line\n /* block\n */ b (* keep=1 *) c");
+        let names: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Id { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn escaped_identifier() {
+        let toks = kinds("\\a+b[0] x");
+        assert!(matches!(&toks[0], TokenKind::Id { name, escaped: true } if name == "a+b[0]"));
+        assert!(matches!(&toks[1], TokenKind::Id { name, escaped: false } if name == "x"));
+    }
+
+    #[test]
+    fn sized_constants() {
+        let toks = kinds("1'b0 8'hFF 4'd10");
+        assert!(
+            matches!(&toks[0], TokenKind::SizedConst { width: 1, base: 'b', digits } if digits == "0")
+        );
+        assert!(
+            matches!(&toks[1], TokenKind::SizedConst { width: 8, base: 'h', digits } if digits == "FF")
+        );
+        assert!(
+            matches!(&toks[2], TokenKind::SizedConst { width: 4, base: 'd', digits } if digits == "10")
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn bad_input_is_an_error() {
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("4'q0").is_err());
+    }
+}

@@ -1,0 +1,885 @@
+//! Recursive-descent parser for flat structural Verilog.
+//!
+//! Supported subset (everything a post-synthesis, technology-mapped netlist
+//! contains): module declarations with classic or ANSI port lists,
+//! `input`/`output`/`inout`/`wire` declarations with ranges, library-cell and
+//! module instances with *named* connections (including bit-selects,
+//! constants and concatenations), `assign` aliases, escaped identifiers and
+//! sized constants.
+//!
+//! Following §3.2.1 of the paper, import *cleans* the design: escaped names
+//! are substituted by simple ones and `assign` statements are resolved by
+//! merging the aliased nets wherever possible.
+
+use std::collections::HashMap;
+
+use super::lexer::{tokenize, Token, TokenKind};
+use crate::{CellKind, Conn, Design, Module, NetId, NetlistError, PortDir};
+
+/// Parses a (possibly multi-module) structural Verilog design.
+///
+/// The first module in the file becomes the top module.
+///
+/// # Errors
+/// Returns [`NetlistError::Parse`] on syntax errors and
+/// [`NetlistError::Unsupported`] for constructs outside the structural
+/// subset (behavioural code, ordered connections, expressions).
+pub fn parse_design(source: &str) -> Result<Design, NetlistError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        escaped_names: HashMap::new(),
+    };
+    let mut design = Design::new();
+    while !p.at_eof() {
+        let module = p.parse_module()?;
+        design.insert(module);
+    }
+    // Instances that name a module of this design are module instances, not
+    // library cells.
+    retarget_instances(&mut design);
+    Ok(design)
+}
+
+/// Parses a source containing exactly one module.
+///
+/// # Errors
+/// As [`parse_design`]; additionally fails if the file does not contain
+/// exactly one module.
+pub fn parse_module(source: &str) -> Result<Module, NetlistError> {
+    let design = parse_design(source)?;
+    let mut modules: Vec<Module> = design.modules().map(|(_, m)| m.clone()).collect();
+    if modules.len() != 1 {
+        return Err(NetlistError::Parse {
+            line: 1,
+            message: format!("expected exactly one module, found {}", modules.len()),
+        });
+    }
+    Ok(modules.remove(0))
+}
+
+fn retarget_instances(design: &mut Design) {
+    let module_names: Vec<String> = design.modules().map(|(_, m)| m.name.clone()).collect();
+    let module_set: std::collections::HashSet<&str> =
+        module_names.iter().map(|s| s.as_str()).collect();
+    for i in 0..module_names.len() {
+        let id = design.find_module(&module_names[i]).expect("just listed");
+        let module = design.module_mut(id);
+        let cell_ids: Vec<_> = module.cells().map(|(c, _)| c).collect();
+        for cid in cell_ids {
+            let kind = module.cell(cid).kind.clone();
+            if let CellKind::Lib(name) = &kind {
+                if module_set.contains(name.as_str()) {
+                    set_cell_kind(module, cid, CellKind::Instance(name.clone()));
+                }
+            }
+        }
+    }
+}
+
+fn set_cell_kind(module: &mut Module, cell: crate::CellId, kind: CellKind) {
+    // Rebuild the cell with the new kind, preserving name/pins/flags.
+    let old = module.cell(cell).clone();
+    module.remove_cell(cell);
+    let pins: Vec<(&str, Conn)> = old
+        .pins()
+        .iter()
+        .map(|(p, c)| (p.as_str(), *c))
+        .collect();
+    module
+        .add_cell_of_kind(old.name.clone(), kind, &pins)
+        .expect("name was freed by remove_cell");
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Translation of escaped identifiers to sanitized simple names.
+    escaped_names: HashMap<String, String>,
+}
+
+/// One bit of a connection expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bit {
+    Net(NetId),
+    Const0,
+    Const1,
+}
+
+impl Bit {
+    fn to_conn(self) -> Conn {
+        match self {
+            Bit::Net(n) => Conn::Net(n),
+            Bit::Const0 => Conn::Const0,
+            Bit::Const1 => Conn::Const1,
+        }
+    }
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> NetlistError {
+        NetlistError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), NetlistError> {
+        if matches!(self.peek(), TokenKind::Punct(p) if *p == c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{c}`, found {}", self.peek().describe())))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(p) if *p == c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_id(&mut self) -> Result<String, NetlistError> {
+        match self.peek().clone() {
+            TokenKind::Id { name, escaped } => {
+                self.bump();
+                Ok(if escaped {
+                    self.sanitize_escaped(&name)
+                } else {
+                    name
+                })
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), NetlistError> {
+        match self.peek() {
+            TokenKind::Id { name, escaped: false } if name == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Id { name, escaped: false } if name == kw)
+    }
+
+    fn expect_number(&mut self) -> Result<u64, NetlistError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected number, found {}", other.describe()))),
+        }
+    }
+
+    /// Replaces characters outside `[A-Za-z0-9_$]` and normalizes bus
+    /// brackets so `\reg[3] `-style escaped names keep their bus identity.
+    fn sanitize_escaped(&mut self, raw: &str) -> String {
+        if let Some(done) = self.escaped_names.get(raw) {
+            return done.clone();
+        }
+        // Preserve a trailing `[index]` (bus-bit) if present.
+        let (body, suffix) = match crate::bus::parse_bus_bit(raw) {
+            Some(bit) => (bit.base.clone(), format!("[{}]", bit.index)),
+            None => (raw.to_owned(), String::new()),
+        };
+        let mut clean: String = body
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        if clean.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+            clean.insert(0, '_');
+        }
+        let mut candidate = format!("{clean}{suffix}");
+        let mut i = 0;
+        while self.escaped_names.values().any(|v| v == &candidate) {
+            i += 1;
+            candidate = format!("{clean}_e{i}{suffix}");
+        }
+        self.escaped_names.insert(raw.to_owned(), candidate.clone());
+        candidate
+    }
+
+    fn parse_module(&mut self) -> Result<Module, NetlistError> {
+        self.expect_keyword("module")?;
+        let name = self.expect_id()?;
+        let mut ctx = ModuleCtx {
+            module: Module::new(name),
+            buses: HashMap::new(),
+            aliases: Vec::new(),
+            header_ports: Vec::new(),
+        };
+        if self.eat_punct('(') {
+            self.parse_port_list(&mut ctx)?;
+            self.expect_punct(')')?;
+        }
+        self.expect_punct(';')?;
+        while !self.peek_keyword("endmodule") {
+            if self.at_eof() {
+                return Err(self.error("unexpected end of file inside module"));
+            }
+            self.parse_statement(&mut ctx)?;
+        }
+        self.expect_keyword("endmodule")?;
+        ctx.resolve_aliases();
+        Ok(ctx.module)
+    }
+
+    fn parse_port_list(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
+        if matches!(self.peek(), TokenKind::Punct(')')) {
+            return Ok(());
+        }
+        loop {
+            if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout")
+            {
+                // ANSI style: `input [3:0] a`
+                let dir = self.parse_dir()?;
+                let range = self.parse_optional_range()?;
+                let name = self.expect_id()?;
+                ctx.declare_port(&name, dir, range)
+                    .map_err(|e| self.to_parse_err(e))?;
+            } else {
+                let name = self.expect_id()?;
+                ctx.header_ports.push(name);
+            }
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_dir(&mut self) -> Result<PortDir, NetlistError> {
+        let kw = self.expect_id()?;
+        match kw.as_str() {
+            "input" => Ok(PortDir::Input),
+            "output" => Ok(PortDir::Output),
+            "inout" => Ok(PortDir::Inout),
+            other => Err(self.error(format!("expected port direction, found `{other}`"))),
+        }
+    }
+
+    fn parse_optional_range(&mut self) -> Result<Option<(i64, i64)>, NetlistError> {
+        if !self.eat_punct('[') {
+            return Ok(None);
+        }
+        let msb = self.expect_number()? as i64;
+        self.expect_punct(':')?;
+        let lsb = self.expect_number()? as i64;
+        self.expect_punct(']')?;
+        Ok(Some((msb, lsb)))
+    }
+
+    fn parse_statement(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
+        if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout") {
+            let dir = self.parse_dir()?;
+            let range = self.parse_optional_range()?;
+            loop {
+                let name = self.expect_id()?;
+                ctx.declare_port(&name, dir, range)
+                    .map_err(|e| self.to_parse_err(e))?;
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(';')?;
+        } else if self.peek_keyword("wire") || self.peek_keyword("tri") {
+            self.bump();
+            let range = self.parse_optional_range()?;
+            loop {
+                let name = self.expect_id()?;
+                ctx.declare_wire(&name, range)
+                    .map_err(|e| self.to_parse_err(e))?;
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(';')?;
+        } else if self.peek_keyword("assign") {
+            self.bump();
+            let line = self.line();
+            let lhs = self.parse_expr(ctx)?;
+            self.expect_punct('=')?;
+            let rhs = self.parse_expr(ctx)?;
+            self.expect_punct(';')?;
+            if lhs.len() != rhs.len() {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!(
+                        "assign width mismatch: {} vs {} bits",
+                        lhs.len(),
+                        rhs.len()
+                    ),
+                });
+            }
+            for (l, r) in lhs.iter().zip(rhs.iter()) {
+                let Bit::Net(lnet) = *l else {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: "assign target must be a net".into(),
+                    });
+                };
+                ctx.aliases.push((lnet, *r));
+            }
+        } else {
+            self.parse_instances(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn parse_instances(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
+        let cell_type = self.expect_id()?;
+        if self.eat_punct('#') {
+            return Err(NetlistError::Unsupported {
+                line: self.line(),
+                message: "parameterized instances (`#`) are not supported".into(),
+            });
+        }
+        loop {
+            let inst_name = self.expect_id()?;
+            self.expect_punct('(')?;
+            let mut pins: Vec<(String, Conn)> = Vec::new();
+            if !matches!(self.peek(), TokenKind::Punct(')')) {
+                if !matches!(self.peek(), TokenKind::Punct('.')) {
+                    return Err(NetlistError::Unsupported {
+                        line: self.line(),
+                        message: "ordered (positional) connections are not supported; \
+                                  use named connections"
+                            .into(),
+                    });
+                }
+                loop {
+                    self.expect_punct('.')?;
+                    let pin = self.expect_id()?;
+                    self.expect_punct('(')?;
+                    if matches!(self.peek(), TokenKind::Punct(')')) {
+                        pins.push((pin, Conn::Open));
+                    } else {
+                        let bits = self.parse_expr(ctx)?;
+                        if bits.len() == 1 {
+                            pins.push((pin, bits[0].to_conn()));
+                        } else {
+                            // Multi-bit connection to a bit-blasted port:
+                            // expand into `pin[k]` sub-pins, MSB first.
+                            let width = bits.len();
+                            for (i, bit) in bits.iter().enumerate() {
+                                let idx = width - 1 - i;
+                                pins.push((format!("{pin}[{idx}]"), bit.to_conn()));
+                            }
+                        }
+                    }
+                    self.expect_punct(')')?;
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(')')?;
+            let pin_refs: Vec<(&str, Conn)> =
+                pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();
+            ctx.module
+                .add_cell_of_kind(inst_name, CellKind::Lib(cell_type.clone()), &pin_refs)
+                .map_err(|e| self.to_parse_err(e))?;
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_punct(';')?;
+        Ok(())
+    }
+
+    /// expr := sized_const | id | id `[` number `]` | `{` expr, ... `}`
+    fn parse_expr(&mut self, ctx: &mut ModuleCtx) -> Result<Vec<Bit>, NetlistError> {
+        match self.peek().clone() {
+            TokenKind::SizedConst {
+                width,
+                base,
+                digits,
+            } => {
+                self.bump();
+                self.const_bits(width, base, &digits)
+            }
+            TokenKind::Punct('{') => {
+                self.bump();
+                let mut bits = Vec::new();
+                loop {
+                    bits.extend(self.parse_expr(ctx)?);
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.expect_punct('}')?;
+                Ok(bits)
+            }
+            TokenKind::Id { .. } => {
+                let name = self.expect_id()?;
+                if self.eat_punct('[') {
+                    let idx = self.expect_number()? as i64;
+                    if self.eat_punct(':') {
+                        let lsb = self.expect_number()? as i64;
+                        self.expect_punct(']')?;
+                        let mut bits = Vec::new();
+                        let (hi, lo) = (idx.max(lsb), idx.min(lsb));
+                        for i in (lo..=hi).rev() {
+                            bits.push(Bit::Net(
+                                ctx.bit_net(&name, i).map_err(|e| self.to_parse_err(e))?,
+                            ));
+                        }
+                        Ok(bits)
+                    } else {
+                        self.expect_punct(']')?;
+                        Ok(vec![Bit::Net(
+                            ctx.bit_net(&name, idx).map_err(|e| self.to_parse_err(e))?,
+                        )])
+                    }
+                } else {
+                    Ok(ctx
+                        .name_bits(&name)
+                        .map_err(|e| self.to_parse_err(e))?)
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+
+    fn const_bits(&self, width: u32, base: char, digits: &str) -> Result<Vec<Bit>, NetlistError> {
+        let radix = match base {
+            'b' => 2,
+            'o' => 8,
+            'd' => 10,
+            'h' => 16,
+            _ => unreachable!("lexer validated base"),
+        };
+        let value = u128::from_str_radix(digits, radix).map_err(|_| NetlistError::Parse {
+            line: self.line(),
+            message: format!("invalid digits `{digits}` for base `{base}`"),
+        })?;
+        let mut bits = Vec::with_capacity(width as usize);
+        for i in (0..width).rev() {
+            bits.push(if (value >> i) & 1 == 1 {
+                Bit::Const1
+            } else {
+                Bit::Const0
+            });
+        }
+        Ok(bits)
+    }
+
+    fn to_parse_err(&self, e: NetlistError) -> NetlistError {
+        match e {
+            NetlistError::Parse { .. } | NetlistError::Unsupported { .. } => e,
+            other => NetlistError::Parse {
+                line: self.line(),
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+struct ModuleCtx {
+    module: Module,
+    /// Declared bus ranges: base name → (msb, lsb).
+    buses: HashMap<String, (i64, i64)>,
+    /// `assign lhs = rhs` pairs collected for post-parse resolution.
+    aliases: Vec<(NetId, Bit)>,
+    /// Port names from a classic (non-ANSI) header, direction pending.
+    header_ports: Vec<String>,
+}
+
+impl ModuleCtx {
+    fn declare_wire(
+        &mut self,
+        name: &str,
+        range: Option<(i64, i64)>,
+    ) -> Result<(), NetlistError> {
+        match range {
+            None => {
+                if self.module.find_net(name).is_none() {
+                    self.module.add_net(name)?;
+                }
+            }
+            Some((msb, lsb)) => {
+                self.buses.insert(name.to_owned(), (msb, lsb));
+                let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                for i in lo..=hi {
+                    let bit = crate::bus::bus_bit_name(name, i);
+                    if self.module.find_net(&bit).is_none() {
+                        self.module.add_net(bit)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_port(
+        &mut self,
+        name: &str,
+        dir: PortDir,
+        range: Option<(i64, i64)>,
+    ) -> Result<(), NetlistError> {
+        match range {
+            None => {
+                self.module.add_port(name, dir)?;
+            }
+            Some((msb, lsb)) => {
+                self.buses.insert(name.to_owned(), (msb, lsb));
+                let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                for i in lo..=hi {
+                    self.module
+                        .add_port(crate::bus::bus_bit_name(name, i), dir)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Net for `name[index]`, creating it if the bus was only implicit.
+    fn bit_net(&mut self, name: &str, index: i64) -> Result<NetId, NetlistError> {
+        let bit = crate::bus::bus_bit_name(name, index);
+        match self.module.find_net(&bit) {
+            Some(n) => Ok(n),
+            None => self.module.add_net(bit),
+        }
+    }
+
+    /// Bits for a bare identifier: the whole bus (MSB first) if declared as
+    /// one, otherwise the scalar net (implicitly declared if needed).
+    fn name_bits(&mut self, name: &str) -> Result<Vec<Bit>, NetlistError> {
+        if let Some(&(msb, lsb)) = self.buses.get(name) {
+            let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+            let mut bits = Vec::with_capacity((hi - lo + 1) as usize);
+            for i in (lo..=hi).rev() {
+                bits.push(Bit::Net(self.bit_net(name, i)?));
+            }
+            return Ok(bits);
+        }
+        let net = match self.module.find_net(name) {
+            Some(n) => n,
+            None => self.module.add_net(name)?,
+        };
+        Ok(vec![Bit::Net(net)])
+    }
+
+    /// Resolves `assign` aliases by merging nets (§3.2.1), leaving constant
+    /// ties recorded on the module.
+    fn resolve_aliases(&mut self) {
+        if self.aliases.is_empty() {
+            return;
+        }
+        let n = self.module.net_count();
+        let mut uf = UnionFind::new(n);
+        let mut consts: Vec<Option<bool>> = vec![None; n];
+        for (lhs, rhs) in &self.aliases {
+            match rhs {
+                Bit::Net(r) => uf.union(lhs.index(), r.index()),
+                Bit::Const0 => consts[uf.find(lhs.index())] = Some(false),
+                Bit::Const1 => consts[uf.find(lhs.index())] = Some(true),
+            }
+        }
+        // Push constants up to final roots.
+        for i in 0..n {
+            if let Some(v) = consts[i] {
+                let root = uf.find(i);
+                consts[root] = Some(v);
+            }
+        }
+        // Choose a representative per class: prefer an input-port net (the
+        // true driver), then any port net, then the lowest member.
+        let mut rep: Vec<Option<NetId>> = vec![None; n];
+        let port_rank: Vec<Option<PortDir>> = {
+            let mut ranks = vec![None; n];
+            for (_, port) in self.module.ports() {
+                ranks[port.net.index()] = Some(port.dir);
+            }
+            ranks
+        };
+        for i in 0..n {
+            let root = uf.find(i);
+            let candidate = NetId::from_index(i);
+            let better = match (rep[root], port_rank[i]) {
+                (None, _) => true,
+                (Some(cur), Some(PortDir::Input)) => {
+                    port_rank[cur.index()] != Some(PortDir::Input)
+                }
+                _ => false,
+            };
+            if better {
+                rep[root] = Some(candidate);
+            }
+        }
+        // Only nets that actually appear in an alias need rewiring.
+        let mut involved: Vec<usize> = Vec::new();
+        for (lhs, rhs) in &self.aliases {
+            involved.push(lhs.index());
+            if let Bit::Net(r) = rhs {
+                involved.push(r.index());
+            }
+        }
+        involved.sort_unstable();
+        involved.dedup();
+
+        let mut remap: HashMap<NetId, Conn> = HashMap::new();
+        for &i in &involved {
+            let root = uf.find(i);
+            let target = rep[root].expect("every class has a representative");
+            match consts[root] {
+                Some(v) => {
+                    let conn = if v { Conn::Const1 } else { Conn::Const0 };
+                    remap.insert(NetId::from_index(i), conn);
+                    self.module.add_const_tie(NetId::from_index(i), v);
+                }
+                None if i != target.index() => {
+                    remap.insert(NetId::from_index(i), Conn::Net(target));
+                    self.module.merge_port_net(NetId::from_index(i), target);
+                }
+                None => {}
+            }
+        }
+        self.module.rewire_many(&remap);
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = i;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_classic_header() {
+        let src = "
+            module top (a, z);
+              input a; output z; wire m;
+              INVX1 u1 (.A(a), .Z(m));
+              INVX1 u2 (.A(m), .Z(z));
+            endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.name, "top");
+        assert_eq!(m.port_count(), 2);
+        assert_eq!(m.cell_count(), 2);
+        assert_eq!(
+            m.cell(m.find_cell("u2").unwrap()).pin("A"),
+            Some(Conn::Net(m.find_net("m").unwrap()))
+        );
+    }
+
+    #[test]
+    fn parses_ansi_header_with_ranges() {
+        let src = "
+            module top (input [1:0] d, output [1:0] q, input clk);
+              DFFX1 r0 (.D(d[0]), .CK(clk), .Q(q[0]));
+              DFFX1 r1 (.D(d[1]), .CK(clk), .Q(q[1]));
+            endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.port_count(), 5);
+        assert!(m.find_net("d[1]").is_some());
+        assert!(m.find_net("q[0]").is_some());
+    }
+
+    #[test]
+    fn constants_and_concatenation() {
+        let src = "
+            module top (output z);
+              wire [1:0] w;
+              SUB u (.in1({w[1], 1'b0}), .out1(z));
+            endmodule
+            module SUB (input [1:0] in1, output out1);
+            endmodule";
+        let d = parse_design(&src).unwrap();
+        let top = d.module(d.find_module("top").unwrap());
+        let u = top.cell(top.find_cell("u").unwrap());
+        assert_eq!(u.pin("in1[0]"), Some(Conn::Const0));
+        assert_eq!(
+            u.pin("in1[1]"),
+            Some(Conn::Net(top.find_net("w[1]").unwrap()))
+        );
+        // SUB resolved as a module instance.
+        assert_eq!(u.kind, CellKind::Instance("SUB".into()));
+    }
+
+    #[test]
+    fn assign_aliases_are_merged() {
+        let src = "
+            module top (input a, output z);
+              wire m;
+              assign m = a;
+              INVX1 u (.A(m), .Z(z));
+            endmodule";
+        let m = parse_module(src).unwrap();
+        let a = m.find_net("a").unwrap();
+        let u = m.find_cell("u").unwrap();
+        assert_eq!(m.cell(u).pin("A"), Some(Conn::Net(a)));
+    }
+
+    #[test]
+    fn assign_constant_ties() {
+        let src = "
+            module top (output z);
+              wire m;
+              assign m = 1'b1;
+              INVX1 u (.A(m), .Z(z));
+            endmodule";
+        let m = parse_module(src).unwrap();
+        let u = m.find_cell("u").unwrap();
+        assert_eq!(m.cell(u).pin("A"), Some(Conn::Const1));
+    }
+
+    #[test]
+    fn assign_port_to_port() {
+        let src = "
+            module top (input a, output z);
+              assign z = a;
+            endmodule";
+        let m = parse_module(src).unwrap();
+        let a = m.find_net("a").unwrap();
+        let zp = m.find_port("z").unwrap();
+        assert_eq!(m.port(zp).net, a);
+    }
+
+    #[test]
+    fn escaped_names_are_sanitized() {
+        let src = "
+            module top (input a, output z);
+              wire \\net+with/specials ;
+              INVX1 \\u(1) (.A(a), .Z(\\net+with/specials ));
+              INVX1 u2 (.A(\\net+with/specials ), .Z(z));
+            endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.cell_count(), 2);
+        // All names are now simple identifiers.
+        for (_, cell) in m.cells() {
+            assert!(cell
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$'));
+        }
+        assert!(m.find_net("net_with_specials").is_some());
+    }
+
+    #[test]
+    fn escaped_bus_bits_keep_bus_identity() {
+        let src = "
+            module top (input a);
+              wire \\r/x[3] ;
+              INVX1 u (.A(a), .Z(\\r/x[3] ));
+            endmodule";
+        let m = parse_module(src).unwrap();
+        let net = m.find_net("r_x[3]").unwrap();
+        assert_eq!(m.net(net).bus.as_ref().unwrap().index, 3);
+    }
+
+    #[test]
+    fn ordered_connections_rejected() {
+        let src = "module top (input a, output z); INVX1 u (a, z); endmodule";
+        assert!(matches!(
+            parse_module(src),
+            Err(NetlistError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_instances_in_one_statement() {
+        let src = "
+            module top (input a, input b, output z, output y);
+              INVX1 u1 (.A(a), .Z(z)), u2 (.A(b), .Z(y));
+            endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.cell_count(), 2);
+    }
+
+    #[test]
+    fn part_select_expands_msb_first() {
+        let src = "
+            module top (input [3:0] d, output z);
+              SUB u (.in1(d[2:1]), .out1(z));
+            endmodule
+            module SUB (input [1:0] in1, output out1); endmodule";
+        let d = parse_design(src).unwrap();
+        let top = d.module(d.find_module("top").unwrap());
+        let u = top.cell(top.find_cell("u").unwrap());
+        assert_eq!(
+            u.pin("in1[1]"),
+            Some(Conn::Net(top.find_net("d[2]").unwrap()))
+        );
+        assert_eq!(
+            u.pin("in1[0]"),
+            Some(Conn::Net(top.find_net("d[1]").unwrap()))
+        );
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let src = "module top (a);\ninput a\nendmodule";
+        match parse_module(src) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

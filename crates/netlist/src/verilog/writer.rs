@@ -1,0 +1,319 @@
+//! Structural Verilog emission.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use crate::{CellKind, Conn, Design, Module, PortDir};
+
+/// Writes all modules of `design` (top first) as structural Verilog.
+pub fn write_design(design: &Design) -> String {
+    let mut out = String::new();
+    let top = design.top();
+    write_module_into(design.module(top), &mut out);
+    for (id, module) in design.modules() {
+        if id != top {
+            out.push('\n');
+            write_module_into(module, &mut out);
+        }
+    }
+    out
+}
+
+/// Writes a single module as structural Verilog.
+pub fn write_module(module: &Module) -> String {
+    let mut out = String::new();
+    write_module_into(module, &mut out);
+    out
+}
+
+/// True if `name` is a plain Verilog identifier needing no escape.
+fn is_simple_id(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+}
+
+/// Renders an identifier, escaping it if necessary. Escaped identifiers
+/// carry their mandatory trailing space.
+fn id(name: &str) -> String {
+    if is_simple_id(name) {
+        name.to_owned()
+    } else {
+        format!("\\{name} ")
+    }
+}
+
+/// A declaration group: either one scalar name or a contiguous bus.
+#[derive(Debug)]
+struct DeclGroup {
+    base: String,
+    /// `None` for scalars, `Some((msb, lsb))` for buses.
+    range: Option<(i64, i64)>,
+}
+
+/// Groups names (in first-seen order) into scalar and bus declarations. A
+/// name participates in a bus only if it has `base[idx]` form, the base is a
+/// simple identifier, and no scalar of the same base name exists.
+fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup> {
+    let names: Vec<&str> = names.collect();
+    let scalar_names: HashSet<&str> = names
+        .iter()
+        .copied()
+        .filter(|n| crate::bus::parse_bus_bit(n).is_none())
+        .collect();
+    let mut order: Vec<String> = Vec::new();
+    let mut buses: HashMap<String, (i64, i64)> = HashMap::new();
+    let mut scalars: HashSet<String> = HashSet::new();
+    for name in names {
+        match crate::bus::parse_bus_bit(name) {
+            Some(bit)
+                if is_simple_id(&bit.base) && !scalar_names.contains(bit.base.as_str()) =>
+            {
+                match buses.get_mut(&bit.base) {
+                    Some((msb, lsb)) => {
+                        *msb = (*msb).max(bit.index);
+                        *lsb = (*lsb).min(bit.index);
+                    }
+                    None => {
+                        buses.insert(bit.base.clone(), (bit.index, bit.index));
+                        order.push(bit.base);
+                    }
+                }
+            }
+            _ => {
+                if scalars.insert(name.to_owned()) {
+                    order.push(name.to_owned());
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|base| DeclGroup {
+            range: buses.get(&base).copied(),
+            base,
+        })
+        .collect()
+}
+
+fn write_module_into(module: &Module, out: &mut String) {
+    let port_groups = group_decls(module.ports().map(|(_, p)| p.name.as_str()));
+    let _ = write!(out, "module {} (", id(&module.name));
+    for (i, g) in port_groups.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&id(&g.base));
+    }
+    out.push_str(");\n");
+
+    // Port direction declarations (one per group; direction taken from the
+    // first member port).
+    let dir_of: HashMap<&str, PortDir> = module
+        .ports()
+        .map(|(_, p)| (p.name.as_str(), p.dir))
+        .collect();
+    for g in &port_groups {
+        let sample = match g.range {
+            Some((msb, _)) => crate::bus::bus_bit_name(&g.base, msb),
+            None => g.base.clone(),
+        };
+        let dir = dir_of.get(sample.as_str()).copied().unwrap_or(PortDir::Input);
+        match g.range {
+            Some((msb, lsb)) => {
+                let _ = writeln!(out, "  {dir} [{msb}:{lsb}] {};", id(&g.base));
+            }
+            None => {
+                let _ = writeln!(out, "  {dir} {};", id(&g.base));
+            }
+        }
+    }
+
+    // Wire declarations for non-port nets.
+    let port_nets: HashSet<&str> = module
+        .ports()
+        .map(|(_, p)| module.net(p.net).name.as_str())
+        .chain(module.ports().map(|(_, p)| p.name.as_str()))
+        .collect();
+    let wire_groups = group_decls(
+        module
+            .nets()
+            .map(|(_, n)| n.name.as_str())
+            .filter(|n| !port_nets.contains(n)),
+    );
+    for g in &wire_groups {
+        match g.range {
+            Some((msb, lsb)) => {
+                let _ = writeln!(out, "  wire [{msb}:{lsb}] {};", id(&g.base));
+            }
+            None => {
+                let _ = writeln!(out, "  wire {};", id(&g.base));
+            }
+        }
+    }
+
+    // Residual continuous assignments: constant ties on port nets and ports
+    // whose net was merged into a different net by `assign` resolution.
+    let port_name_set: HashSet<&str> = module.ports().map(|(_, p)| p.name.as_str()).collect();
+    for &(net, value) in module.const_ties() {
+        let name = &module.net(net).name;
+        if port_name_set.contains(name.as_str()) {
+            let _ = writeln!(out, "  assign {} = 1'b{};", id(name), u8::from(value));
+        }
+    }
+    for (_, port) in module.ports() {
+        let net_name = &module.net(port.net).name;
+        if net_name != &port.name && port.dir != PortDir::Input {
+            let _ = writeln!(out, "  assign {} = {};", id(&port.name), id(net_name));
+        }
+    }
+
+    // Instances.
+    for (_, cell) in module.cells() {
+        let type_name = match &cell.kind {
+            CellKind::Lib(n) | CellKind::Instance(n) => n,
+        };
+        let _ = write!(out, "  {} {} (", id(type_name), id(&cell.name));
+        let rendered = render_pins(module, cell);
+        for (i, (pin, conn)) in rendered.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, ".{}({})", id(pin), conn);
+        }
+        out.push_str(");\n");
+    }
+    out.push_str("endmodule\n");
+}
+
+/// Renders the pin connections of a cell, re-grouping bit-blasted pins
+/// (`data[1]`, `data[0]`) into a single concatenation connection.
+fn render_pins(module: &Module, cell: &crate::Cell) -> Vec<(String, String)> {
+    let conn_text = |c: &Conn| -> String {
+        match c {
+            Conn::Net(n) => id(&module.net(*n).name),
+            Conn::Const0 => "1'b0".to_owned(),
+            Conn::Const1 => "1'b1".to_owned(),
+            Conn::Open => String::new(),
+        }
+    };
+    // Collect multi-bit pin groups.
+    let mut groups: HashMap<String, Vec<(i64, String)>> = HashMap::new();
+    let mut multi: HashSet<String> = HashSet::new();
+    for (pin, conn) in cell.pins() {
+        if let Some(bit) = crate::bus::parse_bus_bit(pin) {
+            groups
+                .entry(bit.base.clone())
+                .or_default()
+                .push((bit.index, conn_text(conn)));
+            if groups[&bit.base].len() > 1 {
+                multi.insert(bit.base);
+            }
+        }
+    }
+    let mut done: HashSet<String> = HashSet::new();
+    let mut result = Vec::new();
+    for (pin, conn) in cell.pins() {
+        match crate::bus::parse_bus_bit(pin) {
+            Some(bit) if multi.contains(&bit.base) => {
+                if done.insert(bit.base.clone()) {
+                    let mut bits = groups.remove(&bit.base).expect("grouped above");
+                    bits.sort_by_key(|(i, _)| std::cmp::Reverse(*i));
+                    let concat = bits
+                        .iter()
+                        .map(|(_, t)| t.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    result.push((bit.base, format!("{{{concat}}}")));
+                }
+            }
+            _ => result.push((pin.clone(), conn_text(conn))),
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Design, NetlistError, PortDir};
+
+    #[test]
+    fn simple_id_detection() {
+        assert!(is_simple_id("abc_123$"));
+        assert!(is_simple_id("_x"));
+        assert!(!is_simple_id("3x"));
+        assert!(!is_simple_id("a[3]"));
+        assert!(!is_simple_id(""));
+        assert!(!is_simple_id("a-b"));
+    }
+
+    #[test]
+    fn escaped_identifiers_get_trailing_space() {
+        assert_eq!(id("a+b"), "\\a+b ");
+        assert_eq!(id("plain"), "plain");
+    }
+
+    #[test]
+    fn buses_are_grouped_in_declarations() -> Result<(), NetlistError> {
+        let mut d = Design::new();
+        let m = d.add_module("t");
+        let module = d.module_mut(m);
+        for i in 0..3 {
+            module.add_port(format!("x[{i}]"), PortDir::Input)?;
+        }
+        module.add_port("y", PortDir::Output)?;
+        let text = write_design(&d);
+        assert!(text.contains("module t (x, y);"), "{text}");
+        assert!(text.contains("input [2:0] x;"), "{text}");
+        assert!(text.contains("output y;"), "{text}");
+        Ok(())
+    }
+
+    #[test]
+    fn multibit_instance_pins_render_as_concat() -> Result<(), NetlistError> {
+        let mut d = Design::new();
+        let m = d.add_module("t");
+        let module = d.module_mut(m);
+        let a = module.add_net("a")?;
+        let b = module.add_net("b")?;
+        module.add_instance(
+            "u",
+            "SUB",
+            &[("in1[1]", Conn::Net(a)), ("in1[0]", Conn::Net(b))],
+        )?;
+        let text = write_design(&d);
+        assert!(text.contains(".in1({a, b})"), "{text}");
+        Ok(())
+    }
+
+    #[test]
+    fn const_tie_on_port_is_emitted() -> Result<(), NetlistError> {
+        let mut d = Design::new();
+        let m = d.add_module("t");
+        let module = d.module_mut(m);
+        let p = module.add_port("z", PortDir::Output)?;
+        let net = module.port(p).net;
+        module.add_const_tie(net, true);
+        let text = write_design(&d);
+        assert!(text.contains("assign z = 1'b1;"), "{text}");
+        Ok(())
+    }
+
+    #[test]
+    fn merged_output_port_emits_alias_assign() -> Result<(), NetlistError> {
+        let mut d = Design::new();
+        let m = d.add_module("t");
+        let module = d.module_mut(m);
+        module.add_port("a", PortDir::Input)?;
+        let zp = module.add_port("z", PortDir::Output)?;
+        let a_net = module.find_net("a").unwrap();
+        module.merge_port_net(module.port(zp).net, a_net);
+        let text = write_design(&d);
+        assert!(text.contains("assign z = a;"), "{text}");
+        Ok(())
+    }
+}

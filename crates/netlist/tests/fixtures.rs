@@ -1,0 +1,61 @@
+//! A handwritten post-synthesis-style netlist exercising the structural
+//! Verilog subset end to end.
+
+const FIXTURE: &str = r#"
+// post-synthesis netlist, classic header style
+module chip (clk, rst_n, \data-in , dout, status);
+  input clk;
+  input rst_n;
+  input [3:0] \data-in ;
+  output [3:0] dout;
+  output status;
+  wire [3:0] stage1;
+  wire n1, n2;
+  tri shared;
+
+  /* the synthesis tool left an alias and a constant tie */
+  assign n2 = n1;
+  assign shared = 1'b1;
+
+  DFFRX1 r0 (.D(\data-in [0]), .RN(rst_n), .CK(clk), .Q(stage1[0]));
+  DFFRX1 r1 (.D(\data-in [1]), .RN(rst_n), .CK(clk), .Q(stage1[1]));
+  DFFRX1 r2 (.D(\data-in [2]), .RN(rst_n), .CK(clk), .Q(stage1[2])),
+         r3 (.D(\data-in [3]), .RN(rst_n), .CK(clk), .Q(stage1[3]));
+
+  NAND2X1 g0 (.A(stage1[0]), .B(shared), .Z(n1));
+  SUBBLK u0 (.in1(stage1[3:2]), .out1(status));
+
+  DFFX1 o0 (.D(n2), .CK(clk), .Q(dout[0]));
+  DFFX1 o1 (.D(stage1[1]), .CK(clk), .Q(dout[1]));
+  DFFX1 o2 (.D(1'b0), .CK(clk), .Q(dout[2]));
+  DFFX1 o3 (.D(stage1[3]), .CK(clk), .Q(dout[3]));
+endmodule
+
+module SUBBLK (input [1:0] in1, output out1);
+  XOR2X1 x (.A(in1[1]), .B(in1[0]), .Z(out1));
+endmodule
+"#;
+
+#[test]
+fn fixture_parses_flattens_and_roundtrips() {
+    let design = drd_netlist::verilog::parse_design(FIXTURE).unwrap();
+    let top = design.module(design.find_module("chip").unwrap());
+    // Escaped bus survived with sanitized base + bus identity.
+    assert!(top.find_net("data_in[0]").is_some());
+    // Alias n2 = n1 merged.
+    let o0 = top.find_cell("o0").unwrap();
+    let n1 = top.find_net("n1").unwrap();
+    assert_eq!(top.cell(o0).pin("D"), Some(drd_netlist::Conn::Net(n1)));
+    // Constant tie propagated into g0's input.
+    let g0 = top.find_cell("g0").unwrap();
+    assert_eq!(top.cell(g0).pin("B"), Some(drd_netlist::Conn::Const1));
+    // Multi-instance statement parsed both.
+    assert!(top.find_cell("r2").is_some() && top.find_cell("r3").is_some());
+    // Hierarchy flattens.
+    let flat = drd_netlist::flatten(&design, design.top()).unwrap();
+    assert!(flat.find_cell("u0/x").is_some());
+    // Round trip is a fixed point.
+    let t1 = drd_netlist::verilog::write_design(&design);
+    let again = drd_netlist::verilog::parse_design(&t1).unwrap();
+    assert_eq!(t1, drd_netlist::verilog::write_design(&again));
+}

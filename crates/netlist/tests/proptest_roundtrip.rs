@@ -1,0 +1,103 @@
+//! Property: writing any constructible netlist as Verilog and parsing it
+//! back is a structural identity (and a textual fixed point).
+
+use proptest::prelude::*;
+
+use drd_netlist::{Conn, Design, Module, PortDir};
+
+/// Builds a random but well-formed gate-level module from a recipe of
+/// small integers.
+fn build(recipe: &[u8], buses: bool) -> Design {
+    let mut m = Module::new("t");
+    m.add_port("clk", PortDir::Input).unwrap();
+    let clk = m.find_net("clk").unwrap();
+    let mut nets = vec![clk];
+    for (i, &b) in recipe.iter().enumerate() {
+        let name = if buses && b % 3 == 0 {
+            format!("bus{}[{}]", b % 5, i)
+        } else {
+            format!("n{i}")
+        };
+        nets.push(m.add_net(name).unwrap());
+    }
+    for (i, &b) in recipe.iter().enumerate() {
+        let a = nets[(b as usize) % (nets.len() - 1)];
+        let z = nets[i + 1];
+        match b % 4 {
+            0 => {
+                m.add_cell(
+                    format!("u{i}"),
+                    "INVX1",
+                    &[("A", Conn::Net(a)), ("Z", Conn::Net(z))],
+                )
+                .unwrap();
+            }
+            1 => {
+                let c = nets[(b as usize / 4) % (nets.len() - 1)];
+                m.add_cell(
+                    format!("u{i}"),
+                    "NAND2X1",
+                    &[("A", Conn::Net(a)), ("B", Conn::Net(c)), ("Z", Conn::Net(z))],
+                )
+                .unwrap();
+            }
+            2 => {
+                m.add_cell(
+                    format!("u{i}"),
+                    "DFFX1",
+                    &[("D", Conn::Net(a)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(z))],
+                )
+                .unwrap();
+            }
+            _ => {
+                m.add_cell(
+                    format!("u{i}"),
+                    "AND2X1",
+                    &[("A", Conn::Net(a)), ("B", Conn::Const1), ("Z", Conn::Net(z))],
+                )
+                .unwrap();
+            }
+        }
+    }
+    let mut d = Design::new();
+    d.insert(m);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_is_identity(recipe in proptest::collection::vec(any::<u8>(), 1..40), buses: bool) {
+        let design = build(&recipe, buses);
+        let text1 = drd_netlist::verilog::write_design(&design);
+        let parsed = drd_netlist::verilog::parse_design(&text1).unwrap();
+        let text2 = drd_netlist::verilog::write_design(&parsed);
+        prop_assert_eq!(&text1, &text2, "fixed point");
+        // Structural identity: same cells with same kinds and pin nets.
+        let (a, b) = (design.top_module(), parsed.top_module());
+        prop_assert_eq!(a.cell_count(), b.cell_count());
+        for (_, cell) in a.cells() {
+            let other = b.find_cell(&cell.name).expect("cell survives");
+            let other = b.cell(other);
+            prop_assert_eq!(&cell.kind, &other.kind);
+            for (pin, conn) in cell.pins() {
+                let oc = other.pin(pin).expect("pin survives");
+                match (conn, oc) {
+                    (Conn::Net(x), Conn::Net(y)) => {
+                        prop_assert_eq!(&a.net(*x).name, &b.net(y).name);
+                    }
+                    (x, y) => prop_assert_eq!(*x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blif_export_never_panics(recipe in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let design = build(&recipe, true);
+        let blif = drd_netlist::blif::write_blif(design.top_module());
+        prop_assert!(blif.starts_with(".model"));
+        prop_assert!(blif.ends_with(".end\n"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Simulation error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from simulator construction and driving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A netlist cell references a library cell that does not exist.
+    UnknownCell {
+        /// The missing cell name.
+        name: String,
+    },
+    /// A referenced net or port does not exist.
+    UnknownNet {
+        /// The missing net/port name.
+        name: String,
+    },
+    /// The netlist could not be elaborated (flattening/connectivity).
+    Elaboration {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownCell { name } => write!(f, "unknown library cell `{name}`"),
+            SimError::UnknownNet { name } => write!(f, "unknown net `{name}`"),
+            SimError::Elaboration { message } => write!(f, "elaboration failed: {message}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        let e = SimError::UnknownNet { name: "clk".into() };
+        assert!(e.to_string().contains("clk"));
+        fn ok<T: Error + Send + Sync>() {}
+        ok::<SimError>();
+    }
+}

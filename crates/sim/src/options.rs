@@ -1,0 +1,62 @@
+//! Simulation options: corner, intra-die variation, initialization.
+
+use drd_liberty::Corner;
+
+/// Options controlling a [`crate::Simulator`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Operating corner (derates every delay and the power model).
+    pub corner: Corner,
+    /// Standard deviation of the per-instance Gaussian delay factor
+    /// (intra-die variation; 0 disables it). The factor is clamped to
+    /// `[1 - 4σ, 1 + 4σ]`.
+    pub intra_die_sigma: f64,
+    /// Seed for the per-instance variation sampling.
+    pub seed: u64,
+    /// Initialize all sequential state to 0 at time 0 (the paper's designs
+    /// are reset before measurement; this models the settled post-reset
+    /// state without simulating X-propagation through reset logic).
+    pub init_state_zero: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            corner: Corner::typical(),
+            intra_die_sigma: 0.0,
+            seed: 0xD5C0DE,
+            init_state_zero: true,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options at a given corner, otherwise default.
+    pub fn at_corner(corner: Corner) -> Self {
+        SimOptions {
+            corner,
+            ..SimOptions::default()
+        }
+    }
+
+    /// Enables intra-die variation with the given sigma and seed.
+    pub fn with_variation(mut self, sigma: f64, seed: u64) -> Self {
+        self.intra_die_sigma = sigma;
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let o = SimOptions::at_corner(Corner::worst()).with_variation(0.05, 42);
+        assert_eq!(o.corner.name, "worst");
+        assert_eq!(o.intra_die_sigma, 0.05);
+        assert_eq!(o.seed, 42);
+        assert!(o.init_state_zero);
+    }
+}

@@ -1,0 +1,113 @@
+//! Monte-Carlo inter-chip process variation (Fig. 5.4's methodology).
+//!
+//! "We have assumed that the desynchronized real average case is a normal
+//! distribution between the two extreme cases, exactly like SSTA does for
+//! variability factors" (§5.2.2). Each fabricated chip draws a process
+//! point `t ∈ [0, 1]` (0 = best corner, 1 = worst) from a clamped
+//! Gaussian; the delay elements track the same silicon as the logic they
+//! match, so a desynchronized chip runs at its own `t` while a synchronous
+//! design must be clocked for `t = 1`.
+
+use drd_liberty::Corner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A population of fabricated chips with per-chip process points.
+#[derive(Debug, Clone)]
+pub struct ChipPopulation {
+    points: Vec<f64>,
+}
+
+impl ChipPopulation {
+    /// Samples `n` chips: `t ~ N(0.5, sigma)` clamped to `[0, 1]`.
+    pub fn sample(n: usize, sigma: f64, seed: u64) -> ChipPopulation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| {
+                // Box–Muller on two uniforms from the seeded RNG.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (0.5 + z * sigma).clamp(0.0, 1.0)
+            })
+            .collect();
+        ChipPopulation { points }
+    }
+
+    /// Per-chip process points.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// The operating corner of chip `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn corner(&self, i: usize) -> Corner {
+        Corner::interpolate(self.points[i])
+    }
+
+    /// Number of chips.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Fraction of chips whose value under `f` is below `threshold` —
+    /// e.g. the fraction of desynchronized chips faster than the
+    /// synchronous worst-case period (the shaded ~90 % area of Fig. 5.4).
+    pub fn fraction_below(&self, threshold: f64, mut f: impl FnMut(Corner) -> f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let below = self
+            .points
+            .iter()
+            .filter(|&&t| f(Corner::interpolate(t)) < threshold)
+            .count();
+        below as f64 / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic_and_centered() {
+        let a = ChipPopulation::sample(2000, 0.15, 1);
+        let b = ChipPopulation::sample(2000, 0.15, 1);
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.len(), 2000);
+        assert!(!a.is_empty());
+        let mean: f64 = a.points().iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(a.points().iter().all(|&t| (0.0..=1.0).contains(&t)));
+    }
+
+    #[test]
+    fn fraction_below_tracks_distribution() {
+        let pop = ChipPopulation::sample(4000, 0.15, 7);
+        // Delay grows with t; the threshold at the worst corner's delay
+        // should be nearly always met.
+        let worst_delay = Corner::worst().delay(1.0);
+        let frac = pop.fraction_below(worst_delay, |c| c.delay(1.0));
+        assert!(frac > 0.95, "{frac}");
+        // The threshold at the typical point splits the population.
+        let mid = Corner::interpolate(0.5).delay(1.0);
+        let frac_mid = pop.fraction_below(mid, |c| c.delay(1.0));
+        assert!((0.35..0.65).contains(&frac_mid), "{frac_mid}");
+    }
+
+    #[test]
+    fn corner_accessor() {
+        let pop = ChipPopulation::sample(3, 0.1, 2);
+        let c = pop.corner(0);
+        assert!(c.delay_factor >= Corner::best().delay_factor);
+        assert!(c.delay_factor <= Corner::worst().delay_factor);
+    }
+}

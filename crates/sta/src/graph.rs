@@ -1,0 +1,500 @@
+//! Pin-level timing-graph construction.
+
+use std::collections::HashMap;
+
+use drd_liberty::{Library, SeqKind};
+use drd_netlist::{CellId, CellKind, Conn, Design, Endpoint, Module, PortDir, PortId};
+
+use crate::StaError;
+
+/// Handle to a timing-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// Handle to a timing-graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+/// What a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A cell pin (`cell`, index into the cell's pin list).
+    Pin {
+        /// Owning cell.
+        cell: CellId,
+        /// Pin index within the cell's pin list.
+        pin: u32,
+    },
+    /// A module port.
+    Port(PortId),
+}
+
+/// What an edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A pin-to-pin arc inside a cell.
+    CellArc,
+    /// A net connection from a driver to one load.
+    Net,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub kind: NodeKind,
+    /// Pretty `instance/pin` or `port` name for reports.
+    pub name: String,
+    /// True if timing is disabled through this pin (§4.6.1).
+    pub disabled: bool,
+    /// True if this node is a timing endpoint (sequential data input or
+    /// output port).
+    pub endpoint: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Typical-corner delay (ns), already including load-dependent terms.
+    pub delay: f64,
+    pub kind: EdgeKind,
+    /// Cut by loop breaking or pin disabling.
+    pub disabled: bool,
+}
+
+/// Options controlling graph construction.
+#[derive(Debug, Clone)]
+pub struct GraphOptions {
+    /// Include clock→Q / enable→Q launch arcs (default: false, so
+    /// sequential outputs become path sources).
+    pub include_clock_to_q: bool,
+    /// Treat latches as transparent (include D→Q arcs). Default: false —
+    /// latches are region boundaries, as the desynchronization timing
+    /// constraints demand (§4.5.1).
+    pub latch_transparent: bool,
+    /// Extra wire delay added to every net edge (a crude pre-layout wire
+    /// model; the backend replaces it with fanout-dependent estimates).
+    pub wire_delay: f64,
+    /// Timing arcs for module instances (black boxes), keyed by module
+    /// name: `(input port, output port, delay)` — used for delay-element
+    /// and controller instances.
+    pub instance_arcs: HashMap<String, Vec<(String, String, f64)>>,
+}
+
+impl Default for GraphOptions {
+    fn default() -> Self {
+        GraphOptions {
+            include_clock_to_q: false,
+            latch_transparent: false,
+            wire_delay: 0.0,
+            instance_arcs: HashMap::new(),
+        }
+    }
+}
+
+/// A pin-level timing graph for one module.
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) out: Vec<Vec<EdgeId>>,
+    pin_nodes: HashMap<(CellId, u32), NodeId>,
+    port_nodes: HashMap<PortId, NodeId>,
+    cell_names: HashMap<String, CellId>,
+    pin_names: HashMap<(CellId, String), u32>,
+}
+
+impl TimingGraph {
+    /// Builds the timing graph of a standalone module (no submodule
+    /// instances, unless they are covered by
+    /// [`GraphOptions::instance_arcs`]).
+    ///
+    /// # Errors
+    /// Returns [`StaError`] for unknown cells/pins or a malformed netlist.
+    pub fn build(module: &Module, lib: &Library, opts: &GraphOptions) -> Result<Self, StaError> {
+        let mut design = Design::new();
+        design.insert(module.clone());
+        let top = design.top();
+        Self::build_in_design(&design, top, lib, opts)
+    }
+
+    /// Builds the timing graph of `design.module(id)`, resolving instance
+    /// pin directions through the design's module ports.
+    ///
+    /// # Errors
+    /// Returns [`StaError`] for unknown cells/pins or a malformed netlist.
+    pub fn build_in_design(
+        design: &Design,
+        id: drd_netlist::ModuleId,
+        lib: &Library,
+        opts: &GraphOptions,
+    ) -> Result<Self, StaError> {
+        let module = design.module(id);
+        // Verify library references up-front so unknown cells are reported
+        // as such rather than as connectivity failures.
+        for (_, cell) in module.cells() {
+            if let CellKind::Lib(name) = &cell.kind {
+                if lib.cell(name).is_none() {
+                    return Err(StaError::UnknownCell { name: name.clone() });
+                }
+            }
+        }
+        let dirs = design.pin_dirs(lib);
+        let conn = module
+            .connectivity(&dirs)
+            .map_err(|e| StaError::BadNetlist {
+                message: e.to_string(),
+            })?;
+
+        let mut g = TimingGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            pin_nodes: HashMap::new(),
+            port_nodes: HashMap::new(),
+            cell_names: HashMap::new(),
+            pin_names: HashMap::new(),
+        };
+
+        // Net load capacitance (input-pin caps of all loads).
+        let mut net_load: Vec<f64> = vec![0.0; module.net_count()];
+        for (cid, cell) in module.cells() {
+            if let CellKind::Lib(_) = &cell.kind {
+                let lc = lib
+                    .cell_of(&cell.kind)
+                    .ok_or_else(|| StaError::UnknownCell {
+                        name: cell.kind.name().to_owned(),
+                    })?;
+                for (pin, c) in cell.pins() {
+                    if let Conn::Net(n) = c {
+                        if let Some(p) = lc.pin(pin) {
+                            if p.dir == PortDir::Input {
+                                net_load[n.index()] += p.capacitance;
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = cid;
+        }
+
+        // Nodes for ports.
+        for (pid, port) in module.ports() {
+            let node = NodeId(g.nodes.len() as u32);
+            g.nodes.push(Node {
+                kind: NodeKind::Port(pid),
+                name: port.name.clone(),
+                disabled: false,
+                endpoint: port.dir != PortDir::Input,
+            });
+            g.port_nodes.insert(pid, node);
+        }
+
+        // Nodes for cell pins + intra-cell arcs.
+        for (cid, cell) in module.cells() {
+            g.cell_names.insert(cell.name.clone(), cid);
+            for (idx, (pin, c)) in cell.pins().iter().enumerate() {
+                if c.net().is_none() {
+                    continue;
+                }
+                let node = NodeId(g.nodes.len() as u32);
+                g.nodes.push(Node {
+                    kind: NodeKind::Pin {
+                        cell: cid,
+                        pin: idx as u32,
+                    },
+                    name: format!("{}/{}", cell.name, pin),
+                    disabled: false,
+                    endpoint: false,
+                });
+                g.pin_nodes.insert((cid, idx as u32), node);
+                g.pin_names.insert((cid, pin.clone()), idx as u32);
+            }
+
+            match &cell.kind {
+                CellKind::Lib(_) => {
+                    let lc = lib.cell_of(&cell.kind).ok_or_else(|| StaError::UnknownCell {
+                        name: cell.kind.name().to_owned(),
+                    })?;
+                    g.add_lib_arcs(module, cid, lc, &net_load, opts)?;
+                    g.mark_seq_endpoints(cid, lc);
+                }
+                CellKind::Instance(name) => {
+                    if let Some(arcs) = opts.instance_arcs.get(name) {
+                        for (from, to, delay) in arcs {
+                            let (Some(&fi), Some(&ti)) = (
+                                g.pin_names.get(&(cid, from.clone())),
+                                g.pin_names.get(&(cid, to.clone())),
+                            ) else {
+                                continue;
+                            };
+                            let f = g.pin_nodes[&(cid, fi)];
+                            let t = g.pin_nodes[&(cid, ti)];
+                            g.push_edge(f, t, *delay, EdgeKind::CellArc);
+                        }
+                    }
+                    // Without arcs, the instance is an opaque boundary: its
+                    // inputs are endpoints, its outputs sources.
+                }
+            }
+        }
+
+        // Net edges: driver → each load.
+        for (nid, _net) in module.nets() {
+            let Some(driver) = conn.driver(nid) else { continue };
+            let Some(from) = g.endpoint_node(driver) else { continue };
+            for load in conn.loads(nid) {
+                if let Some(to) = g.endpoint_node(*load) {
+                    g.push_edge(from, to, opts.wire_delay, EdgeKind::Net);
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    fn endpoint_node(&self, e: Endpoint) -> Option<NodeId> {
+        match e {
+            Endpoint::Pin(p) => self.pin_nodes.get(&(p.cell, p.pin)).copied(),
+            Endpoint::Port(p) => self.port_nodes.get(&p).copied(),
+        }
+    }
+
+    fn push_edge(&mut self, from: NodeId, to: NodeId, delay: f64, kind: EdgeKind) {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            from,
+            to,
+            delay,
+            kind,
+            disabled: false,
+        });
+        if self.out.len() < self.nodes.len() {
+            self.out.resize(self.nodes.len(), Vec::new());
+        }
+        self.out[from.0 as usize].push(id);
+    }
+
+    fn add_lib_arcs(
+        &mut self,
+        module: &Module,
+        cid: CellId,
+        lc: &drd_liberty::LibCell,
+        net_load: &[f64],
+        opts: &GraphOptions,
+    ) -> Result<(), StaError> {
+        let cell = module.cell(cid);
+        // Which input pins launch paths through this cell?
+        let blocked_from: Option<&str> = match &lc.seq {
+            SeqKind::None | SeqKind::CElement { .. } => None,
+            SeqKind::FlipFlop(ff) => Some(ff.clocked_on.as_str()),
+            SeqKind::Latch(l) => Some(l.enable.as_str()),
+        };
+        let is_latch = matches!(lc.seq, SeqKind::Latch(_));
+        for arc in &lc.arcs {
+            let through_clock = Some(arc.from.as_str()) == blocked_from;
+            let allowed = match &lc.seq {
+                SeqKind::None | SeqKind::CElement { .. } => true,
+                SeqKind::FlipFlop(_) => opts.include_clock_to_q && through_clock,
+                SeqKind::Latch(_) => {
+                    (through_clock && opts.include_clock_to_q)
+                        || (!through_clock && (opts.latch_transparent && is_latch))
+                }
+            };
+            if !allowed {
+                continue;
+            }
+            let (Some(&fi), Some(&ti)) = (
+                self.pin_names.get(&(cid, arc.from.clone())),
+                self.pin_names.get(&(cid, arc.to.clone())),
+            ) else {
+                continue;
+            };
+            let from = self.pin_nodes[&(cid, fi)];
+            let to = self.pin_nodes[&(cid, ti)];
+            // Load-dependent delay on the output pin.
+            let load = cell.pins()[ti as usize]
+                .1
+                .net()
+                .map(|n| net_load[n.index()])
+                .unwrap_or(0.0);
+            let res = lc.pin(&arc.to).map(|p| p.drive_resistance).unwrap_or(0.0);
+            let delay = arc.rise.max(arc.fall) + res * load;
+            self.push_edge(from, to, delay, EdgeKind::CellArc);
+        }
+        Ok(())
+    }
+
+    /// Marks sequential data inputs as endpoints.
+    fn mark_seq_endpoints(&mut self, cid: CellId, lc: &drd_liberty::LibCell) {
+        let clockish: Option<String> = match &lc.seq {
+            SeqKind::None | SeqKind::CElement { .. } => return,
+            SeqKind::FlipFlop(ff) => Some(ff.clocked_on.clone()),
+            SeqKind::Latch(l) => Some(l.enable.clone()),
+        };
+        for pin in lc.input_pins() {
+            if Some(&pin.name) == clockish.as_ref() {
+                continue;
+            }
+            if let Some(&pi) = self.pin_names.get(&(cid, pin.name.clone())) {
+                let node = self.pin_nodes[&(cid, pi)];
+                self.nodes[node.0 as usize].endpoint = true;
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (including disabled ones).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Pretty name of a node (`instance/pin` or port name).
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0 as usize].name
+    }
+
+    /// Kind of a node.
+    pub fn node_kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.0 as usize].kind
+    }
+
+    /// Finds the node of `instance/pin`.
+    pub fn find_pin(&self, cell: &str, pin: &str) -> Option<NodeId> {
+        let cid = *self.cell_names.get(cell)?;
+        let pi = *self.pin_names.get(&(cid, pin.to_owned()))?;
+        self.pin_nodes.get(&(cid, pi)).copied()
+    }
+
+    /// Disables timing through `instance/pin` (the paper's
+    /// `set_disable_timing`, Fig. 4.5c). All arcs entering or leaving the
+    /// pin are cut. Returns false if the pin does not exist.
+    pub fn disable_pin(&mut self, cell: &str, pin: &str) -> bool {
+        let Some(node) = self.find_pin(cell, pin) else {
+            return false;
+        };
+        self.nodes[node.0 as usize].disabled = true;
+        for e in self.edges.iter_mut() {
+            if e.from == node || e.to == node {
+                e.disabled = true;
+            }
+        }
+        true
+    }
+
+    /// Iterates over edges as `(from, to, delay, kind, disabled)`.
+    pub fn edge_list(&self) -> impl Iterator<Item = (NodeId, NodeId, f64, EdgeKind, bool)> + '_ {
+        self.edges
+            .iter()
+            .map(|e| (e.from, e.to, e.delay, e.kind, e.disabled))
+    }
+
+    /// Iterates over the ids of all timing endpoints.
+    pub fn endpoints(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.endpoint)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Active (non-disabled) outgoing edges of `node`.
+    pub(crate) fn active_out(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.out
+            .get(node.0 as usize)
+            .into_iter()
+            .flatten()
+            .map(|&eid| (eid, &self.edges[eid.0 as usize]))
+            .filter(|(_, e)| !e.disabled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drd_liberty::vlib90;
+
+    fn chain_module() -> Module {
+        let mut m = Module::new("t");
+        m.add_port("a", PortDir::Input).unwrap();
+        m.add_port("clk", PortDir::Input).unwrap();
+        m.add_port("z", PortDir::Output).unwrap();
+        let a = m.find_net("a").unwrap();
+        let clk = m.find_net("clk").unwrap();
+        let z = m.find_net("z").unwrap();
+        let n1 = m.add_net("n1").unwrap();
+        let n2 = m.add_net("n2").unwrap();
+        m.add_cell("u1", "INVX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(n1))])
+            .unwrap();
+        m.add_cell(
+            "r1",
+            "DFFX1",
+            &[("D", Conn::Net(n1)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(n2))],
+        )
+        .unwrap();
+        m.add_cell("u2", "INVX1", &[("A", Conn::Net(n2)), ("Z", Conn::Net(z))])
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn graph_has_expected_shape() {
+        let lib = vlib90::high_speed();
+        let g = TimingGraph::build(&chain_module(), &lib, &GraphOptions::default()).unwrap();
+        // Ports a, clk, z + pins u1/A u1/Z r1/D r1/CK r1/Q u2/A u2/Z.
+        assert_eq!(g.node_count(), 10);
+        // Arcs: u1 A→Z, u2 A→Z (no clock→Q by default).
+        let arc_count = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::CellArc)
+            .count();
+        assert_eq!(arc_count, 2);
+        // r1/D is an endpoint; z port is an endpoint.
+        let endpoint_names: Vec<&str> = g.endpoints().map(|n| g.node_name(n)).collect();
+        assert!(endpoint_names.contains(&"r1/D"));
+        assert!(endpoint_names.contains(&"z"));
+        assert!(!endpoint_names.contains(&"r1/CK"));
+    }
+
+    #[test]
+    fn clock_to_q_arcs_are_optional() {
+        let lib = vlib90::high_speed();
+        let opts = GraphOptions {
+            include_clock_to_q: true,
+            ..GraphOptions::default()
+        };
+        let g = TimingGraph::build(&chain_module(), &lib, &opts).unwrap();
+        let arc_count = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::CellArc)
+            .count();
+        assert_eq!(arc_count, 3); // + CK→Q
+    }
+
+    #[test]
+    fn disable_pin_cuts_edges() {
+        let lib = vlib90::high_speed();
+        let mut g = TimingGraph::build(&chain_module(), &lib, &GraphOptions::default()).unwrap();
+        assert!(g.disable_pin("u1", "Z"));
+        assert!(!g.disable_pin("u1", "nope"));
+        assert!(!g.disable_pin("missing", "Z"));
+        let disabled = g.edges.iter().filter(|e| e.disabled).count();
+        assert!(disabled >= 2); // the A→Z arc and the net edge to r1/D
+    }
+
+    #[test]
+    fn unknown_cell_is_an_error() {
+        let lib = vlib90::high_speed();
+        let mut m = Module::new("t");
+        let n = m.add_net("n").unwrap();
+        m.add_cell("u", "NOT_A_CELL", &[("A", Conn::Net(n))]).unwrap();
+        match TimingGraph::build(&m, &lib, &GraphOptions::default()) {
+            Err(StaError::UnknownCell { name }) => assert_eq!(name, "NOT_A_CELL"),
+            other => panic!("expected UnknownCell, got {other:?}"),
+        }
+    }
+}

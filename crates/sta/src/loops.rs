@@ -1,0 +1,192 @@
+//! Timing-loop detection and breaking (§4.6.1).
+//!
+//! The controller network is a genuinely cyclic circuit, which conventional
+//! STA cannot analyze: "any cycles in the combinational netlist must be
+//! broken, i.e. some edges must be removed. Such edges can be, for example,
+//! those classified as back-edges by the STA graph traversal algorithm. …
+//! the places where the graph is cut are arbitrary with respect to the
+//! design's functionality" — which is why the paper cuts the controller
+//! loops *by hand* at specific timing-disabled pins instead. This module
+//! provides both mechanisms: [`TimingGraph::disable_pin`] for the manual
+//! cuts, and [`TimingGraph::break_loops`] for the automatic DFS back-edge
+//! fallback.
+
+use crate::graph::{EdgeId, NodeId, TimingGraph};
+
+/// Result of automatic loop breaking.
+#[derive(Debug, Clone, Default)]
+pub struct LoopReport {
+    /// Edges that were cut, as `(from-name, to-name)` pairs.
+    pub cut_edges: Vec<(String, String)>,
+}
+
+impl LoopReport {
+    /// Number of cut edges.
+    pub fn cut_count(&self) -> usize {
+        self.cut_edges.len()
+    }
+}
+
+impl TimingGraph {
+    /// Detects cycles among the active edges and cuts every DFS back-edge,
+    /// returning what was cut. Deterministic: DFS visits nodes in id order.
+    pub fn break_loops(&mut self) -> LoopReport {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.node_count();
+        let mut color = vec![Color::White; n];
+        let mut cuts: Vec<EdgeId> = Vec::new();
+
+        // Iterative DFS to survive deep graphs.
+        for root in 0..n {
+            if color[root] != Color::White {
+                continue;
+            }
+            // Stack of (node, iterator position over out-edges).
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            color[root] = Color::Gray;
+            while let Some(&(node, pos)) = stack.last() {
+                let out = &self.out[node];
+                let mut advanced = false;
+                let mut pos = pos;
+                while pos < out.len() {
+                    let eid = out[pos];
+                    pos += 1;
+                    let edge = &self.edges[eid.0 as usize];
+                    if edge.disabled {
+                        continue;
+                    }
+                    let next = edge.to.0 as usize;
+                    match color[next] {
+                        Color::White => {
+                            color[next] = Color::Gray;
+                            stack.last_mut().expect("stack non-empty").1 = pos;
+                            stack.push((next, 0));
+                            advanced = true;
+                            break;
+                        }
+                        Color::Gray => {
+                            // Back edge: cut it.
+                            cuts.push(eid);
+                        }
+                        Color::Black => {}
+                    }
+                }
+                if !advanced {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+
+        let mut report = LoopReport::default();
+        for eid in cuts {
+            let e = &mut self.edges[eid.0 as usize];
+            e.disabled = true;
+            let (from, to) = (e.from, e.to);
+            report.cut_edges.push((
+                self.node_name(from).to_owned(),
+                self.node_name(to).to_owned(),
+            ));
+        }
+        report
+    }
+
+    /// Returns a node on a remaining active cycle, or `None` if the graph
+    /// is acyclic (used to verify that manual cuts were sufficient).
+    pub fn find_cycle(&self) -> Option<NodeId> {
+        let n = self.node_count();
+        let mut indegree = vec![0usize; n];
+        for e in self.edges.iter().filter(|e| !e.disabled) {
+            indegree[e.to.0 as usize] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for (_, e) in self.active_out(NodeId(i as u32)) {
+                let t = e.to.0 as usize;
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if seen == n {
+            None
+        } else {
+            indegree
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| NodeId(i as u32))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{GraphOptions, TimingGraph};
+    use drd_liberty::vlib90;
+    use drd_netlist::{Conn, Module, PortDir};
+
+    /// A ring oscillator: three inverters in a loop.
+    fn ring() -> Module {
+        let mut m = Module::new("ring");
+        let n0 = m.add_net("n0").unwrap();
+        let n1 = m.add_net("n1").unwrap();
+        let n2 = m.add_net("n2").unwrap();
+        m.add_cell("i0", "INVX1", &[("A", Conn::Net(n0)), ("Z", Conn::Net(n1))])
+            .unwrap();
+        m.add_cell("i1", "INVX1", &[("A", Conn::Net(n1)), ("Z", Conn::Net(n2))])
+            .unwrap();
+        m.add_cell("i2", "INVX1", &[("A", Conn::Net(n2)), ("Z", Conn::Net(n0))])
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn detects_and_breaks_ring() {
+        let lib = vlib90::high_speed();
+        let mut g = TimingGraph::build(&ring(), &lib, &GraphOptions::default()).unwrap();
+        assert!(g.find_cycle().is_some());
+        let report = g.break_loops();
+        assert_eq!(report.cut_count(), 1);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn manual_disable_also_breaks() {
+        let lib = vlib90::high_speed();
+        let mut g = TimingGraph::build(&ring(), &lib, &GraphOptions::default()).unwrap();
+        g.disable_pin("i1", "Z");
+        assert!(g.find_cycle().is_none());
+        // Nothing left for the automatic pass.
+        assert_eq!(g.break_loops().cut_count(), 0);
+    }
+
+    #[test]
+    fn acyclic_graph_unchanged() {
+        let lib = vlib90::high_speed();
+        let mut m = Module::new("t");
+        m.add_port("a", PortDir::Input).unwrap();
+        let a = m.find_net("a").unwrap();
+        let n = m.add_net("n").unwrap();
+        m.add_cell("u", "INVX1", &[("A", Conn::Net(a)), ("Z", Conn::Net(n))])
+            .unwrap();
+        let mut g = TimingGraph::build(&m, &lib, &GraphOptions::default()).unwrap();
+        assert!(g.find_cycle().is_none());
+        assert_eq!(g.break_loops().cut_count(), 0);
+    }
+
+    #[test]
+    fn break_is_deterministic() {
+        let lib = vlib90::high_speed();
+        let mut g1 = TimingGraph::build(&ring(), &lib, &GraphOptions::default()).unwrap();
+        let mut g2 = TimingGraph::build(&ring(), &lib, &GraphOptions::default()).unwrap();
+        assert_eq!(g1.break_loops().cut_edges, g2.break_loops().cut_edges);
+    }
+}

@@ -1,0 +1,88 @@
+//! Properties of arrival analysis: monotone under corner derating and
+//! under netlist extension.
+
+use proptest::prelude::*;
+
+use drd_liberty::{vlib90, Corner};
+use drd_netlist::{Conn, Module, PortDir};
+use drd_sta::{GraphOptions, TimingGraph};
+
+fn chain(kinds: &[u8]) -> Module {
+    let mut m = Module::new("c");
+    m.add_port("a", PortDir::Input).unwrap();
+    m.add_port("clk", PortDir::Input).unwrap();
+    let clk = m.find_net("clk").unwrap();
+    let mut prev = m.find_net("a").unwrap();
+    for (i, &k) in kinds.iter().enumerate() {
+        let z = m.add_net(format!("n{i}")).unwrap();
+        let gate = match k % 4 {
+            0 => "INVX1",
+            1 => "BUFX1",
+            2 => "AND2X1",
+            _ => "XOR2X1",
+        };
+        if k % 4 < 2 {
+            m.add_cell(format!("u{i}"), gate, &[("A", Conn::Net(prev)), ("Z", Conn::Net(z))])
+                .unwrap();
+        } else {
+            m.add_cell(
+                format!("u{i}"),
+                gate,
+                &[("A", Conn::Net(prev)), ("B", Conn::Net(prev)), ("Z", Conn::Net(z))],
+            )
+            .unwrap();
+        }
+        prev = z;
+    }
+    let q = m.add_net("q").unwrap();
+    m.add_cell(
+        "r",
+        "DFFX1",
+        &[("D", Conn::Net(prev)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q))],
+    )
+    .unwrap();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn corner_scaling_is_exact(kinds in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let lib = vlib90::high_speed();
+        let g = TimingGraph::build(&chain(&kinds), &lib, &GraphOptions::default()).unwrap();
+        let typ = g.arrivals(Corner::typical()).unwrap().max_endpoint_arrival();
+        let worst = g.arrivals(Corner::worst()).unwrap().max_endpoint_arrival();
+        prop_assert!((worst - typ * Corner::worst().delay_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extending_a_chain_never_reduces_arrival(
+        kinds in proptest::collection::vec(any::<u8>(), 2..24),
+    ) {
+        let lib = vlib90::high_speed();
+        let shorter = TimingGraph::build(&chain(&kinds[..kinds.len() - 1]), &lib, &GraphOptions::default())
+            .unwrap()
+            .arrivals(Corner::typical())
+            .unwrap()
+            .max_endpoint_arrival();
+        let longer = TimingGraph::build(&chain(&kinds), &lib, &GraphOptions::default())
+            .unwrap()
+            .arrivals(Corner::typical())
+            .unwrap()
+            .max_endpoint_arrival();
+        prop_assert!(longer >= shorter - 1e-9, "{longer} >= {shorter}");
+    }
+
+    #[test]
+    fn critical_path_is_monotone(kinds in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let lib = vlib90::high_speed();
+        let g = TimingGraph::build(&chain(&kinds), &lib, &GraphOptions::default()).unwrap();
+        let arr = g.arrivals(Corner::typical()).unwrap();
+        let path = arr.critical_path();
+        prop_assert!(!path.is_empty());
+        for w in path.windows(2) {
+            prop_assert!(w[1].arrival >= w[0].arrival);
+        }
+    }
+}

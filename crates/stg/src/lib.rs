@@ -1,0 +1,36 @@
+//! # drd-stg — Signal Transition Graphs for desynchronization protocols
+//!
+//! STGs are "constrained PetriNets, which represent the signal dependencies
+//! and sequence" (§2.2). This crate implements the subset needed by the
+//! desynchronization methodology:
+//!
+//! * a safe marked-graph [`Stg`] model (places with a single producer and
+//!   consumer, encoded as arcs carrying tokens),
+//! * [`reach`]ability analysis: state counting, deadlock detection and
+//!   marked-graph liveness (a marked graph is live iff every cycle carries
+//!   a token),
+//! * the executable [`flow_equiv`]alence check of the handshake-protocols
+//!   papers: a protocol is usable for desynchronization iff every latch of
+//!   a latch pipeline governed by it captures exactly the synchronous data
+//!   sequence — no overwriting, no duplication (§2.2, Fig. 2.4),
+//! * the concrete two-latch [`protocols`] of Fig. 2.4, ordered by allowed
+//!   concurrency (reachable-state count 10/8/6/5/4), with the non-live and
+//!   non-flow-equivalent outliers,
+//! * [`conformance`] checking of event traces against an STG, used to
+//!   verify the gate-level semi-decoupled controller implementation.
+//!
+//! ```
+//! use drd_stg::protocols::Protocol;
+//!
+//! let stg = Protocol::SemiDecoupled.stg();
+//! let reach = stg.reachability(1 << 16).expect("bounded");
+//! assert_eq!(reach.state_count(), 6); // Fig. 2.4
+//! ```
+
+pub mod conformance;
+pub mod flow_equiv;
+pub mod protocols;
+pub mod reach;
+mod stg;
+
+pub use stg::{Marking, Polarity, Stg, StgError, TransId};

@@ -1,0 +1,22 @@
+//! Variability tolerance (§2.5, Fig. 5.4): the desynchronized circuit's
+//! effective period tracks each chip's silicon, so most chips beat the
+//! synchronous worst-case clock.
+//!
+//! Run with: `cargo run --example variability --release`
+
+use drdesync::designs::dlx::DlxParams;
+use drdesync::flow::experiment::{variability_study, CaseStudy};
+use drdesync::flow::report::render_variability_figure;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let case = CaseStudy::dlx(&DlxParams {
+        width: 16,
+        regs_log2: 4,
+        rom_log2: 5,
+        ram_log2: 3,
+        seed: 0xD1_5C0DE,
+    })?;
+    let study = variability_study(&case, 1000, 0.15, 42)?;
+    print!("{}", render_variability_figure(&study));
+    Ok(())
+}

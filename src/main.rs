@@ -1,0 +1,148 @@
+//! The `drdesync` command-line tool (§3.2: "The tool has a command line
+//! interface and the desynchronization operation consists of a sequence
+//! of steps").
+//!
+//! ```text
+//! drdesync desync <input.v> [-o out.v] [--sdc out.sdc] [--blif out.blif]
+//!                 [--lib hs|ll] [--single-group] [--muxed]
+//!                 [--false-path NET]... [--clock PORT] [--period NS]
+//! drdesync gatefile [--lib hs|ll]
+//! drdesync regions <input.v> [--lib hs|ll]
+//! ```
+
+use std::process::ExitCode;
+
+use drd_core::{DesyncOptions, Desynchronizer};
+use drd_liberty::gatefile::Gatefile;
+use drd_liberty::{vlib90, Library};
+
+fn usage() -> &'static str {
+    "drdesync — fully-automated desynchronization of synchronous gate-level netlists\n\
+     \n\
+     USAGE:\n\
+       drdesync desync <input.v> [-o OUT.v] [--sdc OUT.sdc] [--blif OUT.blif]\n\
+                       [--lib hs|ll] [--single-group] [--muxed]\n\
+                       [--false-path NET]... [--clock PORT] [--period NS]\n\
+       drdesync gatefile [--lib hs|ll]\n\
+       drdesync regions <input.v> [--lib hs|ll]\n"
+}
+
+fn pick_lib(args: &[String]) -> Library {
+    match args.iter().position(|a| a == "--lib") {
+        Some(i) if args.get(i + 1).map(String::as_str) == Some("ll") => vlib90::low_leakage(),
+        _ => vlib90::high_speed(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{}", usage());
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "gatefile" => {
+            let lib = pick_lib(&args);
+            let gf = Gatefile::from_library(&lib)?;
+            print!("{}", gf.to_text());
+            Ok(())
+        }
+        "regions" => {
+            let input = args.get(1).ok_or("missing input netlist")?;
+            let lib = pick_lib(&args);
+            let mut module = drd_netlist::verilog::parse_module(&std::fs::read_to_string(input)?)?;
+            drd_core::region::clean_for_grouping(&mut module, &lib);
+            let regions = drd_core::region::group(
+                &module,
+                &lib,
+                &drd_core::region::GroupingOptions::recommended(),
+            )?;
+            for r in &regions.regions {
+                println!(
+                    "{}: {} cells, {} sequential{}",
+                    r.name,
+                    r.cells.len(),
+                    r.seq_cells.len(),
+                    if r.is_input_region { " (input registers)" } else { "" }
+                );
+            }
+            Ok(())
+        }
+        "desync" => {
+            let input = args.get(1).ok_or("missing input netlist")?;
+            let lib = pick_lib(&args);
+            let module = drd_netlist::verilog::parse_module(&std::fs::read_to_string(input)?)?;
+            let mut opts = DesyncOptions::default();
+            if args.iter().any(|a| a == "--single-group") {
+                opts.grouping.single_group = true;
+            }
+            if args.iter().any(|a| a == "--muxed") {
+                opts.muxed_delay_elements = true;
+            }
+            for (i, a) in args.iter().enumerate() {
+                if a == "--false-path" {
+                    if let Some(net) = args.get(i + 1) {
+                        opts.grouping.false_path_nets.push(net.clone());
+                    }
+                }
+            }
+            if let Some(port) = flag_value(&args, "--clock") {
+                opts.clock_port = Some(port.to_owned());
+            }
+            if let Some(period) = flag_value(&args, "--period") {
+                opts.clock_period_ns = period.parse()?;
+            }
+            let result = Desynchronizer::new(&lib)?.run(&module, &opts)?;
+            let rep = &result.report;
+            eprintln!(
+                "desynchronized: clock `{}`, {} regions, {} flip-flops substituted, \
+                 {} controllers, {} C-elements",
+                rep.clock_net,
+                rep.regions.len(),
+                rep.substituted_ffs,
+                rep.controllers,
+                rep.celements
+            );
+            for r in &rep.regions {
+                eprintln!(
+                    "  {}: {} cells, {} ffs, cloud {:.3} ns, delay element {} levels",
+                    r.name, r.cells, r.ffs, r.critical_delay_ns, r.delem_levels
+                );
+            }
+            let verilog = drd_netlist::verilog::write_design(&result.design);
+            match flag_value(&args, "-o") {
+                Some(path) => std::fs::write(path, verilog)?,
+                None => print!("{verilog}"),
+            }
+            if let Some(path) = flag_value(&args, "--sdc") {
+                std::fs::write(path, &result.sdc)?;
+            }
+            if let Some(path) = flag_value(&args, "--blif") {
+                let flat = drd_netlist::flatten(&result.design, result.design.top())?;
+                std::fs::write(path, drd_netlist::blif::write_blif(&flat))?;
+            }
+            Ok(())
+        }
+        other => {
+            eprint!("{}", usage());
+            Err(format!("unknown command `{other}`").into())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Smoke tests of the `drdesync` command-line tool.
+
+use std::process::Command;
+
+fn write_sample(dir: &std::path::Path) -> std::path::PathBuf {
+    let module = drdesync::designs::sample::figure_2_2().unwrap();
+    let mut design = drdesync::netlist::Design::new();
+    design.insert(module);
+    let path = dir.join("sample.v");
+    std::fs::write(&path, drdesync::netlist::verilog::write_design(&design)).unwrap();
+    path
+}
+
+#[test]
+fn cli_desync_produces_verilog_sdc_and_blif() {
+    let dir = std::env::temp_dir().join("drdesync_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_sample(&dir);
+    let out_v = dir.join("out.v");
+    let out_sdc = dir.join("out.sdc");
+    let out_blif = dir.join("out.blif");
+    let status = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args([
+            "desync",
+            input.to_str().unwrap(),
+            "-o",
+            out_v.to_str().unwrap(),
+            "--sdc",
+            out_sdc.to_str().unwrap(),
+            "--blif",
+            out_blif.to_str().unwrap(),
+            "--period",
+            "2.4",
+        ])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    let verilog = std::fs::read_to_string(&out_v).unwrap();
+    assert!(verilog.contains("drd_ctrl_master"));
+    drdesync::netlist::verilog::parse_design(&verilog).expect("output parses");
+    let sdc = std::fs::read_to_string(&out_sdc).unwrap();
+    assert!(sdc.contains("create_clock"));
+    let blif = std::fs::read_to_string(&out_blif).unwrap();
+    assert!(blif.starts_with(".model"));
+}
+
+#[test]
+fn cli_regions_and_gatefile() {
+    let dir = std::env::temp_dir().join("drdesync_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_sample(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["regions", input.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sequential"), "{text}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["gatefile", "--lib", "ll"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("replace DFFX1 -> LDX1+LDX1"), "{text}");
+}
+
+#[test]
+fn cli_rejects_unknown_command() {
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

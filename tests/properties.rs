@@ -1,0 +1,138 @@
+//! Cross-crate property-based tests (proptest): structural invariants of
+//! the tool over randomly generated pipelines.
+
+use proptest::prelude::*;
+
+use drdesync::core::region::{group, GroupingOptions};
+use drdesync::core::{DesyncOptions, Desynchronizer};
+use drdesync::liberty::vlib90;
+use drdesync::netlist::{Conn, Module, PortDir};
+
+/// Generates a random multi-stage pipeline: `stages` clouds of width
+/// `width`, randomly wired cloud-to-register connections.
+fn pipeline(stages: usize, width: usize, taps: &[usize]) -> Module {
+    let mut m = Module::new("p");
+    m.add_port("clk", PortDir::Input).unwrap();
+    m.add_port("din", PortDir::Input).unwrap();
+    let clk = m.find_net("clk").unwrap();
+    let mut prev: Vec<_> = (0..width)
+        .map(|i| {
+            let din = m.find_net("din").unwrap();
+            let q = m.add_net(format!("q0_{i}")).unwrap();
+            m.add_cell(
+                format!("r0_{i}"),
+                "DFFX1",
+                &[("D", Conn::Net(din)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q))],
+            )
+            .unwrap();
+            q
+        })
+        .collect();
+    for s in 1..=stages {
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let tap = taps[(s * width + i) % taps.len()] % width;
+            let z = m.add_net(format!("c{s}_{i}")).unwrap();
+            m.add_cell(
+                format!("g{s}_{i}"),
+                "NAND2X1",
+                &[
+                    ("A", Conn::Net(prev[i])),
+                    ("B", Conn::Net(prev[tap])),
+                    ("Z", Conn::Net(z)),
+                ],
+            )
+            .unwrap();
+            let q = m.add_net(format!("q{s}_{i}")).unwrap();
+            m.add_cell(
+                format!("r{s}_{i}"),
+                "DFFX1",
+                &[("D", Conn::Net(z)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q))],
+            )
+            .unwrap();
+            next.push(q);
+        }
+        prev = next;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every cell lands in exactly one region, and regions partition the
+    /// netlist.
+    #[test]
+    fn grouping_partitions_all_cells(
+        stages in 1usize..4,
+        width in 1usize..5,
+        taps in proptest::collection::vec(0usize..8, 32),
+    ) {
+        let lib = vlib90::high_speed();
+        let m = pipeline(stages, width, &taps);
+        let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in &regions.regions {
+            for c in &r.cells {
+                prop_assert!(seen.insert(c.clone()), "cell {c} in two regions");
+            }
+        }
+        prop_assert_eq!(seen.len(), m.cell_count());
+    }
+
+    /// Desynchronization conserves the datapath: every original
+    /// combinational gate survives, every flip-flop becomes exactly one
+    /// master and one slave latch, and the exported Verilog re-parses.
+    #[test]
+    fn desynchronization_structural_invariants(
+        stages in 1usize..3,
+        width in 1usize..4,
+        taps in proptest::collection::vec(0usize..8, 32),
+    ) {
+        let lib = vlib90::high_speed();
+        let m = pipeline(stages, width, &taps);
+        let ff_count = m.cells().filter(|(_, c)| c.kind.name() == "DFFX1").count();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let result = tool.run(&m, &DesyncOptions::default()).unwrap();
+        prop_assert_eq!(result.report.substituted_ffs, ff_count);
+
+        let flat = drdesync::netlist::flatten(&result.design, result.design.top()).unwrap();
+        let masters = flat.cells().filter(|(_, c)| c.name.ends_with("_lm")).count();
+        let slaves = flat.cells().filter(|(_, c)| c.name.ends_with("_ls")).count();
+        prop_assert_eq!(masters, ff_count);
+        prop_assert_eq!(slaves, ff_count);
+        // No flip-flops remain.
+        prop_assert_eq!(flat.cells().filter(|(_, c)| c.kind.name().starts_with("DFF")).count(), 0);
+        // The export re-parses.
+        let text = drdesync::netlist::verilog::write_design(&result.design);
+        prop_assert!(drdesync::netlist::verilog::parse_design(&text).is_ok());
+    }
+
+    /// The SDC always covers every controller instance with loop-breaking
+    /// disables and size_only protection.
+    #[test]
+    fn sdc_covers_all_controllers(
+        stages in 1usize..3,
+        width in 1usize..4,
+        taps in proptest::collection::vec(0usize..8, 32),
+    ) {
+        let lib = vlib90::high_speed();
+        let m = pipeline(stages, width, &taps);
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let result = tool.run(&m, &DesyncOptions::default()).unwrap();
+        let flat = drdesync::netlist::flatten(&result.design, result.design.top()).unwrap();
+        for (_, cell) in flat.cells() {
+            let name = &cell.name;
+            if let Some(inst) = name.strip_suffix("/u_a") {
+                let disable = format!("{inst}/u_nro/A");
+                let size_only = format!("set_size_only [get_cells {{{inst}/*}}]");
+                prop_assert!(
+                    result.sdc.contains(&disable),
+                    "controller {} missing from SDC",
+                    inst
+                );
+                prop_assert!(result.sdc.contains(&size_only));
+            }
+        }
+    }
+}
