@@ -1,9 +1,12 @@
-//! Criterion benchmarks of the tool's own kernels: Verilog parsing and
+//! Micro-benchmarks of the tool's own kernels: Verilog parsing and
 //! writing, region grouping, STA propagation, STG reachability, event
 //! simulation throughput and full desynchronization.
+//!
+//! Runs on the in-tree `drd_check::bench` harness (`cargo bench -p
+//! drd-bench`) and writes `BENCH_kernels.json` next to the workspace so
+//! the perf trajectory is recorded run over run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use drd_check::bench::Bench;
 use drd_core::region::{group, GroupingOptions};
 use drd_core::{DesyncOptions, Desynchronizer};
 use drd_designs::dlx::DlxParams;
@@ -13,78 +16,64 @@ use drd_sim::{SimOptions, Simulator};
 use drd_sta::{GraphOptions, TimingGraph};
 use drd_stg::protocols::Protocol;
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let lib = vlib90::high_speed();
     let dlx = drd_designs::dlx::build(&DlxParams::small()).expect("dlx builds");
     let dlx_full = drd_designs::dlx::build(&DlxParams::full()).expect("dlx builds");
 
-    let mut g = c.benchmark_group("kernels");
-    g.sample_size(10);
+    let mut b = Bench::new("kernels").iterations(10);
 
     // Verilog writer + parser round trip on the full DLX.
     let mut design = Design::new();
     design.insert(dlx_full.clone());
     let text = drd_netlist::verilog::write_design(&design);
-    g.bench_function("verilog_write_dlx_full", |b| {
-        b.iter(|| drd_netlist::verilog::write_design(std::hint::black_box(&design)))
+    b.run("verilog_write_dlx_full", || {
+        drd_netlist::verilog::write_design(std::hint::black_box(&design))
     });
-    g.bench_function("verilog_parse_dlx_full", |b| {
-        b.iter(|| drd_netlist::verilog::parse_design(std::hint::black_box(&text)).unwrap())
+    b.run("verilog_parse_dlx_full", || {
+        drd_netlist::verilog::parse_design(std::hint::black_box(&text)).unwrap()
     });
 
     // Region grouping on the full DLX.
-    g.bench_function("grouping_dlx_full", |b| {
-        b.iter(|| group(&dlx_full, &lib, &GroupingOptions::recommended()).unwrap())
+    b.run("grouping_dlx_full", || {
+        group(&dlx_full, &lib, &GroupingOptions::recommended()).unwrap()
     });
 
     // STA arrival propagation on the full DLX.
     let graph = TimingGraph::build(&dlx_full, &lib, &GraphOptions::default()).unwrap();
-    g.bench_function("sta_arrivals_dlx_full", |b| {
-        b.iter(|| graph.arrivals(Corner::typical()).unwrap())
+    b.run("sta_arrivals_dlx_full", || {
+        graph.arrivals(Corner::typical()).unwrap()
     });
 
     // STG reachability + executable flow-equivalence check.
-    g.bench_function("stg_reachability_semi_decoupled", |b| {
-        b.iter(|| {
-            Protocol::SemiDecoupled
-                .stg()
-                .reachability(1 << 14)
-                .unwrap()
-                .state_count()
-        })
-    });
-    g.bench_function("stg_flow_equivalence_semi_decoupled", |b| {
-        b.iter(|| {
-            drd_stg::flow_equiv::check_flow_equivalence(
-                &Protocol::SemiDecoupled.stg(),
-                4,
-                1 << 22,
-            )
+    b.run("stg_reachability_semi_decoupled", || {
+        Protocol::SemiDecoupled
+            .stg()
+            .reachability(1 << 14)
             .unwrap()
-        })
+            .state_count()
+    });
+    b.run("stg_flow_equivalence_semi_decoupled", || {
+        drd_stg::flow_equiv::check_flow_equivalence(&Protocol::SemiDecoupled.stg(), 4, 1 << 22)
+            .unwrap()
     });
 
     // Event-driven simulation throughput: 20 clocked cycles of the small DLX.
-    g.bench_function("sim_dlx_small_20_cycles", |b| {
-        b.iter(|| {
-            let mut d = Design::new();
-            d.insert(dlx.clone());
-            let mut sim = Simulator::new(&d, &lib, SimOptions::default()).unwrap();
-            sim.poke("irq", Lv::Zero).unwrap();
-            sim.schedule_clock("clk", 4.0, 2.0, 20).unwrap();
-            sim.run_for(90.0);
-            sim.captures().capture_count("pc_r0")
-        })
+    b.run("sim_dlx_small_20_cycles", || {
+        let mut d = Design::new();
+        d.insert(dlx.clone());
+        let mut sim = Simulator::new(&d, &lib, SimOptions::default()).unwrap();
+        sim.poke("irq", Lv::Zero).unwrap();
+        sim.schedule_clock("clk", 4.0, 2.0, 20).unwrap();
+        sim.run_for(90.0);
+        sim.captures().capture_count("pc_r0")
     });
 
     // Full desynchronization of the small DLX.
     let tool = Desynchronizer::new(&lib).unwrap();
-    g.bench_function("desynchronize_dlx_small", |b| {
-        b.iter(|| tool.run(&dlx, &DesyncOptions::default()).unwrap())
+    b.run("desynchronize_dlx_small", || {
+        tool.run(&dlx, &DesyncOptions::default()).unwrap()
     });
 
-    g.finish();
+    b.finish().expect("write BENCH_kernels.json");
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! A dependency-free micro-benchmark runner on `std::time::Instant`.
+//!
+//! Each benchmark is warmed up once, auto-calibrated to a bounded number
+//! of timed iterations, and summarized as min/mean/max wall time. Results
+//! print as a table and are written to `BENCH_<name>.json` (directory
+//! overridable via `DRD_BENCH_DIR`) so the performance trajectory of the
+//! tool kernels is recorded run over run.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label.
+    pub label: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration (ns).
+    pub min_ns: f64,
+    /// Mean iteration (ns).
+    pub mean_ns: f64,
+    /// Slowest iteration (ns).
+    pub max_ns: f64,
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct Bench {
+    name: String,
+    target_iters: u32,
+    samples: Vec<Sample>,
+}
+
+impl Bench {
+    /// Creates a bench group; `name` becomes `BENCH_<name>.json`.
+    pub fn new(name: &str) -> Bench {
+        Bench {
+            name: name.to_owned(),
+            target_iters: 10,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Overrides the default (10) number of timed iterations.
+    pub fn iterations(mut self, iters: u32) -> Bench {
+        self.target_iters = iters.max(1);
+        self
+    }
+
+    /// Times `f`, discarding its result. One untimed warmup iteration,
+    /// then `iterations` timed ones (fewer for very slow bodies).
+    pub fn run<T>(&mut self, label: &str, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        let probe = Instant::now();
+        std::hint::black_box(f());
+        let probe_ns = probe.elapsed().as_nanos() as f64;
+        // Keep a single benchmark under ~2 s of timed work.
+        let budget_ns = 2e9;
+        let iters = if probe_ns > 0.0 {
+            ((budget_ns / probe_ns) as u32).clamp(3, self.target_iters)
+        } else {
+            self.target_iters
+        };
+        let mut times = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed().as_nanos() as f64);
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        eprintln!(
+            "bench {:<40} {:>12.1} µs/iter (min {:.1}, max {:.1}, {} iters)",
+            label,
+            mean / 1e3,
+            min / 1e3,
+            max / 1e3,
+            iters
+        );
+        self.samples.push(Sample {
+            label: label.to_owned(),
+            iters,
+            min_ns: min,
+            mean_ns: mean,
+            max_ns: max,
+        });
+    }
+
+    /// Recorded samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The JSON document for this group.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str("  \"results\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"iters\": {}, \"min_ns\": {:.0}, \"mean_ns\": {:.0}, \"max_ns\": {:.0}}}{}\n",
+                escape(&s.label),
+                s.iters,
+                s.min_ns,
+                s.mean_ns,
+                s.max_ns,
+                if i + 1 == self.samples.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` and returns its path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("DRD_BENCH_DIR").map_or_else(|_| PathBuf::from("."), PathBuf::from);
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        eprintln!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_records_and_serializes() {
+        let mut b = Bench::new("selftest").iterations(5);
+        b.run("spin", || (0..1000u64).sum::<u64>());
+        b.run("noop", || ());
+        assert_eq!(b.samples().len(), 2);
+        let json = b.to_json();
+        assert!(json.contains("\"name\": \"selftest\""));
+        assert!(json.contains("\"label\": \"spin\""));
+        assert!(json.contains("mean_ns"));
+        // Well-formed enough to be machine-readable: balanced brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn finish_writes_json_file() {
+        let dir = std::env::temp_dir().join("drd_check_bench_test");
+        std::env::set_var("DRD_BENCH_DIR", &dir);
+        let mut b = Bench::new("filetest");
+        b.run("noop", || ());
+        let path = b.finish().unwrap();
+        std::env::remove_var("DRD_BENCH_DIR");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("filetest"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Differential flow-equivalence fuzzing: run a random synchronous
+//! netlist through the full desynchronization flow and co-simulate both
+//! versions.
+//!
+//! The check is the paper's headline property (§2.1): "each individual
+//! sequential element in the desynchronized circuit possesses the exact
+//! same data sequence as its synchronous counterpart". The synchronous
+//! reference is clocked for a fixed number of cycles; the desynchronized
+//! circuit free-runs after its handshake reset; the per-element capture
+//! logs must agree on their common prefix ([`compare_capture_logs`]).
+//! On top of that the runner asserts the structural invariants of the
+//! substitution (one master + one slave latch per flip-flop, no flip-flop
+//! left behind) and the well-formedness of the emitted SDC.
+
+use drd_core::{DesyncOptions, DesyncResult, Desynchronizer};
+use drd_liberty::{Library, Lv};
+use drd_netlist::Design;
+use drd_sim::{compare_capture_logs, FlowCheck, SimOptions, Simulator};
+
+use crate::netgen::NetRecipe;
+
+/// Co-simulation windows for the differential check.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Clocked cycles of the synchronous reference.
+    pub sync_cycles: usize,
+    /// Reference clock period (ns).
+    pub clock_period_ns: f64,
+    /// Free-running time of the desynchronized circuit after reset (ns).
+    pub dut_run_ns: f64,
+    /// Minimum slave-latch captures every flip-flop must reach (guards
+    /// against a silently stalled handshake network "passing" on an
+    /// empty capture prefix).
+    pub min_captures: usize,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            sync_cycles: 10,
+            clock_period_ns: 2.0,
+            dut_run_ns: 240.0,
+            min_captures: 3,
+        }
+    }
+}
+
+/// Statistics of one successful differential run.
+#[derive(Debug, Clone)]
+pub struct DiffStats {
+    /// Flip-flops compared.
+    pub ffs: usize,
+    /// Total capture events compared across all elements.
+    pub events: usize,
+    /// Controller instances found in the desynchronized netlist.
+    pub controllers: usize,
+}
+
+fn fail(recipe: &NetRecipe, what: &str) -> String {
+    format!("{what}\n--- failing synchronous netlist ---\n{}", recipe.verilog())
+}
+
+/// Runs one recipe through sync simulation, desynchronization, async
+/// co-simulation, capture-log comparison and SDC linting.
+///
+/// # Errors
+/// A human-readable failure report (including the netlist as Verilog)
+/// when any stage of the differential check fails.
+pub fn run_differential(
+    recipe: &NetRecipe,
+    lib: &Library,
+    config: &DiffConfig,
+) -> Result<DiffStats, String> {
+    let module = recipe
+        .build()
+        .map_err(|e| format!("recipe does not build: {e}"))?;
+    let ff_names = recipe.ff_names();
+
+    // Synchronous reference: constant inputs, `sync_cycles` clocked cycles.
+    let mut sync_design = Design::new();
+    sync_design.insert(module.clone());
+    let mut reference = Simulator::new(&sync_design, lib, SimOptions::default())
+        .map_err(|e| fail(recipe, &format!("sync simulator: {e}")))?;
+    for i in 0..recipe.inputs.max(1) {
+        let v = Lv::from_bool((recipe.input_bits >> i) & 1 == 1);
+        reference
+            .poke(&recipe.input_name(i), v)
+            .map_err(|e| fail(recipe, &format!("sync poke: {e}")))?;
+    }
+    reference
+        .schedule_clock("clk", config.clock_period_ns, config.clock_period_ns / 2.0, config.sync_cycles)
+        .map_err(|e| fail(recipe, &format!("sync clock: {e}")))?;
+    reference.run_for(config.clock_period_ns * (config.sync_cycles + 2) as f64);
+    for ff in &ff_names {
+        if reference.captures().capture_count(ff) != config.sync_cycles {
+            return Err(fail(
+                recipe,
+                &format!(
+                    "sync reference: {ff} captured {} times, expected {}",
+                    reference.captures().capture_count(ff),
+                    config.sync_cycles
+                ),
+            ));
+        }
+    }
+
+    // Desynchronize.
+    let tool = Desynchronizer::new(lib).map_err(|e| format!("tool: {e}"))?;
+    let result = tool
+        .run(&module, &DesyncOptions::default())
+        .map_err(|e| fail(recipe, &format!("desynchronization failed: {e}")))?;
+    if result.report.substituted_ffs != ff_names.len() {
+        return Err(fail(
+            recipe,
+            &format!(
+                "substituted {} flip-flops, netlist has {}",
+                result.report.substituted_ffs,
+                ff_names.len()
+            ),
+        ));
+    }
+    let controllers = check_structure(recipe, &result, ff_names.len())?;
+    lint_sdc(recipe, &result)?;
+
+    // Desynchronized DUT: same constants, handshake reset, free run.
+    let mut dut = Simulator::new(&result.design, lib, SimOptions::default())
+        .map_err(|e| fail(recipe, &format!("dut simulator: {e}")))?;
+    for i in 0..recipe.inputs.max(1) {
+        let v = Lv::from_bool((recipe.input_bits >> i) & 1 == 1);
+        dut.poke(&recipe.input_name(i), v)
+            .map_err(|e| fail(recipe, &format!("dut poke: {e}")))?;
+    }
+    dut.poke("drd_rst", Lv::Zero)
+        .map_err(|e| fail(recipe, &format!("dut reset: {e}")))?;
+    dut.run_for(2.0);
+    dut.poke("drd_rst", Lv::One)
+        .map_err(|e| fail(recipe, &format!("dut reset release: {e}")))?;
+    dut.run_for(config.dut_run_ns);
+
+    for ff in &ff_names {
+        let got = dut.captures().capture_count(&format!("{ff}_ls"));
+        if got < config.min_captures {
+            return Err(fail(
+                recipe,
+                &format!(
+                    "desynchronized circuit stalled: slave {ff}_ls captured only {got} \
+                     times in {} ns (minimum {})",
+                    config.dut_run_ns, config.min_captures
+                ),
+            ));
+        }
+    }
+
+    let check = compare_capture_logs(reference.captures(), dut.captures(), |n| format!("{n}_ls"));
+    match check {
+        FlowCheck::Equivalent { elements, events } => Ok(DiffStats {
+            ffs: elements,
+            events,
+            controllers,
+        }),
+        other => Err(fail(recipe, &format!("flow equivalence violated: {other:?}"))),
+    }
+}
+
+/// Structural invariants of the substitution on the flattened result.
+fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -> Result<usize, String> {
+    let flat = drd_netlist::flatten(&result.design, result.design.top())
+        .map_err(|e| fail(recipe, &format!("flatten: {e}")))?;
+    let masters = flat.cells().filter(|(_, c)| c.name.ends_with("_lm")).count();
+    let slaves = flat.cells().filter(|(_, c)| c.name.ends_with("_ls")).count();
+    if masters != ff_count || slaves != ff_count {
+        return Err(fail(
+            recipe,
+            &format!("expected {ff_count} master/slave latch pairs, found {masters}/{slaves}"),
+        ));
+    }
+    let dffs = flat
+        .cells()
+        .filter(|(_, c)| c.kind.name().starts_with("DFF") || c.kind.name().starts_with("SDFF"))
+        .count();
+    if dffs != 0 {
+        return Err(fail(recipe, &format!("{dffs} flip-flops survived substitution")));
+    }
+    Ok(flat
+        .cells()
+        .filter(|(_, c)| c.name.ends_with("/u_a"))
+        .count())
+}
+
+/// SDC well-formedness: both derived clocks, loop-breaking disables and
+/// `size_only` for every controller instance, balanced braces.
+fn lint_sdc(recipe: &NetRecipe, result: &DesyncResult) -> Result<(), String> {
+    let sdc = &result.sdc;
+    for needle in ["create_clock", "ClkM", "ClkS"] {
+        if !sdc.contains(needle) {
+            return Err(fail(recipe, &format!("SDC lacks {needle}")));
+        }
+    }
+    for line in sdc.lines() {
+        let open = line.matches(['{', '[']).count();
+        let close = line.matches(['}', ']']).count();
+        if open != close {
+            return Err(fail(recipe, &format!("unbalanced SDC line: {line}")));
+        }
+    }
+    let flat = drd_netlist::flatten(&result.design, result.design.top())
+        .map_err(|e| fail(recipe, &format!("flatten: {e}")))?;
+    for (_, cell) in flat.cells() {
+        if let Some(inst) = cell.name.strip_suffix("/u_a") {
+            let disable = format!("{inst}/u_nro/A");
+            let size_only = format!("set_size_only [get_cells {{{inst}/*}}]");
+            if !sdc.contains(&disable) {
+                return Err(fail(recipe, &format!("SDC misses loop break for {inst}")));
+            }
+            if !sdc.contains(&size_only) {
+                return Err(fail(recipe, &format!("SDC misses size_only for {inst}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netgen::{NetGenParams, NetRecipe};
+    use crate::rng::Rng;
+    use drd_liberty::vlib90;
+
+    #[test]
+    fn a_handful_of_random_netlists_are_flow_equivalent() {
+        let lib = vlib90::high_speed();
+        let mut rng = Rng::new(0xD1FF);
+        let params = NetGenParams::default();
+        for _ in 0..4 {
+            let recipe = NetRecipe::sample(&mut rng, &params);
+            let stats = run_differential(&recipe, &lib, &DiffConfig::default())
+                .expect("flow equivalence holds");
+            assert!(stats.events > 0);
+            assert!(stats.controllers > 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let lib = vlib90::high_speed();
+        let recipe = NetRecipe::sample(&mut Rng::new(0xCAFE), &NetGenParams::default());
+        let a = run_differential(&recipe, &lib, &DiffConfig::default()).unwrap();
+        let b = run_differential(&recipe, &lib, &DiffConfig::default()).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.ffs, b.ffs);
+    }
+}

@@ -1,0 +1,117 @@
+//! Golden-file (snapshot) assertions.
+//!
+//! A golden test renders some artifact to text and compares it against a
+//! checked-in snapshot. To (re-)record snapshots, run the test with
+//! `DRD_BLESS=1`:
+//!
+//! ```bash
+//! DRD_BLESS=1 cargo test -q golden
+//! ```
+
+use std::path::Path;
+
+use drd_core::DesyncReport;
+
+/// Compares `actual` against the snapshot at `path`.
+///
+/// With `DRD_BLESS=1` in the environment the snapshot is (re)written
+/// instead and the assertion always passes.
+///
+/// # Panics
+/// Panics when the snapshot is missing (and not blessing) or differs,
+/// pointing at the first diverging line.
+pub fn assert_golden(path: impl AsRef<Path>, actual: &str) {
+    let path = path.as_ref();
+    if std::env::var("DRD_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create golden dir");
+        }
+        std::fs::write(path, actual).expect("write golden file");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(_) => panic!(
+            "missing golden file {} — record it with DRD_BLESS=1 cargo test",
+            path.display()
+        ),
+    };
+    if expected == actual {
+        return;
+    }
+    let mut line_no = 1usize;
+    let mut exp_lines = expected.lines();
+    let mut act_lines = actual.lines();
+    loop {
+        match (exp_lines.next(), act_lines.next()) {
+            (Some(e), Some(a)) if e == a => line_no += 1,
+            (e, a) => panic!(
+                "golden mismatch at {}:{line_no}\n  expected: {:?}\n  actual:   {:?}\n\
+                 re-record with DRD_BLESS=1 cargo test",
+                path.display(),
+                e.unwrap_or("<eof>"),
+                a.unwrap_or("<eof>")
+            ),
+        }
+    }
+}
+
+/// Renders a [`DesyncReport`] as stable, diff-friendly text for golden
+/// comparison (regions in flow order, dependency edges sorted).
+pub fn render_desync_report(report: &DesyncReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("clock net: {}\n", report.clock_net));
+    out.push_str(&format!(
+        "substituted ffs: {}  extra gates: {}  controllers: {}  c-elements: {}  cleaned: {}\n",
+        report.substituted_ffs,
+        report.extra_gates,
+        report.controllers,
+        report.celements,
+        report.cleaned_cells
+    ));
+    out.push_str("regions:\n");
+    for r in &report.regions {
+        out.push_str(&format!(
+            "  {:<8} cells {:>5}  ffs {:>4}  delay {:>7.3} ns  delem levels {}\n",
+            r.name, r.cells, r.ffs, r.critical_delay_ns, r.delem_levels
+        ));
+    }
+    let mut edges: Vec<String> = report
+        .ddg_edges
+        .iter()
+        .map(|(a, b)| format!("  {a} -> {b}\n"))
+        .collect();
+    edges.sort();
+    out.push_str(&format!("ddg edges ({}):\n", edges.len()));
+    for e in edges {
+        out.push_str(&e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_snapshot_passes() {
+        let dir = std::env::temp_dir().join("drd_check_golden_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.txt");
+        std::fs::write(&path, "hello\nworld\n").unwrap();
+        assert_golden(&path, "hello\nworld\n");
+    }
+
+    #[test]
+    fn mismatch_panics_with_line_number() {
+        let dir = std::env::temp_dir().join("drd_check_golden_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "hello\nworld\n").unwrap();
+        let caught = std::panic::catch_unwind(|| assert_golden(&path, "hello\nmoon\n"));
+        let msg = *caught.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains(":2"), "{msg}");
+        assert!(msg.contains("DRD_BLESS"), "{msg}");
+    }
+}

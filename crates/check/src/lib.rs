@@ -1,0 +1,30 @@
+//! # drd-check — the offline-first verification kit
+//!
+//! Every test in this workspace must build and run with **zero registry
+//! dependencies** (the build environment has no network access to
+//! crates.io). This crate provides, in-tree, the pieces that external
+//! crates used to supply:
+//!
+//! * [`rng`] — a deterministic SplitMix64 PRNG (replacing `rand`),
+//! * [`prop`] — a minimal property-testing harness with seed reporting
+//!   and greedy input shrinking (replacing `proptest`),
+//! * [`netgen`] — a random synchronous gate-level netlist generator over
+//!   the `vlib90` cells (parameterized FF count, cloud depth, bus widths,
+//!   scan/set-reset flip-flop mix),
+//! * [`diff`] — the differential flow-equivalence fuzzer: desynchronize a
+//!   random netlist, co-simulate it against its clocked self and assert
+//!   capture-log equality (§2.1) plus SDC well-formedness,
+//! * [`golden`] — golden-file snapshot assertions (`DRD_BLESS=1` to
+//!   re-record),
+//! * [`bench`] — a `std::time::Instant` micro-benchmark runner emitting
+//!   `BENCH_*.json` (replacing `criterion`).
+
+pub mod bench;
+pub mod diff;
+pub mod golden;
+pub mod netgen;
+pub mod prop;
+pub mod rng;
+
+pub use prop::{prop, prop_with, Config, Shrink};
+pub use rng::Rng;

@@ -1,0 +1,110 @@
+//! Property: the boolean-function engine round-trips through its Display
+//! form with identical truth tables, and evaluation is monotone in X.
+
+use drd_check::{prop, Rng, Shrink};
+use drd_liberty::function::Expr;
+use drd_liberty::Lv;
+
+/// Newtype so the harness can shrink expressions structurally.
+#[derive(Clone, Debug)]
+struct ArbExpr(Expr);
+
+fn gen_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.chance(0.3) {
+        if rng.coin() {
+            Expr::Var(format!("P{}", rng.below(4)))
+        } else {
+            Expr::Const(rng.coin())
+        }
+    } else {
+        match rng.below(4) {
+            0 => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+            1 => {
+                let n = rng.range(2, 4);
+                Expr::And((0..n).map(|_| gen_expr(rng, depth - 1)).collect())
+            }
+            2 => {
+                let n = rng.range(2, 4);
+                Expr::Or((0..n).map(|_| gen_expr(rng, depth - 1)).collect())
+            }
+            _ => Expr::Xor(
+                Box::new(gen_expr(rng, depth - 1)),
+                Box::new(gen_expr(rng, depth - 1)),
+            ),
+        }
+    }
+}
+
+impl Shrink for ArbExpr {
+    fn shrink(&self) -> Vec<ArbExpr> {
+        let mut out: Vec<Expr> = Vec::new();
+        match &self.0 {
+            Expr::Not(e) => out.push((**e).clone()),
+            Expr::And(v) | Expr::Or(v) => out.extend(v.iter().cloned()),
+            Expr::Xor(a, b) => {
+                out.push((**a).clone());
+                out.push((**b).clone());
+            }
+            Expr::Var(_) => out.push(Expr::Const(false)),
+            Expr::Const(_) => {}
+        }
+        out.into_iter().map(ArbExpr).collect()
+    }
+}
+
+fn eval_bits(e: &Expr, bits: u8) -> Lv {
+    e.eval(&mut |name: &str| {
+        let i: u8 = name[1..].parse().unwrap();
+        Lv::from_bool((bits >> i) & 1 == 1)
+    })
+}
+
+#[test]
+fn display_parse_preserves_truth_table() {
+    prop(
+        128,
+        |rng: &mut Rng| ArbExpr(gen_expr(rng, 4)),
+        |e: &ArbExpr| {
+            let reparsed = Expr::parse(&e.0.to_string())
+                .map_err(|err| format!("{} does not re-parse: {err}", e.0))?;
+            for bits in 0u8..16 {
+                let (a, b) = (eval_bits(&e.0, bits), eval_bits(&reparsed, bits));
+                if a != b {
+                    return Err(format!("inputs {bits:04b}: {a:?} != {b:?} for {}", e.0));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// X-monotonicity: replacing a known input by X can only move the output
+/// to X, never flip it between 0 and 1.
+#[test]
+fn x_is_monotone() {
+    prop(
+        128,
+        |rng: &mut Rng| {
+            let e = ArbExpr(gen_expr(rng, 4));
+            let bits = rng.below(16) as u8;
+            let xed = rng.below(4) as u8;
+            (e, bits, xed)
+        },
+        |(e, bits, xed): &(ArbExpr, u8, u8)| {
+            let known = eval_bits(&e.0, *bits);
+            let with_x = e.0.eval(&mut |name: &str| {
+                let i: u8 = name[1..].parse().unwrap();
+                if i == *xed {
+                    Lv::X
+                } else {
+                    Lv::from_bool((bits >> i) & 1 == 1)
+                }
+            });
+            if with_x == known || with_x == Lv::X {
+                Ok(())
+            } else {
+                Err(format!("{known:?} -> {with_x:?} for {}", e.0))
+            }
+        },
+    );
+}

@@ -1,8 +1,7 @@
 //! Property: writing any constructible netlist as Verilog and parsing it
 //! back is a structural identity (and a textual fixed point).
 
-use proptest::prelude::*;
-
+use drd_check::{prop, Rng};
 use drd_netlist::{Conn, Design, Module, PortDir};
 
 /// Builds a random but well-formed gate-level module from a recipe of
@@ -64,40 +63,86 @@ fn build(recipe: &[u8], buses: bool) -> Design {
     d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn recipe_strategy(rng: &mut Rng) -> (Vec<u8>, bool) {
+    let len = rng.range(1, 40);
+    (rng.bytes(len), rng.coin())
+}
 
-    #[test]
-    fn write_parse_is_identity(recipe in proptest::collection::vec(any::<u8>(), 1..40), buses: bool) {
-        let design = build(&recipe, buses);
+#[test]
+fn write_parse_is_identity() {
+    prop(64, recipe_strategy, |(recipe, buses): &(Vec<u8>, bool)| {
+        if recipe.is_empty() {
+            return Ok(());
+        }
+        let design = build(recipe, *buses);
         let text1 = drd_netlist::verilog::write_design(&design);
-        let parsed = drd_netlist::verilog::parse_design(&text1).unwrap();
+        let parsed =
+            drd_netlist::verilog::parse_design(&text1).map_err(|e| format!("parse: {e}"))?;
         let text2 = drd_netlist::verilog::write_design(&parsed);
-        prop_assert_eq!(&text1, &text2, "fixed point");
+        if text1 != text2 {
+            return Err("write→parse→write is not a fixed point".into());
+        }
         // Structural identity: same cells with same kinds and pin nets.
         let (a, b) = (design.top_module(), parsed.top_module());
-        prop_assert_eq!(a.cell_count(), b.cell_count());
+        if a.cell_count() != b.cell_count() {
+            return Err(format!("{} vs {} cells", a.cell_count(), b.cell_count()));
+        }
         for (_, cell) in a.cells() {
-            let other = b.find_cell(&cell.name).expect("cell survives");
+            let other = b
+                .find_cell(&cell.name)
+                .ok_or_else(|| format!("cell {} lost", cell.name))?;
             let other = b.cell(other);
-            prop_assert_eq!(&cell.kind, &other.kind);
+            if cell.kind != other.kind {
+                return Err(format!("{}: kind {:?} vs {:?}", cell.name, cell.kind, other.kind));
+            }
             for (pin, conn) in cell.pins() {
-                let oc = other.pin(pin).expect("pin survives");
+                let oc = other
+                    .pin(pin)
+                    .ok_or_else(|| format!("{}: pin {pin} lost", cell.name))?;
                 match (conn, oc) {
                     (Conn::Net(x), Conn::Net(y)) => {
-                        prop_assert_eq!(&a.net(*x).name, &b.net(y).name);
+                        if a.net(*x).name != b.net(y).name {
+                            return Err(format!(
+                                "{}/{pin}: net {} vs {}",
+                                cell.name,
+                                a.net(*x).name,
+                                b.net(y).name
+                            ));
+                        }
                     }
-                    (x, y) => prop_assert_eq!(*x, y),
+                    (x, y) => {
+                        if *x != y {
+                            return Err(format!("{}/{pin}: {x:?} vs {y:?}", cell.name));
+                        }
+                    }
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn blif_export_never_panics(recipe in proptest::collection::vec(any::<u8>(), 1..40)) {
-        let design = build(&recipe, true);
-        let blif = drd_netlist::blif::write_blif(design.top_module());
-        prop_assert!(blif.starts_with(".model"));
-        prop_assert!(blif.ends_with(".end\n"));
-    }
+#[test]
+fn blif_export_never_panics() {
+    prop(
+        64,
+        |rng: &mut Rng| {
+            let len = rng.range(1, 40);
+            rng.bytes(len)
+        },
+        |recipe: &Vec<u8>| {
+            if recipe.is_empty() {
+                return Ok(());
+            }
+            let design = build(recipe, true);
+            let blif = drd_netlist::blif::write_blif(design.top_module());
+            if !blif.starts_with(".model") {
+                return Err("missing .model header".into());
+            }
+            if !blif.ends_with(".end\n") {
+                return Err("missing .end trailer".into());
+            }
+            Ok(())
+        },
+    );
 }

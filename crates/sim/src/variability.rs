@@ -9,8 +9,21 @@
 //! design must be clocked for `t = 1`.
 
 use drd_liberty::Corner;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step: the sim crate keeps its own inlined generator (it
+/// cannot depend on `drd-check`, which depends on this crate) so the
+/// workspace stays free of registry dependencies.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// A population of fabricated chips with per-chip process points.
 #[derive(Debug, Clone)]
@@ -21,12 +34,12 @@ pub struct ChipPopulation {
 impl ChipPopulation {
     /// Samples `n` chips: `t ~ N(0.5, sigma)` clamped to `[0, 1]`.
     pub fn sample(n: usize, sigma: f64, seed: u64) -> ChipPopulation {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = seed;
         let points = (0..n)
             .map(|_| {
                 // Box–Muller on two uniforms from the seeded RNG.
-                let u1: f64 = rng.gen_range(1e-12..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
+                let u1 = uniform(&mut state).max(1e-12);
+                let u2 = uniform(&mut state);
                 let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                 (0.5 + z * sigma).clamp(0.0, 1.0)
             })

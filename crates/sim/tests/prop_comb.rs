@@ -1,8 +1,7 @@
 //! Property: for a random combinational netlist, the event-driven
 //! simulator's steady state equals direct boolean evaluation.
 
-use proptest::prelude::*;
-
+use drd_check::{prop, Rng};
 use drd_liberty::{vlib90, Lv};
 use drd_netlist::{Conn, Design, Module, NetId, PortDir};
 use drd_sim::{SimOptions, Simulator};
@@ -70,31 +69,43 @@ fn reference(ops: &[(u8, usize, usize)], inputs: u8) -> Vec<bool> {
     vals
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simulation_matches_boolean_evaluation(
-        recipe in proptest::collection::vec(any::<u8>(), 1..24),
-        inputs in 0u8..16,
-        corner_worst: bool,
-    ) {
-        let lib = vlib90::high_speed();
-        let (design, ops) = build(&recipe);
-        let corner = if corner_worst {
-            drd_liberty::Corner::worst()
-        } else {
-            drd_liberty::Corner::best()
-        };
-        let mut sim = Simulator::new(&design, &lib, SimOptions::at_corner(corner)).unwrap();
-        for i in 0..INPUTS {
-            sim.poke(&format!("i{i}"), Lv::from_bool((inputs >> i) & 1 == 1)).unwrap();
-        }
-        prop_assert!(sim.run_until_quiet(1000.0), "combinational circuit settles");
-        let expect = reference(&ops, inputs);
-        for (k, &e) in expect.iter().enumerate().skip(INPUTS) {
-            let net = format!("n{}", k - INPUTS);
-            prop_assert_eq!(sim.peek(&net).unwrap(), Lv::from_bool(e), "net {}", net);
-        }
-    }
+#[test]
+fn simulation_matches_boolean_evaluation() {
+    let lib = vlib90::high_speed();
+    prop(
+        48,
+        |rng: &mut Rng| {
+            let len = rng.range(1, 24);
+            (rng.bytes(len), rng.below(16) as u8, rng.coin())
+        },
+        |(recipe, inputs, corner_worst): &(Vec<u8>, u8, bool)| {
+            if recipe.is_empty() {
+                return Ok(());
+            }
+            let (design, ops) = build(recipe);
+            let corner = if *corner_worst {
+                drd_liberty::Corner::worst()
+            } else {
+                drd_liberty::Corner::best()
+            };
+            let mut sim = Simulator::new(&design, &lib, SimOptions::at_corner(corner))
+                .map_err(|e| format!("simulator: {e}"))?;
+            for i in 0..INPUTS {
+                sim.poke(&format!("i{i}"), Lv::from_bool((inputs >> i) & 1 == 1))
+                    .map_err(|e| format!("poke: {e}"))?;
+            }
+            if !sim.run_until_quiet(1000.0) {
+                return Err("combinational circuit does not settle".into());
+            }
+            let expect = reference(&ops, *inputs);
+            for (k, &e) in expect.iter().enumerate().skip(INPUTS) {
+                let net = format!("n{}", k - INPUTS);
+                let got = sim.peek(&net).map_err(|err| format!("peek {net}: {err}"))?;
+                if got != Lv::from_bool(e) {
+                    return Err(format!("net {net}: sim {got:?}, reference {e}"));
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,75 @@
+//! Negative coverage for the executable flow-equivalence check (§2.2,
+//! Fig. 2.4): protocols that must be *rejected* are rejected for the
+//! right reason.
+
+use drd_stg::flow_equiv::{check_flow_equivalence, FlowEquivalence};
+use drd_stg::protocols::Protocol;
+use drd_stg::Stg;
+
+/// The fall-decoupled protocol of Fig. 2.4 allows a latch to re-open
+/// before its successor captured — the check must exhibit an overwriting
+/// interleaving, not merely fail to verify.
+#[test]
+fn fall_decoupled_is_reported_violated() {
+    let stg = Protocol::FallDecoupled.stg();
+    let fe = check_flow_equivalence(&stg, 4, 1 << 22).expect("bounded exploration");
+    match fe {
+        FlowEquivalence::Violated { reason } => {
+            assert!(!reason.is_empty(), "violation carries a diagnostic");
+        }
+        other => panic!("fall-decoupled must violate flow equivalence, got {other:?}"),
+    }
+}
+
+/// Fall-decoupled stays violated on longer pipelines too (the overwrite
+/// is a local property of adjacent latch pairs).
+#[test]
+fn fall_decoupled_violates_on_longer_pipelines() {
+    let stg = Protocol::FallDecoupled.stg();
+    for stages in [3usize, 5] {
+        let fe = check_flow_equivalence(&stg, stages, 1 << 22).expect("bounded exploration");
+        assert!(
+            matches!(fe, FlowEquivalence::Violated { .. }),
+            "{stages}-stage pipeline: {fe:?}"
+        );
+    }
+}
+
+/// A token-free handshake net can never fire a transition: the composed
+/// pipeline must be reported `Deadlock`, not `Ok` (vacuous traversal) and
+/// not `Violated`.
+#[test]
+fn non_live_protocol_is_reported_deadlock() {
+    let mut s = Stg::new(&["A", "B"]);
+    s.arc("A+", "A-", 0).unwrap();
+    s.arc("A-", "A+", 0).unwrap();
+    s.arc("B+", "B-", 0).unwrap();
+    s.arc("B-", "B+", 0).unwrap();
+    let fe = check_flow_equivalence(&s, 4, 1 << 16).expect("bounded exploration");
+    assert_eq!(fe, FlowEquivalence::Deadlock);
+}
+
+/// A protocol that starves one side (B can never fire because its only
+/// token sits on a cycle A never releases into) also deadlocks rather
+/// than passing vacuously.
+#[test]
+fn half_starved_protocol_is_reported_deadlock() {
+    let mut s = Stg::new(&["A", "B"]);
+    // A and B wait on each other with no initial token anywhere on the
+    // cross arcs: classic circular wait.
+    s.arc("A+", "B+", 0).unwrap();
+    s.arc("B+", "A-", 0).unwrap();
+    s.arc("A-", "B-", 0).unwrap();
+    s.arc("B-", "A+", 0).unwrap();
+    let fe = check_flow_equivalence(&s, 3, 1 << 16).expect("bounded exploration");
+    assert_eq!(fe, FlowEquivalence::Deadlock);
+}
+
+/// Sanity: the protocol this flow actually implements stays machine-
+/// checked `Ok`, so the negative tests above are discriminating.
+#[test]
+fn semi_decoupled_remains_flow_equivalent() {
+    let fe = check_flow_equivalence(&Protocol::SemiDecoupled.stg(), 4, 1 << 22)
+        .expect("bounded exploration");
+    assert!(fe.is_ok(), "{fe:?}");
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline (see README "Building and testing").
+#
+#   scripts/verify.sh
+#
+# 1. guards the offline-only dependency policy (every [dependencies] /
+#    [dev-dependencies] entry in every Cargo.toml must be a workspace
+#    path dependency — nothing may come from a registry),
+# 2. builds and tests the whole workspace with --offline,
+# 3. regenerates the Table 5.1 area comparison as an end-to-end smoke run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dependency guard: no registry dependencies allowed =="
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+  # Inside dependency sections, every entry must be `foo.workspace = true`
+  # or `foo = { path = ... }` / `{ workspace = true ... }`. Any version
+  # requirement string (`foo = "1"` or `version = "..."`) is a registry
+  # dependency trying to sneak back in.
+  if awk '
+    /^\[/ { in_dep = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) }
+    in_dep && /=/ && !/^[[:space:]]*#/ {
+      line = $0
+      if (line ~ /"[^"]*"/ && line !~ /path[[:space:]]*=/ && line !~ /workspace[[:space:]]*=[[:space:]]*true/) {
+        print FILENAME ": " line
+        found = 1
+      }
+    }
+    END { exit found }
+  ' "$manifest"; then :; else
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "error: non-path dependency found — this workspace must build offline" >&2
+  exit 1
+fi
+echo "ok: all dependencies are in-tree path dependencies"
+
+echo "== cargo build --release (offline) =="
+cargo build --release --offline
+
+echo "== cargo test -q (offline, whole workspace) =="
+cargo test -q --workspace --offline
+
+echo "== table 5.1 end-to-end smoke (offline) =="
+cargo run --release --offline -p drd-bench --bin table_5_1
+
+echo "verify: OK"

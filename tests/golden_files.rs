@@ -1,0 +1,55 @@
+//! Golden-file regression: the SDC and flow report of the DLX and
+//! ARM-like case studies are snapshotted under `tests/golden/`.
+//!
+//! Re-record after an intentional output change with:
+//!
+//! ```bash
+//! DRD_BLESS=1 cargo test -q --test golden_files
+//! ```
+
+use std::path::PathBuf;
+
+use drd_check::golden::{assert_golden, render_desync_report};
+use drdesync::core::Desynchronizer;
+use drdesync::flow::experiment::CaseStudy;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn snapshot_case(case: &CaseStudy, stem: &str) {
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let result = tool.run(&case.module, &case.desync).expect("desync runs");
+    assert_golden(golden_dir().join(format!("{stem}.sdc")), &result.sdc);
+    assert_golden(
+        golden_dir().join(format!("{stem}_report.txt")),
+        &render_desync_report(&result.report),
+    );
+}
+
+#[test]
+fn golden_dlx_small_sdc_and_report() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    snapshot_case(&case, "dlx_small");
+}
+
+#[test]
+fn golden_armlike_small_sdc_and_report() {
+    let case =
+        CaseStudy::armlike(&drdesync::designs::armlike::ArmParams::small()).expect("case builds");
+    snapshot_case(&case, "armlike_small");
+}
+
+/// The snapshotted artifacts are deterministic: generating twice from
+/// scratch yields byte-identical text (guards the golden files against
+/// hidden iteration-order nondeterminism).
+#[test]
+fn golden_artifacts_are_deterministic() {
+    let render = || {
+        let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).unwrap();
+        let tool = Desynchronizer::new(&case.lib).unwrap();
+        let result = tool.run(&case.module, &case.desync).unwrap();
+        (result.sdc.clone(), render_desync_report(&result.report))
+    };
+    assert_eq!(render(), render());
+}

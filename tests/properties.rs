@@ -1,7 +1,7 @@
-//! Cross-crate property-based tests (proptest): structural invariants of
-//! the tool over randomly generated pipelines.
+//! Cross-crate property-based tests (drd-check harness): structural
+//! invariants of the tool over randomly generated pipelines.
 
-use proptest::prelude::*;
+use drd_check::{prop, Rng};
 
 use drdesync::core::region::{group, GroupingOptions};
 use drdesync::core::{DesyncOptions, Desynchronizer};
@@ -10,7 +10,7 @@ use drdesync::netlist::{Conn, Module, PortDir};
 
 /// Generates a random multi-stage pipeline: `stages` clouds of width
 /// `width`, randomly wired cloud-to-register connections.
-fn pipeline(stages: usize, width: usize, taps: &[usize]) -> Module {
+fn pipeline(stages: usize, width: usize, taps: &[u8]) -> Module {
     let mut m = Module::new("p");
     m.add_port("clk", PortDir::Input).unwrap();
     m.add_port("din", PortDir::Input).unwrap();
@@ -31,7 +31,7 @@ fn pipeline(stages: usize, width: usize, taps: &[usize]) -> Module {
     for s in 1..=stages {
         let mut next = Vec::with_capacity(width);
         for i in 0..width {
-            let tap = taps[(s * width + i) % taps.len()] % width;
+            let tap = usize::from(taps[(s * width + i) % taps.len()]) % width;
             let z = m.add_net(format!("c{s}_{i}")).unwrap();
             m.add_cell(
                 format!("g{s}_{i}"),
@@ -57,82 +57,109 @@ fn pipeline(stages: usize, width: usize, taps: &[usize]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+type PipelineInput = (usize, usize, Vec<u8>);
 
-    /// Every cell lands in exactly one region, and regions partition the
-    /// netlist.
-    #[test]
-    fn grouping_partitions_all_cells(
-        stages in 1usize..4,
-        width in 1usize..5,
-        taps in proptest::collection::vec(0usize..8, 32),
-    ) {
-        let lib = vlib90::high_speed();
-        let m = pipeline(stages, width, &taps);
-        let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+fn pipeline_strategy(max_stages: usize, max_width: usize) -> impl Fn(&mut Rng) -> PipelineInput {
+    move |rng| {
+        let stages = rng.range(1, max_stages);
+        let width = rng.range(1, max_width);
+        let taps = (0..32).map(|_| rng.range(0, 8) as u8).collect();
+        (stages, width, taps)
+    }
+}
+
+/// Every cell lands in exactly one region, and regions partition the
+/// netlist.
+#[test]
+fn grouping_partitions_all_cells() {
+    let lib = vlib90::high_speed();
+    prop(16, pipeline_strategy(4, 5), |(stages, width, taps)| {
+        let m = pipeline(*stages, *width, taps);
+        let regions = group(&m, &lib, &GroupingOptions::recommended())
+            .map_err(|e| format!("grouping: {e}"))?;
         let mut seen = std::collections::HashSet::new();
         for r in &regions.regions {
             for c in &r.cells {
-                prop_assert!(seen.insert(c.clone()), "cell {c} in two regions");
+                if !seen.insert(c.clone()) {
+                    return Err(format!("cell {c} in two regions"));
+                }
             }
         }
-        prop_assert_eq!(seen.len(), m.cell_count());
-    }
+        if seen.len() != m.cell_count() {
+            return Err(format!("{} grouped of {} cells", seen.len(), m.cell_count()));
+        }
+        Ok(())
+    });
+}
 
-    /// Desynchronization conserves the datapath: every original
-    /// combinational gate survives, every flip-flop becomes exactly one
-    /// master and one slave latch, and the exported Verilog re-parses.
-    #[test]
-    fn desynchronization_structural_invariants(
-        stages in 1usize..3,
-        width in 1usize..4,
-        taps in proptest::collection::vec(0usize..8, 32),
-    ) {
-        let lib = vlib90::high_speed();
-        let m = pipeline(stages, width, &taps);
+/// Desynchronization conserves the datapath: every original combinational
+/// gate survives, every flip-flop becomes exactly one master and one
+/// slave latch, and the exported Verilog re-parses.
+#[test]
+fn desynchronization_structural_invariants() {
+    let lib = vlib90::high_speed();
+    prop(16, pipeline_strategy(3, 4), |(stages, width, taps)| {
+        let m = pipeline(*stages, *width, taps);
         let ff_count = m.cells().filter(|(_, c)| c.kind.name() == "DFFX1").count();
-        let tool = Desynchronizer::new(&lib).unwrap();
-        let result = tool.run(&m, &DesyncOptions::default()).unwrap();
-        prop_assert_eq!(result.report.substituted_ffs, ff_count);
+        let tool = Desynchronizer::new(&lib).map_err(|e| e.to_string())?;
+        let result = tool
+            .run(&m, &DesyncOptions::default())
+            .map_err(|e| e.to_string())?;
+        if result.report.substituted_ffs != ff_count {
+            return Err(format!(
+                "substituted {} of {ff_count} ffs",
+                result.report.substituted_ffs
+            ));
+        }
 
-        let flat = drdesync::netlist::flatten(&result.design, result.design.top()).unwrap();
+        let flat = drdesync::netlist::flatten(&result.design, result.design.top())
+            .map_err(|e| e.to_string())?;
         let masters = flat.cells().filter(|(_, c)| c.name.ends_with("_lm")).count();
         let slaves = flat.cells().filter(|(_, c)| c.name.ends_with("_ls")).count();
-        prop_assert_eq!(masters, ff_count);
-        prop_assert_eq!(slaves, ff_count);
+        if masters != ff_count || slaves != ff_count {
+            return Err(format!("{masters} masters / {slaves} slaves for {ff_count} ffs"));
+        }
         // No flip-flops remain.
-        prop_assert_eq!(flat.cells().filter(|(_, c)| c.kind.name().starts_with("DFF")).count(), 0);
+        let dffs = flat
+            .cells()
+            .filter(|(_, c)| c.kind.name().starts_with("DFF"))
+            .count();
+        if dffs != 0 {
+            return Err(format!("{dffs} flip-flops remain"));
+        }
         // The export re-parses.
         let text = drdesync::netlist::verilog::write_design(&result.design);
-        prop_assert!(drdesync::netlist::verilog::parse_design(&text).is_ok());
-    }
+        drdesync::netlist::verilog::parse_design(&text)
+            .map(|_| ())
+            .map_err(|e| format!("export does not re-parse: {e}"))
+    });
+}
 
-    /// The SDC always covers every controller instance with loop-breaking
-    /// disables and size_only protection.
-    #[test]
-    fn sdc_covers_all_controllers(
-        stages in 1usize..3,
-        width in 1usize..4,
-        taps in proptest::collection::vec(0usize..8, 32),
-    ) {
-        let lib = vlib90::high_speed();
-        let m = pipeline(stages, width, &taps);
-        let tool = Desynchronizer::new(&lib).unwrap();
-        let result = tool.run(&m, &DesyncOptions::default()).unwrap();
-        let flat = drdesync::netlist::flatten(&result.design, result.design.top()).unwrap();
+/// The SDC always covers every controller instance with loop-breaking
+/// disables and size_only protection.
+#[test]
+fn sdc_covers_all_controllers() {
+    let lib = vlib90::high_speed();
+    prop(16, pipeline_strategy(3, 4), |(stages, width, taps)| {
+        let m = pipeline(*stages, *width, taps);
+        let tool = Desynchronizer::new(&lib).map_err(|e| e.to_string())?;
+        let result = tool
+            .run(&m, &DesyncOptions::default())
+            .map_err(|e| e.to_string())?;
+        let flat = drdesync::netlist::flatten(&result.design, result.design.top())
+            .map_err(|e| e.to_string())?;
         for (_, cell) in flat.cells() {
-            let name = &cell.name;
-            if let Some(inst) = name.strip_suffix("/u_a") {
+            if let Some(inst) = cell.name.strip_suffix("/u_a") {
                 let disable = format!("{inst}/u_nro/A");
                 let size_only = format!("set_size_only [get_cells {{{inst}/*}}]");
-                prop_assert!(
-                    result.sdc.contains(&disable),
-                    "controller {} missing from SDC",
-                    inst
-                );
-                prop_assert!(result.sdc.contains(&size_only));
+                if !result.sdc.contains(&disable) {
+                    return Err(format!("controller {inst} missing from SDC"));
+                }
+                if !result.sdc.contains(&size_only) {
+                    return Err(format!("controller {inst} missing size_only"));
+                }
             }
         }
-    }
+        Ok(())
+    });
 }
