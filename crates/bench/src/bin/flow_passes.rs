@@ -1,0 +1,75 @@
+//! Per-pass timing of the desynchronization pipeline on the small DLX.
+//!
+//! Runs the instrumented [`drd_core::Pipeline`] several times and
+//! aggregates each pass's wall time from the [`drd_core::FlowTrace`]
+//! records into `BENCH_flow_passes.json` (directory overridable via
+//! `DRD_BENCH_DIR`, default `results/` at the workspace root), the same
+//! shape as `BENCH_kernels.json`.
+
+use std::path::PathBuf;
+
+use drd_core::{DesyncOptions, Desynchronizer, FlowTrace};
+use drd_designs::dlx::DlxParams;
+use drd_liberty::vlib90;
+
+const ITERS: usize = 5;
+
+fn out_dir() -> PathBuf {
+    std::env::var("DRD_BENCH_DIR").map_or_else(
+        |_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+        PathBuf::from,
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let lib = vlib90::high_speed();
+    let dlx = drd_designs::dlx::build(&DlxParams::small()).expect("dlx builds");
+    let tool = Desynchronizer::new(&lib).expect("library prepares");
+    let opts = DesyncOptions::default();
+
+    let run = || {
+        tool.run_traced(dlx.clone(), &opts)
+            .expect("desynchronization succeeds")
+            .1
+    };
+    let _warmup: FlowTrace = run();
+    let traces: Vec<FlowTrace> = (0..ITERS).map(|_| run()).collect();
+
+    // Aggregate per pass, preserving pipeline order from the first trace.
+    let mut out = String::from("{\n  \"name\": \"flow_passes\",\n  \"results\": [\n");
+    let passes = traces[0].passes.len();
+    for (i, first) in traces[0].passes.iter().enumerate() {
+        let times: Vec<f64> = traces.iter().map(|t| t.passes[i].wall_ns as f64).collect();
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        eprintln!(
+            "pass {:<16} {:>12.1} µs/iter (min {:.1}, max {:.1}, {} iters)",
+            first.name,
+            mean / 1e3,
+            min / 1e3,
+            max / 1e3,
+            ITERS
+        );
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"iters\": {}, \"min_ns\": {:.0}, \"mean_ns\": {:.0}, \"max_ns\": {:.0}}}{}\n",
+            escape(first.name),
+            ITERS,
+            min,
+            mean,
+            max,
+            if i + 1 == passes { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let path = dir.join("BENCH_flow_passes.json");
+    std::fs::write(&path, out).expect("bench json written");
+    eprintln!("wrote {}", path.display());
+}

@@ -230,7 +230,7 @@ mod tests {
         let mut design = Design::new();
         design.insert(m);
         let mut sim = Simulator::new(&design, &lib, SimOptions::default()).unwrap();
-        let mut set = |sim: &mut Simulator, av: Lv, bv: Lv| {
+        let set = |sim: &mut Simulator, av: Lv, bv: Lv| {
             sim.poke("a", av).unwrap();
             sim.poke("b", bv).unwrap();
             sim.run_for(3.0);
@@ -266,7 +266,7 @@ mod tests {
         design.insert(m);
         let mut sim = Simulator::new(&design, &lib, SimOptions::default()).unwrap();
 
-        let mut set = |sim: &mut Simulator, bits: [Lv; 3]| {
+        let set = |sim: &mut Simulator, bits: [Lv; 3]| {
             for (i, b) in bits.iter().enumerate() {
                 sim.poke(&format!("i{i}"), *b).unwrap();
             }

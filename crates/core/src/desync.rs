@@ -1,4 +1,5 @@
-//! The one-call desynchronization pipeline (§3.2, Fig. 2.1).
+//! The one-call desynchronization flow (§3.2, Fig. 2.1) — a thin
+//! compatibility wrapper over the instrumented [`crate::pipeline`].
 
 use std::collections::HashMap;
 
@@ -7,11 +8,8 @@ use drd_liberty::{Corner, Library, SeqKind};
 use drd_netlist::{Design, Module};
 use drd_sta::{GraphOptions, TimingGraph};
 
-use crate::ddg;
-use crate::ffsub;
-use crate::network::{self, enable_net_names};
-use crate::region::{self, GroupingOptions, Regions};
-use crate::sdc;
+use crate::pipeline::{FlowContext, FlowTrace, Pipeline};
+use crate::region::{GroupingOptions, Regions};
 use crate::DesyncError;
 
 /// Options for a desynchronization run.
@@ -121,130 +119,41 @@ impl<'a> Desynchronizer<'a> {
         &self.gatefile
     }
 
-    /// Desynchronizes `module`.
+    /// Desynchronizes `module`. Borrowing wrapper around
+    /// [`Desynchronizer::run_owned`] — clones the input netlist once.
     ///
     /// # Errors
     /// Returns [`DesyncError`] if the clock cannot be identified, a
     /// flip-flop has no replacement rule, or a netlist/STA pass fails.
     pub fn run(&self, module: &Module, opts: &DesyncOptions) -> Result<DesyncResult, DesyncError> {
-        let lib = self.lib;
-        let mut working = module.clone();
+        self.run_owned(module.clone(), opts)
+    }
 
-        // 1. Logic cleaning (§3.2.2).
-        let cleaned = if opts.clean_logic {
-            let stats = region::clean_for_grouping(&mut working, lib);
-            stats.buffers_removed + 2 * stats.inverter_pairs_removed
-        } else {
-            0
-        };
+    /// Desynchronizes `module`, consuming it — no netlist copy is made.
+    ///
+    /// # Errors
+    /// As [`Desynchronizer::run`].
+    pub fn run_owned(
+        &self,
+        module: Module,
+        opts: &DesyncOptions,
+    ) -> Result<DesyncResult, DesyncError> {
+        Ok(self.run_traced(module, opts)?.0)
+    }
 
-        // 2. Clock identification.
-        let clock_net = match &opts.clock_port {
-            Some(port) => working
-                .find_net(port)
-                .ok_or_else(|| DesyncError::Clock {
-                    message: format!("clock port `{port}` not found"),
-                })?,
-            None => region::find_clock_net(&working, lib).ok_or_else(|| DesyncError::Clock {
-                message: "no sequential cells, nothing to desynchronize".into(),
-            })?,
-        };
-        let clock_name = working.net(clock_net).name.clone();
-
-        // 3. Region creation.
-        let mut grouping = opts.grouping.clone();
-        grouping.false_path_nets.push(clock_name.clone());
-        let regions = region::group(&working, lib, &grouping)?;
-
-        // 4. Data-dependency graph.
-        let graph = ddg::build(&working, lib, &regions)?;
-
-        // 5. Region critical-path delays (STA on the pre-substitution
-        // netlist; the datapath is unchanged by substitution).
-        let delays = region_delays(&working, lib, &regions)?;
-
-        // 6. Flip-flop substitution per region.
-        let mut substituted = 0usize;
-        let mut extra_gates = 0usize;
-        for r in &regions.regions {
-            if r.seq_cells.is_empty() {
-                continue;
-            }
-            let (gm_name, gs_name) = enable_net_names(&r.name);
-            let gm = working.add_net(gm_name)?;
-            let gs = working.add_net(gs_name)?;
-            let rep = ffsub::substitute_ffs(&mut working, lib, &self.gatefile, &r.seq_cells, gm, gs)?;
-            substituted += rep.substituted;
-            extra_gates += rep.extra_gates;
-        }
-
-        // 7. Control-network insertion.
-        let mut design = Design::new();
-        let top = design.insert(working);
-        let net_report = network::insert_control_network(
-            &mut design,
-            top,
-            &regions,
-            &graph,
-            &delays,
-            lib,
-            opts.muxed_delay_elements,
-            opts.delay_margin,
-        )?;
-
-        // 8. Constraint generation.
-        let delem_min: Vec<(String, f64)> = regions
-            .regions
-            .iter()
-            .enumerate()
-            .filter(|(i, r)| !r.seq_cells.is_empty() && delays[*i] > 0.0)
-            .map(|(i, r)| (format!("drd_{}_delem", r.name), delays[i]))
-            .collect();
-        let spec = sdc::spec_from_report(
-            opts.clock_period_ns,
-            &clock_name,
-            &net_report,
-            &delem_min,
-        );
-        let sdc_text = sdc::generate(&spec);
-
-        let region_summaries = regions
-            .regions
-            .iter()
-            .enumerate()
-            .map(|(i, r)| RegionSummary {
-                name: r.name.clone(),
-                cells: r.cells.len(),
-                ffs: r.seq_cells.len(),
-                critical_delay_ns: delays[i],
-                delem_levels: net_report.delem_levels[i],
-            })
-            .collect();
-        let ddg_edges = graph
-            .edges
-            .iter()
-            .map(|&(a, b)| {
-                (
-                    regions.regions[a].name.clone(),
-                    regions.regions[b].name.clone(),
-                )
-            })
-            .collect();
-
-        Ok(DesyncResult {
-            design,
-            sdc: sdc_text,
-            report: DesyncReport {
-                clock_net: clock_name,
-                regions: region_summaries,
-                ddg_edges,
-                substituted_ffs: substituted,
-                extra_gates,
-                controllers: net_report.controllers,
-                celements: net_report.celements,
-                cleaned_cells: cleaned,
-            },
-        })
+    /// Desynchronizes `module` through [`Pipeline::standard`], returning
+    /// the per-pass instrumentation alongside the result.
+    ///
+    /// # Errors
+    /// As [`Desynchronizer::run`].
+    pub fn run_traced(
+        &self,
+        module: Module,
+        opts: &DesyncOptions,
+    ) -> Result<(DesyncResult, FlowTrace), DesyncError> {
+        let mut cx = FlowContext::new(self.lib, &self.gatefile, module, opts.clone());
+        let trace = Pipeline::standard().run(&mut cx)?;
+        Ok((cx.into_result()?, trace))
     }
 }
 

@@ -29,6 +29,12 @@ pub enum DesyncError {
         /// The flip-flop cell name.
         cell: String,
     },
+    /// A pass-pipeline misuse: unknown pass name, or a pass run before
+    /// its prerequisites.
+    Pipeline {
+        /// Explanation.
+        message: String,
+    },
 }
 
 impl fmt::Display for DesyncError {
@@ -42,6 +48,7 @@ impl fmt::Display for DesyncError {
             DesyncError::NoRule { cell } => {
                 write!(f, "no gatefile replacement rule for flip-flop `{cell}`")
             }
+            DesyncError::Pipeline { message } => write!(f, "pipeline error: {message}"),
         }
     }
 }

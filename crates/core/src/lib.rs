@@ -41,8 +41,10 @@ mod desync;
 mod error;
 pub mod ffsub;
 pub mod network;
+pub mod pipeline;
 pub mod region;
 pub mod sdc;
 
-pub use desync::{DesyncOptions, DesyncReport, DesyncResult, Desynchronizer};
+pub use desync::{DesyncOptions, DesyncReport, DesyncResult, Desynchronizer, RegionSummary};
 pub use error::DesyncError;
+pub use pipeline::{FlowContext, FlowTrace, Pass, PassReport, PassTrace, Pipeline};

@@ -42,12 +42,21 @@ pub struct NetworkReport {
     pub enable_tree_buffers: usize,
 }
 
+/// Delay-element sizing knobs for [`insert_control_network`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkOptions {
+    /// Use 8-tap multiplexed delay elements and add `dsel[2:0]` ports.
+    pub muxed: bool,
+    /// Safety factor on the matched delay (e.g. 1.1 = +10%).
+    pub margin: f64,
+}
+
 /// Inserts the full controller network into `design`'s module `top`.
 ///
 /// `region_delays_ns` holds the typical-corner critical-path delay of each
 /// region's logic cloud; delay elements are sized to cover it with
-/// `margin`. If `muxed` is set, 8-tap multiplexed delay elements are used
-/// and `dsel[2:0]` input ports are added.
+/// `opts.margin`. If `opts.muxed` is set, 8-tap multiplexed delay elements
+/// are used and `dsel[2:0]` input ports are added.
 ///
 /// # Errors
 /// Propagates netlist and STA errors.
@@ -58,9 +67,9 @@ pub fn insert_control_network(
     ddg: &Ddg,
     region_delays_ns: &[f64],
     lib: &Library,
-    muxed: bool,
-    margin: f64,
+    opts: NetworkOptions,
 ) -> Result<NetworkReport, DesyncError> {
+    let NetworkOptions { muxed, margin } = opts;
     let mut report = NetworkReport::default();
 
     // Controller modules (once).
@@ -375,8 +384,9 @@ mod tests {
     fn network_insertion_wires_controller_pairs() {
         let (mut design, top, regions, graph, delays) = prepared();
         let lib = vlib90::high_speed();
+        let opts = NetworkOptions { muxed: false, margin: 1.1 };
         let report =
-            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, false, 1.1)
+            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, opts)
                 .unwrap();
         assert_eq!(report.controllers, 4, "2 regions × (master + slave)");
         assert_eq!(report.delay_elements, 2);
@@ -398,8 +408,9 @@ mod tests {
     fn muxed_network_adds_sel_ports() {
         let (mut design, top, regions, graph, delays) = prepared();
         let lib = vlib90::high_speed();
+        let opts = NetworkOptions { muxed: true, margin: 1.1 };
         let report =
-            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, true, 1.1)
+            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, opts)
                 .unwrap();
         let m = design.module(top);
         for b in 0..3 {

@@ -1,0 +1,879 @@
+//! The instrumented pass pipeline behind the desynchronization flow.
+//!
+//! The paper's flow is explicitly staged (Fig. 2.1, §3.2): import → clean
+//! → clock identification → region creation → DDG → delay sizing →
+//! flip-flop substitution → control network → constraints. Each stage is a
+//! [`Pass`] over a shared [`FlowContext`]; the [`Pipeline`] runs them in
+//! order and records a [`FlowTrace`] — per-pass wall time, top-module
+//! cell/net deltas and produced artifacts — so drivers can time, stop
+//! after, checkpoint or extend any stage. [`crate::Desynchronizer::run`]
+//! is a thin compatibility wrapper over [`Pipeline::standard`].
+
+use std::time::Instant;
+
+use drd_liberty::gatefile::Gatefile;
+use drd_liberty::Library;
+use drd_netlist::{Design, Module, ModuleId};
+
+use crate::ddg::{self, Ddg};
+use crate::desync::{DesyncOptions, DesyncReport, DesyncResult, RegionSummary};
+use crate::ffsub;
+use crate::network::{self, enable_net_names, NetworkReport};
+use crate::region::{self, Regions};
+use crate::sdc;
+use crate::DesyncError;
+
+/// The working netlist: a bare module through substitution, a design (top
+/// plus generated controller/delay-element modules) afterwards.
+#[derive(Debug, Clone)]
+enum Netlist {
+    Module(Module),
+    Design { design: Design, top: ModuleId },
+}
+
+/// Everything the passes read and write: the working netlist, the
+/// library/gatefile handles, the run options and the accumulated
+/// artifacts of earlier passes.
+#[derive(Debug, Clone)]
+pub struct FlowContext<'a> {
+    lib: &'a Library,
+    gatefile: &'a Gatefile,
+    opts: DesyncOptions,
+    netlist: Netlist,
+    cleaned_cells: usize,
+    clock_net: Option<String>,
+    regions: Option<Regions>,
+    ddg: Option<Ddg>,
+    region_delays: Option<Vec<f64>>,
+    substituted_ffs: usize,
+    extra_gates: usize,
+    network: Option<NetworkReport>,
+    sdc: Option<String>,
+}
+
+impl<'a> FlowContext<'a> {
+    /// Prepares a context owning `module` — no netlist copy is made; use
+    /// [`crate::Desynchronizer::run`] for the borrowing wrapper.
+    pub fn new(
+        lib: &'a Library,
+        gatefile: &'a Gatefile,
+        module: Module,
+        opts: DesyncOptions,
+    ) -> Self {
+        FlowContext {
+            lib,
+            gatefile,
+            opts,
+            netlist: Netlist::Module(module),
+            cleaned_cells: 0,
+            clock_net: None,
+            regions: None,
+            ddg: None,
+            region_delays: None,
+            substituted_ffs: 0,
+            extra_gates: 0,
+            network: None,
+            sdc: None,
+        }
+    }
+
+    /// The run options.
+    pub fn options(&self) -> &DesyncOptions {
+        &self.opts
+    }
+
+    /// The technology library.
+    pub fn library(&self) -> &'a Library {
+        self.lib
+    }
+
+    /// The prepared gatefile.
+    pub fn gatefile(&self) -> &'a Gatefile {
+        self.gatefile
+    }
+
+    /// Cells removed by the `clean` pass.
+    pub fn cleaned_cells(&self) -> usize {
+        self.cleaned_cells
+    }
+
+    /// The identified clock net (after `clock-id`).
+    pub fn clock_net(&self) -> Option<&str> {
+        self.clock_net.as_deref()
+    }
+
+    /// The grouping result (after `group`).
+    pub fn regions(&self) -> Option<&Regions> {
+        self.regions.as_ref()
+    }
+
+    /// The data-dependency graph (after `ddg`).
+    pub fn ddg(&self) -> Option<&Ddg> {
+        self.ddg.as_ref()
+    }
+
+    /// Per-region critical-path delays (after `region-delays`).
+    pub fn region_delays(&self) -> Option<&[f64]> {
+        self.region_delays.as_deref()
+    }
+
+    /// Flip-flops substituted so far (after `ffsub`).
+    pub fn substituted_ffs(&self) -> usize {
+        self.substituted_ffs
+    }
+
+    /// The control-network report (after `control-network`).
+    pub fn network(&self) -> Option<&NetworkReport> {
+        self.network.as_ref()
+    }
+
+    /// The generated SDC text (after `sdc`).
+    pub fn sdc(&self) -> Option<&str> {
+        self.sdc.as_deref()
+    }
+
+    /// `(cells, nets)` of the current working top module. Generated
+    /// controller/delay-element modules are not counted: the deltas
+    /// describe what each pass does to the design under transformation.
+    pub fn netlist_stats(&self) -> (usize, usize) {
+        let m = self.top_module();
+        (m.cell_count(), m.net_count())
+    }
+
+    /// The current working netlist as Verilog — the whole design once
+    /// generated modules exist, the bare module before that. Suitable as a
+    /// re-importable checkpoint at any pass boundary.
+    pub fn netlist_verilog(&self) -> String {
+        match &self.netlist {
+            Netlist::Module(m) => drd_netlist::verilog::write_module(m),
+            Netlist::Design { design, .. } => drd_netlist::verilog::write_design(design),
+        }
+    }
+
+    fn top_module(&self) -> &Module {
+        match &self.netlist {
+            Netlist::Module(m) => m,
+            Netlist::Design { design, top } => design.module(*top),
+        }
+    }
+
+    fn module_mut(&mut self) -> Result<&mut Module, DesyncError> {
+        match &mut self.netlist {
+            Netlist::Module(m) => Ok(m),
+            Netlist::Design { .. } => Err(missing("a pre-network module", "control-network")),
+        }
+    }
+
+    fn module(&self) -> Result<&Module, DesyncError> {
+        match &self.netlist {
+            Netlist::Module(m) => Ok(m),
+            Netlist::Design { .. } => Err(missing("a pre-network module", "control-network")),
+        }
+    }
+
+    /// Consumes the context into the flow result. All eight passes must
+    /// have run.
+    ///
+    /// # Errors
+    /// Returns [`DesyncError::Pipeline`] if a required artifact is missing.
+    pub fn into_result(self) -> Result<DesyncResult, DesyncError> {
+        let Netlist::Design { design, .. } = self.netlist else {
+            return Err(missing("the desynchronized design", "control-network"));
+        };
+        let clock_name = self.clock_net.ok_or_else(|| missing("clock net", "clock-id"))?;
+        let regions = self.regions.ok_or_else(|| missing("regions", "group"))?;
+        let graph = self.ddg.ok_or_else(|| missing("DDG", "ddg"))?;
+        let delays = self
+            .region_delays
+            .ok_or_else(|| missing("region delays", "region-delays"))?;
+        let net_report = self
+            .network
+            .ok_or_else(|| missing("network report", "control-network"))?;
+        let sdc_text = self.sdc.ok_or_else(|| missing("SDC", "sdc"))?;
+
+        let region_summaries = regions
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RegionSummary {
+                name: r.name.clone(),
+                cells: r.cells.len(),
+                ffs: r.seq_cells.len(),
+                critical_delay_ns: delays[i],
+                delem_levels: net_report.delem_levels[i],
+            })
+            .collect();
+        let ddg_edges = graph
+            .edges
+            .iter()
+            .map(|&(a, b)| {
+                (
+                    regions.regions[a].name.clone(),
+                    regions.regions[b].name.clone(),
+                )
+            })
+            .collect();
+
+        Ok(DesyncResult {
+            design,
+            sdc: sdc_text,
+            report: DesyncReport {
+                clock_net: clock_name,
+                regions: region_summaries,
+                ddg_edges,
+                substituted_ffs: self.substituted_ffs,
+                extra_gates: self.extra_gates,
+                controllers: net_report.controllers,
+                celements: net_report.celements,
+                cleaned_cells: self.cleaned_cells,
+            },
+        })
+    }
+}
+
+fn missing(what: &str, pass: &str) -> DesyncError {
+    DesyncError::Pipeline {
+        message: format!("{what} not available — run the `{pass}` pass first"),
+    }
+}
+
+/// What one pass did, for the trace.
+#[derive(Debug, Clone, Default)]
+pub struct PassReport {
+    /// Stable keys of the artifacts this pass produced or updated.
+    pub artifacts: Vec<&'static str>,
+    /// One-line human summary.
+    pub detail: String,
+}
+
+impl PassReport {
+    fn new(artifacts: Vec<&'static str>, detail: String) -> Self {
+        PassReport { artifacts, detail }
+    }
+}
+
+/// One named, instrumentable stage of the flow.
+pub trait Pass {
+    /// Stable pass name (`clean`, `group`, …) used by `--stop-after`,
+    /// `--dump-after` and the trace.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass over `cx`.
+    ///
+    /// # Errors
+    /// Propagates [`DesyncError`] from the underlying transformation.
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError>;
+}
+
+// ---------------------------------------------------------------------------
+// The eight standard passes (§3.2, in flow order)
+// ---------------------------------------------------------------------------
+
+/// Logic cleaning (§3.2.2): remove synthesis buffering before grouping.
+pub struct CleanPass;
+
+impl Pass for CleanPass {
+    fn name(&self) -> &'static str {
+        "clean"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let cleaned = if cx.opts.clean_logic {
+            let lib = cx.lib;
+            let stats = region::clean_for_grouping(cx.module_mut()?, lib);
+            stats.buffers_removed + 2 * stats.inverter_pairs_removed
+        } else {
+            0
+        };
+        cx.cleaned_cells = cleaned;
+        Ok(PassReport::new(
+            vec!["cleaned-cells"],
+            format!("{cleaned} buffering cells removed"),
+        ))
+    }
+}
+
+/// Clock identification: the named port, or the net clocking the most
+/// sequential cells.
+pub struct ClockIdPass;
+
+impl Pass for ClockIdPass {
+    fn name(&self) -> &'static str {
+        "clock-id"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let module = cx.module()?;
+        let clock_net = match &cx.opts.clock_port {
+            Some(port) => module
+                .find_net(port)
+                .ok_or_else(|| DesyncError::Clock {
+                    message: format!("clock port `{port}` not found"),
+                })?,
+            None => region::find_clock_net(module, cx.lib).ok_or_else(|| DesyncError::Clock {
+                message: "no sequential cells, nothing to desynchronize".into(),
+            })?,
+        };
+        let clock_name = module.net(clock_net).name.clone();
+        let detail = format!("clock net `{clock_name}`");
+        cx.clock_net = Some(clock_name);
+        Ok(PassReport::new(vec!["clock-net"], detail))
+    }
+}
+
+/// Region creation (§3.2.2, Figs. 3.3–3.6).
+pub struct GroupPass;
+
+impl Pass for GroupPass {
+    fn name(&self) -> &'static str {
+        "group"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let clock_name = cx
+            .clock_net
+            .clone()
+            .ok_or_else(|| missing("clock net", "clock-id"))?;
+        let mut grouping = cx.opts.grouping.clone();
+        grouping.false_path_nets.push(clock_name);
+        let regions = region::group(cx.module()?, cx.lib, &grouping)?;
+        let detail = format!("{} regions", regions.regions.len());
+        cx.regions = Some(regions);
+        Ok(PassReport::new(vec!["regions"], detail))
+    }
+}
+
+/// Data-dependency graph construction (Fig. 2.6).
+pub struct DdgPass;
+
+impl Pass for DdgPass {
+    fn name(&self) -> &'static str {
+        "ddg"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let regions = cx.regions.as_ref().ok_or_else(|| missing("regions", "group"))?;
+        let graph = ddg::build(cx.module()?, cx.lib, regions)?;
+        let detail = format!("{} dependency edges", graph.edges.len());
+        cx.ddg = Some(graph);
+        Ok(PassReport::new(vec!["ddg"], detail))
+    }
+}
+
+/// Per-region critical-path delays by STA on the pre-substitution netlist
+/// (§3.2.5; the datapath is unchanged by substitution).
+pub struct RegionDelaysPass;
+
+impl Pass for RegionDelaysPass {
+    fn name(&self) -> &'static str {
+        "region-delays"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let regions = cx.regions.as_ref().ok_or_else(|| missing("regions", "group"))?;
+        let delays = crate::desync::region_delays(cx.module()?, cx.lib, regions)?;
+        let worst = delays.iter().copied().fold(0.0f64, f64::max);
+        cx.region_delays = Some(delays);
+        Ok(PassReport::new(
+            vec!["region-delays"],
+            format!("worst cloud {worst:.3} ns"),
+        ))
+    }
+}
+
+/// Flip-flop substitution per region (§3.2.4, Fig. 3.1).
+pub struct FfSubPass;
+
+impl Pass for FfSubPass {
+    fn name(&self) -> &'static str {
+        "ffsub"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let regions = cx
+            .regions
+            .take()
+            .ok_or_else(|| missing("regions", "group"))?;
+        let lib = cx.lib;
+        let gatefile = cx.gatefile;
+        let mut substituted = 0usize;
+        let mut extra_gates = 0usize;
+        let result = (|| -> Result<(), DesyncError> {
+            for r in &regions.regions {
+                if r.seq_cells.is_empty() {
+                    continue;
+                }
+                let working = cx.module_mut()?;
+                let (gm_name, gs_name) = enable_net_names(&r.name);
+                let gm = working.add_net(gm_name)?;
+                let gs = working.add_net(gs_name)?;
+                let rep =
+                    ffsub::substitute_ffs(working, lib, gatefile, &r.seq_cells, gm, gs)?;
+                substituted += rep.substituted;
+                extra_gates += rep.extra_gates;
+            }
+            Ok(())
+        })();
+        cx.regions = Some(regions);
+        result?;
+        cx.substituted_ffs = substituted;
+        cx.extra_gates = extra_gates;
+        Ok(PassReport::new(
+            vec!["substituted-ffs"],
+            format!("{substituted} flip-flops → latch pairs, {extra_gates} extra gates"),
+        ))
+    }
+}
+
+/// Control-network insertion (§3.2.6, Figs. 2.7/2.11): promotes the
+/// working module into a design and adds controllers, C-elements, delay
+/// elements and enable trees.
+pub struct ControlNetworkPass;
+
+impl Pass for ControlNetworkPass {
+    fn name(&self) -> &'static str {
+        "control-network"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let regions = cx.regions.as_ref().ok_or_else(|| missing("regions", "group"))?;
+        let graph = cx.ddg.as_ref().ok_or_else(|| missing("DDG", "ddg"))?;
+        let delays = cx
+            .region_delays
+            .as_deref()
+            .ok_or_else(|| missing("region delays", "region-delays"))?;
+        let Netlist::Module(working) =
+            std::mem::replace(&mut cx.netlist, Netlist::Module(Module::new("drd_empty")))
+        else {
+            return Err(missing("a pre-network module", "control-network"));
+        };
+        let mut design = Design::new();
+        let top = design.insert(working);
+        let inserted = network::insert_control_network(
+            &mut design,
+            top,
+            regions,
+            graph,
+            delays,
+            cx.lib,
+            network::NetworkOptions {
+                muxed: cx.opts.muxed_delay_elements,
+                margin: cx.opts.delay_margin,
+            },
+        );
+        cx.netlist = Netlist::Design { design, top };
+        let net_report = inserted?;
+        let detail = format!(
+            "{} controllers, {} C-elements, {} delay elements",
+            net_report.controllers, net_report.celements, net_report.delay_elements
+        );
+        cx.network = Some(net_report);
+        Ok(PassReport::new(vec!["network-report", "design"], detail))
+    }
+}
+
+/// Backend constraint generation (§4.4–§4.6, Figs. 4.2/4.5).
+pub struct SdcPass;
+
+impl Pass for SdcPass {
+    fn name(&self) -> &'static str {
+        "sdc"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let clock_name = cx
+            .clock_net
+            .as_deref()
+            .ok_or_else(|| missing("clock net", "clock-id"))?;
+        let regions = cx.regions.as_ref().ok_or_else(|| missing("regions", "group"))?;
+        let delays = cx
+            .region_delays
+            .as_deref()
+            .ok_or_else(|| missing("region delays", "region-delays"))?;
+        let net_report = cx
+            .network
+            .as_ref()
+            .ok_or_else(|| missing("network report", "control-network"))?;
+        let delem_min: Vec<(String, f64)> = regions
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| !r.seq_cells.is_empty() && delays[*i] > 0.0)
+            .map(|(i, r)| (format!("drd_{}_delem", r.name), delays[i]))
+            .collect();
+        let spec = sdc::spec_from_report(
+            cx.opts.clock_period_ns,
+            clock_name,
+            net_report,
+            &delem_min,
+        );
+        let text = sdc::generate(&spec);
+        let detail = format!("{} SDC lines", text.lines().count());
+        cx.sdc = Some(text);
+        Ok(PassReport::new(vec!["sdc"], detail))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+/// Instrumentation record of one executed pass.
+#[derive(Debug, Clone)]
+pub struct PassTrace {
+    /// Pass name.
+    pub name: &'static str,
+    /// Wall time of the pass (ns).
+    pub wall_ns: u128,
+    /// Top-module cell count before the pass.
+    pub cells_before: usize,
+    /// Top-module cell count after the pass.
+    pub cells_after: usize,
+    /// Top-module net count before the pass.
+    pub nets_before: usize,
+    /// Top-module net count after the pass.
+    pub nets_after: usize,
+    /// Artifacts the pass produced.
+    pub artifacts: Vec<&'static str>,
+    /// One-line summary.
+    pub detail: String,
+}
+
+impl PassTrace {
+    /// Signed cell-count change of this pass.
+    pub fn cell_delta(&self) -> i64 {
+        self.cells_after as i64 - self.cells_before as i64
+    }
+
+    /// Signed net-count change of this pass.
+    pub fn net_delta(&self) -> i64 {
+        self.nets_after as i64 - self.nets_before as i64
+    }
+}
+
+/// Machine-readable record of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTrace {
+    /// Executed passes, in order.
+    pub passes: Vec<PassTrace>,
+    /// Total wall time across all executed passes (ns).
+    pub total_wall_ns: u128,
+}
+
+impl FlowTrace {
+    /// Sum of per-pass cell deltas — equals final minus initial top-module
+    /// cell count.
+    pub fn cell_delta_sum(&self) -> i64 {
+        self.passes.iter().map(PassTrace::cell_delta).sum()
+    }
+
+    /// Sum of per-pass net deltas.
+    pub fn net_delta_sum(&self) -> i64 {
+        self.passes.iter().map(PassTrace::net_delta).sum()
+    }
+
+    /// The JSON document, including wall times.
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// The JSON document with wall times omitted — byte-stable across
+    /// runs, for golden snapshots.
+    pub fn to_json_deterministic(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, with_times: bool) -> String {
+        let mut out = String::from("{\n  \"flow\": \"desync\",\n  \"passes\": [\n");
+        for (i, p) in self.passes.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", escape(p.name)));
+            if with_times {
+                out.push_str(&format!("\"wall_ns\": {}, ", p.wall_ns));
+            }
+            out.push_str(&format!(
+                "\"cells_before\": {}, \"cells_after\": {}, \"nets_before\": {}, \"nets_after\": {}, ",
+                p.cells_before, p.cells_after, p.nets_before, p.nets_after
+            ));
+            out.push_str("\"artifacts\": [");
+            for (j, a) in p.artifacts.iter().enumerate() {
+                out.push_str(&format!(
+                    "\"{}\"{}",
+                    escape(a),
+                    if j + 1 == p.artifacts.len() { "" } else { ", " }
+                ));
+            }
+            out.push_str(&format!("], \"detail\": \"{}\"}}", escape(&p.detail)));
+            out.push_str(if i + 1 == self.passes.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]");
+        if with_times {
+            out.push_str(&format!(",\n  \"total_wall_ns\": {}", self.total_wall_ns));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline runner
+// ---------------------------------------------------------------------------
+
+/// An ordered sequence of passes with instrumentation.
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// The paper's eight-stage flow, in order: `clean`, `clock-id`,
+    /// `group`, `ddg`, `region-delays`, `ffsub`, `control-network`, `sdc`.
+    pub fn standard() -> Pipeline {
+        Pipeline {
+            passes: vec![
+                Box::new(CleanPass),
+                Box::new(ClockIdPass),
+                Box::new(GroupPass),
+                Box::new(DdgPass),
+                Box::new(RegionDelaysPass),
+                Box::new(FfSubPass),
+                Box::new(ControlNetworkPass),
+                Box::new(SdcPass),
+            ],
+        }
+    }
+
+    /// An empty pipeline, for custom flows.
+    pub fn empty() -> Pipeline {
+        Pipeline { passes: Vec::new() }
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The pass names, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over `cx`.
+    ///
+    /// # Errors
+    /// Propagates the first pass failure.
+    pub fn run(&self, cx: &mut FlowContext<'_>) -> Result<FlowTrace, DesyncError> {
+        self.run_observed(cx, None, |_, _| Ok(()))
+    }
+
+    /// Runs passes until (and including) `stop_after`, or all of them when
+    /// `None`.
+    ///
+    /// # Errors
+    /// Returns [`DesyncError::Pipeline`] for an unknown pass name, else
+    /// propagates the first pass failure.
+    pub fn run_until(
+        &self,
+        cx: &mut FlowContext<'_>,
+        stop_after: Option<&str>,
+    ) -> Result<FlowTrace, DesyncError> {
+        self.run_observed(cx, stop_after, |_, _| Ok(()))
+    }
+
+    /// [`Pipeline::run_until`] with an observer called after every
+    /// executed pass — the checkpoint hook behind `--dump-after`.
+    ///
+    /// # Errors
+    /// Returns [`DesyncError::Pipeline`] for an unknown `stop_after` name,
+    /// else propagates the first pass or observer failure.
+    pub fn run_observed(
+        &self,
+        cx: &mut FlowContext<'_>,
+        stop_after: Option<&str>,
+        mut observer: impl FnMut(&'static str, &FlowContext<'_>) -> Result<(), DesyncError>,
+    ) -> Result<FlowTrace, DesyncError> {
+        if let Some(stop) = stop_after {
+            if !self.passes.iter().any(|p| p.name() == stop) {
+                return Err(DesyncError::Pipeline {
+                    message: format!(
+                        "unknown pass `{stop}` — pipeline has: {}",
+                        self.pass_names().join(", ")
+                    ),
+                });
+            }
+        }
+        let mut trace = FlowTrace::default();
+        for pass in &self.passes {
+            let (cells_before, nets_before) = cx.netlist_stats();
+            let start = Instant::now();
+            let report = pass.run(cx)?;
+            let wall_ns = start.elapsed().as_nanos();
+            let (cells_after, nets_after) = cx.netlist_stats();
+            trace.total_wall_ns += wall_ns;
+            trace.passes.push(PassTrace {
+                name: pass.name(),
+                wall_ns,
+                cells_before,
+                cells_after,
+                nets_before,
+                nets_after,
+                artifacts: report.artifacts,
+                detail: report.detail,
+            });
+            observer(pass.name(), cx)?;
+            if stop_after == Some(pass.name()) {
+                break;
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Desynchronizer;
+    use drd_liberty::vlib90;
+    use drd_netlist::{Conn, PortDir};
+
+    fn toggle() -> Module {
+        let mut m = Module::new("t");
+        m.add_port("clk", PortDir::Input).unwrap();
+        m.add_port("out", PortDir::Output).unwrap();
+        let clk = m.find_net("clk").unwrap();
+        let q = m.find_net("out").unwrap();
+        let d = m.add_net("d").unwrap();
+        m.add_cell("inv", "INVX1", &[("A", Conn::Net(q)), ("Z", Conn::Net(d))])
+            .unwrap();
+        m.add_cell(
+            "r0",
+            "DFFX1",
+            &[("D", Conn::Net(d)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q))],
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn standard_pipeline_has_the_eight_paper_stages() {
+        assert_eq!(
+            Pipeline::standard().pass_names(),
+            vec![
+                "clean",
+                "clock-id",
+                "group",
+                "ddg",
+                "region-delays",
+                "ffsub",
+                "control-network",
+                "sdc"
+            ]
+        );
+    }
+
+    #[test]
+    fn full_run_produces_result_and_trace() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let mut cx = FlowContext::new(
+            &lib,
+            tool.gatefile(),
+            toggle(),
+            DesyncOptions::default(),
+        );
+        let trace = Pipeline::standard().run(&mut cx).unwrap();
+        assert_eq!(trace.passes.len(), 8);
+        assert!(trace.passes.iter().all(|p| p.wall_ns > 0));
+        let result = cx.into_result().unwrap();
+        assert!(result.sdc.contains("create_clock"));
+        assert_eq!(result.report.substituted_ffs, 1);
+    }
+
+    #[test]
+    fn stop_after_halts_with_partial_artifacts() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let mut cx = FlowContext::new(
+            &lib,
+            tool.gatefile(),
+            toggle(),
+            DesyncOptions::default(),
+        );
+        let trace = Pipeline::standard().run_until(&mut cx, Some("group")).unwrap();
+        assert_eq!(trace.passes.len(), 3);
+        assert!(cx.regions().is_some());
+        assert!(cx.ddg().is_none());
+        assert!(cx.sdc().is_none());
+        // An incomplete context cannot be assembled into a result.
+        assert!(matches!(
+            cx.into_result(),
+            Err(DesyncError::Pipeline { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_stop_pass_is_an_error() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let mut cx = FlowContext::new(
+            &lib,
+            tool.gatefile(),
+            toggle(),
+            DesyncOptions::default(),
+        );
+        let err = Pipeline::standard()
+            .run_until(&mut cx, Some("nope"))
+            .unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn trace_json_is_balanced_and_deterministic_variant_has_no_times() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let mut cx = FlowContext::new(
+            &lib,
+            tool.gatefile(),
+            toggle(),
+            DesyncOptions::default(),
+        );
+        let trace = Pipeline::standard().run(&mut cx).unwrap();
+        let timed = trace.to_json();
+        assert!(timed.contains("wall_ns"));
+        let stable = trace.to_json_deterministic();
+        assert!(!stable.contains("wall_ns"));
+        for json in [&timed, &stable] {
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_executed_pass() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let mut cx = FlowContext::new(
+            &lib,
+            tool.gatefile(),
+            toggle(),
+            DesyncOptions::default(),
+        );
+        let mut seen = Vec::new();
+        Pipeline::standard()
+            .run_observed(&mut cx, Some("ddg"), |name, cx| {
+                seen.push((name, cx.netlist_verilog().len()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(
+            seen.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec!["clean", "clock-id", "group", "ddg"]
+        );
+        // Checkpoints are valid Verilog at every boundary.
+        assert!(seen.iter().all(|&(_, len)| len > 0));
+    }
+}

@@ -262,16 +262,14 @@ fn recognize_features(
                     continue;
                 }
             }
-            Expr::Or(parts) if parts.len() == 2 => {
-                // Only treat as sync-set when one side is a bare literal and
-                // the *other* side is not an AND with the literal's
-                // complement (that shape is a mux, handled below).
-                if !is_mux_shape(parts) {
-                    if let Some((lit, rest)) = split_literal(parts, LitContext::Or) {
-                        features.sync_set = Some(lit);
-                        expr = rest;
-                        continue;
-                    }
+            // Only treat as sync-set when one side is a bare literal and
+            // the *other* side is not an AND with the literal's
+            // complement (that shape is a mux, handled below).
+            Expr::Or(parts) if parts.len() == 2 && !is_mux_shape(parts) => {
+                if let Some((lit, rest)) = split_literal(parts, LitContext::Or) {
+                    features.sync_set = Some(lit);
+                    expr = rest;
+                    continue;
                 }
             }
             _ => {}

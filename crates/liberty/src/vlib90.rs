@@ -182,7 +182,6 @@ pub fn source(variant: Variant) -> String {
     b.celement("C2SX1", 6.24, &["A", "B"], None, Some("SN"), 0.032);
     b.celement("C3RX1", 7.28, &["A", "B", "C"], Some("RN"), None, 0.038);
 
-    drop(b);
     out.push_str("}\n");
     out
 }

@@ -53,13 +53,13 @@ fn flatten_into(
 
     // Create all unmapped nets.
     for (nid, net) in module.nets() {
-        if !net_map.contains_key(&nid) {
+        if let std::collections::hash_map::Entry::Vacant(e) = net_map.entry(nid) {
             let name = format!("{prefix}{}", net.name);
             let new = match out.find_net(&name) {
                 Some(existing) => existing,
                 None => out.add_net(name)?,
             };
-            net_map.insert(nid, new);
+            e.insert(new);
         }
     }
     // Constant ties propagate.

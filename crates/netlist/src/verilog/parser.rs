@@ -63,8 +63,8 @@ fn retarget_instances(design: &mut Design) {
     let module_names: Vec<String> = design.modules().map(|(_, m)| m.name.clone()).collect();
     let module_set: std::collections::HashSet<&str> =
         module_names.iter().map(|s| s.as_str()).collect();
-    for i in 0..module_names.len() {
-        let id = design.find_module(&module_names[i]).expect("just listed");
+    for name in &module_names {
+        let id = design.find_module(name).expect("just listed");
         let module = design.module_mut(id);
         let cell_ids: Vec<_> = module.cells().map(|(c, _)| c).collect();
         for cid in cell_ids {
@@ -752,7 +752,7 @@ mod tests {
             endmodule
             module SUB (input [1:0] in1, output out1);
             endmodule";
-        let d = parse_design(&src).unwrap();
+        let d = parse_design(src).unwrap();
         let top = d.module(d.find_module("top").unwrap());
         let u = top.cell(top.find_cell("u").unwrap());
         assert_eq!(u.pin("in1[0]"), Some(Conn::Const0));

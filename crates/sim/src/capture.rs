@@ -6,15 +6,14 @@
 //! element, the captured value sequence of the desynchronized circuit must
 //! equal its synchronous counterpart's — times may differ arbitrarily.
 
-use std::collections::HashMap;
-
 use drd_liberty::Lv;
+
+use crate::names::NameTable;
 
 /// Per-element capture sequences.
 #[derive(Debug, Clone, Default)]
 pub struct CaptureLog {
-    names: Vec<String>,
-    index: HashMap<String, u32>,
+    names: NameTable,
     seqs: Vec<Vec<(u64, Lv)>>,
 }
 
@@ -26,9 +25,7 @@ impl CaptureLog {
 
     /// Registers an element and returns its slot.
     pub(crate) fn add_element(&mut self, name: &str) -> u32 {
-        let slot = self.names.len() as u32;
-        self.names.push(name.to_owned());
-        self.index.insert(name.to_owned(), slot);
+        let slot = self.names.add(name);
         self.seqs.push(Vec::new());
         slot
     }
@@ -39,18 +36,18 @@ impl CaptureLog {
 
     /// Names of all recorded elements.
     pub fn elements(&self) -> impl Iterator<Item = &str> {
-        self.names.iter().map(String::as_str)
+        self.names.iter()
     }
 
     /// The captured value sequence of `element` (times dropped).
     pub fn sequence(&self, element: &str) -> Option<Vec<Lv>> {
-        let slot = *self.index.get(element)?;
+        let slot = self.names.get(element)?;
         Some(self.seqs[slot as usize].iter().map(|&(_, v)| v).collect())
     }
 
     /// The captured `(time_ns, value)` sequence of `element`.
     pub fn timed_sequence(&self, element: &str) -> Option<Vec<(f64, Lv)>> {
-        let slot = *self.index.get(element)?;
+        let slot = self.names.get(element)?;
         Some(
             self.seqs[slot as usize]
                 .iter()
@@ -61,9 +58,9 @@ impl CaptureLog {
 
     /// Number of capture events of `element`.
     pub fn capture_count(&self, element: &str) -> usize {
-        self.index
+        self.names
             .get(element)
-            .map(|&s| self.seqs[s as usize].len())
+            .map(|s| self.seqs[s as usize].len())
             .unwrap_or(0)
     }
 }

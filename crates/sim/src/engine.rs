@@ -8,6 +8,7 @@ use drd_liberty::{Library, Lv, SeqKind};
 use drd_netlist::{Conn, Design, Module, PortDir};
 
 use crate::capture::CaptureLog;
+use crate::names::NameTable;
 use crate::{SimError, SimOptions};
 
 /// Compiled boolean expression over net indices.
@@ -121,8 +122,7 @@ fn ns_to_ps(ns: f64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     net_values: Vec<Lv>,
-    net_names: HashMap<String, u32>,
-    names: Vec<String>,
+    net_names: NameTable,
     cells: Vec<SimCell>,
     /// net → cells with an input on that net.
     loads: Vec<Vec<u32>>,
@@ -164,8 +164,7 @@ impl Simulator {
         let net_count = flat.net_count();
         let mut sim = Simulator {
             net_values: vec![Lv::X; net_count],
-            net_names: HashMap::with_capacity(net_count),
-            names: Vec::with_capacity(net_count),
+            net_names: NameTable::with_capacity(net_count),
             cells: Vec::new(),
             loads: vec![Vec::new(); net_count],
             driver: vec![None; net_count],
@@ -181,8 +180,8 @@ impl Simulator {
             window_start_ps: 0,
         };
         for (nid, net) in flat.nets() {
-            sim.net_names.insert(net.name.clone(), nid.index() as u32);
-            sim.names.push(net.name.clone());
+            let slot = sim.net_names.add(&net.name);
+            debug_assert_eq!(slot, nid.index() as u32);
         }
 
         // Net load capacitances for the delay model.
@@ -372,7 +371,6 @@ impl Simulator {
     fn net_index(&self, name: &str) -> Result<u32, SimError> {
         self.net_names
             .get(name)
-            .copied()
             .ok_or_else(|| SimError::UnknownNet {
                 name: name.to_owned(),
             })
@@ -454,7 +452,7 @@ impl Simulator {
         match self.net_names.get(net) {
             Some(idx) => self
                 .watches
-                .get(idx)
+                .get(&idx)
                 .map(|v| {
                     v.iter()
                         .map(|&(t, rising)| (t as f64 / PS_PER_NS, rising))

@@ -43,6 +43,7 @@
 mod capture;
 mod engine;
 mod error;
+mod names;
 mod options;
 mod power;
 pub mod variability;

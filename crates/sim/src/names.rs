@@ -1,0 +1,61 @@
+//! A shared name↔index table.
+//!
+//! Both the simulator (net names) and the capture log (element names)
+//! need the same bidirectional lookup: a dense `u32` slot per name for
+//! hot-path indexing, plus name resolution at the API boundary. One type
+//! keeps the two maps from drifting apart.
+
+use std::collections::HashMap;
+
+/// An append-only bidirectional `name ↔ u32` table.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NameTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl NameTable {
+    /// An empty table sized for `capacity` names.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NameTable {
+            names: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Registers `name` and returns its slot. The caller guarantees
+    /// uniqueness (netlist nets and capture elements are unique by
+    /// construction); a duplicate would shadow the earlier slot.
+    pub fn add(&mut self, name: &str) -> u32 {
+        let slot = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), slot);
+        slot
+    }
+
+    /// The slot of `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// All registered names, in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_dense_and_resolvable() {
+        let mut t = NameTable::with_capacity(2);
+        assert_eq!(t.add("a"), 0);
+        assert_eq!(t.add("b"), 1);
+        assert_eq!(t.get("a"), Some(0));
+        assert_eq!(t.get("b"), Some(1));
+        assert_eq!(t.get("c"), None);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+}

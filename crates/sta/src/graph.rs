@@ -100,7 +100,10 @@ pub struct TimingGraph {
     pin_nodes: HashMap<(CellId, u32), NodeId>,
     port_nodes: HashMap<PortId, NodeId>,
     cell_names: HashMap<String, CellId>,
-    pin_names: HashMap<(CellId, String), u32>,
+    /// Connected pins of each cell as `(name, pin index)` — a short
+    /// linear scan per cell beats hashing `(CellId, String)` keys, which
+    /// forced a `String` clone on every arc lookup.
+    cell_pins: HashMap<CellId, Vec<(String, u32)>>,
 }
 
 impl TimingGraph {
@@ -152,7 +155,7 @@ impl TimingGraph {
             pin_nodes: HashMap::new(),
             port_nodes: HashMap::new(),
             cell_names: HashMap::new(),
-            pin_names: HashMap::new(),
+            cell_pins: HashMap::new(),
         };
 
         // Net load capacitance (input-pin caps of all loads).
@@ -207,7 +210,10 @@ impl TimingGraph {
                     endpoint: false,
                 });
                 g.pin_nodes.insert((cid, idx as u32), node);
-                g.pin_names.insert((cid, pin.clone()), idx as u32);
+                g.cell_pins
+                    .entry(cid)
+                    .or_default()
+                    .push((pin.clone(), idx as u32));
             }
 
             match &cell.kind {
@@ -221,10 +227,9 @@ impl TimingGraph {
                 CellKind::Instance(name) => {
                     if let Some(arcs) = opts.instance_arcs.get(name) {
                         for (from, to, delay) in arcs {
-                            let (Some(&fi), Some(&ti)) = (
-                                g.pin_names.get(&(cid, from.clone())),
-                                g.pin_names.get(&(cid, to.clone())),
-                            ) else {
+                            let (Some(fi), Some(ti)) =
+                                (g.pin_index(cid, from), g.pin_index(cid, to))
+                            else {
                                 continue;
                             };
                             let f = g.pin_nodes[&(cid, fi)];
@@ -249,6 +254,17 @@ impl TimingGraph {
             }
         }
         Ok(g)
+    }
+
+    /// Resolves a pin name to its index within `cid`'s pin list without
+    /// allocating — cells have a handful of pins, so a linear scan wins
+    /// over a string-keyed hash lookup.
+    fn pin_index(&self, cid: CellId, pin: &str) -> Option<u32> {
+        self.cell_pins
+            .get(&cid)?
+            .iter()
+            .find(|(name, _)| name == pin)
+            .map(|&(_, idx)| idx)
     }
 
     fn endpoint_node(&self, e: Endpoint) -> Option<NodeId> {
@@ -302,9 +318,9 @@ impl TimingGraph {
             if !allowed {
                 continue;
             }
-            let (Some(&fi), Some(&ti)) = (
-                self.pin_names.get(&(cid, arc.from.clone())),
-                self.pin_names.get(&(cid, arc.to.clone())),
+            let (Some(fi), Some(ti)) = (
+                self.pin_index(cid, &arc.from),
+                self.pin_index(cid, &arc.to),
             ) else {
                 continue;
             };
@@ -325,16 +341,16 @@ impl TimingGraph {
 
     /// Marks sequential data inputs as endpoints.
     fn mark_seq_endpoints(&mut self, cid: CellId, lc: &drd_liberty::LibCell) {
-        let clockish: Option<String> = match &lc.seq {
+        let clockish: &str = match &lc.seq {
             SeqKind::None | SeqKind::CElement { .. } => return,
-            SeqKind::FlipFlop(ff) => Some(ff.clocked_on.clone()),
-            SeqKind::Latch(l) => Some(l.enable.clone()),
+            SeqKind::FlipFlop(ff) => &ff.clocked_on,
+            SeqKind::Latch(l) => &l.enable,
         };
         for pin in lc.input_pins() {
-            if Some(&pin.name) == clockish.as_ref() {
+            if pin.name == clockish {
                 continue;
             }
-            if let Some(&pi) = self.pin_names.get(&(cid, pin.name.clone())) {
+            if let Some(pi) = self.pin_index(cid, &pin.name) {
                 let node = self.pin_nodes[&(cid, pi)];
                 self.nodes[node.0 as usize].endpoint = true;
             }
@@ -364,7 +380,7 @@ impl TimingGraph {
     /// Finds the node of `instance/pin`.
     pub fn find_pin(&self, cell: &str, pin: &str) -> Option<NodeId> {
         let cid = *self.cell_names.get(cell)?;
-        let pi = *self.pin_names.get(&(cid, pin.to_owned()))?;
+        let pi = self.pin_index(cid, pin)?;
         self.pin_nodes.get(&(cid, pi)).copied()
     }
 

@@ -7,7 +7,10 @@
 #    [dev-dependencies] entry in every Cargo.toml must be a workspace
 #    path dependency — nothing may come from a registry),
 # 2. builds and tests the whole workspace with --offline,
-# 3. regenerates the Table 5.1 area comparison as an end-to-end smoke run.
+# 3. lints the whole workspace with clippy, warnings denied,
+# 4. regenerates the Table 5.1 area comparison as an end-to-end smoke run,
+# 5. regenerates results/BENCH_flow_passes.json and checks it lists every
+#    pipeline pass.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,7 +48,31 @@ cargo build --release --offline
 echo "== cargo test -q (offline, whole workspace) =="
 cargo test -q --workspace --offline
 
+echo "== cargo clippy (offline, warnings denied) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== table 5.1 end-to-end smoke (offline) =="
 cargo run --release --offline -p drd-bench --bin table_5_1
+
+echo "== per-pass flow timings (offline) =="
+cargo run --release --offline -p drd-bench --bin flow_passes
+trace_json=results/BENCH_flow_passes.json
+if [ ! -s "$trace_json" ]; then
+  echo "error: $trace_json missing or empty" >&2
+  exit 1
+fi
+for pass in clean clock-id group ddg region-delays ffsub control-network sdc; do
+  if ! grep -q "\"label\": \"$pass\"" "$trace_json"; then
+    echo "error: $trace_json does not list pass \`$pass\`" >&2
+    exit 1
+  fi
+done
+open_braces=$(grep -o '{' "$trace_json" | wc -l)
+close_braces=$(grep -o '}' "$trace_json" | wc -l)
+if [ "$open_braces" -ne "$close_braces" ]; then
+  echo "error: $trace_json is not well-formed (unbalanced braces)" >&2
+  exit 1
+fi
+echo "ok: $trace_json lists all eight passes"
 
 echo "verify: OK"

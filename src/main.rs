@@ -6,13 +6,14 @@
 //! drdesync desync <input.v> [-o out.v] [--sdc out.sdc] [--blif out.blif]
 //!                 [--lib hs|ll] [--single-group] [--muxed]
 //!                 [--false-path NET]... [--clock PORT] [--period NS]
+//!                 [--trace FILE] [--stop-after PASS] [--dump-after PASS[=FILE]]
 //! drdesync gatefile [--lib hs|ll]
 //! drdesync regions <input.v> [--lib hs|ll]
 //! ```
 
 use std::process::ExitCode;
 
-use drd_core::{DesyncOptions, Desynchronizer};
+use drd_core::{DesyncError, DesyncOptions, Desynchronizer, FlowContext, Pipeline};
 use drd_liberty::gatefile::Gatefile;
 use drd_liberty::{vlib90, Library};
 
@@ -23,6 +24,7 @@ fn usage() -> &'static str {
        drdesync desync <input.v> [-o OUT.v] [--sdc OUT.sdc] [--blif OUT.blif]\n\
                        [--lib hs|ll] [--single-group] [--muxed]\n\
                        [--false-path NET]... [--clock PORT] [--period NS]\n\
+                       [--trace FILE] [--stop-after PASS] [--dump-after PASS[=FILE]]\n\
        drdesync gatefile [--lib hs|ll]\n\
        drdesync regions <input.v> [--lib hs|ll]\n"
 }
@@ -99,7 +101,65 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             if let Some(period) = flag_value(&args, "--period") {
                 opts.clock_period_ns = period.parse()?;
             }
-            let result = Desynchronizer::new(&lib)?.run(&module, &opts)?;
+            let stop_after = flag_value(&args, "--stop-after");
+            let (dump_pass, dump_file) = match flag_value(&args, "--dump-after") {
+                Some(v) => match v.split_once('=') {
+                    Some((pass, file)) => (Some(pass.to_owned()), file.to_owned()),
+                    None => (Some(v.to_owned()), format!("{v}.v")),
+                },
+                None => (None, String::new()),
+            };
+
+            let tool = Desynchronizer::new(&lib)?;
+            let pipeline = Pipeline::standard();
+            if let Some(pass) = &dump_pass {
+                if !pipeline.pass_names().contains(&pass.as_str()) {
+                    return Err(format!(
+                        "unknown pass `{pass}` for --dump-after — pipeline has: {}",
+                        pipeline.pass_names().join(", ")
+                    )
+                    .into());
+                }
+            }
+            let mut cx = FlowContext::new(&lib, tool.gatefile(), module, opts.clone());
+            let trace = pipeline.run_observed(&mut cx, stop_after, |name, cx| {
+                if dump_pass.as_deref() == Some(name) {
+                    std::fs::write(&dump_file, cx.netlist_verilog()).map_err(|e| {
+                        DesyncError::Pipeline {
+                            message: format!("cannot write checkpoint `{dump_file}`: {e}"),
+                        }
+                    })?;
+                }
+                Ok(())
+            })?;
+            if let Some(path) = flag_value(&args, "--trace") {
+                std::fs::write(path, trace.to_json())?;
+            }
+
+            if trace.passes.len() < pipeline.pass_names().len() {
+                // Early stop: report partial artifacts and checkpoint the
+                // intermediate netlist instead of the finished design.
+                let last = trace.passes.last().map_or("<none>", |p| p.name);
+                eprintln!(
+                    "stopped after pass `{last}` ({} of {} passes run)",
+                    trace.passes.len(),
+                    pipeline.pass_names().len()
+                );
+                for p in &trace.passes {
+                    eprintln!("  {}: {} [{}]", p.name, p.detail, p.artifacts.join(", "));
+                }
+                let verilog = cx.netlist_verilog();
+                match flag_value(&args, "-o") {
+                    Some(path) => std::fs::write(path, verilog)?,
+                    None => print!("{verilog}"),
+                }
+                if flag_value(&args, "--sdc").is_some() || flag_value(&args, "--blif").is_some() {
+                    eprintln!("note: --sdc/--blif skipped — flow stopped before completion");
+                }
+                return Ok(());
+            }
+
+            let result = cx.into_result()?;
             let rep = &result.report;
             eprintln!(
                 "desynchronized: clock `{}`, {} regions, {} flip-flops substituted, \

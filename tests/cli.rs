@@ -67,6 +67,60 @@ fn cli_regions_and_gatefile() {
 }
 
 #[test]
+fn cli_trace_stop_after_and_dump_after() {
+    let dir = std::env::temp_dir().join("drdesync_cli_test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_sample(&dir);
+    let out_v = dir.join("partial.v");
+    let trace = dir.join("trace.json");
+    let dump = dir.join("after_group.v");
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args([
+            "desync",
+            input.to_str().unwrap(),
+            "-o",
+            out_v.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--stop-after",
+            "ddg",
+            "--dump-after",
+            &format!("group={}", dump.display()),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stopped after pass `ddg`"), "{stderr}");
+
+    // The trace lists exactly the executed prefix of the pipeline.
+    let json = std::fs::read_to_string(&trace).unwrap();
+    for pass in ["clean", "clock-id", "group", "ddg"] {
+        assert!(json.contains(&format!("\"name\": \"{pass}\"")), "{json}");
+    }
+    assert!(!json.contains("\"name\": \"sdc\""), "{json}");
+
+    // The checkpoint and the partial output are both parseable Verilog
+    // and still synchronous (no control network inserted yet).
+    for path in [&dump, &out_v] {
+        let v = std::fs::read_to_string(path).unwrap();
+        drdesync::netlist::verilog::parse_design(&v).expect("checkpoint parses");
+        assert!(!v.contains("drd_ctrl_master"), "{v}");
+    }
+
+    // Unknown pass names are rejected for both flags.
+    for flag in ["--stop-after", "--dump-after"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+            .args(["desync", input.to_str().unwrap(), flag, "bogus"])
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "{flag} bogus should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown pass `bogus`"), "{stderr}");
+    }
+}
+
+#[test]
 fn cli_rejects_unknown_command() {
     let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
         .args(["frobnicate"])

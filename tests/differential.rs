@@ -9,8 +9,10 @@
 //! `DRD_PROP_SEED`, `DRD_PROP_CASES`, `DRD_PROP_CASE_SEED`.
 
 use drd_check::diff::{run_differential, DiffConfig};
+use drd_check::golden::render_desync_report;
 use drd_check::netgen::{NetGenParams, NetRecipe};
 use drd_check::{prop_with, Config, Rng};
+use drdesync::core::{DesyncOptions, Desynchronizer, FlowContext, Pipeline};
 use drdesync::liberty::vlib90;
 
 #[test]
@@ -48,6 +50,52 @@ fn differential_fuzz_scan_set_reset_mix() {
         Config::new(16).seed(0x5CA0_F1B3),
         |rng: &mut Rng| NetRecipe::sample(rng, &params),
         |recipe: &NetRecipe| run_differential(recipe, &lib, &config).map(|_| ()),
+    );
+}
+
+/// The legacy `Desynchronizer::run` wrapper and the explicit
+/// [`Pipeline`] path are the same flow: on fuzzed netlists both produce
+/// byte-identical SDC constraints, reports, and output Verilog (or fail
+/// with the same error).
+#[test]
+fn differential_pipeline_matches_legacy_wrapper() {
+    let lib = vlib90::high_speed();
+    let params = NetGenParams::default();
+    let tool = Desynchronizer::new(&lib).expect("tool builds");
+    let opts = DesyncOptions::default();
+    prop_with(
+        Config::new(25).seed(0x9A55_F10E),
+        |rng: &mut Rng| NetRecipe::sample(rng, &params),
+        |recipe: &NetRecipe| {
+            let module = recipe.build().map_err(|e| e.to_string())?;
+            let legacy = tool.run(&module, &opts);
+            let mut cx = FlowContext::new(&lib, tool.gatefile(), module, opts.clone());
+            let piped = Pipeline::standard()
+                .run(&mut cx)
+                .and_then(|_| cx.into_result());
+            match (legacy, piped) {
+                (Ok(a), Ok(b)) => {
+                    if a.sdc != b.sdc {
+                        return Err("SDC outputs differ".into());
+                    }
+                    if render_desync_report(&a.report) != render_desync_report(&b.report) {
+                        return Err("flow reports differ".into());
+                    }
+                    let va = drdesync::netlist::verilog::write_design(&a.design);
+                    let vb = drdesync::netlist::verilog::write_design(&b.design);
+                    if va != vb {
+                        return Err("output Verilog differs".into());
+                    }
+                    Ok(())
+                }
+                (Err(a), Err(b)) if a.to_string() == b.to_string() => Ok(()),
+                (a, b) => Err(format!(
+                    "paths disagree: legacy {:?}, pipeline {:?}",
+                    a.map(|_| ()).map_err(|e| e.to_string()),
+                    b.map(|_| ()).map_err(|e| e.to_string()),
+                )),
+            }
+        },
     );
 }
 

@@ -1,0 +1,167 @@
+//! Workspace-level tests of the instrumented pass pipeline: deterministic
+//! pass order, `stop-after` partial artifacts, delta bookkeeping, and a
+//! golden `FlowTrace` snapshot of the small DLX flow.
+//!
+//! Re-record the snapshot after an intentional change with:
+//!
+//! ```bash
+//! DRD_BLESS=1 cargo test -q --test pipeline
+//! ```
+
+use std::path::PathBuf;
+
+use drd_check::golden::assert_golden;
+use drdesync::core::{DesyncError, Desynchronizer, FlowContext, Pipeline};
+use drdesync::flow::experiment::CaseStudy;
+
+const STAGES: [&str; 8] = [
+    "clean",
+    "clock-id",
+    "group",
+    "ddg",
+    "region-delays",
+    "ffsub",
+    "control-network",
+    "sdc",
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn standard_pipeline_order_is_deterministic() {
+    assert_eq!(Pipeline::standard().pass_names(), STAGES);
+    assert_eq!(
+        Pipeline::standard().pass_names(),
+        Pipeline::standard().pass_names()
+    );
+}
+
+#[test]
+fn stop_after_halts_with_partial_artifacts() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let mut cx = FlowContext::new(
+        &case.lib,
+        tool.gatefile(),
+        case.module.clone(),
+        case.desync.clone(),
+    );
+    let trace = Pipeline::standard()
+        .run_until(&mut cx, Some("region-delays"))
+        .expect("prefix runs");
+    assert_eq!(trace.passes.len(), 5);
+    assert_eq!(trace.passes.last().unwrap().name, "region-delays");
+    // Artifacts up to the stop point exist; later ones do not.
+    assert!(cx.clock_net().is_some());
+    assert!(cx.regions().is_some());
+    assert!(cx.ddg().is_some());
+    assert!(cx.region_delays().is_some());
+    assert!(cx.network().is_none());
+    assert!(cx.sdc().is_none());
+    // The checkpoint netlist is still parseable synchronous Verilog.
+    let v = cx.netlist_verilog();
+    drdesync::netlist::verilog::parse_design(&v).expect("checkpoint parses");
+    assert!(!v.contains("drd_ctrl_master"));
+    // A partial context cannot be finalized.
+    match cx.into_result() {
+        Err(DesyncError::Pipeline { .. }) => {}
+        other => panic!("expected pipeline error, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn pass_deltas_sum_to_final_netlist_stats() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let mut cx = FlowContext::new(
+        &case.lib,
+        tool.gatefile(),
+        case.module.clone(),
+        case.desync.clone(),
+    );
+    let trace = Pipeline::standard().run(&mut cx).expect("flow runs");
+    assert_eq!(trace.passes.len(), STAGES.len());
+
+    let first = trace.passes.first().unwrap();
+    let last = trace.passes.last().unwrap();
+    assert_eq!(first.cells_before, case.module.cell_count());
+    assert_eq!(first.nets_before, case.module.net_count());
+    let (cells, nets) = cx.netlist_stats();
+    assert_eq!(last.cells_after, cells);
+    assert_eq!(last.nets_after, nets);
+    assert_eq!(
+        trace.cell_delta_sum(),
+        cells as i64 - case.module.cell_count() as i64
+    );
+    assert_eq!(
+        trace.net_delta_sum(),
+        nets as i64 - case.module.net_count() as i64
+    );
+    // Deltas chain: each pass starts where the previous one ended.
+    for w in trace.passes.windows(2) {
+        assert_eq!(w[0].cells_after, w[1].cells_before);
+        assert_eq!(w[0].nets_after, w[1].nets_before);
+    }
+
+    // The finalized result matches the context's last observed stats.
+    let result = cx.into_result().expect("result assembles");
+    let top = result.design.module(result.design.top());
+    assert_eq!(top.cell_count(), cells);
+    assert_eq!(top.net_count(), nets);
+}
+
+#[test]
+fn golden_dlx_small_flow_trace() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let (_result, trace) = tool
+        .run_traced(case.module.clone(), &case.desync)
+        .expect("flow runs");
+    assert_golden(
+        golden_dir().join("dlx_small_flow_trace.json"),
+        &trace.to_json_deterministic(),
+    );
+}
+
+/// The legacy one-call wrapper and a hand-driven pipeline produce the
+/// same result object on a real case study.
+#[test]
+fn wrapper_and_pipeline_agree_on_dlx_small() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let legacy = tool
+        .run(&case.module, &case.desync)
+        .expect("wrapper runs");
+    let mut cx = FlowContext::new(
+        &case.lib,
+        tool.gatefile(),
+        case.module.clone(),
+        case.desync.clone(),
+    );
+    Pipeline::standard().run(&mut cx).expect("pipeline runs");
+    let piped = cx.into_result().expect("result assembles");
+    assert_eq!(legacy.sdc, piped.sdc);
+    assert_eq!(
+        drdesync::netlist::verilog::write_design(&legacy.design),
+        drdesync::netlist::verilog::write_design(&piped.design)
+    );
+}
+
+#[test]
+fn trace_json_lists_every_stage_with_timings() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let (_result, trace) = tool
+        .run_traced(case.module.clone(), &case.desync)
+        .expect("flow runs");
+    let json = trace.to_json();
+    for stage in STAGES {
+        assert!(json.contains(&format!("\"name\": \"{stage}\"")), "{json}");
+    }
+    assert!(json.contains("wall_ns"));
+    assert!(json.contains("total_wall_ns"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
