@@ -8,13 +8,34 @@
 //! reference is clocked for a fixed number of cycles; the desynchronized
 //! circuit free-runs after its handshake reset; the per-element capture
 //! logs must agree on their common prefix ([`compare_capture_logs`]).
-//! On top of that the runner asserts the structural invariants of the
-//! substitution (one master + one slave latch per flip-flop, no flip-flop
-//! left behind) and the well-formedness of the emitted SDC.
+//!
+//! On top of that, [`verify_result`] asserts the structural invariants of
+//! a correct desynchronization — invariants sharpened by mutation testing
+//! (every check below kills a class of injected fault the behavioural
+//! oracle alone could miss):
+//!
+//! * one master + one slave latch per flip-flop, no flip-flop left behind;
+//! * the flat `C2X1` population matches the reported join-tree size
+//!   (kills dropped/duplicated C-elements that happen to be sequentially
+//!   benign on a given workload);
+//! * one delay element per controlled region (kills bypassed matched
+//!   delays that only misbehave at real silicon timings);
+//! * every master latch enable resolves to a `*_gm` net and every slave
+//!   enable to a `*_gs` net (kills swapped-phase and stuck-enable faults
+//!   structurally, independent of data patterns);
+//! * every controller handshake pin is a real net (kills tied-off
+//!   req/ack wires);
+//! * the emitted SDC carries loop-break, `size_only` and matched
+//!   `set_min_delay` lines for every controller and delay element.
+//!
+//! The split between [`run_differential`] (flow + verification) and
+//! [`verify_result`] (verification of a *given* result) is what the
+//! mutation harness in [`crate::mutate`] builds on: it corrupts a clean
+//! [`DesyncResult`] and asserts `verify_result` now fails.
 
 use drd_core::{DesyncOptions, DesyncResult, Desynchronizer};
 use drd_liberty::{Library, Lv};
-use drd_netlist::Design;
+use drd_netlist::{Conn, Design};
 use drd_sim::{compare_capture_logs, FlowCheck, SimOptions, Simulator};
 
 use crate::netgen::NetRecipe;
@@ -60,6 +81,45 @@ fn fail(recipe: &NetRecipe, what: &str) -> String {
     format!("{what}\n--- failing synchronous netlist ---\n{}", recipe.verilog())
 }
 
+/// Simulates the clocked reference and checks every flip-flop captured
+/// exactly `sync_cycles` times.
+fn simulate_reference(
+    recipe: &NetRecipe,
+    lib: &Library,
+    config: &DiffConfig,
+) -> Result<Simulator, String> {
+    let module = recipe
+        .build()
+        .map_err(|e| format!("recipe does not build: {e}"))?;
+    let mut sync_design = Design::new();
+    sync_design.insert(module);
+    let mut reference = Simulator::new(&sync_design, lib, SimOptions::default())
+        .map_err(|e| fail(recipe, &format!("sync simulator: {e}")))?;
+    for i in 0..recipe.inputs.max(1) {
+        let v = Lv::from_bool((recipe.input_bits >> i) & 1 == 1);
+        reference
+            .poke(&recipe.input_name(i), v)
+            .map_err(|e| fail(recipe, &format!("sync poke: {e}")))?;
+    }
+    reference
+        .schedule_clock("clk", config.clock_period_ns, config.clock_period_ns / 2.0, config.sync_cycles)
+        .map_err(|e| fail(recipe, &format!("sync clock: {e}")))?;
+    reference.run_for(config.clock_period_ns * (config.sync_cycles + 2) as f64);
+    for ff in &recipe.ff_names() {
+        if reference.captures().capture_count(ff) != config.sync_cycles {
+            return Err(fail(
+                recipe,
+                &format!(
+                    "sync reference: {ff} captured {} times, expected {}",
+                    reference.captures().capture_count(ff),
+                    config.sync_cycles
+                ),
+            ));
+        }
+    }
+    Ok(reference)
+}
+
 /// Runs one recipe through sync simulation, desynchronization, async
 /// co-simulation, capture-log comparison and SDC linting.
 ///
@@ -74,41 +134,27 @@ pub fn run_differential(
     let module = recipe
         .build()
         .map_err(|e| format!("recipe does not build: {e}"))?;
-    let ff_names = recipe.ff_names();
-
-    // Synchronous reference: constant inputs, `sync_cycles` clocked cycles.
-    let mut sync_design = Design::new();
-    sync_design.insert(module.clone());
-    let mut reference = Simulator::new(&sync_design, lib, SimOptions::default())
-        .map_err(|e| fail(recipe, &format!("sync simulator: {e}")))?;
-    for i in 0..recipe.inputs.max(1) {
-        let v = Lv::from_bool((recipe.input_bits >> i) & 1 == 1);
-        reference
-            .poke(&recipe.input_name(i), v)
-            .map_err(|e| fail(recipe, &format!("sync poke: {e}")))?;
-    }
-    reference
-        .schedule_clock("clk", config.clock_period_ns, config.clock_period_ns / 2.0, config.sync_cycles)
-        .map_err(|e| fail(recipe, &format!("sync clock: {e}")))?;
-    reference.run_for(config.clock_period_ns * (config.sync_cycles + 2) as f64);
-    for ff in &ff_names {
-        if reference.captures().capture_count(ff) != config.sync_cycles {
-            return Err(fail(
-                recipe,
-                &format!(
-                    "sync reference: {ff} captured {} times, expected {}",
-                    reference.captures().capture_count(ff),
-                    config.sync_cycles
-                ),
-            ));
-        }
-    }
-
-    // Desynchronize.
     let tool = Desynchronizer::new(lib).map_err(|e| format!("tool: {e}"))?;
     let result = tool
         .run(&module, &DesyncOptions::default())
         .map_err(|e| fail(recipe, &format!("desynchronization failed: {e}")))?;
+    verify_result(recipe, lib, config, &result)
+}
+
+/// Verifies a desynchronization *result* against its source recipe: the
+/// full oracle stack (structure, SDC, behavioural co-simulation) on an
+/// already-produced [`DesyncResult`]. This is the entry point the
+/// mutation harness attacks — a corrupted result must make this fail.
+///
+/// # Errors
+/// A human-readable failure report naming the first violated oracle.
+pub fn verify_result(
+    recipe: &NetRecipe,
+    lib: &Library,
+    config: &DiffConfig,
+    result: &DesyncResult,
+) -> Result<DiffStats, String> {
+    let ff_names = recipe.ff_names();
     if result.report.substituted_ffs != ff_names.len() {
         return Err(fail(
             recipe,
@@ -119,8 +165,10 @@ pub fn run_differential(
             ),
         ));
     }
-    let controllers = check_structure(recipe, &result, ff_names.len())?;
-    lint_sdc(recipe, &result)?;
+    let controllers = check_structure(recipe, result, ff_names.len())?;
+    lint_sdc(recipe, result)?;
+
+    let reference = simulate_reference(recipe, lib, config)?;
 
     // Desynchronized DUT: same constants, handshake reset, free run.
     let mut dut = Simulator::new(&result.design, lib, SimOptions::default())
@@ -162,7 +210,7 @@ pub fn run_differential(
     }
 }
 
-/// Structural invariants of the substitution on the flattened result.
+/// Structural invariants of the substitution and control network.
 fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -> Result<usize, String> {
     let flat = drd_netlist::flatten(&result.design, result.design.top())
         .map_err(|e| fail(recipe, &format!("flatten: {e}")))?;
@@ -181,6 +229,77 @@ fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -
     if dffs != 0 {
         return Err(fail(recipe, &format!("{dffs} flip-flops survived substitution")));
     }
+
+    // Join-tree census: dropped or duplicated C-elements can be
+    // sequentially benign on constant inputs, so count them exactly (the
+    // controllers' internal C-elements are C2RX1/C2SX1, never C2X1).
+    let c2 = flat.cells().filter(|(_, c)| c.kind.name() == "C2X1").count();
+    if c2 != result.report.celements {
+        return Err(fail(
+            recipe,
+            &format!(
+                "join trees hold {c2} C2X1 cells, report says {}",
+                result.report.celements
+            ),
+        ));
+    }
+
+    // One matched delay element per controlled region — a bypassed delay
+    // only misbehaves at real silicon timings, so enforce it structurally.
+    let top = result.design.module(result.design.top());
+    let delems = top
+        .cells()
+        .filter(|(_, c)| c.kind.name().starts_with("drd_delem"))
+        .count();
+    let controlled = result.report.regions.iter().filter(|r| r.ffs > 0).count();
+    if delems != controlled {
+        return Err(fail(
+            recipe,
+            &format!("{delems} delay elements for {controlled} controlled region(s)"),
+        ));
+    }
+
+    // Latch-enable phase lint: master enables come from a `*_gm` net,
+    // slave enables from `*_gs` (buffer-tree legs keep the substring).
+    // Kills swapped master/slave phases and enables tied to constants.
+    for (_, cell) in flat.cells() {
+        let want = if cell.name.ends_with("_lm") {
+            "_gm"
+        } else if cell.name.ends_with("_ls") {
+            "_gs"
+        } else {
+            continue;
+        };
+        let g = cell.pin("G").unwrap_or(Conn::Open);
+        let ok = g
+            .net()
+            .is_some_and(|n| flat.net(n).name.contains(want));
+        if !ok {
+            return Err(fail(
+                recipe,
+                &format!("latch {} enable is not a {want} net (found {g:?})", cell.name),
+            ));
+        }
+    }
+
+    // Handshake pins must be real nets — a request or acknowledge tied to
+    // a constant deadlocks or free-runs depending on polarity, but either
+    // way it is no longer a handshake.
+    for (_, cell) in top.cells() {
+        let kind = cell.kind.name();
+        if kind != "drd_ctrl_master" && kind != "drd_ctrl_slave" {
+            continue;
+        }
+        for (pin, conn) in cell.pins() {
+            if conn.net().is_none() {
+                return Err(fail(
+                    recipe,
+                    &format!("controller {} pin {pin} tied off ({conn:?})", cell.name),
+                ));
+            }
+        }
+    }
+
     Ok(flat
         .cells()
         .filter(|(_, c)| c.name.ends_with("/u_a"))
@@ -188,7 +307,8 @@ fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -
 }
 
 /// SDC well-formedness: both derived clocks, loop-breaking disables and
-/// `size_only` for every controller instance, balanced braces.
+/// `size_only` for every controller instance, a matched `set_min_delay`
+/// plus `dont_touch` for every delay element, balanced braces.
 fn lint_sdc(recipe: &NetRecipe, result: &DesyncResult) -> Result<(), String> {
     let sdc = &result.sdc;
     for needle in ["create_clock", "ClkM", "ClkS"] {
@@ -215,6 +335,29 @@ fn lint_sdc(recipe: &NetRecipe, result: &DesyncResult) -> Result<(), String> {
             if !sdc.contains(&size_only) {
                 return Err(fail(recipe, &format!("SDC misses size_only for {inst}")));
             }
+        }
+    }
+    // Matched-delay floor: every delay element matching a region with a
+    // positive critical delay needs its `set_min_delay` through in1→out1
+    // and a `dont_touch` — without them a timing tool may legally shrink
+    // the matched path below the region's critical delay (§3.1.4).
+    // Zero-delay regions (e.g. the input-register region `g0`) carry a
+    // minimum one-level element with no floor to preserve.
+    for r in &result.report.regions {
+        if r.ffs == 0 || r.critical_delay_ns <= 0.0 {
+            continue;
+        }
+        let inst = format!("drd_{}_delem", r.name);
+        let min_delay = format!("-from [get_pins {{{inst}/in1}}] -to [get_pins {{{inst}/out1}}]");
+        let dont_touch = format!("set_dont_touch [get_cells {{{inst}}}]");
+        let has_min = sdc
+            .lines()
+            .any(|l| l.starts_with("set_min_delay") && l.contains(&min_delay));
+        if !has_min {
+            return Err(fail(recipe, &format!("SDC misses set_min_delay for {inst}")));
+        }
+        if !sdc.contains(&dont_touch) {
+            return Err(fail(recipe, &format!("SDC misses dont_touch for {inst}")));
         }
     }
     Ok(())
@@ -249,5 +392,17 @@ mod tests {
         let b = run_differential(&recipe, &lib, &DiffConfig::default()).unwrap();
         assert_eq!(a.events, b.events);
         assert_eq!(a.ffs, b.ffs);
+    }
+
+    #[test]
+    fn verify_result_accepts_a_clean_flow() {
+        let lib = vlib90::high_speed();
+        let recipe = NetRecipe::sample(&mut Rng::new(0xFACE), &NetGenParams::default());
+        let module = recipe.build().unwrap();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let result = tool.run(&module, &DesyncOptions::default()).unwrap();
+        let stats = verify_result(&recipe, &lib, &DiffConfig::default(), &result)
+            .expect("clean result verifies");
+        assert_eq!(stats.ffs, recipe.ff_names().len());
     }
 }

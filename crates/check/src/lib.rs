@@ -17,14 +17,24 @@
 //! * [`golden`] — golden-file snapshot assertions (`DRD_BLESS=1` to
 //!   re-record),
 //! * [`bench`] — a `std::time::Instant` micro-benchmark runner emitting
-//!   `BENCH_*.json` (replacing `criterion`).
+//!   `BENCH_*.json` (replacing `criterion`),
+//! * [`runner`] — a dependency-free work-stealing parallel task runner on
+//!   `std::thread` with per-worker seeded scheduling streams,
+//! * [`cover`] — structural coverage buckets over generated netlists and
+//!   a coverage-guided recipe sampler,
+//! * [`mutate`] — the mutation-testing engine: seeded, paper-meaningful
+//!   corruptions of a desynchronized design (or its control protocol)
+//!   that every oracle must kill.
 
 pub mod bench;
+pub mod cover;
 pub mod diff;
 pub mod golden;
+pub mod mutate;
 pub mod netgen;
 pub mod prop;
 pub mod rng;
+pub mod runner;
 
-pub use prop::{prop, prop_with, Config, Shrink};
+pub use prop::{prop, prop_par_with, prop_with, Config, Shrink};
 pub use rng::Rng;

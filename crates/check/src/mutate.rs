@@ -1,0 +1,696 @@
+//! Mutation testing for the desynchronization oracles: inject a
+//! paper-meaningful fault into a *correct* desynchronized design (or its
+//! control protocol) and assert the verification stack notices.
+//!
+//! Property-based fuzzing answers "does the flow produce correct
+//! circuits?"; mutation testing answers the meta-question "would the
+//! oracles *notice* if it didn't?". Each [`Mutation`] variant corrupts
+//! one ingredient the paper's correctness argument rests on:
+//!
+//! * the C-element rendezvous trees (§2.4.3, Table 2.1) — drop,
+//!   duplicate, or degrade one to an OR gate;
+//! * the master/slave latch discipline (§2.3, Fig. 3.1) — swap a pair's
+//!   enable phases, force an enable transparent or opaque, or skip one
+//!   region's flip-flop substitution entirely;
+//! * the 4-phase req/ack handshake (§2.4, Fig. 2.7) — tie off a request
+//!   or acknowledge wire;
+//! * the matched delays (§3.1.4) — bypass a delay element, or strip its
+//!   `set_min_delay` floor from the SDC (§4.5);
+//! * the backend constraints (§4.4–4.6) — strip a loop-break or
+//!   `size_only` line;
+//! * the handshake protocol itself (§2.2, Fig. 2.4) — substitute the
+//!   non-flow-equivalent fall-decoupled protocol, or drop one causality
+//!   arc from the semi-decoupled STG.
+//!
+//! A mutant is **killed** when [`crate::diff::verify_result`] (or, for
+//! protocol mutants, the STG flow-equivalence check) rejects it. A
+//! surviving mutant is an oracle gap; the harness shrinks the netlist it
+//! survived on via the [`crate::prop::Shrink`] machinery and reports it.
+//!
+//! Everything is deterministic in `(Mutation, seed)`: recipes come from a
+//! seeded coverage-guided sampler ([`crate::cover`]), the fault site from
+//! a seeded pick over the design's mutation points. Campaigns fan out on
+//! the work-stealing runner ([`crate::runner`]).
+
+use drd_core::pipeline::{
+    CleanPass, ClockIdPass, ControlNetworkPass, DdgPass, GroupPass, RegionDelaysPass, SdcPass,
+};
+use drd_core::{
+    ffsub, network::enable_net_names, DesyncError, DesyncOptions, DesyncResult, Desynchronizer,
+    FlowContext, Pass, PassReport, Pipeline,
+};
+use drd_liberty::gatefile::Gatefile;
+use drd_liberty::Library;
+use drd_netlist::{CellId, Conn, Module};
+use drd_stg::flow_equiv::{check_flow_equivalence, FlowEquivalence};
+use drd_stg::protocols::Protocol;
+use drd_stg::Stg;
+
+use crate::cover::{self, Coverage};
+use crate::diff::{verify_result, DiffConfig};
+use crate::netgen::{NetGenParams, NetRecipe};
+use crate::prop::Shrink;
+use crate::rng::Rng;
+
+/// Recipes sampled before declaring a mutation inapplicable.
+const MAX_ATTEMPTS: usize = 32;
+/// Shrink-candidate budget for a surviving mutant.
+const MAX_SHRINK_STEPS: usize = 64;
+
+/// The mutation taxonomy. Every variant names a fault class the paper's
+/// construction must exclude — see the module docs for the mapping to
+/// paper sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Remove one C-element from a request/acknowledge join tree and
+    /// short its inputs past it (a rendezvous that no longer waits).
+    DropCElement,
+    /// Clone one join-tree C-element onto a dangling output (the inserted
+    /// control network no longer matches the report).
+    DuplicateCElement,
+    /// Replace one join-tree C-element with an OR gate — rises on *any*
+    /// input instead of *all* (Table 2.1 broken in the fast direction).
+    CElementToOr,
+    /// Swap the master/slave enable phases of one latch pair (the §2.3
+    /// two-phase discipline inverted for one stage).
+    SwapLatchPhases,
+    /// Tie one master controller's request input to constant 0 — the
+    /// handshake upstream of that region never fires.
+    StuckRequest,
+    /// Tie one slave controller's acknowledge input to constant 1 — the
+    /// controller stops waiting for its successors.
+    StuckAck,
+    /// Detach one latch enable from its controller and force it
+    /// transparent (constant 1).
+    DetachLatchEnable,
+    /// Force one latch enable opaque (constant 0) — the latch never
+    /// captures again.
+    EnableStuckOpaque,
+    /// Remove one matched delay element and wire the request straight
+    /// through (§3.1.4's timing assumption silently dropped).
+    BypassDelayElement,
+    /// Run a flow variant whose `ffsub` pass skips one region: its
+    /// flip-flops stay clocked while the rest of the design handshakes.
+    SkipRegionFfSub,
+    /// Strip one `set_min_delay` matched-delay floor from the SDC (§4.5).
+    SdcDropMinDelay,
+    /// Strip one controller loop-break (`u_nro/A` disable) line from the
+    /// SDC (§4.4).
+    SdcDropLoopBreak,
+    /// Strip one `set_size_only` controller-preservation line from the
+    /// SDC (§4.6).
+    SdcDropSizeOnly,
+    /// Swap the handshake protocol for fall-decoupled — live, but not
+    /// flow-equivalent (Fig. 2.4's counterexample).
+    ProtocolFallDecoupled,
+    /// Drop one causality arc from the semi-decoupled protocol STG.
+    ProtocolDropArc,
+}
+
+impl Mutation {
+    /// Every mutation kind, netlist-level first.
+    pub const ALL: [Mutation; 15] = [
+        Mutation::DropCElement,
+        Mutation::DuplicateCElement,
+        Mutation::CElementToOr,
+        Mutation::SwapLatchPhases,
+        Mutation::StuckRequest,
+        Mutation::StuckAck,
+        Mutation::DetachLatchEnable,
+        Mutation::EnableStuckOpaque,
+        Mutation::BypassDelayElement,
+        Mutation::SkipRegionFfSub,
+        Mutation::SdcDropMinDelay,
+        Mutation::SdcDropLoopBreak,
+        Mutation::SdcDropSizeOnly,
+        Mutation::ProtocolFallDecoupled,
+        Mutation::ProtocolDropArc,
+    ];
+
+    /// Stable kebab-case name (used in reports and `BENCH_mutation.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::DropCElement => "drop-celement",
+            Mutation::DuplicateCElement => "duplicate-celement",
+            Mutation::CElementToOr => "celement-to-or",
+            Mutation::SwapLatchPhases => "swap-latch-phases",
+            Mutation::StuckRequest => "stuck-request",
+            Mutation::StuckAck => "stuck-ack",
+            Mutation::DetachLatchEnable => "detach-latch-enable",
+            Mutation::EnableStuckOpaque => "enable-stuck-opaque",
+            Mutation::BypassDelayElement => "bypass-delay-element",
+            Mutation::SkipRegionFfSub => "skip-region-ffsub",
+            Mutation::SdcDropMinDelay => "sdc-drop-min-delay",
+            Mutation::SdcDropLoopBreak => "sdc-drop-loop-break",
+            Mutation::SdcDropSizeOnly => "sdc-drop-size-only",
+            Mutation::ProtocolFallDecoupled => "protocol-fall-decoupled",
+            Mutation::ProtocolDropArc => "protocol-drop-arc",
+        }
+    }
+
+    /// The paper property this mutation attacks (for the taxonomy table).
+    pub fn attacks(self) -> &'static str {
+        match self {
+            Mutation::DropCElement => "C-element rendezvous, Table 2.1 / §2.4.3",
+            Mutation::DuplicateCElement => "join-tree structure, §3.1.5",
+            Mutation::CElementToOr => "C-element truth table, Table 2.1",
+            Mutation::SwapLatchPhases => "master/slave phases, §2.3 / Fig. 3.1",
+            Mutation::StuckRequest => "4-phase request, §2.4 / Fig. 2.7",
+            Mutation::StuckAck => "4-phase acknowledge, §2.4 / Fig. 2.7",
+            Mutation::DetachLatchEnable => "latch enable wiring, Fig. 3.1",
+            Mutation::EnableStuckOpaque => "latch enable wiring, Fig. 3.1",
+            Mutation::BypassDelayElement => "matched delays, §3.1.4",
+            Mutation::SkipRegionFfSub => "complete FF substitution, §3.2.4",
+            Mutation::SdcDropMinDelay => "min-delay floor, §4.5",
+            Mutation::SdcDropLoopBreak => "timing-loop breaking, §4.4",
+            Mutation::SdcDropSizeOnly => "controller preservation, §4.6",
+            Mutation::ProtocolFallDecoupled => "flow equivalence, §2.2 / Fig. 2.4",
+            Mutation::ProtocolDropArc => "protocol causality arcs, §2.2",
+        }
+    }
+
+    /// Protocol-level mutations run against the STG oracles, not a
+    /// netlist.
+    pub fn is_protocol_level(self) -> bool {
+        matches!(
+            self,
+            Mutation::ProtocolFallDecoupled | Mutation::ProtocolDropArc
+        )
+    }
+
+    /// Per-kind salt so every kind consumes an independent seed stream.
+    fn salt(self) -> u64 {
+        let i = Mutation::ALL.iter().position(|m| *m == self).unwrap() as u64;
+        0x6D75_7461_7465_2121 ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// The result of running one mutant.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// Which fault was injected.
+    pub mutation: Mutation,
+    /// The campaign seed this mutant was derived from.
+    pub seed: u64,
+    /// True when an oracle rejected the mutant.
+    pub killed: bool,
+    /// The rejecting oracle's first line (killed), or the survival report
+    /// with the shrunk netlist (survived).
+    pub oracle: String,
+    /// The netlist the mutant ran on (`None` for protocol-level kinds).
+    pub recipe: Option<NetRecipe>,
+    /// Recipes sampled before an applicable fault site was found.
+    pub attempts: usize,
+}
+
+fn brief(s: &str) -> String {
+    s.lines().next().unwrap_or("").chars().take(200).collect()
+}
+
+/// Runs one `(mutation, seed)` mutant end to end: sample netlists until
+/// the fault is applicable, inject it, run the oracle stack, shrink any
+/// survivor. Deterministic in its arguments.
+pub fn run_mutation(
+    mutation: Mutation,
+    seed: u64,
+    lib: &Library,
+    config: &DiffConfig,
+) -> MutationOutcome {
+    if mutation.is_protocol_level() {
+        return run_protocol_mutation(mutation, seed);
+    }
+    let mut rng = Rng::new(seed ^ mutation.salt());
+    let params = NetGenParams::default();
+    // A local coverage map makes successive attempts structurally diverse
+    // (multi-region shapes show up quickly for join-targeting mutations)
+    // while keeping the whole task deterministic in (mutation, seed).
+    let mut coverage = Coverage::new();
+    for attempt_no in 1..=MAX_ATTEMPTS {
+        let recipe = cover::sample_guided(&mut rng, &params, &mut coverage, 4);
+        let site_seed = rng.next_u64();
+        match attempt(mutation, site_seed, &recipe, lib, config) {
+            Verdict::NotApplicable => continue,
+            Verdict::Killed(why) => {
+                return MutationOutcome {
+                    mutation,
+                    seed,
+                    killed: true,
+                    oracle: why,
+                    recipe: Some(recipe),
+                    attempts: attempt_no,
+                }
+            }
+            Verdict::Survived => {
+                let (shrunk, steps) = shrink_survivor(mutation, site_seed, recipe, lib, config);
+                return MutationOutcome {
+                    mutation,
+                    seed,
+                    killed: false,
+                    oracle: format!(
+                        "SURVIVED ({} shrink attempts) — every oracle accepted the mutant\n\
+                         --- smallest surviving netlist ---\n{}",
+                        steps,
+                        shrunk.verilog()
+                    ),
+                    recipe: Some(shrunk),
+                    attempts: attempt_no,
+                };
+            }
+        }
+    }
+    MutationOutcome {
+        mutation,
+        seed,
+        killed: false,
+        oracle: format!("no applicable fault site in {MAX_ATTEMPTS} sampled netlists"),
+        recipe: None,
+        attempts: MAX_ATTEMPTS,
+    }
+}
+
+enum Verdict {
+    NotApplicable,
+    Killed(String),
+    Survived,
+}
+
+/// One mutant attempt on one recipe: clean flow must pass verification,
+/// then the injected fault must make it fail.
+fn attempt(
+    mutation: Mutation,
+    site_seed: u64,
+    recipe: &NetRecipe,
+    lib: &Library,
+    config: &DiffConfig,
+) -> Verdict {
+    let Ok(module) = recipe.build() else {
+        return Verdict::NotApplicable;
+    };
+    let Ok(tool) = Desynchronizer::new(lib) else {
+        return Verdict::NotApplicable;
+    };
+    let Ok(clean) = tool.run(&module, &DesyncOptions::default()) else {
+        return Verdict::NotApplicable;
+    };
+    // Only attack designs the oracles accept when unmutated, so a kill is
+    // attributable to the fault and not to a flaky baseline.
+    if verify_result(recipe, lib, config, &clean).is_err() {
+        return Verdict::NotApplicable;
+    }
+    let Some(mutant) = apply(mutation, site_seed, recipe, &clean, lib) else {
+        return Verdict::NotApplicable;
+    };
+    match verify_result(recipe, lib, config, &mutant) {
+        Err(why) => Verdict::Killed(brief(&why)),
+        Ok(_) => Verdict::Survived,
+    }
+}
+
+/// Greedy recipe shrinking that preserves "the mutant survives" — the
+/// same discipline [`crate::prop`] uses for failing property inputs.
+fn shrink_survivor(
+    mutation: Mutation,
+    site_seed: u64,
+    recipe: NetRecipe,
+    lib: &Library,
+    config: &DiffConfig,
+) -> (NetRecipe, usize) {
+    let mut current = recipe;
+    let mut steps = 0usize;
+    let mut progressed = true;
+    while progressed && steps < MAX_SHRINK_STEPS {
+        progressed = false;
+        for candidate in current.shrink() {
+            steps += 1;
+            if matches!(
+                attempt(mutation, site_seed, &candidate, lib, config),
+                Verdict::Survived
+            ) {
+                current = candidate;
+                progressed = true;
+                break;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+    }
+    (current, steps)
+}
+
+/// Applies `mutation` to a clean flow result, returning the corrupted
+/// result (with the **pristine** report, so bookkeeping checks can't kill
+/// the mutant trivially — structure and behaviour must). `None` when the
+/// design has no applicable fault site.
+pub fn apply(
+    mutation: Mutation,
+    site_seed: u64,
+    recipe: &NetRecipe,
+    clean: &DesyncResult,
+    lib: &Library,
+) -> Option<DesyncResult> {
+    let mut rng = Rng::new(site_seed);
+    match mutation {
+        Mutation::SkipRegionFfSub => apply_skip_ffsub(recipe, clean, lib, &mut rng),
+        Mutation::SdcDropMinDelay | Mutation::SdcDropLoopBreak | Mutation::SdcDropSizeOnly => {
+            let keep: fn(&str) -> bool = match mutation {
+                Mutation::SdcDropMinDelay => |l| l.starts_with("set_min_delay"),
+                Mutation::SdcDropLoopBreak => |l| l.contains("/u_nro/A"),
+                _ => |l| l.starts_with("set_size_only"),
+            };
+            let lines: Vec<&str> = clean.sdc.lines().collect();
+            let hits: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| keep(l))
+                .map(|(i, _)| i)
+                .collect();
+            if hits.is_empty() {
+                return None;
+            }
+            let drop = *rng.choose(&hits);
+            let mut sdc = String::new();
+            for (i, l) in lines.iter().enumerate() {
+                if i != drop {
+                    sdc.push_str(l);
+                    sdc.push('\n');
+                }
+            }
+            Some(DesyncResult {
+                design: clean.design.clone(),
+                sdc,
+                report: clean.report.clone(),
+            })
+        }
+        _ => {
+            let mut design = clean.design.clone();
+            let top = design.top();
+            apply_netlist(mutation, design.module_mut(top), &mut rng)?;
+            Some(DesyncResult {
+                design,
+                sdc: clean.sdc.clone(),
+                report: clean.report.clone(),
+            })
+        }
+    }
+}
+
+/// Seeded pick over the cells matching `select`.
+fn pick_cell(m: &Module, rng: &mut Rng, select: impl Fn(&drd_netlist::Cell) -> bool) -> Option<CellId> {
+    let targets: Vec<CellId> = m
+        .cells()
+        .filter(|(_, c)| select(c))
+        .map(|(id, _)| id)
+        .collect();
+    if targets.is_empty() {
+        None
+    } else {
+        Some(*rng.choose(&targets))
+    }
+}
+
+fn apply_netlist(mutation: Mutation, m: &mut Module, rng: &mut Rng) -> Option<()> {
+    match mutation {
+        Mutation::DropCElement => {
+            let id = pick_cell(m, rng, |c| c.kind.name() == "C2X1")?;
+            let cell = m.cell(id).clone();
+            let z = cell.pin("Z")?.net()?;
+            let a = cell.pin("A")?;
+            m.remove_cell(id);
+            m.rewire_net(z, a);
+        }
+        Mutation::DuplicateCElement => {
+            let id = pick_cell(m, rng, |c| c.kind.name() == "C2X1")?;
+            let cell = m.cell(id).clone();
+            let (a, b) = (cell.pin("A")?, cell.pin("B")?);
+            let dangling = m.add_net_auto(&format!("{}_dup", cell.name));
+            let name = m.unique_cell_name(&format!("{}_dup", cell.name));
+            m.add_cell(name, "C2X1", &[("A", a), ("B", b), ("Z", Conn::Net(dangling))])
+                .ok()?;
+        }
+        Mutation::CElementToOr => {
+            let id = pick_cell(m, rng, |c| c.kind.name() == "C2X1")?;
+            let cell = m.cell(id).clone();
+            let pins: Vec<(&str, Conn)> = cell
+                .pins()
+                .iter()
+                .map(|(p, c)| (p.as_str(), *c))
+                .collect();
+            m.remove_cell(id);
+            m.add_cell(cell.name.clone(), "OR2X1", &pins).ok()?;
+        }
+        Mutation::SwapLatchPhases => {
+            let masters: Vec<(CellId, CellId)> = m
+                .cells()
+                .filter(|(_, c)| c.name.ends_with("_lm"))
+                .filter_map(|(id, c)| {
+                    let slave = format!("{}_ls", c.name.strip_suffix("_lm")?);
+                    Some((id, m.find_cell(&slave)?))
+                })
+                .collect();
+            if masters.is_empty() {
+                return None;
+            }
+            let (lm, ls) = *rng.choose(&masters);
+            let gm = m.cell(lm).pin("G")?;
+            let gs = m.cell(ls).pin("G")?;
+            m.set_pin(lm, "G", gs);
+            m.set_pin(ls, "G", gm);
+        }
+        Mutation::StuckRequest => {
+            let id = pick_cell(m, rng, |c| c.kind.name() == "drd_ctrl_master")?;
+            m.set_pin(id, "ri", Conn::Const0);
+        }
+        Mutation::StuckAck => {
+            let id = pick_cell(m, rng, |c| c.kind.name() == "drd_ctrl_slave")?;
+            m.set_pin(id, "ao", Conn::Const1);
+        }
+        Mutation::DetachLatchEnable => {
+            let id = pick_cell(m, rng, |c| {
+                c.name.ends_with("_lm") || c.name.ends_with("_ls")
+            })?;
+            m.set_pin(id, "G", Conn::Const1);
+        }
+        Mutation::EnableStuckOpaque => {
+            let id = pick_cell(m, rng, |c| {
+                c.name.ends_with("_lm") || c.name.ends_with("_ls")
+            })?;
+            m.set_pin(id, "G", Conn::Const0);
+        }
+        Mutation::BypassDelayElement => {
+            let id = pick_cell(m, rng, |c| c.kind.name().starts_with("drd_delem"))?;
+            let cell = m.cell(id).clone();
+            let out = cell.pin("out1")?.net()?;
+            let inp = cell.pin("in1")?;
+            m.remove_cell(id);
+            m.rewire_net(out, inp);
+        }
+        _ => unreachable!("handled in apply()"),
+    }
+    Some(())
+}
+
+/// A standard-flow variant whose `ffsub` stage creates every region's
+/// enable nets but skips one region's substitution.
+struct SkipOneFfSub {
+    selector: u64,
+}
+
+impl Pass for SkipOneFfSub {
+    fn name(&self) -> &'static str {
+        "ffsub"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let regions = cx
+            .regions()
+            .ok_or_else(|| DesyncError::Pipeline {
+                message: "regions not available — run the `group` pass first".into(),
+            })?
+            .clone();
+        let controlled: Vec<usize> = regions
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.seq_cells.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if controlled.is_empty() {
+            return Err(DesyncError::Pipeline {
+                message: "no controlled region to skip".into(),
+            });
+        }
+        let skip = controlled[(self.selector as usize) % controlled.len()];
+        let lib = cx.library();
+        let gatefile = cx.gatefile();
+        let mut substituted = 0usize;
+        for (i, r) in regions.regions.iter().enumerate() {
+            if r.seq_cells.is_empty() {
+                continue;
+            }
+            let working = cx.working_module_mut()?;
+            let (gm_name, gs_name) = enable_net_names(&r.name);
+            let gm = working.add_net(gm_name)?;
+            let gs = working.add_net(gs_name)?;
+            if i == skip {
+                continue;
+            }
+            let rep = ffsub::substitute_ffs(working, lib, gatefile, &r.seq_cells, gm, gs)?;
+            substituted += rep.substituted;
+        }
+        Ok(PassReport {
+            artifacts: vec!["substituted-ffs"],
+            detail: format!("{substituted} flip-flops substituted, region {skip} skipped"),
+        })
+    }
+}
+
+fn apply_skip_ffsub(
+    recipe: &NetRecipe,
+    clean: &DesyncResult,
+    lib: &Library,
+    rng: &mut Rng,
+) -> Option<DesyncResult> {
+    let module = recipe.build().ok()?;
+    let gatefile = Gatefile::from_library(lib).ok()?;
+    let mut cx = FlowContext::new(lib, &gatefile, module, DesyncOptions::default());
+    let mut pipe = Pipeline::empty();
+    pipe.push(Box::new(CleanPass))
+        .push(Box::new(ClockIdPass))
+        .push(Box::new(GroupPass))
+        .push(Box::new(DdgPass))
+        .push(Box::new(RegionDelaysPass))
+        .push(Box::new(SkipOneFfSub { selector: rng.next_u64() }))
+        .push(Box::new(ControlNetworkPass))
+        .push(Box::new(SdcPass));
+    pipe.run(&mut cx).ok()?;
+    let mutated = cx.into_result().ok()?;
+    Some(DesyncResult {
+        design: mutated.design,
+        sdc: mutated.sdc,
+        report: clean.report.clone(),
+    })
+}
+
+/// The semi-decoupled arc table of Fig. 2.4 (mirrors
+/// [`Protocol::SemiDecoupled`]'s encoding), exposed so the arc-drop
+/// mutation and its tests agree on indices.
+pub const SEMI_DECOUPLED_ARCS: [(&str, &str, u8); 6] = [
+    ("A+", "A-", 0),
+    ("A-", "A+", 1),
+    ("B+", "B-", 0),
+    ("B-", "B+", 1),
+    ("A-", "B-", 0),
+    ("B-", "A+", 1),
+];
+
+/// Arc indices whose removal changes the protocol's behaviour. Index 1
+/// (`A- → A+`) is excluded: it is *implied* — every `B-` is preceded by a
+/// fresh `A-` (arc `A- → B-`), so the marked `B- → A+` place already
+/// enforces the A alternation and dropping the implied place yields an
+/// equivalent net, not a mutant.
+pub const DROPPABLE_ARCS: [usize; 5] = [0, 2, 3, 4, 5];
+
+fn run_protocol_mutation(mutation: Mutation, seed: u64) -> MutationOutcome {
+    // A modest state limit: a real violation surfaces within a few
+    // thousand states, and several arc-drop mutants are *unbounded* —
+    // running into the limit is itself a kill (the oracle refuses the
+    // net), so a large bound only buys wasted exploration.
+    const STATE_LIMIT: usize = 1 << 16;
+    let fe = match mutation {
+        Mutation::ProtocolFallDecoupled => {
+            check_flow_equivalence(&Protocol::FallDecoupled.stg(), 4, STATE_LIMIT)
+        }
+        Mutation::ProtocolDropArc => {
+            let drop = DROPPABLE_ARCS[(seed % DROPPABLE_ARCS.len() as u64) as usize];
+            let mut s = Stg::new(&["A", "B"]);
+            for (i, (from, to, tokens)) in SEMI_DECOUPLED_ARCS.iter().enumerate() {
+                if i != drop {
+                    s.arc(from, to, *tokens).expect("static labels are valid");
+                }
+            }
+            check_flow_equivalence(&s, 4, STATE_LIMIT)
+        }
+        _ => unreachable!("netlist-level mutation routed to protocol harness"),
+    };
+    let (killed, oracle) = match fe {
+        Ok(FlowEquivalence::Ok) => (
+            false,
+            "SURVIVED — the flow-equivalence oracle accepted the mutant protocol".to_owned(),
+        ),
+        Ok(other) => (true, brief(&format!("flow equivalence rejected: {other:?}"))),
+        Err(e) => (true, brief(&format!("STG oracle rejected: {e}"))),
+    };
+    MutationOutcome {
+        mutation,
+        seed,
+        killed,
+        oracle,
+        recipe: None,
+        attempts: 1,
+    }
+}
+
+/// Fans the `kinds × seeds` grid out on the work-stealing runner;
+/// outcomes come back in grid order (kind-major), deterministic for any
+/// worker count.
+pub fn run_campaign(
+    kinds: &[Mutation],
+    seeds: &[u64],
+    lib: &Library,
+    config: &DiffConfig,
+    workers: usize,
+) -> Vec<MutationOutcome> {
+    let grid: Vec<(Mutation, u64)> = kinds
+        .iter()
+        .flat_map(|&k| seeds.iter().map(move |&s| (k, s)))
+        .collect();
+    crate::runner::run_indexed(grid.len(), workers, |i| {
+        let (mutation, seed) = grid[i];
+        run_mutation(mutation, seed, lib, config)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drd_liberty::vlib90;
+
+    #[test]
+    fn names_are_unique_and_kebab() {
+        let mut seen = std::collections::HashSet::new();
+        for m in Mutation::ALL {
+            assert!(seen.insert(m.name()), "{} duplicated", m.name());
+            assert!(m.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+            assert!(!m.attacks().is_empty());
+        }
+    }
+
+    #[test]
+    fn protocol_mutants_are_killed() {
+        // One seed per droppable arc: every non-redundant arc removal must
+        // be rejected by the flow-equivalence oracle.
+        for seed in 0..DROPPABLE_ARCS.len() as u64 {
+            let out = run_mutation(Mutation::ProtocolDropArc, seed, &vlib90::high_speed(), &DiffConfig::default());
+            assert!(out.killed, "arc {seed} survived: {}", out.oracle);
+        }
+        let out = run_mutation(
+            Mutation::ProtocolFallDecoupled,
+            0,
+            &vlib90::high_speed(),
+            &DiffConfig::default(),
+        );
+        assert!(out.killed, "{}", out.oracle);
+    }
+
+    #[test]
+    fn a_netlist_mutant_is_killed_and_deterministic() {
+        let lib = vlib90::high_speed();
+        let config = DiffConfig::default();
+        let a = run_mutation(Mutation::SwapLatchPhases, 1, &lib, &config);
+        assert!(a.killed, "{}", a.oracle);
+        let b = run_mutation(Mutation::SwapLatchPhases, 1, &lib, &config);
+        assert_eq!(a.oracle, b.oracle);
+        assert_eq!(a.attempts, b.attempts);
+    }
+}

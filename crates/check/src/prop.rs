@@ -220,6 +220,68 @@ where
     }
 }
 
+/// [`prop_with`] on the work-stealing parallel runner: cases are checked
+/// concurrently, yet the failure report is identical to the serial
+/// harness — per-case seeds derive from the base seed by case *index*,
+/// the **lowest failing case index** is reported (not whichever thread
+/// lost the race), and shrinking runs serially on that case. The same
+/// `DRD_PROP_SEED` / `DRD_PROP_CASES` / `DRD_PROP_CASE_SEED` overrides
+/// apply, so any parallel failure replays with one single-threaded
+/// command.
+///
+/// # Panics
+/// Panics with the seed-reporting, shrunk failure report if any case
+/// fails.
+pub fn prop_par_with<T, G, C>(config: Config, strategy: G, check: C)
+where
+    T: Clone + std::fmt::Debug + Shrink + Send,
+    G: Fn(&mut Rng) -> T + Sync,
+    C: Fn(&T) -> Result<(), String> + Sync,
+{
+    let cases = env_u64("DRD_PROP_CASES").map_or(config.cases, |v| v as u32);
+    let base_seed = env_u64("DRD_PROP_SEED").unwrap_or(config.seed);
+    let single = env_u64("DRD_PROP_CASE_SEED");
+
+    let mut seed_stream = Rng::new(base_seed);
+    let case_seeds: Vec<u64> = match single {
+        Some(s) => vec![s],
+        None => (0..cases).map(|_| seed_stream.next_u64()).collect(),
+    };
+
+    let outcomes: Vec<Option<(T, String)>> =
+        crate::runner::run_parallel(case_seeds.len(), |case| {
+            let input = strategy(&mut Rng::new(case_seeds[case]));
+            match check(&input) {
+                Ok(()) => None,
+                Err(e) => Some((input, e)),
+            }
+        });
+
+    if let Some((case, Some((input, original)))) = outcomes
+        .into_iter()
+        .enumerate()
+        .find(|(_, o)| o.is_some())
+    {
+        let case_seed = case_seeds[case];
+        let mut recheck = |t: &T| check(t);
+        let (min, min_err, steps) = shrink_failure(
+            input.clone(),
+            original.clone(),
+            &mut recheck,
+            config.max_shrink_steps,
+        );
+        panic!(
+            "property failed at case {case}/{cases} \
+             (base seed {base_seed:#018x}, case seed {case_seed:#018x})\n\
+             replay just this case with: DRD_PROP_CASE_SEED={case_seed:#x}\n\
+             original input: {input:?}\n\
+             original failure: {original}\n\
+             shrunk input ({steps} shrink attempts): {min:?}\n\
+             shrunk failure: {min_err}"
+        );
+    }
+}
+
 fn shrink_failure<T, C>(mut current: T, mut err: String, check: &mut C, max_steps: u32) -> (T, String, u32)
 where
     T: Clone + std::fmt::Debug + Shrink,
@@ -319,6 +381,38 @@ mod tests {
         assert!(0u32.shrink().is_empty());
         assert!(false.shrink().is_empty());
         assert_eq!(true.shrink(), vec![false]);
+    }
+
+    /// The parallel harness reports byte-for-byte the same failure as the
+    /// serial one: same case index, same case seed, same shrunk input.
+    #[test]
+    fn parallel_failure_report_matches_serial() {
+        let strategy = |rng: &mut Rng| rng.range(0, 1000);
+        let check = |&v: &usize| {
+            if v < 500 {
+                Ok(())
+            } else {
+                Err(format!("{v} too big"))
+            }
+        };
+        let serial = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            prop(64, strategy, check);
+        }));
+        let parallel = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            prop_par_with(Config::new(64), strategy, check);
+        }));
+        let serial_msg = *serial.expect_err("fails").downcast::<String>().unwrap();
+        let parallel_msg = *parallel.expect_err("fails").downcast::<String>().unwrap();
+        assert_eq!(serial_msg, parallel_msg);
+    }
+
+    #[test]
+    fn parallel_prop_passes_clean_properties() {
+        prop_par_with(
+            Config::new(128),
+            |rng: &mut Rng| rng.range(0, 100),
+            |&v: &usize| if v < 100 { Ok(()) } else { Err("impossible".into()) },
+        );
     }
 
     #[test]

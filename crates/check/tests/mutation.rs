@@ -1,0 +1,51 @@
+//! Tier-1 mutation smoke: every mutation kind, a few seeds each, run
+//! through the work-stealing campaign runner — all mutants must be
+//! killed by the oracle stack. The full 25-seed sweep lives in the
+//! `mutation` bench bin; this keeps the per-commit cost bounded while
+//! still exercising each fault class end to end.
+
+use drd_check::diff::DiffConfig;
+use drd_check::mutate::{run_campaign, Mutation};
+use drd_check::runner;
+use drd_liberty::vlib90;
+
+#[test]
+fn every_mutation_kind_is_killed() {
+    let lib = vlib90::high_speed();
+    let config = DiffConfig::default();
+    let seeds: Vec<u64> = (0..2).collect();
+    let outcomes = run_campaign(
+        &Mutation::ALL,
+        &seeds,
+        &lib,
+        &config,
+        runner::worker_count(),
+    );
+    assert_eq!(outcomes.len(), Mutation::ALL.len() * seeds.len());
+    let survivors: Vec<String> = outcomes
+        .iter()
+        .filter(|o| !o.killed)
+        .map(|o| format!("{} seed {}: {}", o.mutation.name(), o.seed, o.oracle))
+        .collect();
+    assert!(
+        survivors.is_empty(),
+        "oracle gaps — surviving mutants:\n{}",
+        survivors.join("\n")
+    );
+}
+
+#[test]
+fn campaign_order_is_deterministic_across_worker_counts() {
+    let lib = vlib90::high_speed();
+    let config = DiffConfig::default();
+    let kinds = [Mutation::StuckRequest, Mutation::SdcDropMinDelay];
+    let one = run_campaign(&kinds, &[3], &lib, &config, 1);
+    let many = run_campaign(&kinds, &[3], &lib, &config, 4);
+    assert_eq!(one.len(), many.len());
+    for (a, b) in one.iter().zip(&many) {
+        assert_eq!(a.mutation, b.mutation);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.killed, b.killed);
+        assert_eq!(a.oracle, b.oracle);
+    }
+}

@@ -11,10 +11,13 @@ use drd_netlist::{Conn, Module, NetId};
 use crate::DesyncError;
 
 /// Report from building one C-element tree.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CTreeReport {
     /// C-elements inserted.
     pub celements: usize,
+    /// Instance names of the inserted C-elements — the targeted mutation
+    /// points the fault-injection harness corrupts one at a time.
+    pub cells: Vec<String>,
 }
 
 /// Joins `inputs` with a balanced tree of `C2X1` cells named with
@@ -46,7 +49,7 @@ pub fn join(
             let z = module.add_net_auto(&format!("{prefix}_c{stage}_{i}"));
             let name = module.unique_cell_name(&format!("{prefix}_uc{stage}_{i}"));
             module.add_cell(
-                name,
+                name.clone(),
                 "C2X1",
                 &[
                     ("A", Conn::Net(chunk[0])),
@@ -55,6 +58,7 @@ pub fn join(
                 ],
             )?;
             report.celements += 1;
+            report.cells.push(name);
             next.push(z);
         }
         level = next;

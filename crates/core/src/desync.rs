@@ -151,9 +151,25 @@ impl<'a> Desynchronizer<'a> {
         module: Module,
         opts: &DesyncOptions,
     ) -> Result<(DesyncResult, FlowTrace), DesyncError> {
+        let (result, trace) = self.run_checked(module, opts);
+        Ok((result?, trace))
+    }
+
+    /// Like [`Desynchronizer::run_traced`], but a mid-run pass failure
+    /// does not discard the instrumentation: the returned [`FlowTrace`]
+    /// always lists the passes that completed, and records the failing
+    /// pass and message in [`FlowTrace::error`].
+    pub fn run_checked(
+        &self,
+        module: Module,
+        opts: &DesyncOptions,
+    ) -> (Result<DesyncResult, DesyncError>, FlowTrace) {
         let mut cx = FlowContext::new(self.lib, &self.gatefile, module, opts.clone());
-        let trace = Pipeline::standard().run(&mut cx)?;
-        Ok((cx.into_result()?, trace))
+        let (trace, err) = Pipeline::standard().run_recording(&mut cx, None);
+        match err {
+            Some(e) => (Err(e), trace),
+            None => (cx.into_result(), trace),
+        }
     }
 }
 

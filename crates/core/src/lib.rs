@@ -47,4 +47,6 @@ pub mod sdc;
 
 pub use desync::{DesyncOptions, DesyncReport, DesyncResult, Desynchronizer, RegionSummary};
 pub use error::DesyncError;
-pub use pipeline::{FlowContext, FlowTrace, Pass, PassReport, PassTrace, Pipeline};
+pub use pipeline::{
+    FlowContext, FlowErrorTrace, FlowTrace, Pass, PassReport, PassTrace, Pipeline,
+};

@@ -38,6 +38,12 @@ pub struct NetworkReport {
     pub delem_levels: Vec<usize>,
     /// Names of all controller instances (`(master, slave)` per region).
     pub controller_instances: Vec<(String, String)>,
+    /// Names of every C-element cell in the request/acknowledge joins —
+    /// targeted mutation points for the fault-injection harness.
+    pub celement_instances: Vec<String>,
+    /// Names of every delay-element instance, one per controlled region —
+    /// targeted mutation points for matched-delay faults.
+    pub delay_element_instances: Vec<String>,
     /// Buffers inserted for the low-skew enable trees.
     pub enable_tree_buffers: usize,
 }
@@ -192,6 +198,7 @@ pub fn insert_control_network(
         } else {
             let (net, c) = celement::join(m, &pred_reqs, &format!("drd_{}_ri", r.name))?;
             report.celements += c.celements;
+            report.celement_instances.extend(c.cells);
             net
         };
         let rim = m.add_net_auto(&format!("drd_{}_rim", r.name));
@@ -204,12 +211,10 @@ pub fn insert_control_network(
                 delem_pins.push((sel_names[b].as_str(), Conn::Net(*sel_net)));
             }
         }
-        m.add_instance(
-            m.unique_cell_name(&format!("drd_{}_delem", r.name)),
-            delem_name,
-            &delem_pins,
-        )?;
+        let delem_inst = m.unique_cell_name(&format!("drd_{}_delem", r.name));
+        m.add_instance(delem_inst.clone(), delem_name, &delem_pins)?;
         report.delay_elements += 1;
+        report.delay_element_instances.push(delem_inst);
 
         // Output acknowledgements: successors' master ai, joined.
         let succ_acks: Vec<NetId> = ddg.succs[i]
@@ -223,6 +228,7 @@ pub fn insert_control_network(
         } else {
             let (net, c) = celement::join(m, &succ_acks, &format!("drd_{}_ao", r.name))?;
             report.celements += c.celements;
+            report.celement_instances.extend(c.cells);
             net
         };
 

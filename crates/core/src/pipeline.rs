@@ -164,6 +164,17 @@ impl<'a> FlowContext<'a> {
         }
     }
 
+    /// Mutable access to the pre-network working module — the hook custom
+    /// passes (and the mutation-testing harness) use to transform the
+    /// netlist between standard passes.
+    ///
+    /// # Errors
+    /// Returns [`DesyncError::Pipeline`] once `control-network` has
+    /// promoted the module into a design.
+    pub fn working_module_mut(&mut self) -> Result<&mut Module, DesyncError> {
+        self.module_mut()
+    }
+
     fn module(&self) -> Result<&Module, DesyncError> {
         match &self.netlist {
             Netlist::Module(m) => Ok(m),
@@ -551,6 +562,17 @@ impl PassTrace {
     }
 }
 
+/// A recorded pass failure: which pass died and why. The trace keeps the
+/// passes that completed before it, so a mid-run failure still reports
+/// the partial pipeline instead of discarding the instrumentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowErrorTrace {
+    /// Name of the failing pass.
+    pub pass: &'static str,
+    /// The failure, rendered.
+    pub message: String,
+}
+
 /// Machine-readable record of one pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTrace {
@@ -558,6 +580,9 @@ pub struct FlowTrace {
     pub passes: Vec<PassTrace>,
     /// Total wall time across all executed passes (ns).
     pub total_wall_ns: u128,
+    /// Set when the run stopped at a failing pass; [`FlowTrace::passes`]
+    /// then holds exactly the passes that completed before it.
+    pub error: Option<FlowErrorTrace>,
 }
 
 impl FlowTrace {
@@ -607,6 +632,13 @@ impl FlowTrace {
             out.push_str(if i + 1 == self.passes.len() { "\n" } else { ",\n" });
         }
         out.push_str("  ]");
+        if let Some(err) = &self.error {
+            out.push_str(&format!(
+                ",\n  \"error\": {{\"pass\": \"{}\", \"message\": \"{}\"}}",
+                escape(err.pass),
+                escape(&err.message)
+            ));
+        }
         if with_times {
             out.push_str(&format!(",\n  \"total_wall_ns\": {}", self.total_wall_ns));
         }
@@ -694,24 +726,67 @@ impl Pipeline {
         &self,
         cx: &mut FlowContext<'_>,
         stop_after: Option<&str>,
-        mut observer: impl FnMut(&'static str, &FlowContext<'_>) -> Result<(), DesyncError>,
+        observer: impl FnMut(&'static str, &FlowContext<'_>) -> Result<(), DesyncError>,
     ) -> Result<FlowTrace, DesyncError> {
+        let (trace, err) = self.run_recording_observed(cx, stop_after, observer);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(trace),
+        }
+    }
+
+    /// Runs passes like [`Pipeline::run_until`], but never discards the
+    /// instrumentation: on a pass failure the returned [`FlowTrace`] keeps
+    /// the completed-pass list and records the failure in
+    /// [`FlowTrace::error`], and the typed [`DesyncError`] is returned
+    /// alongside. The context is left exactly as the last *successful*
+    /// pass left it (each pass restores its borrows on error), so callers
+    /// can still inspect artifacts and the checkpoint netlist.
+    pub fn run_recording(
+        &self,
+        cx: &mut FlowContext<'_>,
+        stop_after: Option<&str>,
+    ) -> (FlowTrace, Option<DesyncError>) {
+        self.run_recording_observed(cx, stop_after, |_, _| Ok(()))
+    }
+
+    fn run_recording_observed(
+        &self,
+        cx: &mut FlowContext<'_>,
+        stop_after: Option<&str>,
+        mut observer: impl FnMut(&'static str, &FlowContext<'_>) -> Result<(), DesyncError>,
+    ) -> (FlowTrace, Option<DesyncError>) {
+        let mut trace = FlowTrace::default();
         if let Some(stop) = stop_after {
             if !self.passes.iter().any(|p| p.name() == stop) {
-                return Err(DesyncError::Pipeline {
+                let err = DesyncError::Pipeline {
                     message: format!(
                         "unknown pass `{stop}` — pipeline has: {}",
                         self.pass_names().join(", ")
                     ),
+                };
+                trace.error = Some(FlowErrorTrace {
+                    pass: "<pipeline>",
+                    message: err.to_string(),
                 });
+                return (trace, Some(err));
             }
         }
-        let mut trace = FlowTrace::default();
         for pass in &self.passes {
             let (cells_before, nets_before) = cx.netlist_stats();
             let start = Instant::now();
-            let report = pass.run(cx)?;
+            let result = pass.run(cx);
             let wall_ns = start.elapsed().as_nanos();
+            let report = match result {
+                Ok(report) => report,
+                Err(e) => {
+                    trace.error = Some(FlowErrorTrace {
+                        pass: pass.name(),
+                        message: e.to_string(),
+                    });
+                    return (trace, Some(e));
+                }
+            };
             let (cells_after, nets_after) = cx.netlist_stats();
             trace.total_wall_ns += wall_ns;
             trace.passes.push(PassTrace {
@@ -724,12 +799,18 @@ impl Pipeline {
                 artifacts: report.artifacts,
                 detail: report.detail,
             });
-            observer(pass.name(), cx)?;
+            if let Err(e) = observer(pass.name(), cx) {
+                trace.error = Some(FlowErrorTrace {
+                    pass: pass.name(),
+                    message: e.to_string(),
+                });
+                return (trace, Some(e));
+            }
             if stop_after == Some(pass.name()) {
                 break;
             }
         }
-        Ok(trace)
+        (trace, None)
     }
 }
 

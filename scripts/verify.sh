@@ -10,7 +10,9 @@
 # 3. lints the whole workspace with clippy, warnings denied,
 # 4. regenerates the Table 5.1 area comparison as an end-to-end smoke run,
 # 5. regenerates results/BENCH_flow_passes.json and checks it lists every
-#    pipeline pass.
+#    pipeline pass,
+# 6. runs the mutation campaign (results/BENCH_mutation.json) and gates on
+#    a 100% kill rate — every injected fault must be caught by an oracle.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,5 +76,49 @@ if [ "$open_braces" -ne "$close_braces" ]; then
   exit 1
 fi
 echo "ok: $trace_json lists all eight passes"
+
+echo "== mutation score gate (offline) =="
+cargo run --release --offline -p drd-bench --bin mutation
+mut_json=results/BENCH_mutation.json
+if [ ! -s "$mut_json" ]; then
+  echo "error: $mut_json missing or empty" >&2
+  exit 1
+fi
+# Schema: every field the gate and the experiment log rely on.
+for field in '"name": "mutation"' '"kinds"' '"seeds_per_kind"' '"mutants"' \
+             '"killed"' '"kill_rate"' '"workers"' '"coverage_buckets"' \
+             '"parallel"' '"single_thread"' '"mutants_per_s"' \
+             '"speedup_estimate"' '"results"'; do
+  if ! grep -q "$field" "$mut_json"; then
+    echo "error: $mut_json misses field $field" >&2
+    exit 1
+  fi
+done
+open_braces=$(grep -o '{' "$mut_json" | wc -l)
+close_braces=$(grep -o '}' "$mut_json" | wc -l)
+if [ "$open_braces" -ne "$close_braces" ]; then
+  echo "error: $mut_json is not well-formed (unbalanced braces)" >&2
+  exit 1
+fi
+mutants=$(sed -n 's/^[[:space:]]*"mutants": \([0-9]*\),.*/\1/p' "$mut_json")
+killed=$(sed -n 's/^[[:space:]]*"killed": \([0-9]*\),.*/\1/p' "$mut_json")
+if [ -z "$mutants" ] || [ "$mutants" -eq 0 ] || [ "$mutants" != "$killed" ]; then
+  echo "error: mutation score below 100% ($killed/$mutants killed) — oracle gap" >&2
+  exit 1
+fi
+echo "ok: $killed/$mutants mutants killed (100%)"
+# The work-stealing runner must pay off where there are cores to steal
+# from; on narrow hosts (CI containers, laptops on battery) only report.
+cores=$(nproc 2>/dev/null || echo 1)
+speedup=$(sed -n 's/^[[:space:]]*"speedup_estimate": \([0-9.]*\),.*/\1/p' "$mut_json")
+if [ "$cores" -ge 4 ]; then
+  if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "error: parallel runner speedup $speedup < 2.0x on a $cores-core host" >&2
+    exit 1
+  fi
+  echo "ok: parallel speedup ${speedup}x on $cores cores"
+else
+  echo "note: $cores core(s) — speedup ${speedup}x reported, not gated"
+fi
 
 echo "verify: OK"

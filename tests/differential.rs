@@ -5,13 +5,20 @@
 //! SDC well-formedness. Failing netlists shrink to a minimal reproducer
 //! printed as Verilog.
 //!
+//! All four loops run on the work-stealing parallel runner
+//! ([`drd_check::prop_par_with`]) with fixed seeds: case seeds are
+//! pre-generated serially, so the failing `NetRecipe` + seed printed on
+//! panic is identical for any worker count (`DRD_WORKERS` to override).
+//!
 //! Replay knobs (see README "Building and testing"):
 //! `DRD_PROP_SEED`, `DRD_PROP_CASES`, `DRD_PROP_CASE_SEED`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use drd_check::diff::{run_differential, DiffConfig};
 use drd_check::golden::render_desync_report;
 use drd_check::netgen::{NetGenParams, NetRecipe};
-use drd_check::{prop_with, Config, Rng};
+use drd_check::{prop_par_with, Config, Rng};
 use drdesync::core::{DesyncOptions, Desynchronizer, FlowContext, Pipeline};
 use drdesync::liberty::vlib90;
 
@@ -20,16 +27,17 @@ fn differential_fuzz_100_random_netlists() {
     let lib = vlib90::high_speed();
     let params = NetGenParams::default();
     let config = DiffConfig::default();
-    let mut total_events = 0usize;
-    prop_with(
+    let total_events = AtomicUsize::new(0);
+    prop_par_with(
         Config::new(100).seed(0xD5C0_DE20_07F0_22ED),
         |rng: &mut Rng| NetRecipe::sample(rng, &params),
         |recipe: &NetRecipe| {
             let stats = run_differential(recipe, &lib, &config)?;
-            total_events += stats.events;
+            total_events.fetch_add(stats.events, Ordering::Relaxed);
             Ok(())
         },
     );
+    let total_events = total_events.load(Ordering::Relaxed);
     assert!(total_events > 1000, "compared {total_events} capture events");
 }
 
@@ -46,7 +54,7 @@ fn differential_fuzz_scan_set_reset_mix() {
         scan_set_reset: true,
     };
     let config = DiffConfig::default();
-    prop_with(
+    prop_par_with(
         Config::new(16).seed(0x5CA0_F1B3),
         |rng: &mut Rng| NetRecipe::sample(rng, &params),
         |recipe: &NetRecipe| run_differential(recipe, &lib, &config).map(|_| ()),
@@ -63,7 +71,7 @@ fn differential_pipeline_matches_legacy_wrapper() {
     let params = NetGenParams::default();
     let tool = Desynchronizer::new(&lib).expect("tool builds");
     let opts = DesyncOptions::default();
-    prop_with(
+    prop_par_with(
         Config::new(25).seed(0x9A55_F10E),
         |rng: &mut Rng| NetRecipe::sample(rng, &params),
         |recipe: &NetRecipe| {
@@ -105,7 +113,7 @@ fn differential_fuzz_low_leakage_library() {
     let lib = vlib90::low_leakage();
     let params = NetGenParams::default();
     let config = DiffConfig::default();
-    prop_with(
+    prop_par_with(
         Config::new(12).seed(0x11_C0DE),
         |rng: &mut Rng| NetRecipe::sample(rng, &params),
         |recipe: &NetRecipe| run_differential(recipe, &lib, &config).map(|_| ()),

@@ -11,8 +11,9 @@
 use std::path::PathBuf;
 
 use drd_check::golden::assert_golden;
-use drdesync::core::{DesyncError, Desynchronizer, FlowContext, Pipeline};
+use drdesync::core::{DesyncError, DesyncOptions, Desynchronizer, FlowContext, Pipeline};
 use drdesync::flow::experiment::CaseStudy;
+use drdesync::netlist::{Conn, Module, PortDir};
 
 const STAGES: [&str; 8] = [
     "clean",
@@ -164,4 +165,163 @@ fn trace_json_lists_every_stage_with_timings() {
     assert!(json.contains("total_wall_ns"));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+/// A two-cell module whose second cell instantiates a kind absent from
+/// the library: `clean` and `clock-id` succeed, `group` must reject it.
+fn module_with_unknown_cell() -> Module {
+    let mut m = Module::new("broken");
+    m.add_port("clk", PortDir::Input).unwrap();
+    m.add_port("d", PortDir::Input).unwrap();
+    let clk = m.find_net("clk").unwrap();
+    let d = m.find_net("d").unwrap();
+    let x = m.add_net("x").unwrap();
+    let q = m.add_net("q").unwrap();
+    m.add_cell(
+        "u_bogus",
+        "BOGUSX1",
+        &[("A", Conn::Net(d)), ("Z", Conn::Net(x))],
+    )
+    .unwrap();
+    m.add_cell(
+        "r0",
+        "DFFX1",
+        &[("D", Conn::Net(x)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q))],
+    )
+    .unwrap();
+    m
+}
+
+/// A pass failing mid-run leaves a `FlowTrace` holding exactly the passes
+/// that completed, records the failure, and leaves the context usable —
+/// not torn — so callers can still inspect the checkpoint netlist.
+#[test]
+fn failing_pass_records_partial_trace_and_keeps_context_inspectable() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let mut cx = FlowContext::new(
+        &case.lib,
+        tool.gatefile(),
+        module_with_unknown_cell(),
+        DesyncOptions::default(),
+    );
+    let (trace, err) = Pipeline::standard().run_recording(&mut cx, None);
+
+    // Exactly the completed prefix, in order.
+    let names: Vec<&str> = trace.passes.iter().map(|p| p.name).collect();
+    assert_eq!(names, ["clean", "clock-id"]);
+    let e = trace.error.as_ref().expect("failure recorded");
+    assert_eq!(e.pass, "group");
+    assert!(e.message.contains("BOGUSX1"), "{}", e.message);
+    match err {
+        Some(DesyncError::UnknownCell { name }) => assert_eq!(name, "BOGUSX1"),
+        other => panic!("expected UnknownCell, got {other:?}"),
+    }
+
+    // The context holds the last successful pass's artifacts and nothing
+    // past the failure point.
+    assert!(cx.clock_net().is_some());
+    assert!(cx.regions().is_none());
+    assert!(cx.network().is_none());
+    // The checkpoint netlist is intact, parseable synchronous Verilog.
+    let v = cx.netlist_verilog();
+    drdesync::netlist::verilog::parse_design(&v).expect("checkpoint parses");
+    assert!(v.contains("BOGUSX1"));
+    // And the partial context still refuses to finalize.
+    assert!(matches!(
+        cx.into_result(),
+        Err(DesyncError::Pipeline { .. })
+    ));
+}
+
+/// The failure also shows up in the trace's JSON renderings under an
+/// `error` key (both timed and deterministic forms), keeping machine
+/// consumers of `FlowTrace` aware of aborted runs.
+#[test]
+fn failing_trace_json_carries_the_error_record() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let mut cx = FlowContext::new(
+        &case.lib,
+        tool.gatefile(),
+        module_with_unknown_cell(),
+        DesyncOptions::default(),
+    );
+    let (trace, _err) = Pipeline::standard().run_recording(&mut cx, None);
+    for json in [trace.to_json(), trace.to_json_deterministic()] {
+        assert!(json.contains("\"error\""), "{json}");
+        assert!(json.contains("\"pass\": \"group\""), "{json}");
+        assert!(json.contains("BOGUSX1"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+    // A successful run must NOT carry the key.
+    let ok = Pipeline::standard()
+        .run(&mut FlowContext::new(
+            &case.lib,
+            tool.gatefile(),
+            case.module.clone(),
+            case.desync.clone(),
+        ))
+        .expect("clean flow runs");
+    assert!(!ok.to_json().contains("\"error\""));
+}
+
+/// The one-call wrappers agree with the recording API on the failure.
+#[test]
+fn wrapper_apis_propagate_the_pass_failure() {
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let err = tool
+        .run_traced(module_with_unknown_cell(), &DesyncOptions::default())
+        .expect_err("broken module must not desynchronize");
+    assert!(matches!(err, DesyncError::UnknownCell { .. }));
+    let (res, trace) = tool.run_checked(module_with_unknown_cell(), &DesyncOptions::default());
+    assert!(res.is_err());
+    assert_eq!(trace.error.as_ref().map(|e| e.pass), Some("group"));
+}
+
+/// Fuzz loop on the parallel runner: the hand-driven pipeline and the
+/// one-call wrapper agree on random netlists, whatever the worker count.
+/// A failure prints the `NetRecipe` and seed for replay.
+#[test]
+fn fuzz_wrapper_and_pipeline_agree_on_random_netlists() {
+    use drd_check::netgen::{NetGenParams, NetRecipe};
+    use drd_check::{prop_par_with, Config};
+
+    let case = CaseStudy::dlx(&drdesync::designs::dlx::DlxParams::small()).expect("case builds");
+    let tool = Desynchronizer::new(&case.lib).expect("tool builds");
+    let params = NetGenParams::default();
+    prop_par_with(
+        Config {
+            cases: 8,
+            seed: 0x11C0_DE0F_917E,
+            ..Config::new(8)
+        },
+        |rng| NetRecipe::sample(rng, &params),
+        |recipe| {
+            let module = recipe.build().map_err(|e| e.to_string())?;
+            let legacy = tool
+                .run(&module, &DesyncOptions::default())
+                .map_err(|e| format!("wrapper failed: {e}"))?;
+            let mut cx = FlowContext::new(
+                &case.lib,
+                tool.gatefile(),
+                module,
+                DesyncOptions::default(),
+            );
+            Pipeline::standard()
+                .run(&mut cx)
+                .map_err(|e| format!("pipeline failed: {e}"))?;
+            let piped = cx.into_result().map_err(|e| e.to_string())?;
+            if legacy.sdc != piped.sdc {
+                return Err("wrapper and pipeline SDC diverge".into());
+            }
+            let a = drdesync::netlist::verilog::write_design(&legacy.design);
+            let b = drdesync::netlist::verilog::write_design(&piped.design);
+            if a != b {
+                return Err("wrapper and pipeline netlists diverge".into());
+            }
+            Ok(())
+        },
+    );
 }
