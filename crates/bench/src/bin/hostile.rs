@@ -1,0 +1,59 @@
+//! Hostile-input crash campaign: seeded adversarial inputs (raw bytes,
+//! token soup, truncated and spliced netlists) through the Verilog
+//! reader and the budget-starved guarded flow on the work-stealing
+//! runner.
+//!
+//! Emits `BENCH_hostile.json` (directory overridable via
+//! `DRD_BENCH_DIR`, default `results/` at the workspace root). Input
+//! count defaults to 10_000, overridable via `DRD_HOSTILE_INPUTS`.
+//!
+//! The JSON's `panics` field is the verification gate consumed by
+//! `scripts/verify.sh`: anything above 0 means a crash escaped the
+//! structured-error boundary.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use drd_check::hostile::run_hostile_campaign;
+use drd_check::runner;
+
+fn out_dir() -> PathBuf {
+    std::env::var("DRD_BENCH_DIR").map_or_else(
+        |_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+        PathBuf::from,
+    )
+}
+
+fn main() {
+    let count: usize = std::env::var("DRD_HOSTILE_INPUTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let workers = runner::worker_count();
+
+    let start = Instant::now();
+    let report = run_hostile_campaign(count, 0x0DE5_7AC7, workers);
+    let wall_ns = start.elapsed().as_nanos();
+
+    eprintln!(
+        "{} inputs on {} worker(s): {} rejected, {} flow errors, {} completed, {} panics \
+         ({:.1} inputs/s)",
+        report.total,
+        workers,
+        report.rejected,
+        report.flow_errors,
+        report.completed,
+        report.panics,
+        report.total as f64 / (wall_ns as f64 / 1e9),
+    );
+    if let Some((kind, seed)) = report.first_panic {
+        eprintln!("FIRST PANIC: kind {kind}, seed {seed}");
+    }
+
+    let out = report.to_json(workers, wall_ns);
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let path = dir.join("BENCH_hostile.json");
+    std::fs::write(&path, out).expect("bench json written");
+    eprintln!("wrote {}", path.display());
+}

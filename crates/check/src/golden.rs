@@ -87,6 +87,14 @@ pub fn render_desync_report(report: &DesyncReport) -> String {
     for e in edges {
         out.push_str(&e);
     }
+    // Only degraded flows render the section, so clean snapshots stay
+    // byte-identical.
+    if !report.degradations.is_empty() {
+        out.push_str(&format!("degradations ({}):\n", report.degradations.len()));
+        for d in &report.degradations {
+            out.push_str(&format!("  {d}\n"));
+        }
+    }
     out
 }
 

@@ -24,12 +24,16 @@
 //!   a coverage-guided recipe sampler,
 //! * [`mutate`] — the mutation-testing engine: seeded, paper-meaningful
 //!   corruptions of a desynchronized design (or its control protocol)
-//!   that every oracle must kill.
+//!   that every oracle must kill,
+//! * [`hostile`] — the hostile-input crash campaign: seeded adversarial
+//!   bytes/token-soup/truncated/spliced inputs through the parser and
+//!   the budget-starved guarded flow, gating on zero escaped panics.
 
 pub mod bench;
 pub mod cover;
 pub mod diff;
 pub mod golden;
+pub mod hostile;
 pub mod mutate;
 pub mod netgen;
 pub mod prop;

@@ -40,8 +40,9 @@ use drd_core::{
     FlowContext, Pass, PassReport, Pipeline,
 };
 use drd_liberty::gatefile::Gatefile;
-use drd_liberty::Library;
-use drd_netlist::{CellId, Conn, Module};
+use drd_liberty::{Library, Lv};
+use drd_netlist::{CellId, Conn, Design, Module};
+use drd_sim::{SimOptions, Simulator};
 use drd_stg::flow_equiv::{check_flow_equivalence, FlowEquivalence};
 use drd_stg::protocols::Protocol;
 use drd_stg::Stg;
@@ -105,11 +106,18 @@ pub enum Mutation {
     ProtocolFallDecoupled,
     /// Drop one causality arc from the semi-decoupled protocol STG.
     ProtocolDropArc,
+    /// Corrupt the *input* synchronous netlist before the flow runs — an
+    /// undriven net, a multiply-driven net, or a dangling instance pin
+    /// (seed-selected). Killed when the guarded pipeline reports a
+    /// structured diagnostic (never a panic) or the oracles reject the
+    /// output.
+    CorruptInput,
 }
 
 impl Mutation {
-    /// Every mutation kind, netlist-level first.
-    pub const ALL: [Mutation; 15] = [
+    /// Every mutation kind, netlist-level first. Append-only: [`salt`]
+    /// is position-based, so reordering would reshuffle seed streams.
+    pub const ALL: [Mutation; 16] = [
         Mutation::DropCElement,
         Mutation::DuplicateCElement,
         Mutation::CElementToOr,
@@ -125,6 +133,7 @@ impl Mutation {
         Mutation::SdcDropSizeOnly,
         Mutation::ProtocolFallDecoupled,
         Mutation::ProtocolDropArc,
+        Mutation::CorruptInput,
     ];
 
     /// Stable kebab-case name (used in reports and `BENCH_mutation.json`).
@@ -145,6 +154,7 @@ impl Mutation {
             Mutation::SdcDropSizeOnly => "sdc-drop-size-only",
             Mutation::ProtocolFallDecoupled => "protocol-fall-decoupled",
             Mutation::ProtocolDropArc => "protocol-drop-arc",
+            Mutation::CorruptInput => "corrupt-input",
         }
     }
 
@@ -166,6 +176,7 @@ impl Mutation {
             Mutation::SdcDropSizeOnly => "controller preservation, §4.6",
             Mutation::ProtocolFallDecoupled => "flow equivalence, §2.2 / Fig. 2.4",
             Mutation::ProtocolDropArc => "protocol causality arcs, §2.2",
+            Mutation::CorruptInput => "guarded ingestion / structured diagnostics, DESIGN §3d",
         }
     }
 
@@ -176,6 +187,12 @@ impl Mutation {
             self,
             Mutation::ProtocolFallDecoupled | Mutation::ProtocolDropArc
         )
+    }
+
+    /// Input-level mutations corrupt the synchronous netlist *before*
+    /// the flow instead of the desynchronized result after it.
+    pub fn is_input_level(self) -> bool {
+        matches!(self, Mutation::CorruptInput)
     }
 
     /// Per-kind salt so every kind consumes an independent seed stream.
@@ -218,6 +235,9 @@ pub fn run_mutation(
 ) -> MutationOutcome {
     if mutation.is_protocol_level() {
         return run_protocol_mutation(mutation, seed);
+    }
+    if mutation.is_input_level() {
+        return run_corruption_mutation(mutation, seed, lib, config);
     }
     let mut rng = Rng::new(seed ^ mutation.salt());
     let params = NetGenParams::default();
@@ -572,6 +592,163 @@ fn apply_skip_ffsub(
     })
 }
 
+/// Simulates `module` synchronously with the recipe's pokes and clock.
+/// `None` when the simulator refuses the module (a structurally broken
+/// corruption — e.g. a multiply-driven net — counts as observable).
+fn sync_sim(
+    recipe: &NetRecipe,
+    module: Module,
+    lib: &Library,
+    config: &DiffConfig,
+) -> Option<Simulator> {
+    let mut design = Design::new();
+    design.insert(module);
+    let mut sim = Simulator::new(&design, lib, SimOptions::default()).ok()?;
+    for i in 0..recipe.inputs.max(1) {
+        let v = Lv::from_bool((recipe.input_bits >> i) & 1 == 1);
+        sim.poke(&recipe.input_name(i), v).ok()?;
+    }
+    sim.schedule_clock(
+        "clk",
+        config.clock_period_ns,
+        config.clock_period_ns / 2.0,
+        config.sync_cycles,
+    )
+    .ok()?;
+    sim.run_for(config.clock_period_ns * (config.sync_cycles + 2) as f64);
+    Some(sim)
+}
+
+/// Injects one seed-selected pre-flow corruption into the synchronous
+/// module, returning a description of what was broken. Falls back to
+/// double-driving the clock net (always present in a clocked design)
+/// when the preferred fault site is missing.
+fn corrupt_input(m: &mut Module, rng: &mut Rng) -> &'static str {
+    match rng.next_u64() % 3 {
+        0 => {
+            // A second driver onto an already-driven net.
+            let driven: Vec<_> = m
+                .cells()
+                .flat_map(|(_, c)| {
+                    c.pins()
+                        .iter()
+                        .filter(|(p, _)| p == "Z" || p == "Q")
+                        .filter_map(|(_, conn)| conn.net())
+                })
+                .collect();
+            if !driven.is_empty() {
+                let victim = *rng.choose(&driven);
+                let name = m.unique_cell_name("corrupt_drv");
+                if m.add_cell(name, "INVX1", &[("A", Conn::Const0), ("Z", Conn::Net(victim))])
+                    .is_ok()
+                {
+                    return "multiply-driven net";
+                }
+            }
+        }
+        1 => {
+            // A register data input rewired to a fresh net nothing
+            // drives: the register captures X from then on.
+            if let Some(id) = pick_cell(m, rng, |c| c.pin("D").is_some()) {
+                let undriven = m.add_net_auto("corrupt_undriven");
+                m.set_pin(id, "D", Conn::Net(undriven));
+                return "undriven net";
+            }
+        }
+        _ => {
+            // A register data pin left dangling (`.D()`).
+            if let Some(id) = pick_cell(m, rng, |c| c.pin("D").is_some()) {
+                m.set_pin(id, "D", Conn::Open);
+                return "dangling instance pin";
+            }
+        }
+    }
+    let clk = m.find_net("clk").expect("generated netlists are clocked");
+    let name = m.unique_cell_name("corrupt_drv");
+    m.add_cell(name, "INVX1", &[("A", Conn::Const0), ("Z", Conn::Net(clk))])
+        .expect("fresh cell name");
+    "multiply-driven clock net"
+}
+
+/// Runs one input-corruption mutant: break the synchronous netlist
+/// before the flow and require the guarded pipeline (or, if the flow
+/// completes, the downstream oracles) to reject it with a structured
+/// diagnostic. A caught panic counts as killed — the process survived —
+/// but the oracle line flags it, and the unit tests require the
+/// diagnostics to be panic-free.
+fn run_corruption_mutation(
+    mutation: Mutation,
+    seed: u64,
+    lib: &Library,
+    config: &DiffConfig,
+) -> MutationOutcome {
+    let mut rng = Rng::new(seed ^ mutation.salt());
+    let recipe = NetRecipe::sample(&mut rng, &NetGenParams::default());
+    let outcome = |killed: bool, oracle: String| MutationOutcome {
+        mutation,
+        seed,
+        killed,
+        oracle,
+        recipe: Some(recipe.clone()),
+        attempts: 1,
+    };
+    let (Ok(pristine), Ok(gatefile)) = (recipe.build(), Gatefile::from_library(lib)) else {
+        return outcome(false, "no applicable fault site (recipe did not build)".into());
+    };
+    // Observability gate: a data fault can be behaviorally masked (an
+    // asserted async set/reset dominates `D`, a never-initialized
+    // feedback register never leaves X) — an *equivalent mutant* no
+    // oracle can or should kill. Keep drawing corruption sites until
+    // the corrupted module's synchronous captures differ from the
+    // pristine reference, or the simulator refuses the module outright
+    // (a structural break is observable by definition).
+    let reference = sync_sim(&recipe, pristine.clone(), lib, config);
+    let mut picked = None;
+    for attempt in 1..=MAX_ATTEMPTS {
+        let mut candidate = pristine.clone();
+        let what = corrupt_input(&mut candidate, &mut rng);
+        let observable = match (&reference, sync_sim(&recipe, candidate.clone(), lib, config)) {
+            (_, None) | (None, _) => true,
+            (Some(r), Some(c)) => recipe
+                .ff_names()
+                .iter()
+                .any(|ff| r.captures().sequence(ff) != c.captures().sequence(ff)),
+        };
+        if observable {
+            picked = Some((candidate, what, attempt));
+            break;
+        }
+    }
+    let Some((module, what, attempts)) = picked else {
+        return outcome(
+            false,
+            format!("no synchronously observable fault site in {MAX_ATTEMPTS} attempts"),
+        );
+    };
+    let outcome = |killed: bool, oracle: String| MutationOutcome {
+        attempts,
+        ..outcome(killed, oracle)
+    };
+    let mut cx = FlowContext::new(lib, &gatefile, module, DesyncOptions::default());
+    let (_trace, err) = Pipeline::standard().run_recording(&mut cx, None);
+    match err {
+        Some(e @ DesyncError::Panic { .. }) => {
+            outcome(true, brief(&format!("PANIC caught on {what}: {e}")))
+        }
+        Some(e) => outcome(true, brief(&format!("guarded flow rejected {what}: {e}"))),
+        None => match cx.into_result() {
+            Err(e) => outcome(true, brief(&format!("result rejected {what}: {e}"))),
+            Ok(result) => match verify_result(&recipe, lib, config, &result) {
+                Err(why) => outcome(true, brief(&format!("oracles rejected {what}: {why}"))),
+                Ok(_) => outcome(
+                    false,
+                    format!("SURVIVED — every oracle accepted a flow over a {what}"),
+                ),
+            },
+        },
+    }
+}
+
 /// The semi-decoupled arc table of Fig. 2.4 (mirrors
 /// [`Protocol::SemiDecoupled`]'s encoding), exposed so the arc-drop
 /// mutation and its tests agree on indices.
@@ -681,6 +858,28 @@ mod tests {
             &DiffConfig::default(),
         );
         assert!(out.killed, "{}", out.oracle);
+    }
+
+    #[test]
+    fn corrupt_input_mutants_die_with_structured_panic_free_diagnostics() {
+        let lib = vlib90::high_speed();
+        let config = DiffConfig::default();
+        let mut oracles = String::new();
+        for seed in 0..8u64 {
+            let out = run_mutation(Mutation::CorruptInput, seed, &lib, &config);
+            assert!(out.killed, "seed {seed} survived: {}", out.oracle);
+            assert!(
+                !out.oracle.contains("PANIC"),
+                "seed {seed} crashed a pass instead of erroring: {}",
+                out.oracle
+            );
+            oracles.push_str(&out.oracle);
+            oracles.push('\n');
+        }
+        // The seed range must exercise every corruption shape.
+        for shape in ["multiply-driven", "undriven net", "dangling instance pin"] {
+            assert!(oracles.contains(shape), "`{shape}` never injected:\n{oracles}");
+        }
     }
 
     #[test]

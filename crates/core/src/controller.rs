@@ -162,6 +162,7 @@ pub fn disabled_pins() -> Vec<(&'static str, &'static str)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::panic)]
     use super::*;
     use drd_liberty::{vlib90, Lv};
     use drd_netlist::Design;

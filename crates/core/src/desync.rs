@@ -30,6 +30,22 @@ pub struct DesyncOptions {
     pub clock_port: Option<String>,
     /// Original clock period for constraint generation (ns).
     pub clock_period_ns: f64,
+    /// Fail fast: treat any per-region degradation (unsupported FF, delay
+    /// matching or controller synthesis failure) as a hard error instead
+    /// of leaving the region synchronous. The CLI exposes this as
+    /// `--strict`.
+    pub strict: bool,
+    /// Guard budget: abort (with [`crate::DesyncError::Budget`]) when a
+    /// pass leaves more than this many cells in the working netlist.
+    pub max_cells: Option<usize>,
+    /// Guard budget: ceiling on nets in the working netlist after each
+    /// pass.
+    pub max_nets: Option<usize>,
+    /// Guard budget: ceiling on explored STG states in protocol checks.
+    pub stg_state_limit: Option<usize>,
+    /// Guard budget: per-pass wall-clock deadline in milliseconds,
+    /// enforced after the pass returns (passes are not preempted).
+    pub pass_deadline_ms: Option<u64>,
 }
 
 impl Default for DesyncOptions {
@@ -41,6 +57,11 @@ impl Default for DesyncOptions {
             muxed_delay_elements: false,
             clock_port: None,
             clock_period_ns: 2.4,
+            strict: false,
+            max_cells: None,
+            max_nets: None,
+            stg_state_limit: None,
+            pass_deadline_ms: None,
         }
     }
 }
@@ -65,6 +86,8 @@ pub struct DesyncReport {
     pub celements: usize,
     /// Buffers/inverter pairs removed by cleaning.
     pub cleaned_cells: usize,
+    /// Regions left synchronous (empty for a fully desynchronized run).
+    pub degradations: Vec<crate::Degradation>,
 }
 
 /// Per-region summary.
@@ -214,6 +237,7 @@ pub fn region_delays(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::panic)]
     use super::*;
     use drd_liberty::{vlib90, Lv};
     use drd_netlist::{Conn, PortDir};

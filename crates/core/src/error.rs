@@ -35,6 +35,35 @@ pub enum DesyncError {
         /// Explanation.
         message: String,
     },
+    /// A guarded pass exceeded a configured resource budget (see
+    /// [`crate::DesyncOptions`]'s `max_cells` / `max_nets` /
+    /// `stg_state_limit` fields).
+    Budget {
+        /// The pass whose output broke the budget.
+        pass: &'static str,
+        /// Which resource overflowed ("cells", "nets", "stg states").
+        resource: &'static str,
+        /// The configured ceiling.
+        limit: usize,
+        /// The observed value.
+        actual: usize,
+    },
+    /// A guarded pass overran its wall-clock deadline
+    /// (`pass_deadline_ms`).
+    Deadline {
+        /// The pass that overran.
+        pass: &'static str,
+        /// The configured deadline in milliseconds.
+        limit_ms: u64,
+    },
+    /// A pass panicked; the guard caught the unwind and converted it into
+    /// this diagnostic instead of aborting the process.
+    Panic {
+        /// The pass that panicked.
+        pass: &'static str,
+        /// The panic payload (message), when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for DesyncError {
@@ -49,6 +78,21 @@ impl fmt::Display for DesyncError {
                 write!(f, "no gatefile replacement rule for flip-flop `{cell}`")
             }
             DesyncError::Pipeline { message } => write!(f, "pipeline error: {message}"),
+            DesyncError::Budget {
+                pass,
+                resource,
+                limit,
+                actual,
+            } => write!(
+                f,
+                "pass `{pass}` exceeded the {resource} budget: {actual} > {limit}"
+            ),
+            DesyncError::Deadline { pass, limit_ms } => {
+                write!(f, "pass `{pass}` overran its {limit_ms} ms deadline")
+            }
+            DesyncError::Panic { pass, message } => {
+                write!(f, "pass `{pass}` panicked: {message}")
+            }
         }
     }
 }
@@ -82,6 +126,78 @@ impl From<drd_sta::StaError> for DesyncError {
     }
 }
 
+/// Why a region was left synchronous instead of being desynchronized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// A sequential cell's flip-flop flavour has no gatefile replacement
+    /// rule (unsupported composite FF).
+    UnsupportedFf {
+        /// The flip-flop kind lacking a rule.
+        kind: String,
+    },
+    /// A sequential cell's kind is missing from the library entirely.
+    UnknownCell {
+        /// The missing library cell name.
+        kind: String,
+    },
+    /// Delay matching failed for the region's combinational cloud.
+    DelayMatching {
+        /// Explanation from the STA layer.
+        message: String,
+    },
+    /// The region's handshake controller could not be synthesized.
+    ControllerSynthesis {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::UnsupportedFf { kind } => {
+                write!(f, "unsupported flip-flop `{kind}` (no gatefile rule)")
+            }
+            DegradeReason::UnknownCell { kind } => {
+                write!(f, "unknown library cell `{kind}`")
+            }
+            DegradeReason::DelayMatching { message } => {
+                write!(f, "delay matching failed: {message}")
+            }
+            DegradeReason::ControllerSynthesis { message } => {
+                write!(f, "controller synthesis failed: {message}")
+            }
+        }
+    }
+}
+
+/// A region the flow left synchronous: its flip-flops keep the original
+/// clock, no controller is inserted for it, and the SDC declares the
+/// boundary as a clock-domain crossing. Recorded in the flow report (and
+/// trace) so a partially desynchronized result is never silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The region that stayed synchronous.
+    pub region: String,
+    /// Why it could not be desynchronized.
+    pub reason: DegradeReason,
+    /// The sequential cells left clocked.
+    pub cells: Vec<String>,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "region `{}` left synchronous: {} ({} cell{})",
+            self.region,
+            self.reason,
+            self.cells.len(),
+            if self.cells.len() == 1 { "" } else { "s" }
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +208,36 @@ mod tests {
         assert!(e.to_string().contains("DFFZ"));
         let e: DesyncError = drd_liberty::LibraryError::new("boom").into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn guard_errors_name_pass_and_limits() {
+        let e = DesyncError::Budget {
+            pass: "ffsub",
+            resource: "cells",
+            limit: 10,
+            actual: 42,
+        };
+        assert_eq!(e.to_string(), "pass `ffsub` exceeded the cells budget: 42 > 10");
+        let e = DesyncError::Deadline { pass: "ddg", limit_ms: 5 };
+        assert!(e.to_string().contains("5 ms deadline"));
+        let e = DesyncError::Panic {
+            pass: "sdc",
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("panicked: boom"));
+    }
+
+    #[test]
+    fn degradation_display_lists_region_and_reason() {
+        let d = Degradation {
+            region: "g2".into(),
+            reason: DegradeReason::UnsupportedFf { kind: "DFFQX9".into() },
+            cells: vec!["r0".into()],
+        };
+        let text = d.to_string();
+        assert!(text.contains("`g2`"), "{text}");
+        assert!(text.contains("DFFQX9"), "{text}");
+        assert!(text.contains("1 cell)"), "{text}");
     }
 }

@@ -18,7 +18,7 @@ use drd_liberty::gatefile::{ControlPin, FfRule, Gatefile};
 use drd_liberty::Library;
 use drd_netlist::{CellId, Conn, Module, NetId};
 
-use crate::DesyncError;
+use crate::{DegradeReason, DesyncError};
 
 /// Suffixes of cells synthesized by the substitution around the latch
 /// pair. For area accounting these count as *sequential* logic, as in the
@@ -50,6 +50,42 @@ pub struct SubstitutionReport {
     pub substituted: usize,
     /// Extra combinational gates inserted (muxes, and/or/inv).
     pub extra_gates: usize,
+}
+
+/// Pre-substitution validation of one region's sequential cells: returns
+/// the reason the region cannot be desynchronized, or `None` when every
+/// substitution target is supported.
+///
+/// This mirrors exactly the checks [`substitute_ffs`] performs, but runs
+/// them *before* any netlist mutation — substitution removes the original
+/// flip-flop first, so graceful per-region degradation must decide while
+/// the region is still intact.
+pub fn region_degrade_reason(
+    module: &Module,
+    lib: &Library,
+    gatefile: &Gatefile,
+    seq_cells: &[String],
+) -> Option<DegradeReason> {
+    for name in seq_cells {
+        let Some(cell_id) = module.find_cell(name) else {
+            continue; // already substituted or removed
+        };
+        let kind_name = module.cell(cell_id).kind.name();
+        let Some(lc) = lib.cell(kind_name) else {
+            return Some(DegradeReason::UnknownCell {
+                kind: kind_name.to_owned(),
+            });
+        };
+        if lc.class() != drd_liberty::CellClass::FlipFlop {
+            continue; // latches stay; not a substitution target
+        }
+        if gatefile.rule(kind_name).is_none() {
+            return Some(DegradeReason::UnsupportedFf {
+                kind: kind_name.to_owned(),
+            });
+        }
+    }
+    None
 }
 
 /// Substitutes every flip-flop named in `seq_cells` by a latch pair
@@ -353,6 +389,7 @@ fn substitute_one(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::panic)]
     use super::*;
     use drd_liberty::vlib90;
     use drd_netlist::PortDir;

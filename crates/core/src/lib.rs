@@ -34,19 +34,23 @@
 //! ```
 
 pub mod celement;
+#[deny(clippy::unwrap_used, clippy::panic)]
 pub mod controller;
 pub mod ddg;
 pub mod delay_element;
+#[deny(clippy::unwrap_used, clippy::panic)]
 mod desync;
 mod error;
+#[deny(clippy::unwrap_used, clippy::panic)]
 pub mod ffsub;
 pub mod network;
 pub mod pipeline;
+#[deny(clippy::unwrap_used, clippy::panic)]
 pub mod region;
 pub mod sdc;
 
 pub use desync::{DesyncOptions, DesyncReport, DesyncResult, Desynchronizer, RegionSummary};
-pub use error::DesyncError;
+pub use error::{DegradeReason, Degradation, DesyncError};
 pub use pipeline::{
     FlowContext, FlowErrorTrace, FlowTrace, Pass, PassReport, PassTrace, Pipeline,
 };

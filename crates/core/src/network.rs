@@ -64,8 +64,15 @@ pub struct NetworkOptions {
 /// `opts.margin`. If `opts.muxed` is set, 8-tap multiplexed delay elements
 /// are used and `dsel[2:0]` input ports are added.
 ///
+/// `degraded` names regions left synchronous by graceful degradation:
+/// they get no controller pair, no delay element and no handshake nets —
+/// their flip-flops keep the original clock — and requests/acknowledges
+/// of neighbouring regions simply skip them (their loads/drivers fall
+/// back to the environment rules).
+///
 /// # Errors
 /// Propagates netlist and STA errors.
+#[allow(clippy::too_many_arguments)]
 pub fn insert_control_network(
     design: &mut Design,
     top: ModuleId,
@@ -73,6 +80,7 @@ pub fn insert_control_network(
     ddg: &Ddg,
     region_delays_ns: &[f64],
     lib: &Library,
+    degraded: &[String],
     opts: NetworkOptions,
 ) -> Result<NetworkReport, DesyncError> {
     let NetworkOptions { muxed, margin } = opts;
@@ -118,7 +126,7 @@ pub fn insert_control_network(
     let controlled: Vec<bool> = regions
         .regions
         .iter()
-        .map(|r| !r.seq_cells.is_empty())
+        .map(|r| !r.seq_cells.is_empty() && !degraded.contains(&r.name))
         .collect();
 
     // Per-region handshake nets (created up-front so joins can reference
@@ -267,6 +275,8 @@ pub fn insert_control_network(
 
     // Low-skew enable trees: bound every enable net's fanout so large
     // regions' latch phases stay crisp (CTS's job in the paper's backend).
+    // Degraded regions have no enable nets; `buffer_enable_tree` is a
+    // no-op for them.
     for r in regions.regions.iter().filter(|r| !r.seq_cells.is_empty()) {
         let (gm_name, gs_name) = enable_net_names(&r.name);
         for name in [gm_name, gs_name] {
@@ -392,7 +402,7 @@ mod tests {
         let lib = vlib90::high_speed();
         let opts = NetworkOptions { muxed: false, margin: 1.1 };
         let report =
-            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, opts)
+            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, &[], opts)
                 .unwrap();
         assert_eq!(report.controllers, 4, "2 regions × (master + slave)");
         assert_eq!(report.delay_elements, 2);
@@ -411,12 +421,46 @@ mod tests {
     }
 
     #[test]
+    fn degraded_region_gets_no_controller_or_delay_element() {
+        let (mut design, top, regions, graph, delays) = prepared();
+        let lib = vlib90::high_speed();
+        let opts = NetworkOptions { muxed: false, margin: 1.1 };
+        let degraded = vec!["g1".to_string()];
+        let report = insert_control_network(
+            &mut design,
+            top,
+            &regions,
+            &graph,
+            &delays,
+            &lib,
+            &degraded,
+            opts,
+        )
+        .unwrap();
+        assert_eq!(report.controllers, 2, "only the non-degraded region");
+        assert_eq!(report.delay_elements, 1);
+        let g1 = regions
+            .regions
+            .iter()
+            .position(|r| r.name == "g1")
+            .unwrap();
+        assert_eq!(
+            report.controller_instances[g1],
+            (String::new(), String::new())
+        );
+        assert_eq!(report.delem_levels[g1], 0);
+        let m = design.module(top);
+        assert!(m.find_cell("drd_g1_ctlm").is_none());
+        assert!(m.find_cell("drd_g1_delem").is_none());
+    }
+
+    #[test]
     fn muxed_network_adds_sel_ports() {
         let (mut design, top, regions, graph, delays) = prepared();
         let lib = vlib90::high_speed();
         let opts = NetworkOptions { muxed: true, margin: 1.1 };
         let report =
-            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, opts)
+            insert_control_network(&mut design, top, &regions, &graph, &delays, &lib, &[], opts)
                 .unwrap();
         let m = design.module(top);
         for b in 0..3 {

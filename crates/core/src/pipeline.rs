@@ -9,6 +9,7 @@
 //! after, checkpoint or extend any stage. [`crate::Desynchronizer::run`]
 //! is a thin compatibility wrapper over [`Pipeline::standard`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use drd_liberty::gatefile::Gatefile;
@@ -21,7 +22,7 @@ use crate::ffsub;
 use crate::network::{self, enable_net_names, NetworkReport};
 use crate::region::{self, Regions};
 use crate::sdc;
-use crate::DesyncError;
+use crate::{DegradeReason, Degradation, DesyncError};
 
 /// The working netlist: a bare module through substitution, a design (top
 /// plus generated controller/delay-element modules) afterwards.
@@ -49,6 +50,7 @@ pub struct FlowContext<'a> {
     extra_gates: usize,
     network: Option<NetworkReport>,
     sdc: Option<String>,
+    degradations: Vec<Degradation>,
 }
 
 impl<'a> FlowContext<'a> {
@@ -74,6 +76,7 @@ impl<'a> FlowContext<'a> {
             extra_gates: 0,
             network: None,
             sdc: None,
+            degradations: Vec::new(),
         }
     }
 
@@ -130,6 +133,12 @@ impl<'a> FlowContext<'a> {
     /// The generated SDC text (after `sdc`).
     pub fn sdc(&self) -> Option<&str> {
         self.sdc.as_deref()
+    }
+
+    /// Regions left synchronous by graceful degradation so far. Empty for
+    /// a fully desynchronized (or strict) run.
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
     }
 
     /// `(cells, nets)` of the current working top module. Generated
@@ -237,6 +246,7 @@ impl<'a> FlowContext<'a> {
                 controllers: net_report.controllers,
                 celements: net_report.celements,
                 cleaned_cells: self.cleaned_cells,
+                degradations: self.degradations,
             },
         })
     }
@@ -382,7 +392,29 @@ impl Pass for RegionDelaysPass {
 
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
         let regions = cx.regions.as_ref().ok_or_else(|| missing("regions", "group"))?;
-        let delays = crate::desync::region_delays(cx.module()?, cx.lib, regions)?;
+        let mut delays = crate::desync::region_delays(cx.module()?, cx.lib, regions)?;
+        // A region whose cloud delay cannot be matched (non-finite STA
+        // result) degrades to synchronous instead of poisoning the delay
+        // elements downstream.
+        let mut degraded = Vec::new();
+        for (i, r) in regions.regions.iter().enumerate() {
+            if delays[i].is_finite() {
+                continue;
+            }
+            let message = format!("non-finite critical delay {}", delays[i]);
+            if cx.opts.strict {
+                return Err(DesyncError::Pipeline {
+                    message: format!("region `{}`: {message}", r.name),
+                });
+            }
+            degraded.push(Degradation {
+                region: r.name.clone(),
+                reason: DegradeReason::DelayMatching { message },
+                cells: r.seq_cells.clone(),
+            });
+            delays[i] = 0.0;
+        }
+        cx.degradations.extend(degraded);
         let worst = delays.iter().copied().fold(0.0f64, f64::max);
         cx.region_delays = Some(delays);
         Ok(PassReport::new(
@@ -407,14 +439,44 @@ impl Pass for FfSubPass {
             .ok_or_else(|| missing("regions", "group"))?;
         let lib = cx.lib;
         let gatefile = cx.gatefile;
+        let strict = cx.opts.strict;
         let mut substituted = 0usize;
         let mut extra_gates = 0usize;
+        let mut degraded: Vec<Degradation> = Vec::new();
         let result = (|| -> Result<(), DesyncError> {
             for r in &regions.regions {
-                if r.seq_cells.is_empty() {
+                if r.seq_cells.is_empty()
+                    || cx.degradations.iter().any(|d| d.region == r.name)
+                {
                     continue;
                 }
                 let working = cx.module_mut()?;
+                // Validate the whole region before mutating anything:
+                // substitution is destructive, so degradation must be
+                // atomic — either every flip-flop converts or none does.
+                if let Some(reason) =
+                    ffsub::region_degrade_reason(working, lib, gatefile, &r.seq_cells)
+                {
+                    if strict {
+                        return Err(match reason {
+                            DegradeReason::UnknownCell { kind } => {
+                                DesyncError::UnknownCell { name: kind }
+                            }
+                            DegradeReason::UnsupportedFf { kind } => {
+                                DesyncError::NoRule { cell: kind }
+                            }
+                            other => DesyncError::Pipeline {
+                                message: format!("region `{}`: {other}", r.name),
+                            },
+                        });
+                    }
+                    degraded.push(Degradation {
+                        region: r.name.clone(),
+                        reason,
+                        cells: r.seq_cells.clone(),
+                    });
+                    continue;
+                }
                 let (gm_name, gs_name) = enable_net_names(&r.name);
                 let gm = working.add_net(gm_name)?;
                 let gs = working.add_net(gs_name)?;
@@ -429,10 +491,17 @@ impl Pass for FfSubPass {
         result?;
         cx.substituted_ffs = substituted;
         cx.extra_gates = extra_gates;
-        Ok(PassReport::new(
-            vec!["substituted-ffs"],
-            format!("{substituted} flip-flops → latch pairs, {extra_gates} extra gates"),
-        ))
+        let detail = if degraded.is_empty() {
+            format!("{substituted} flip-flops → latch pairs, {extra_gates} extra gates")
+        } else {
+            format!(
+                "{substituted} flip-flops → latch pairs, {extra_gates} extra gates, \
+                 {} region(s) left synchronous",
+                degraded.len()
+            )
+        };
+        cx.degradations.extend(degraded);
+        Ok(PassReport::new(vec!["substituted-ffs"], detail))
     }
 }
 
@@ -453,6 +522,11 @@ impl Pass for ControlNetworkPass {
             .region_delays
             .as_deref()
             .ok_or_else(|| missing("region delays", "region-delays"))?;
+        let degraded: Vec<String> = cx
+            .degradations
+            .iter()
+            .map(|d| d.region.clone())
+            .collect();
         let Netlist::Module(working) =
             std::mem::replace(&mut cx.netlist, Netlist::Module(Module::new("drd_empty")))
         else {
@@ -467,6 +541,7 @@ impl Pass for ControlNetworkPass {
             graph,
             delays,
             cx.lib,
+            &degraded,
             network::NetworkOptions {
                 muxed: cx.opts.muxed_delay_elements,
                 margin: cx.opts.delay_margin,
@@ -505,11 +580,18 @@ impl Pass for SdcPass {
             .network
             .as_ref()
             .ok_or_else(|| missing("network report", "control-network"))?;
+        let degraded: Vec<String> = cx
+            .degradations
+            .iter()
+            .map(|d| d.region.clone())
+            .collect();
         let delem_min: Vec<(String, f64)> = regions
             .regions
             .iter()
             .enumerate()
-            .filter(|(i, r)| !r.seq_cells.is_empty() && delays[*i] > 0.0)
+            .filter(|(i, r)| {
+                !r.seq_cells.is_empty() && delays[*i] > 0.0 && !degraded.contains(&r.name)
+            })
             .map(|(i, r)| (format!("drd_{}_delem", r.name), delays[i]))
             .collect();
         let spec = sdc::spec_from_report(
@@ -517,6 +599,7 @@ impl Pass for SdcPass {
             clock_name,
             net_report,
             &delem_min,
+            &degraded,
         );
         let text = sdc::generate(&spec);
         let detail = format!("{} SDC lines", text.lines().count());
@@ -583,6 +666,10 @@ pub struct FlowTrace {
     /// Set when the run stopped at a failing pass; [`FlowTrace::passes`]
     /// then holds exactly the passes that completed before it.
     pub error: Option<FlowErrorTrace>,
+    /// Regions the flow left synchronous (graceful degradation). Empty
+    /// for a fully desynchronized run — the JSON rendering omits the
+    /// section entirely then, keeping clean-flow traces byte-identical.
+    pub degradations: Vec<Degradation>,
 }
 
 impl FlowTrace {
@@ -638,6 +725,26 @@ impl FlowTrace {
                 escape(err.pass),
                 escape(&err.message)
             ));
+        }
+        if !self.degradations.is_empty() {
+            out.push_str(",\n  \"degradations\": [\n");
+            for (i, d) in self.degradations.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"region\": \"{}\", \"reason\": \"{}\", \"cells\": [",
+                    escape(&d.region),
+                    escape(&d.reason.to_string())
+                ));
+                for (j, c) in d.cells.iter().enumerate() {
+                    out.push_str(&format!(
+                        "\"{}\"{}",
+                        escape(c),
+                        if j + 1 == d.cells.len() { "" } else { ", " }
+                    ));
+                }
+                out.push_str("]}");
+                out.push_str(if i + 1 == self.degradations.len() { "\n" } else { ",\n" });
+            }
+            out.push_str("  ]");
         }
         if with_times {
             out.push_str(&format!(",\n  \"total_wall_ns\": {}", self.total_wall_ns));
@@ -742,6 +849,14 @@ impl Pipeline {
     /// alongside. The context is left exactly as the last *successful*
     /// pass left it (each pass restores its borrows on error), so callers
     /// can still inspect artifacts and the checkpoint netlist.
+    ///
+    /// This is the *guarded* entry point: a panicking pass is caught
+    /// (`catch_unwind`) and reported as [`DesyncError::Panic`] instead of
+    /// aborting, and the [`DesyncOptions`] budgets (`max_cells`,
+    /// `max_nets`, `pass_deadline_ms`) are checked after every pass,
+    /// turning runaway expansion into [`DesyncError::Budget`] /
+    /// [`DesyncError::Deadline`]. After a caught panic the context may be
+    /// mid-mutation — inspect the trace, not the netlist.
     pub fn run_recording(
         &self,
         cx: &mut FlowContext<'_>,
@@ -775,8 +890,19 @@ impl Pipeline {
         for pass in &self.passes {
             let (cells_before, nets_before) = cx.netlist_stats();
             let start = Instant::now();
-            let result = pass.run(cx);
+            // Guard: a panicking pass must not abort the flow — catch the
+            // unwind and convert it into a structured diagnostic. The
+            // context may be mid-mutation after a panic, so the run stops
+            // here either way.
+            let caught = catch_unwind(AssertUnwindSafe(|| pass.run(cx)));
             let wall_ns = start.elapsed().as_nanos();
+            let result = match caught {
+                Ok(result) => result,
+                Err(payload) => Err(DesyncError::Panic {
+                    pass: pass.name(),
+                    message: panic_message(payload.as_ref()),
+                }),
+            };
             let report = match result {
                 Ok(report) => report,
                 Err(e) => {
@@ -784,6 +910,7 @@ impl Pipeline {
                         pass: pass.name(),
                         message: e.to_string(),
                     });
+                    trace.degradations = cx.degradations.clone();
                     return (trace, Some(e));
                 }
             };
@@ -799,19 +926,83 @@ impl Pipeline {
                 artifacts: report.artifacts,
                 detail: report.detail,
             });
+            // Guard: resource budgets and the wall-clock deadline are
+            // enforced after every pass (passes cannot be preempted). The
+            // violation is recorded as a structured error on top of the
+            // completed-pass trace.
+            if let Some(e) = guard_violation(&cx.opts, pass.name(), cells_after, nets_after, wall_ns)
+            {
+                trace.error = Some(FlowErrorTrace {
+                    pass: pass.name(),
+                    message: e.to_string(),
+                });
+                trace.degradations = cx.degradations.clone();
+                return (trace, Some(e));
+            }
             if let Err(e) = observer(pass.name(), cx) {
                 trace.error = Some(FlowErrorTrace {
                     pass: pass.name(),
                     message: e.to_string(),
                 });
+                trace.degradations = cx.degradations.clone();
                 return (trace, Some(e));
             }
             if stop_after == Some(pass.name()) {
                 break;
             }
         }
+        trace.degradations = cx.degradations.clone();
         (trace, None)
     }
+}
+
+/// Renders a caught panic payload: `&str` and `String` payloads (what
+/// `panic!` produces) are shown verbatim, anything else is opaque.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Checks the post-pass budgets from [`DesyncOptions`]: cell/net ceilings
+/// and the per-pass wall-clock deadline. Returns the violation, if any.
+fn guard_violation(
+    opts: &DesyncOptions,
+    pass: &'static str,
+    cells: usize,
+    nets: usize,
+    wall_ns: u128,
+) -> Option<DesyncError> {
+    if let Some(limit) = opts.max_cells {
+        if cells > limit {
+            return Some(DesyncError::Budget {
+                pass,
+                resource: "cells",
+                limit,
+                actual: cells,
+            });
+        }
+    }
+    if let Some(limit) = opts.max_nets {
+        if nets > limit {
+            return Some(DesyncError::Budget {
+                pass,
+                resource: "nets",
+                limit,
+                actual: nets,
+            });
+        }
+    }
+    if let Some(limit_ms) = opts.pass_deadline_ms {
+        if wall_ns > u128::from(limit_ms).saturating_mul(1_000_000) {
+            return Some(DesyncError::Deadline { pass, limit_ms });
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -931,6 +1122,172 @@ mod tests {
             assert_eq!(json.matches('{').count(), json.matches('}').count());
             assert_eq!(json.matches('[').count(), json.matches(']').count());
         }
+    }
+
+    /// Two regions with different FF flavours: region A toggles through a
+    /// `DFFX1`, region B re-registers A's output in a `DFFRX1` — removing
+    /// the `DFFRX1` gatefile rule makes exactly one region degradable.
+    fn two_region_mixed() -> Module {
+        let mut m = Module::new("mix");
+        m.add_port("clk", PortDir::Input).unwrap();
+        m.add_port("out0", PortDir::Output).unwrap();
+        m.add_port("out1", PortDir::Output).unwrap();
+        let clk = m.find_net("clk").unwrap();
+        let q0 = m.find_net("out0").unwrap();
+        let q1 = m.find_net("out1").unwrap();
+        let d0 = m.add_net("d0").unwrap();
+        m.add_cell("inv0", "INVX1", &[("A", Conn::Net(q0)), ("Z", Conn::Net(d0))])
+            .unwrap();
+        m.add_cell(
+            "r0",
+            "DFFX1",
+            &[("D", Conn::Net(d0)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(q0))],
+        )
+        .unwrap();
+        let d1 = m.add_net("d1").unwrap();
+        m.add_cell("inv1", "INVX1", &[("A", Conn::Net(q0)), ("Z", Conn::Net(d1))])
+            .unwrap();
+        m.add_cell(
+            "r1",
+            "DFFRX1",
+            &[
+                ("D", Conn::Net(d1)),
+                ("RN", Conn::Const1),
+                ("CK", Conn::Net(clk)),
+                ("Q", Conn::Net(q1)),
+            ],
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn unsupported_ff_degrades_region_not_flow() {
+        let lib = vlib90::high_speed();
+        let mut gf = Gatefile::from_library(&lib).unwrap();
+        gf.rules.retain(|r| r.ff != "DFFRX1");
+        let mut cx = FlowContext::new(&lib, &gf, two_region_mixed(), DesyncOptions::default());
+        let (trace, err) = Pipeline::standard().run_recording(&mut cx, None);
+        assert!(err.is_none(), "degraded flow completes: {err:?}");
+        assert_eq!(trace.degradations.len(), 1, "{:?}", trace.degradations);
+        assert!(trace.to_json().contains("\"degradations\""));
+        let result = cx.into_result().unwrap();
+        let rep = &result.report;
+        assert_eq!(rep.degradations.len(), 1);
+        let d = &rep.degradations[0];
+        assert!(
+            matches!(&d.reason, DegradeReason::UnsupportedFf { kind } if kind == "DFFRX1"),
+            "{d:?}"
+        );
+        assert_eq!(d.cells, vec!["r1".to_string()]);
+        // Region A desynchronized: one FF substituted, one controller pair.
+        assert_eq!(rep.substituted_ffs, 1);
+        assert_eq!(rep.controllers, 2);
+        // Region B kept its flip-flop, clock and got no controller.
+        let top = result.design.module(result.design.top());
+        let r1 = top.find_cell("r1").expect("degraded FF survives");
+        assert_eq!(top.cell(r1).kind.name(), "DFFRX1");
+        assert!(top.find_cell(&format!("drd_{}_ctlm", d.region)).is_none());
+        // The SDC declares the clock-domain crossing.
+        assert!(result.sdc.contains("set_clock_groups -asynchronous"), "{}", result.sdc);
+    }
+
+    #[test]
+    fn strict_mode_restores_fail_fast() {
+        let lib = vlib90::high_speed();
+        let mut gf = Gatefile::from_library(&lib).unwrap();
+        gf.rules.retain(|r| r.ff != "DFFRX1");
+        let opts = DesyncOptions {
+            strict: true,
+            ..DesyncOptions::default()
+        };
+        let mut cx = FlowContext::new(&lib, &gf, two_region_mixed(), opts);
+        let (trace, err) = Pipeline::standard().run_recording(&mut cx, None);
+        assert!(
+            matches!(err, Some(DesyncError::NoRule { ref cell }) if cell == "DFFRX1"),
+            "{err:?}"
+        );
+        assert!(trace.degradations.is_empty());
+    }
+
+    struct PanicPass;
+    impl Pass for PanicPass {
+        fn name(&self) -> &'static str {
+            "boom"
+        }
+        fn run(&self, _cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+            panic!("kaboom {}", 6 * 7)
+        }
+    }
+
+    #[test]
+    fn panicking_pass_is_caught_as_structured_error() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let mut cx = FlowContext::new(&lib, tool.gatefile(), toggle(), DesyncOptions::default());
+        let mut p = Pipeline::empty();
+        p.push(Box::new(PanicPass));
+        let (trace, err) = p.run_recording(&mut cx, None);
+        match err {
+            Some(DesyncError::Panic { pass, message }) => {
+                assert_eq!(pass, "boom");
+                assert!(message.contains("kaboom 42"), "{message}");
+            }
+            other => panic!("expected Panic, got {other:?}"),
+        }
+        assert_eq!(trace.error.as_ref().unwrap().pass, "boom");
+        assert!(trace.passes.is_empty(), "the failed pass is not recorded as executed");
+    }
+
+    #[test]
+    fn cell_budget_violation_is_a_structured_error() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let opts = DesyncOptions {
+            max_cells: Some(1),
+            ..DesyncOptions::default()
+        };
+        // toggle() has 2 cells: the very first pass must trip the budget.
+        let mut cx = FlowContext::new(&lib, tool.gatefile(), toggle(), opts);
+        let (trace, err) = Pipeline::standard().run_recording(&mut cx, None);
+        assert!(
+            matches!(
+                err,
+                Some(DesyncError::Budget { resource: "cells", limit: 1, actual: 2, .. })
+            ),
+            "{err:?}"
+        );
+        assert_eq!(trace.passes.len(), 1, "the tripping pass is still traced");
+        assert!(trace.error.is_some());
+    }
+
+    struct SleepPass;
+    impl Pass for SleepPass {
+        fn name(&self) -> &'static str {
+            "nap"
+        }
+        fn run(&self, _cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            Ok(PassReport::default())
+        }
+    }
+
+    #[test]
+    fn pass_deadline_is_enforced_post_hoc() {
+        let lib = vlib90::high_speed();
+        let tool = Desynchronizer::new(&lib).unwrap();
+        let opts = DesyncOptions {
+            pass_deadline_ms: Some(1),
+            ..DesyncOptions::default()
+        };
+        let mut cx = FlowContext::new(&lib, tool.gatefile(), toggle(), opts);
+        let mut p = Pipeline::empty();
+        p.push(Box::new(SleepPass));
+        let (_, err) = p.run_recording(&mut cx, None);
+        assert!(
+            matches!(err, Some(DesyncError::Deadline { pass: "nap", limit_ms: 1 })),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -391,6 +391,7 @@ pub fn group(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::panic)]
     use super::*;
     use drd_liberty::vlib90;
     use drd_netlist::PortDir;

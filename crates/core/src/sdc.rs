@@ -32,6 +32,12 @@ pub struct SdcSpec {
     pub controllers: Vec<(String, String)>,
     /// Delay-element instance names and their minimum matched delay (ns).
     pub delay_elements: Vec<(String, f64)>,
+    /// Regions left synchronous by graceful degradation. When non-empty,
+    /// the original clock is emitted as a *real* clock (it still drives
+    /// the degraded regions' flip-flops) and declared asynchronous to the
+    /// ClkM/ClkS latch clocks — every degraded-region boundary is a
+    /// clock-domain crossing the backend must treat as such.
+    pub degraded: Vec<String>,
 }
 
 /// Generates the SDC text.
@@ -60,6 +66,27 @@ pub fn generate(spec: &SdcSpec) -> String {
          [get_pins {{*_ctls/u_g/Z}}]"
     );
     out.push('\n');
+
+    if !spec.degraded.is_empty() {
+        let _ = writeln!(
+            out,
+            "# degraded regions stay synchronous — clock-domain crossings"
+        );
+        let _ = writeln!(
+            out,
+            "create_clock -name \"Clk\" -period {p:.2} -waveform {{0 {:.2}}} [get_ports {{{}}}]",
+            p / 2.0,
+            spec.clock_port
+        );
+        let _ = writeln!(
+            out,
+            "set_clock_groups -asynchronous -group {{Clk}} -group {{ClkM ClkS}}"
+        );
+        for region in &spec.degraded {
+            let _ = writeln!(out, "# region `{region}` left on Clk");
+        }
+        out.push('\n');
+    }
 
     let _ = writeln!(out, "# controller loop breaking (Fig. 4.5)");
     for (master, slave) in &spec.controllers {
@@ -102,6 +129,7 @@ pub fn spec_from_report(
     clock_port: &str,
     report: &NetworkReport,
     delem_min_delays: &[(String, f64)],
+    degraded: &[String],
 ) -> SdcSpec {
     SdcSpec {
         period_ns,
@@ -113,6 +141,7 @@ pub fn spec_from_report(
             .cloned()
             .collect(),
         delay_elements: delem_min_delays.to_vec(),
+        degraded: degraded.to_vec(),
     }
 }
 
@@ -126,6 +155,7 @@ mod tests {
             clock_port: "clk".into(),
             controllers: vec![("drd_g1_ctlm".into(), "drd_g1_ctls".into())],
             delay_elements: vec![("drd_g1_delem".into(), 0.84)],
+            degraded: Vec::new(),
         }
     }
 
@@ -150,5 +180,31 @@ mod tests {
         let sdc = generate(&sample());
         assert!(sdc.contains("set_min_delay 0.840"));
         assert!(sdc.contains("set_dont_touch [get_cells {drd_g1_delem}]"));
+    }
+
+    #[test]
+    fn clean_spec_emits_no_cdc_section() {
+        let sdc = generate(&sample());
+        assert!(!sdc.contains("set_clock_groups"), "{sdc}");
+        assert!(
+            !sdc.lines().any(|l| l.starts_with("create_clock -name \"Clk\"")),
+            "{sdc}"
+        );
+    }
+
+    #[test]
+    fn degraded_spec_declares_clock_domain_crossing() {
+        let mut spec = sample();
+        spec.degraded = vec!["g2".into()];
+        let sdc = generate(&spec);
+        assert!(
+            sdc.contains("create_clock -name \"Clk\" -period 2.40 -waveform {0 1.20} [get_ports {clk}]"),
+            "{sdc}"
+        );
+        assert!(
+            sdc.contains("set_clock_groups -asynchronous -group {Clk} -group {ClkM ClkS}"),
+            "{sdc}"
+        );
+        assert!(sdc.contains("region `g2` left on Clk"), "{sdc}");
     }
 }

@@ -9,6 +9,12 @@ use std::collections::HashMap;
 
 use crate::{CellKind, Conn, Design, Module, ModuleId, NetId, NetlistError};
 
+/// Deepest instance nesting the flattener follows. Real designs are a
+/// handful of levels; anything past this is either generated pathology or
+/// a recursive instantiation, and either would otherwise overflow the
+/// stack (which no error path can recover from).
+const MAX_FLATTEN_DEPTH: usize = 64;
+
 /// Flattens `design` starting at `top`, returning a module containing only
 /// library cells.
 ///
@@ -18,9 +24,11 @@ use crate::{CellKind, Conn, Design, Module, ModuleId, NetId, NetlistError};
 ///
 /// # Errors
 /// Returns [`NetlistError::UnknownName`] if an instance references a
-/// module that does not exist, and propagates name-collision errors (which
-/// cannot happen for names produced by the `/` prefixing scheme unless the
-/// design already uses such names).
+/// module that does not exist, [`NetlistError::Unsupported`] if instances
+/// nest deeper than [`MAX_FLATTEN_DEPTH`] levels (which catches recursive
+/// instantiation), and propagates name-collision errors (which cannot
+/// happen for names produced by the `/` prefixing scheme unless the design
+/// already uses such names).
 pub fn flatten(design: &Design, top: ModuleId) -> Result<Module, NetlistError> {
     let src = design.module(top);
     let mut out = Module::new(src.name.clone());
@@ -30,13 +38,30 @@ pub fn flatten(design: &Design, top: ModuleId) -> Result<Module, NetlistError> {
     }
     let mut net_map: HashMap<NetId, NetId> = HashMap::new();
     for (_, port) in src.ports() {
-        let new = out
-            .find_net(&src.net(port.net).name)
-            .expect("port net created by add_port");
+        let name = &src.net(port.net).name;
+        let new = out.find_net(name).ok_or_else(|| NetlistError::UnknownName {
+            kind: "net",
+            name: name.clone(),
+        })?;
         net_map.insert(port.net, new);
     }
-    flatten_into(design, top, "", &mut out, &mut net_map)?;
+    flatten_into(design, top, "", &mut out, &mut net_map, 0)?;
     Ok(out)
+}
+
+/// Checked [`HashMap`] lookup: a cell pin or tie referencing a net the
+/// module never declared means the netlist is internally inconsistent
+/// (e.g. a [`NetId`] smuggled in from another module) — report it instead
+/// of panicking on the index.
+fn mapped(
+    net_map: &HashMap<NetId, NetId>,
+    module: &Module,
+    net: NetId,
+) -> Result<NetId, NetlistError> {
+    net_map.get(&net).copied().ok_or_else(|| NetlistError::UnknownName {
+        kind: "net",
+        name: module.net(net).name.clone(),
+    })
 }
 
 /// Recursively copies `module`'s contents into `out` with `prefix`.
@@ -48,7 +73,17 @@ fn flatten_into(
     prefix: &str,
     out: &mut Module,
     net_map: &mut HashMap<NetId, NetId>,
+    depth: usize,
 ) -> Result<(), NetlistError> {
+    if depth > MAX_FLATTEN_DEPTH {
+        return Err(NetlistError::Unsupported {
+            line: 0,
+            message: format!(
+                "instance hierarchy deeper than {MAX_FLATTEN_DEPTH} levels at `{prefix}` \
+                 (recursive instantiation?)"
+            ),
+        });
+    }
     let module = design.module(module_id);
 
     // Create all unmapped nets.
@@ -64,7 +99,8 @@ fn flatten_into(
     }
     // Constant ties propagate.
     for &(net, value) in module.const_ties() {
-        out.add_const_tie(net_map[&net], value);
+        let mapped_net = mapped(net_map, module, net)?;
+        out.add_const_tie(mapped_net, value);
     }
 
     for (_, cell) in module.cells() {
@@ -75,12 +111,12 @@ fn flatten_into(
                     .iter()
                     .map(|(p, c)| {
                         let conn = match c {
-                            Conn::Net(n) => Conn::Net(net_map[n]),
+                            Conn::Net(n) => Conn::Net(mapped(net_map, module, *n)?),
                             other => *other,
                         };
-                        (p.clone(), conn)
+                        Ok((p.clone(), conn))
                     })
-                    .collect();
+                    .collect::<Result<_, NetlistError>>()?;
                 let pin_refs: Vec<(&str, Conn)> =
                     pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();
                 let id = out.add_cell_of_kind(
@@ -105,7 +141,7 @@ fn flatten_into(
                 for (_, port) in sub.ports() {
                     let conn = cell.pin(&port.name).unwrap_or(Conn::Open);
                     let outer = match conn {
-                        Conn::Net(n) => Some(net_map[&n]),
+                        Conn::Net(n) => Some(mapped(net_map, module, n)?),
                         Conn::Const0 | Conn::Const1 => {
                             // Tie: create a net and record the constant.
                             let net = out.add_net(format!("{sub_prefix}{}", port.name))?;
@@ -118,7 +154,7 @@ fn flatten_into(
                         sub_map.insert(port.net, outer);
                     }
                 }
-                flatten_into(design, sub_id, &sub_prefix, out, &mut sub_map)?;
+                flatten_into(design, sub_id, &sub_prefix, out, &mut sub_map, depth + 1)?;
             }
         }
     }
@@ -205,6 +241,31 @@ mod tests {
             flatten(&d, d.top()),
             Err(NetlistError::UnknownName { kind: "module", .. })
         ));
+    }
+
+    #[test]
+    fn recursive_instantiation_is_an_error_not_a_stack_overflow() {
+        let mut d = Design::new();
+        let top = d.add_module("top");
+        let looper = d.add_module("looper");
+        {
+            let m = d.module_mut(looper);
+            m.add_port("x", PortDir::Input).unwrap();
+            let x = m.find_net("x").unwrap();
+            m.add_instance("again", "looper", &[("x", Conn::Net(x))]).unwrap();
+        }
+        {
+            let m = d.module_mut(top);
+            m.add_port("a", PortDir::Input).unwrap();
+            let a = m.find_net("a").unwrap();
+            m.add_instance("u", "looper", &[("x", Conn::Net(a))]).unwrap();
+        }
+        let err = flatten(&d, d.top()).unwrap_err();
+        assert!(
+            matches!(&err, NetlistError::Unsupported { message, .. }
+                if message.contains("deeper than")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -102,10 +102,14 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, NetlistError> {
                 }
             }
             '\\' => {
-                // Escaped identifier: up to the next whitespace.
+                // Escaped identifier: up to the next whitespace. Only ASCII
+                // whitespace terminates (per the LRM) — testing a raw byte
+                // with `char::is_whitespace` would also match UTF-8
+                // continuation bytes such as 0xA0 and split the slice in
+                // the middle of a multi-byte character.
                 let start = i + 1;
                 let mut j = start;
-                while j < n && !(bytes[j] as char).is_whitespace() {
+                while j < n && !bytes[j].is_ascii_whitespace() {
                     j += 1;
                 }
                 if j == start {
@@ -154,6 +158,12 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, NetlistError> {
                             message: "number too large".into(),
                         })?;
                 if i < n && bytes[i] == b'\'' {
+                    if value > u64::from(u32::MAX) {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: format!("constant width {value} too large"),
+                        });
+                    }
                     i += 1;
                     if i >= n {
                         return Err(NetlistError::Parse {
@@ -223,6 +233,7 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, NetlistError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::panic)]
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
@@ -284,5 +295,24 @@ mod tests {
         assert!(tokenize("a ? b").is_err());
         assert!(tokenize("/* unterminated").is_err());
         assert!(tokenize("4'q0").is_err());
+    }
+
+    #[test]
+    fn escaped_identifier_followed_by_nbsp_does_not_panic() {
+        // U+00A0 is `char::is_whitespace` but its UTF-8 encoding starts
+        // with 0xC2 — a byte-wise whitespace test would split the slice
+        // mid-character and panic.
+        let r = tokenize("\\a\u{00A0}b ");
+        assert!(matches!(
+            r.unwrap()[0].kind.clone(),
+            TokenKind::Id { escaped: true, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_constant_width_is_an_error() {
+        assert!(tokenize("99999999999'b0").is_err());
+        // A bare (unsized) huge number still errors only past u64.
+        assert!(tokenize("99999999999999999999999").is_err());
     }
 }

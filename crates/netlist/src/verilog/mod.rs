@@ -10,7 +10,11 @@
 //! and resolves `assign` statements wherever possible, producing a cleaner
 //! netlist without altering functionality.
 
+// The reader is the hostile-input boundary of the whole tool: arbitrary
+// bytes must come back as `NetlistError`, never as a panic.
+#[deny(clippy::unwrap_used, clippy::panic)]
 mod lexer;
+#[deny(clippy::unwrap_used, clippy::panic)]
 mod parser;
 mod writer;
 

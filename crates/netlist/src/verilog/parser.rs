@@ -16,6 +16,17 @@ use std::collections::HashMap;
 use super::lexer::{tokenize, Token, TokenKind};
 use crate::{CellKind, Conn, Design, Module, NetId, NetlistError, PortDir};
 
+/// Widest bus (and largest bit index / constant width) the parser accepts.
+/// Declarations and expressions expand buses bit by bit, so an unchecked
+/// `wire [999999999:0]` in hostile input would allocate a net per bit; real
+/// post-synthesis netlists stay far below this.
+const MAX_BUS_WIDTH: u64 = 65_536;
+
+/// Deepest `{...}` concatenation nesting accepted. The expression parser
+/// recurses per nesting level and a stack overflow cannot be caught, so
+/// hostile input like `({({({...` must be rejected by depth, not by crash.
+const MAX_EXPR_DEPTH: usize = 64;
+
 /// Parses a (possibly multi-module) structural Verilog design.
 ///
 /// The first module in the file becomes the top module.
@@ -38,7 +49,7 @@ pub fn parse_design(source: &str) -> Result<Design, NetlistError> {
     }
     // Instances that name a module of this design are module instances, not
     // library cells.
-    retarget_instances(&mut design);
+    retarget_instances(&mut design)?;
     Ok(design)
 }
 
@@ -59,26 +70,33 @@ pub fn parse_module(source: &str) -> Result<Module, NetlistError> {
     Ok(modules.remove(0))
 }
 
-fn retarget_instances(design: &mut Design) {
+fn retarget_instances(design: &mut Design) -> Result<(), NetlistError> {
     let module_names: Vec<String> = design.modules().map(|(_, m)| m.name.clone()).collect();
     let module_set: std::collections::HashSet<&str> =
         module_names.iter().map(|s| s.as_str()).collect();
     for name in &module_names {
-        let id = design.find_module(name).expect("just listed");
+        let Some(id) = design.find_module(name) else {
+            continue;
+        };
         let module = design.module_mut(id);
         let cell_ids: Vec<_> = module.cells().map(|(c, _)| c).collect();
         for cid in cell_ids {
             let kind = module.cell(cid).kind.clone();
             if let CellKind::Lib(name) = &kind {
                 if module_set.contains(name.as_str()) {
-                    set_cell_kind(module, cid, CellKind::Instance(name.clone()));
+                    set_cell_kind(module, cid, CellKind::Instance(name.clone()))?;
                 }
             }
         }
     }
+    Ok(())
 }
 
-fn set_cell_kind(module: &mut Module, cell: crate::CellId, kind: CellKind) {
+fn set_cell_kind(
+    module: &mut Module,
+    cell: crate::CellId,
+    kind: CellKind,
+) -> Result<(), NetlistError> {
     // Rebuild the cell with the new kind, preserving name/pins/flags.
     let old = module.cell(cell).clone();
     module.remove_cell(cell);
@@ -87,9 +105,10 @@ fn set_cell_kind(module: &mut Module, cell: crate::CellId, kind: CellKind) {
         .iter()
         .map(|(p, c)| (p.as_str(), *c))
         .collect();
-    module
-        .add_cell_of_kind(old.name.clone(), kind, &pins)
-        .expect("name was freed by remove_cell");
+    // The name was freed by `remove_cell`, so this only fails if the
+    // netlist was already inconsistent — report rather than panic.
+    module.add_cell_of_kind(old.name.clone(), kind, &pins)?;
+    Ok(())
 }
 
 struct Parser {
@@ -294,13 +313,27 @@ impl Parser {
         }
     }
 
+    /// A range/index bound, rejected beyond [`MAX_BUS_WIDTH`] (which also
+    /// keeps the later `u64 → i64` cast lossless).
+    fn bounded_index(&mut self) -> Result<i64, NetlistError> {
+        let line = self.line();
+        let n = self.expect_number()?;
+        if n > MAX_BUS_WIDTH {
+            return Err(NetlistError::Parse {
+                line,
+                message: format!("bit index {n} exceeds the supported maximum {MAX_BUS_WIDTH}"),
+            });
+        }
+        Ok(n as i64)
+    }
+
     fn parse_optional_range(&mut self) -> Result<Option<(i64, i64)>, NetlistError> {
         if !self.eat_punct('[') {
             return Ok(None);
         }
-        let msb = self.expect_number()? as i64;
+        let msb = self.bounded_index()?;
         self.expect_punct(':')?;
-        let lsb = self.expect_number()? as i64;
+        let lsb = self.bounded_index()?;
         self.expect_punct(']')?;
         Ok(Some((msb, lsb)))
     }
@@ -425,6 +458,19 @@ impl Parser {
 
     /// expr := sized_const | id | id `[` number `]` | `{` expr, ... `}`
     fn parse_expr(&mut self, ctx: &mut ModuleCtx) -> Result<Vec<Bit>, NetlistError> {
+        self.parse_expr_at(ctx, 0)
+    }
+
+    fn parse_expr_at(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        depth: usize,
+    ) -> Result<Vec<Bit>, NetlistError> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(self.error(format!(
+                "concatenation nested deeper than {MAX_EXPR_DEPTH} levels"
+            )));
+        }
         match self.peek().clone() {
             TokenKind::SizedConst {
                 width,
@@ -438,7 +484,7 @@ impl Parser {
                 self.bump();
                 let mut bits = Vec::new();
                 loop {
-                    bits.extend(self.parse_expr(ctx)?);
+                    bits.extend(self.parse_expr_at(ctx, depth + 1)?);
                     if !self.eat_punct(',') {
                         break;
                     }
@@ -449,9 +495,9 @@ impl Parser {
             TokenKind::Id { .. } => {
                 let name = self.expect_id()?;
                 if self.eat_punct('[') {
-                    let idx = self.expect_number()? as i64;
+                    let idx = self.bounded_index()?;
                     if self.eat_punct(':') {
-                        let lsb = self.expect_number()? as i64;
+                        let lsb = self.bounded_index()?;
                         self.expect_punct(']')?;
                         let mut bits = Vec::new();
                         let (hi, lo) = (idx.max(lsb), idx.min(lsb));
@@ -478,12 +524,27 @@ impl Parser {
     }
 
     fn const_bits(&self, width: u32, base: char, digits: &str) -> Result<Vec<Bit>, NetlistError> {
+        if u64::from(width) > MAX_BUS_WIDTH {
+            return Err(NetlistError::Parse {
+                line: self.line(),
+                message: format!(
+                    "constant width {width} exceeds the supported maximum {MAX_BUS_WIDTH}"
+                ),
+            });
+        }
         let radix = match base {
             'b' => 2,
             'o' => 8,
             'd' => 10,
             'h' => 16,
-            _ => unreachable!("lexer validated base"),
+            // The lexer validates the base, but stay panic-free if that
+            // invariant ever slips.
+            _ => {
+                return Err(NetlistError::Parse {
+                    line: self.line(),
+                    message: format!("unknown constant base `{base}`"),
+                })
+            }
         };
         let value = u128::from_str_radix(digits, radix).map_err(|_| NetlistError::Parse {
             line: self.line(),
@@ -710,6 +771,7 @@ impl UnionFind {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::panic)]
     use super::*;
 
     #[test]
@@ -872,6 +934,53 @@ mod tests {
             u.pin("in1[0]"),
             Some(Conn::Net(top.find_net("d[1]").unwrap()))
         );
+    }
+
+    #[test]
+    fn oversized_ranges_and_widths_are_rejected() {
+        let huge_wire = "module top (input a); wire [999999999:0] w; endmodule";
+        assert!(matches!(
+            parse_module(huge_wire),
+            Err(NetlistError::Parse { .. })
+        ));
+        let huge_port = "module top (input [4294967295:0] a); endmodule";
+        assert!(matches!(
+            parse_module(huge_port),
+            Err(NetlistError::Parse { .. })
+        ));
+        let huge_select = "
+            module top (input a, output z);
+              INVX1 u (.A(d[999999999:0]), .Z(z));
+            endmodule";
+        assert!(matches!(
+            parse_module(huge_select),
+            Err(NetlistError::Parse { .. })
+        ));
+        let huge_const = "
+            module top (output z);
+              SUB u (.in1(100000000'b0), .out1(z));
+            endmodule";
+        assert!(matches!(
+            parse_module(huge_const),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_concatenation_is_rejected_not_a_stack_overflow() {
+        let mut src = String::from("module top (input a, output z); INVX1 u (.A(");
+        for _ in 0..20_000 {
+            src.push('{');
+        }
+        src.push('a');
+        for _ in 0..20_000 {
+            src.push('}');
+        }
+        src.push_str("), .Z(z)); endmodule");
+        assert!(matches!(
+            parse_module(&src),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]

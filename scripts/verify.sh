@@ -12,7 +12,12 @@
 # 5. regenerates results/BENCH_flow_passes.json and checks it lists every
 #    pipeline pass,
 # 6. runs the mutation campaign (results/BENCH_mutation.json) and gates on
-#    a 100% kill rate — every injected fault must be caught by an oracle.
+#    a 100% kill rate — every injected fault must be caught by an oracle,
+# 7. runs the hostile-input crash campaign (results/BENCH_hostile.json)
+#    and gates on zero escaped panics,
+# 8. checks the panic-free guard rails: the lint deny attributes on the
+#    core passes and the Verilog reader, and the Degradation schema in
+#    the golden degraded-flow artifacts.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -120,5 +125,67 @@ if [ "$cores" -ge 4 ]; then
 else
   echo "note: $cores core(s) — speedup ${speedup}x reported, not gated"
 fi
+
+echo "== hostile-input crash campaign gate (offline) =="
+cargo run --release --offline -p drd-bench --bin hostile
+host_json=results/BENCH_hostile.json
+if [ ! -s "$host_json" ]; then
+  echo "error: $host_json missing or empty" >&2
+  exit 1
+fi
+for field in '"name": "hostile"' '"inputs"' '"rejected"' '"flow_errors"' \
+             '"completed"' '"panics"' '"workers"'; do
+  if ! grep -q "$field" "$host_json"; then
+    echo "error: $host_json misses field $field" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"panics": 0' "$host_json"; then
+  echo "error: hostile campaign let a panic escape the structured-error boundary:" >&2
+  grep '"panics"\|"first_panic' "$host_json" >&2
+  exit 1
+fi
+echo "ok: $(sed -n 's/^[[:space:]]*"inputs": \([0-9]*\),.*/\1/p' "$host_json") hostile inputs, zero escaped panics"
+
+echo "== panic-free guard rails =="
+# The core passes and the Verilog reader are the panic-free boundary;
+# the deny attributes must stay on their module declarations.
+for decl in controller desync ffsub region; do
+  if ! grep -B2 "mod $decl;" crates/core/src/lib.rs | grep -q 'deny(clippy::unwrap_used, clippy::panic)'; then
+    echo "error: crates/core/src/lib.rs lost the deny attribute on \`mod $decl\`" >&2
+    exit 1
+  fi
+done
+for decl in lexer parser; do
+  if ! grep -B3 "mod $decl;" crates/netlist/src/verilog/mod.rs | grep -q 'deny(clippy::unwrap_used, clippy::panic)'; then
+    echo "error: crates/netlist/src/verilog/mod.rs lost the deny attribute on \`mod $decl\`" >&2
+    exit 1
+  fi
+done
+# The golden degraded-flow artifacts must keep the structured
+# Degradation schema (region + reason + cells) that tools consume.
+deg_trace=tests/golden/mixed_degraded_flow_trace.json
+deg_report=tests/golden/mixed_degraded_report.txt
+for f in "$deg_trace" "$deg_report"; do
+  if [ ! -s "$f" ]; then
+    echo "error: golden degraded artifact $f missing or empty" >&2
+    exit 1
+  fi
+done
+for field in '"degradations"' '"region"' '"reason"' '"cells"'; do
+  if ! grep -q "$field" "$deg_trace"; then
+    echo "error: $deg_trace misses Degradation field $field" >&2
+    exit 1
+  fi
+done
+if ! grep -q '^degradations (1):' "$deg_report"; then
+  echo "error: $deg_report does not list exactly one degradation section" >&2
+  exit 1
+fi
+if ! grep -q 'left synchronous' "$deg_report"; then
+  echo "error: $deg_report misses the degradation rationale line" >&2
+  exit 1
+fi
+echo "ok: deny attributes and Degradation schema in place"
 
 echo "verify: OK"

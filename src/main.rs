@@ -4,29 +4,114 @@
 //!
 //! ```text
 //! drdesync desync <input.v> [-o out.v] [--sdc out.sdc] [--blif out.blif]
-//!                 [--lib hs|ll] [--single-group] [--muxed]
+//!                 [--lib hs|ll] [--single-group] [--muxed] [--strict]
+//!                 [--keep-sync-ff KIND]...
+//!                 [--max-cells N] [--max-nets N] [--pass-deadline-ms N]
 //!                 [--false-path NET]... [--clock PORT] [--period NS]
 //!                 [--trace FILE] [--stop-after PASS] [--dump-after PASS[=FILE]]
 //! drdesync gatefile [--lib hs|ll]
 //! drdesync regions <input.v> [--lib hs|ll]
 //! ```
+//!
+//! Exit codes: `0` success (including degraded-but-completed flows, which
+//! print a warning summary on stderr), `1` usage or I/O errors, `2` parse
+//! errors in the input netlist, `3` flow errors.
 
 use std::process::ExitCode;
 
 use drd_core::{DesyncError, DesyncOptions, Desynchronizer, FlowContext, Pipeline};
 use drd_liberty::gatefile::Gatefile;
 use drd_liberty::{vlib90, Library};
+use drd_netlist::NetlistError;
 
 fn usage() -> &'static str {
     "drdesync — fully-automated desynchronization of synchronous gate-level netlists\n\
      \n\
      USAGE:\n\
        drdesync desync <input.v> [-o OUT.v] [--sdc OUT.sdc] [--blif OUT.blif]\n\
-                       [--lib hs|ll] [--single-group] [--muxed]\n\
+                       [--lib hs|ll] [--single-group] [--muxed] [--strict]\n\
+                       [--keep-sync-ff KIND]...\n\
+                       [--max-cells N] [--max-nets N] [--pass-deadline-ms N]\n\
                        [--false-path NET]... [--clock PORT] [--period NS]\n\
                        [--trace FILE] [--stop-after PASS] [--dump-after PASS[=FILE]]\n\
        drdesync gatefile [--lib hs|ll]\n\
-       drdesync regions <input.v> [--lib hs|ll]\n"
+       drdesync regions <input.v> [--lib hs|ll]\n\
+     \n\
+     ROBUSTNESS:\n\
+       --strict             fail fast instead of degrading unsupported regions\n\
+       --keep-sync-ff KIND  treat flip-flop KIND as unsupported: regions\n\
+                            containing it stay synchronous (repeatable)\n\
+       --max-cells N        abort the flow if the netlist exceeds N cells\n\
+       --max-nets N         abort the flow if the netlist exceeds N nets\n\
+       --pass-deadline-ms N abort if any single pass runs longer than N ms\n\
+     \n\
+     EXIT CODES:\n\
+       0  success (a degraded flow completes with a warning summary on stderr)\n\
+       1  usage or I/O error\n\
+       2  input netlist parse error\n\
+       3  flow error\n"
+}
+
+/// Typed CLI failure: the variant decides the process exit code.
+enum CliError {
+    /// Bad invocation or I/O trouble → exit 1.
+    Usage(String),
+    /// The input netlist did not parse → exit 2.
+    Parse(String),
+    /// The desynchronization flow failed → exit 3.
+    Flow(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Parse(_) => 2,
+            CliError::Flow(_) => 3,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Parse(m) | CliError::Flow(m) => m,
+        }
+    }
+}
+
+impl From<NetlistError> for CliError {
+    fn from(e: NetlistError) -> CliError {
+        CliError::Parse(e.to_string())
+    }
+}
+
+impl From<DesyncError> for CliError {
+    fn from(e: DesyncError) -> CliError {
+        CliError::Flow(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Usage(e.to_string())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Usage(m.to_owned())
+    }
+}
+
+impl From<drd_liberty::LibraryError> for CliError {
+    fn from(e: drd_liberty::LibraryError) -> CliError {
+        CliError::Flow(e.to_string())
+    }
 }
 
 fn pick_lib(args: &[String]) -> Library {
@@ -43,7 +128,17 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn run() -> Result<(), Box<dyn std::error::Error>> {
+/// Parses a `--flag N` numeric budget value.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(raw) => raw.parse().map(Some).map_err(|_| {
+            CliError::Usage(format!("{flag} expects a number, found `{raw}`"))
+        }),
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprint!("{}", usage());
@@ -98,9 +193,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             if let Some(port) = flag_value(&args, "--clock") {
                 opts.clock_port = Some(port.to_owned());
             }
-            if let Some(period) = flag_value(&args, "--period") {
-                opts.clock_period_ns = period.parse()?;
+            if let Some(period) = parsed_flag(&args, "--period")? {
+                opts.clock_period_ns = period;
             }
+            opts.strict = args.iter().any(|a| a == "--strict");
+            opts.max_cells = parsed_flag(&args, "--max-cells")?;
+            opts.max_nets = parsed_flag(&args, "--max-nets")?;
+            opts.pass_deadline_ms = parsed_flag(&args, "--pass-deadline-ms")?;
+            opts.stg_state_limit = parsed_flag(&args, "--stg-state-limit")?;
             let stop_after = flag_value(&args, "--stop-after");
             let (dump_pass, dump_file) = match flag_value(&args, "--dump-after") {
                 Some(v) => match v.split_once('=') {
@@ -111,6 +211,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             };
 
             let tool = Desynchronizer::new(&lib)?;
+            // `--keep-sync-ff KIND` drops KIND's substitution rule, so
+            // regions containing it stay synchronous (or, with --strict,
+            // fail the flow).
+            let mut gatefile = tool.gatefile().clone();
+            for (i, a) in args.iter().enumerate() {
+                if a == "--keep-sync-ff" {
+                    let kind = args
+                        .get(i + 1)
+                        .ok_or("--keep-sync-ff expects a flip-flop kind")?;
+                    gatefile.rules.retain(|r| &r.ff != kind);
+                }
+            }
             let pipeline = Pipeline::standard();
             if let Some(pass) = &dump_pass {
                 if !pipeline.pass_names().contains(&pass.as_str()) {
@@ -121,7 +233,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     .into());
                 }
             }
-            let mut cx = FlowContext::new(&lib, tool.gatefile(), module, opts.clone());
+            let mut cx = FlowContext::new(&lib, &gatefile, module, opts.clone());
             let trace = pipeline.run_observed(&mut cx, stop_after, |name, cx| {
                 if dump_pass.as_deref() == Some(name) {
                     std::fs::write(&dump_file, cx.netlist_verilog()).map_err(|e| {
@@ -170,6 +282,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 rep.controllers,
                 rep.celements
             );
+            if !rep.degradations.is_empty() {
+                eprintln!(
+                    "warning: {} region(s) left synchronous (run with --strict to fail instead):",
+                    rep.degradations.len()
+                );
+                for d in &rep.degradations {
+                    eprintln!("  {d}");
+                }
+            }
             for r in &rep.regions {
                 eprintln!(
                     "  {}: {} cells, {} ffs, cloud {:.3} ns, delay element {} levels",
@@ -201,8 +322,8 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.code())
         }
     }
 }

@@ -127,4 +127,131 @@ fn cli_rejects_unknown_command() {
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+}
+
+/// Two-region netlist whose second region's flip-flop flavour can be
+/// declared unsupported via `--keep-sync-ff DFFRX1`.
+fn write_mixed(dir: &std::path::Path) -> std::path::PathBuf {
+    let src = "
+        module mix (clk, out0, out1);
+          input clk; output out0; output out1;
+          wire d0; wire d1;
+          INVX1 inv0 (.A(out0), .Z(d0));
+          DFFX1 r0 (.D(d0), .CK(clk), .Q(out0));
+          INVX1 inv1 (.A(out0), .Z(d1));
+          DFFRX1 r1 (.D(d1), .RN(1'b1), .CK(clk), .Q(out1));
+        endmodule";
+    let path = dir.join("mix.v");
+    std::fs::write(&path, src).unwrap();
+    path
+}
+
+#[test]
+fn cli_parse_error_exits_2() {
+    let dir = std::env::temp_dir().join("drdesync_cli_exit2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("garbage.v");
+    std::fs::write(&input, "module broken (a;\n???\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["desync", input.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn cli_flow_error_exits_3() {
+    let dir = std::env::temp_dir().join("drdesync_cli_exit3");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Parses fine but has no clocked flip-flop: the flow cannot identify
+    // a clock and fails.
+    let input = dir.join("clockless.v");
+    std::fs::write(
+        &input,
+        "module clockless (input a, output z);\n  INVX1 u (.A(a), .Z(z));\nendmodule",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["desync", input.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}
+
+#[test]
+fn cli_degraded_flow_exits_0_with_warning() {
+    let dir = std::env::temp_dir().join("drdesync_cli_degraded");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_mixed(&dir);
+    let out_v = dir.join("out.v");
+    let out_sdc = dir.join("out.sdc");
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args([
+            "desync",
+            input.to_str().unwrap(),
+            "-o",
+            out_v.to_str().unwrap(),
+            "--sdc",
+            out_sdc.to_str().unwrap(),
+            "--keep-sync-ff",
+            "DFFRX1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: 1 region(s) left synchronous"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("DFFRX1"), "{stderr}");
+    // The degraded region keeps its flip-flop; the SDC declares the CDC.
+    let verilog = std::fs::read_to_string(&out_v).unwrap();
+    assert!(verilog.contains("DFFRX1"), "{verilog}");
+    let sdc = std::fs::read_to_string(&out_sdc).unwrap();
+    assert!(sdc.contains("set_clock_groups -asynchronous"), "{sdc}");
+}
+
+#[test]
+fn cli_strict_turns_degradation_into_flow_error() {
+    let dir = std::env::temp_dir().join("drdesync_cli_strict");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_mixed(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args([
+            "desync",
+            input.to_str().unwrap(),
+            "--keep-sync-ff",
+            "DFFRX1",
+            "--strict",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DFFRX1"), "{stderr}");
+}
+
+#[test]
+fn cli_budget_flags_abort_with_flow_error() {
+    let dir = std::env::temp_dir().join("drdesync_cli_budget");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_sample(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["desync", input.to_str().unwrap(), "--max-cells", "1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cells budget"), "{stderr}");
+
+    // A malformed budget value is a usage error, not a flow error.
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["desync", input.to_str().unwrap(), "--max-cells", "many"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
 }

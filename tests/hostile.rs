@@ -1,0 +1,31 @@
+//! Tier-1 hostile-input gate: the Verilog reader and the guarded flow
+//! must survive ≥10k seeded adversarial inputs with zero escaped panics.
+//!
+//! Input count is overridable via `DRD_HOSTILE_INPUTS` (never below the
+//! 10_000 floor — the whole point of the gate), workers via
+//! `DRD_WORKERS`.
+
+use drd_check::hostile::run_hostile_campaign;
+use drd_check::runner;
+
+#[test]
+fn hostile_campaign_has_zero_escaped_panics() {
+    let count: usize = std::env::var("DRD_HOSTILE_INPUTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+        .max(10_000);
+    let report = run_hostile_campaign(count, 0x0DE5_7AC7, runner::worker_count());
+    assert_eq!(report.total, count);
+    assert_eq!(
+        report.panics, 0,
+        "escaped panic, reproduce with drd_check::hostile::generate{:?}",
+        report.first_panic
+    );
+    // Sanity: the campaign exercised both sides of the parser.
+    assert!(report.rejected > 0, "no input was rejected — generator broken?");
+    assert!(
+        report.flow_errors + report.completed > 0,
+        "no input parsed — truncation/splice families broken?"
+    );
+}
