@@ -1,0 +1,181 @@
+//! Scaling curve of the parallel region-sliced flow.
+//!
+//! Generates stepped synthetic pipelines via `drd_check::netgen` (one
+//! region per stage, STA-dominated clouds), runs the full flow serially
+//! (`--jobs 1`) and with the host worker count, checks the artifacts are
+//! byte-identical, and writes the speedup curve to `BENCH_scale.json`
+//! (directory overridable via `DRD_BENCH_DIR`, default `results/` at the
+//! workspace root).
+//!
+//! Also guards the `Regions::region_of` fix: per-lookup cost must stay
+//! roughly flat as the design grows (the old linear scan scaled with the
+//! region sizes, making the DDG/SDC loops quadratic). On violation the
+//! binary exits non-zero, so `scripts/verify.sh` can gate on it.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use drd_check::netgen::{FfKind, FfRecipe, GateOp, NetRecipe, StageRecipe};
+use drd_check::Rng;
+use drd_core::region::{clean_for_grouping, group, GroupingOptions};
+use drd_core::{DesyncOptions, Desynchronizer};
+use drd_liberty::vlib90;
+
+/// (stages, cloud gates per stage, register lanes per stage) steps.
+const STEPS: [(usize, usize, usize); 4] = [(4, 60, 4), (4, 120, 6), (6, 200, 8), (8, 320, 8)];
+
+fn out_dir() -> PathBuf {
+    std::env::var("DRD_BENCH_DIR").map_or_else(
+        |_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+        PathBuf::from,
+    )
+}
+
+/// Deterministic stepped recipe: `stages` stages of `cloud` gates and
+/// `width` plain flip-flops (plain lanes keep every region substitutable,
+/// so no degradations shrink the parallel work).
+fn recipe(rng: &mut Rng, stages: usize, cloud: usize, width: usize) -> NetRecipe {
+    let stages = (0..stages)
+        .map(|_| StageRecipe {
+            cloud: (0..cloud)
+                .map(|_| GateOp {
+                    kind: rng.next_u64() as u8,
+                    a: rng.range(0, 4096),
+                    b: rng.range(0, 4096),
+                })
+                .collect(),
+            ffs: (0..width)
+                .map(|_| FfRecipe {
+                    kind: FfKind::Plain,
+                    d: rng.range(0, 4096),
+                    aux0: rng.range(0, 4096),
+                    aux1: rng.range(0, 4096),
+                })
+                .collect(),
+        })
+        .collect();
+    NetRecipe {
+        inputs: 4,
+        input_bits: rng.next_u64(),
+        stages,
+    }
+}
+
+struct Point {
+    label: String,
+    cells: usize,
+    regions: usize,
+    serial_ns: u128,
+    parallel_ns: u128,
+}
+
+fn main() {
+    let lib = vlib90::high_speed();
+    let tool = Desynchronizer::new(&lib).expect("library prepares");
+    let workers = drd_check::runner::worker_count();
+    let mut rng = Rng::new(0x5CA1_E0DD);
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut lookup_ns: Vec<f64> = Vec::new();
+    for (stages, cloud, width) in STEPS {
+        let module = recipe(&mut rng, stages, cloud, width)
+            .build()
+            .expect("recipe builds");
+        let cells = module.cells().count();
+
+        let run = |jobs: usize| {
+            let opts = DesyncOptions {
+                jobs: Some(jobs),
+                ..DesyncOptions::default()
+            };
+            let start = Instant::now();
+            let result = tool.run(&module, &opts).expect("flow runs");
+            let wall = start.elapsed().as_nanos();
+            let verilog = drd_netlist::verilog::write_design(&result.design);
+            (wall, result.sdc.clone(), verilog, result.report.regions.len())
+        };
+        let (serial_ns, serial_sdc, serial_v, regions) = run(1);
+        let (parallel_ns, parallel_sdc, parallel_v, _) = run(workers);
+        assert_eq!(serial_sdc, parallel_sdc, "SDC differs across worker counts");
+        assert_eq!(serial_v, parallel_v, "Verilog differs across worker counts");
+
+        // Per-lookup cost of region lookup at this size (the S2 guard).
+        let mut probe = module.clone();
+        clean_for_grouping(&mut probe, &lib);
+        let grouped = group(&probe, &lib, &GroupingOptions::recommended()).expect("groups");
+        let names: Vec<&str> = grouped
+            .regions
+            .iter()
+            .flat_map(|r| r.cells.iter().map(String::as_str))
+            .collect();
+        const LOOKUPS: usize = 20_000;
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for i in 0..LOOKUPS {
+            hits += usize::from(grouped.region_of(names[i % names.len()]).is_some());
+        }
+        assert_eq!(hits, LOOKUPS);
+        lookup_ns.push(start.elapsed().as_nanos() as f64 / LOOKUPS as f64);
+
+        let label = format!("{stages}x{cloud}+{width}");
+        eprintln!(
+            "{label:>10}: {cells} cells, {regions} regions, serial {:.1} ms, \
+             parallel({workers}) {:.1} ms, lookup {:.0} ns",
+            serial_ns as f64 / 1e6,
+            parallel_ns as f64 / 1e6,
+            lookup_ns.last().unwrap(),
+        );
+        points.push(Point {
+            label,
+            cells,
+            regions,
+            serial_ns,
+            parallel_ns,
+        });
+    }
+
+    // Non-quadratic guard: per-lookup time must not scale with design
+    // size. The largest step is ~8x the smallest; the old linear scan
+    // scaled proportionally, the prebuilt map stays flat. Bound is
+    // generous for timer noise.
+    let (first, last) = (lookup_ns[0].max(1.0), lookup_ns[lookup_ns.len() - 1]);
+    let lookup_ratio = last / first;
+    if lookup_ratio > 8.0 {
+        eprintln!(
+            "region_of per-lookup cost grew {lookup_ratio:.1}x from the smallest to the \
+             largest design — lookup is no longer O(1)"
+        );
+        std::process::exit(1);
+    }
+
+    let speedup = points
+        .iter()
+        .map(|p| p.serial_ns as f64 / p.parallel_ns.max(1) as f64)
+        .fold(0.0f64, f64::max);
+
+    let mut out = String::from("{\n  \"name\": \"scale\",\n");
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    out.push_str(&format!("  \"lookup_ratio\": {lookup_ratio:.3},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"cells\": {}, \"regions\": {}, \"serial_ns\": {}, \
+             \"parallel_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            p.label,
+            p.cells,
+            p.regions,
+            p.serial_ns,
+            p.parallel_ns,
+            p.serial_ns as f64 / p.parallel_ns.max(1) as f64,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let path = dir.join("BENCH_scale.json");
+    std::fs::write(&path, out).expect("bench json written");
+    eprintln!("wrote {} (speedup {speedup:.2}x at {workers} workers)", path.display());
+}

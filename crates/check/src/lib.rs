@@ -6,6 +6,7 @@
 //! crates used to supply:
 //!
 //! * [`rng`] — a deterministic SplitMix64 PRNG (replacing `rand`),
+//!   re-exported from `drd-runner`,
 //! * [`prop`] — a minimal property-testing harness with seed reporting
 //!   and greedy input shrinking (replacing `proptest`),
 //! * [`netgen`] — a random synchronous gate-level netlist generator over
@@ -19,7 +20,8 @@
 //! * [`bench`] — a `std::time::Instant` micro-benchmark runner emitting
 //!   `BENCH_*.json` (replacing `criterion`),
 //! * [`runner`] — a dependency-free work-stealing parallel task runner on
-//!   `std::thread` with per-worker seeded scheduling streams,
+//!   `std::thread` with per-worker seeded scheduling streams, re-exported
+//!   from `drd-runner` (the flow passes use the same pool),
 //! * [`cover`] — structural coverage buckets over generated netlists and
 //!   a coverage-guided recipe sampler,
 //! * [`mutate`] — the mutation-testing engine: seeded, paper-meaningful
@@ -37,8 +39,6 @@ pub mod hostile;
 pub mod mutate;
 pub mod netgen;
 pub mod prop;
-pub mod rng;
-pub mod runner;
 
+pub use drd_runner::{rng, runner, Rng};
 pub use prop::{prop, prop_par_with, prop_with, Config, Shrink};
-pub use rng::Rng;

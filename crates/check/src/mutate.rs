@@ -558,10 +558,10 @@ impl Pass for SkipOneFfSub {
             let rep = ffsub::substitute_ffs(working, lib, gatefile, &r.seq_cells, gm, gs)?;
             substituted += rep.substituted;
         }
-        Ok(PassReport {
-            artifacts: vec!["substituted-ffs"],
-            detail: format!("{substituted} flip-flops substituted, region {skip} skipped"),
-        })
+        Ok(PassReport::new(
+            vec!["substituted-ffs"],
+            format!("{substituted} flip-flops substituted, region {skip} skipped"),
+        ))
     }
 }
 

@@ -5,7 +5,7 @@
 //! are always driven by registers) to an input of `r2`. The controller
 //! network must respect these dependencies (Fig. 2.7).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use drd_liberty::Library;
 use drd_netlist::{Conn, Endpoint, Module};
@@ -22,21 +22,24 @@ pub struct Ddg {
     pub preds: Vec<Vec<usize>>,
     /// Successors per region.
     pub succs: Vec<Vec<usize>>,
+    /// Regions with no predecessors, cached at build time.
+    sources: Vec<usize>,
+    /// Regions with no successors, cached at build time.
+    sinks: Vec<usize>,
 }
 
 impl Ddg {
     /// Regions with no predecessors (fed only by primary inputs).
-    pub fn sources(&self) -> Vec<usize> {
-        (0..self.preds.len())
-            .filter(|&r| self.preds[r].is_empty())
-            .collect()
+    /// Computed once in [`build`]; callers that need ownership can
+    /// `.to_vec()` the returned slice.
+    pub fn sources(&self) -> &[usize] {
+        &self.sources
     }
 
-    /// Regions with no successors.
-    pub fn sinks(&self) -> Vec<usize> {
-        (0..self.succs.len())
-            .filter(|&r| self.succs[r].is_empty())
-            .collect()
+    /// Regions with no successors. Cached at build time like
+    /// [`Ddg::sources`].
+    pub fn sinks(&self) -> &[usize] {
+        &self.sinks
     }
 }
 
@@ -50,16 +53,10 @@ impl Ddg {
 /// # Errors
 /// Propagates connectivity errors.
 pub fn build(module: &Module, lib: &Library, regions: &Regions) -> Result<Ddg, DesyncError> {
-    let mut region_of: HashMap<&str, usize> = HashMap::new();
-    for (i, r) in regions.regions.iter().enumerate() {
-        for cell in &r.cells {
-            region_of.insert(cell.as_str(), i);
-        }
-    }
     let conn = module.connectivity(lib)?;
     let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
     for (cid, cell) in module.cells() {
-        let Some(&to) = region_of.get(cell.name.as_str()) else {
+        let Some(to) = regions.region_of(cell.name.as_str()) else {
             continue;
         };
         for (_, c) in cell.pins() {
@@ -71,7 +68,7 @@ pub fn build(module: &Module, lib: &Library, regions: &Regions) -> Result<Ddg, D
                 continue; // the cell's own output pin
             }
             let driver = module.cell(p.cell);
-            let Some(&from) = region_of.get(driver.name.as_str()) else {
+            let Some(from) = regions.region_of(driver.name.as_str()) else {
                 continue;
             };
             if from != to {
@@ -91,7 +88,9 @@ pub fn build(module: &Module, lib: &Library, regions: &Regions) -> Result<Ddg, D
         succs[from].push(to);
         preds[to].push(from);
     }
-    Ok(Ddg { edges, preds, succs })
+    let sources = (0..n).filter(|&r| preds[r].is_empty()).collect();
+    let sinks = (0..n).filter(|&r| succs[r].is_empty()).collect();
+    Ok(Ddg { edges, preds, succs, sources, sinks })
 }
 
 #[cfg(test)]
@@ -156,8 +155,15 @@ mod tests {
         assert!(ddg.edges.contains(&(rg0, rg2)));
         assert!(ddg.edges.contains(&(rg1, rg2)));
         assert_eq!(ddg.edges.len(), 3, "no self loops in a pure pipeline");
-        assert_eq!(ddg.sources(), vec![rg0]);
-        assert_eq!(ddg.sinks(), vec![rg2]);
+        assert_eq!(ddg.sources(), &[rg0]);
+        assert_eq!(ddg.sinks(), &[rg2]);
+        // The cached lists agree with a fresh scan of the adjacency lists.
+        let scan_sources: Vec<usize> =
+            (0..ddg.preds.len()).filter(|&r| ddg.preds[r].is_empty()).collect();
+        let scan_sinks: Vec<usize> =
+            (0..ddg.succs.len()).filter(|&r| ddg.succs[r].is_empty()).collect();
+        assert_eq!(ddg.sources(), scan_sources.as_slice());
+        assert_eq!(ddg.sinks(), scan_sinks.as_slice());
         assert_eq!(ddg.preds[rg2].len(), 2);
     }
 

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use drd_liberty::gatefile::Gatefile;
 use drd_liberty::{Corner, Library, SeqKind};
 use drd_netlist::{Design, Module};
-use drd_sta::{GraphOptions, TimingGraph};
+use drd_sta::{GraphOptions, SubsetContext, TimingGraph};
 
 use crate::pipeline::{FlowContext, FlowTrace, Pipeline};
 use crate::region::{GroupingOptions, Regions};
@@ -46,6 +46,21 @@ pub struct DesyncOptions {
     /// Guard budget: per-pass wall-clock deadline in milliseconds,
     /// enforced after the pass returns (passes are not preempted).
     pub pass_deadline_ms: Option<u64>,
+    /// Worker threads for the per-region parallel passes (`region-delays`,
+    /// `ffsub`, `control-network`, `sdc`). `None` defers to the
+    /// `DRD_WORKERS` environment variable, then to the machine's available
+    /// parallelism. All artifacts are byte-identical for every worker
+    /// count. The CLI exposes this as `--jobs`.
+    pub jobs: Option<usize>,
+}
+
+impl DesyncOptions {
+    /// The effective worker count: `jobs` if set, otherwise
+    /// [`drd_runner::worker_count`] (`DRD_WORKERS` override or available
+    /// parallelism).
+    pub fn workers(&self) -> usize {
+        self.jobs.map_or_else(drd_runner::worker_count, |j| j.max(1))
+    }
 }
 
 impl Default for DesyncOptions {
@@ -62,6 +77,7 @@ impl Default for DesyncOptions {
             max_nets: None,
             stg_state_limit: None,
             pass_deadline_ms: None,
+            jobs: None,
         }
     }
 }
@@ -197,22 +213,58 @@ impl<'a> Desynchronizer<'a> {
 }
 
 /// Per-region combinational critical-path delay: the worst arrival at any
-/// data input of the region's sequential cells (§3.2.5).
+/// data input of the region's sequential cells (§3.2.5). Serial wrapper
+/// around [`region_delays_with`].
 pub fn region_delays(
     module: &Module,
     lib: &Library,
     regions: &Regions,
 ) -> Result<Vec<f64>, DesyncError> {
-    let graph = TimingGraph::build(module, lib, &GraphOptions::default())?;
-    let arrivals = graph.arrivals(Corner::typical())?;
-    let mut delays = vec![0.0f64; regions.regions.len()];
+    region_delays_with(module, lib, regions, 1).map(|(delays, _)| delays)
+}
+
+/// [`region_delays`] with an explicit worker count, also returning the
+/// per-region analysis wall time (ns) for flow instrumentation.
+///
+/// Each region is one task: a [`SubsetContext`]-backed timing graph over
+/// the region's own cells is built and propagated independently — valid
+/// because region clouds are disjoint and sequential outputs/ports are
+/// zero-arrival sources either way, so each endpoint's arrival only
+/// depends on in-region logic. Results are merged in region-index order
+/// (the lowest-indexed error wins), making the output independent of the
+/// worker count.
+pub fn region_delays_with(
+    module: &Module,
+    lib: &Library,
+    regions: &Regions,
+    workers: usize,
+) -> Result<(Vec<f64>, Vec<u128>), DesyncError> {
+    let cx = SubsetContext::new(module, lib)?;
+    let cell_ids: HashMap<&str, drd_netlist::CellId> = module
+        .cells()
+        .map(|(id, c)| (c.name.as_str(), id))
+        .collect();
     let kind_of: HashMap<&str, &str> = module
         .cells()
         .map(|(_, c)| (c.name.as_str(), c.kind.name()))
         .collect();
-    for (i, r) in regions.regions.iter().enumerate() {
+    let members: Vec<Vec<drd_netlist::CellId>> = regions
+        .regions
+        .iter()
+        .map(|r| {
+            r.cells
+                .iter()
+                .filter_map(|name| cell_ids.get(name.as_str()).copied())
+                .collect()
+        })
+        .collect();
+
+    let analyzed = drd_runner::run_indexed(regions.regions.len(), workers, |i| {
+        let start = std::time::Instant::now();
+        let graph = TimingGraph::build_subset(&cx, lib, &GraphOptions::default(), &members[i])?;
+        let arrivals = graph.arrivals(Corner::typical())?;
         let mut worst = 0.0f64;
-        for cell_name in &r.seq_cells {
+        for cell_name in &regions.regions[i].seq_cells {
             let Some(kind) = kind_of.get(cell_name.as_str()) else { continue };
             let Some(lc) = lib.cell(kind) else { continue };
             let clockish = match &lc.seq {
@@ -230,9 +282,18 @@ pub fn region_delays(
             }
         }
         // Account for the latch setup time the delayed request must cover.
-        delays[i] = if worst > 0.0 { worst + 0.05 } else { 0.0 };
+        let delay = if worst > 0.0 { worst + 0.05 } else { 0.0 };
+        Ok::<(f64, u128), DesyncError>((delay, start.elapsed().as_nanos()))
+    });
+
+    let mut delays = vec![0.0f64; regions.regions.len()];
+    let mut walls = vec![0u128; regions.regions.len()];
+    for (i, outcome) in analyzed.into_iter().enumerate() {
+        let (delay, wall) = outcome?;
+        delays[i] = delay;
+        walls[i] = wall;
     }
-    Ok(delays)
+    Ok((delays, walls))
 }
 
 #[cfg(test)]
@@ -359,6 +420,25 @@ mod tests {
             (ratio / expected - 1.0).abs() < 0.1,
             "period ratio {ratio} tracks corner ratio {expected}"
         );
+    }
+
+    #[test]
+    fn parallel_region_delays_match_serial_bitwise() {
+        let lib = vlib90::high_speed();
+        let mut m = toggle_parity();
+        crate::region::clean_for_grouping(&mut m, &lib);
+        let regions =
+            crate::region::group(&m, &lib, &crate::region::GroupingOptions::recommended())
+                .unwrap();
+        let serial = region_delays(&m, &lib, &regions).unwrap();
+        assert!(serial.iter().any(|&d| d > 0.0), "{serial:?}");
+        for workers in [2, 3, 8] {
+            let (par, walls) = region_delays_with(&m, &lib, &regions, workers).unwrap();
+            assert_eq!(walls.len(), serial.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+        }
     }
 
     #[test]

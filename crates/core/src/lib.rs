@@ -49,7 +49,10 @@ pub mod pipeline;
 pub mod region;
 pub mod sdc;
 
-pub use desync::{DesyncOptions, DesyncReport, DesyncResult, Desynchronizer, RegionSummary};
+pub use desync::{
+    region_delays, region_delays_with, DesyncOptions, DesyncReport, DesyncResult, Desynchronizer,
+    RegionSummary,
+};
 pub use error::{DegradeReason, Degradation, DesyncError};
 pub use pipeline::{
     FlowContext, FlowErrorTrace, FlowTrace, Pass, PassReport, PassTrace, Pipeline,

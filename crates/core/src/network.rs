@@ -11,7 +11,7 @@
 //! eager output environment (`ao = ro`).
 
 use drd_liberty::Library;
-use drd_netlist::{Conn, Design, ModuleId, NetId};
+use drd_netlist::{Conn, Design, Endpoint, ModuleId, NetId, PinUse};
 
 use crate::celement;
 use crate::controller::{build_controller, ControllerRole};
@@ -83,6 +83,43 @@ pub fn insert_control_network(
     degraded: &[String],
     opts: NetworkOptions,
 ) -> Result<NetworkReport, DesyncError> {
+    insert_control_network_with(
+        design,
+        top,
+        regions,
+        ddg,
+        region_delays_ns,
+        lib,
+        degraded,
+        opts,
+        1,
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`insert_control_network`] with an explicit worker count.
+///
+/// The per-region delay-element *sizing* (the `levels_for_delay` binary
+/// search over the library, the dominant analysis cost here) fans out one
+/// task per region over `workers` threads; module creation and all netlist
+/// mutation stay serial in region-index order, so the resulting design is
+/// byte-identical for every worker count. Returns the report plus the
+/// per-region sizing wall time in nanoseconds (0 for skipped regions).
+///
+/// # Errors
+/// Propagates netlist and STA errors.
+#[allow(clippy::too_many_arguments)]
+pub fn insert_control_network_with(
+    design: &mut Design,
+    top: ModuleId,
+    regions: &Regions,
+    ddg: &Ddg,
+    region_delays_ns: &[f64],
+    lib: &Library,
+    degraded: &[String],
+    opts: NetworkOptions,
+    workers: usize,
+) -> Result<(NetworkReport, Vec<u128>), DesyncError> {
     let NetworkOptions { muxed, margin } = opts;
     let mut report = NetworkReport::default();
 
@@ -148,23 +185,35 @@ pub fn insert_control_network(
         }
     }
 
-    // Delay-element sizing and module creation.
-    let mut delem_levels = vec![0usize; n];
+    // Delay-element sizing (parallel, read-only per region) followed by
+    // module creation (serial, deduplicated, in region-index order).
     let overhead = if muxed {
         delay_element::mux_overhead_levels(lib)?
     } else {
         0
     };
-    for i in 0..n {
+    let sized = drd_runner::run_indexed(n, workers, |i| {
+        let start = std::time::Instant::now();
+        let levels = if !controlled[i] {
+            Ok(0)
+        } else {
+            let target = region_delays_ns.get(i).copied().unwrap_or(0.0);
+            if target <= 0.0 {
+                Ok(1)
+            } else {
+                delay_element::levels_for_delay(lib, target, margin)
+            }
+        };
+        (levels, start.elapsed().as_nanos())
+    });
+    let mut delem_levels = vec![0usize; n];
+    let mut region_wall_ns = vec![0u128; n];
+    for (i, (levels, wall)) in sized.into_iter().enumerate() {
+        delem_levels[i] = levels?;
+        region_wall_ns[i] = wall;
         if !controlled[i] {
             continue;
         }
-        let target = region_delays_ns.get(i).copied().unwrap_or(0.0);
-        delem_levels[i] = if target <= 0.0 {
-            1
-        } else {
-            delay_element::levels_for_delay(lib, target, margin)?
-        };
         let module_name = delem_module_name(muxed, delem_levels[i]);
         if design.find_module(&module_name).is_none() {
             let module = if muxed {
@@ -284,7 +333,7 @@ pub fn insert_control_network(
                 buffer_enable_tree(design, top, lib, &name, 16)?;
         }
     }
-    Ok(report)
+    Ok((report, region_wall_ns))
 }
 
 /// Builds a balanced buffer tree so the latch-enable net drives at most
@@ -297,43 +346,45 @@ fn buffer_enable_tree(
     net_name: &str,
     max_fanout: usize,
 ) -> Result<usize, DesyncError> {
+    let Some(net) = design.module(top).find_net(net_name) else {
+        return Ok(0);
+    };
+    // One connectivity snapshot for the whole tree. The previous version
+    // recomputed pin directions and full-module connectivity on every tree
+    // level, which made insertion quadratic in module size; after the first
+    // level the remaining loads on `net` are exactly the buffers we just
+    // inserted, so we track them directly instead of rescanning the module.
+    let mut current: Vec<Endpoint> = {
+        let dirs = design.pin_dirs(lib);
+        design.module(top).connectivity(&dirs)?.loads(net).to_vec()
+    };
     let mut inserted = 0usize;
-    loop {
-        let m = design.module_mut(top);
-        let Some(net) = m.find_net(net_name) else {
-            return Ok(inserted);
-        };
-        let dirs = {
-            // Resolve instance pins through the design.
-            let d: &Design = design;
-            let conn = {
-                let dirs = d.pin_dirs(lib);
-                d.module(top).connectivity(&dirs)?
-            };
-            conn
-        };
-        let loads: Vec<drd_netlist::Endpoint> = dirs.loads(net).to_vec();
-        if loads.len() <= max_fanout {
-            return Ok(inserted);
-        }
-        let m = design.module_mut(top);
-        for (g, chunk) in loads.chunks(max_fanout).enumerate() {
+    let m = design.module_mut(top);
+    while current.len() > max_fanout {
+        let mut next: Vec<Endpoint> =
+            Vec::with_capacity(current.len().div_ceil(max_fanout));
+        for (g, chunk) in current.chunks(max_fanout).enumerate() {
             let out = m.add_net_auto(&format!("{net_name}_ct{g}"));
             let cell = m.unique_cell_name(&format!("{net_name}_ctb"));
-            m.add_cell(
+            let buf = m.add_cell(
                 cell,
                 "BUFX2",
                 &[("A", Conn::Net(net)), ("Z", Conn::Net(out))],
             )?;
             inserted += 1;
             for load in chunk {
-                if let drd_netlist::Endpoint::Pin(p) = load {
+                if let Endpoint::Pin(p) = load {
                     let pin = m.cell(p.cell).pins()[p.pin as usize].0.clone();
                     m.set_pin(p.cell, &pin, Conn::Net(out));
                 }
             }
+            // The buffer's "A" pin (index 0) is the only load the new
+            // level leaves on `net` for this chunk.
+            next.push(Endpoint::Pin(PinUse { cell: buf, pin: 0 }));
         }
+        current = next;
     }
+    Ok(inserted)
 }
 
 fn delem_module_name(muxed: bool, levels: usize) -> String {

@@ -265,11 +265,39 @@ pub struct PassReport {
     pub artifacts: Vec<&'static str>,
     /// One-line human summary.
     pub detail: String,
+    /// Worker threads the pass fanned out over (0 for serial passes).
+    pub workers: usize,
+    /// Wall time of each per-region task (ns), in region-index order —
+    /// empty for serial passes. Timing only: rendered with `wall_ns`, never
+    /// in the deterministic trace.
+    pub region_wall_ns: Vec<u128>,
 }
 
 impl PassReport {
-    fn new(artifacts: Vec<&'static str>, detail: String) -> Self {
-        PassReport { artifacts, detail }
+    /// Report of a serial pass.
+    pub fn new(artifacts: Vec<&'static str>, detail: String) -> Self {
+        PassReport {
+            artifacts,
+            detail,
+            workers: 0,
+            region_wall_ns: Vec::new(),
+        }
+    }
+
+    /// Report of a pass that fanned out per-region work over `workers`
+    /// threads.
+    pub fn parallel(
+        artifacts: Vec<&'static str>,
+        detail: String,
+        workers: usize,
+        region_wall_ns: Vec<u128>,
+    ) -> Self {
+        PassReport {
+            artifacts,
+            detail,
+            workers,
+            region_wall_ns,
+        }
     }
 }
 
@@ -391,8 +419,10 @@ impl Pass for RegionDelaysPass {
     }
 
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let workers = cx.opts.workers();
         let regions = cx.regions.as_ref().ok_or_else(|| missing("regions", "group"))?;
-        let mut delays = crate::desync::region_delays(cx.module()?, cx.lib, regions)?;
+        let (mut delays, region_wall_ns) =
+            crate::desync::region_delays_with(cx.module()?, cx.lib, regions, workers)?;
         // A region whose cloud delay cannot be matched (non-finite STA
         // result) degrades to synchronous instead of poisoning the delay
         // elements downstream.
@@ -417,9 +447,11 @@ impl Pass for RegionDelaysPass {
         cx.degradations.extend(degraded);
         let worst = delays.iter().copied().fold(0.0f64, f64::max);
         cx.region_delays = Some(delays);
-        Ok(PassReport::new(
+        Ok(PassReport::parallel(
             vec!["region-delays"],
             format!("worst cloud {worst:.3} ns"),
+            workers,
+            region_wall_ns,
         ))
     }
 }
@@ -433,6 +465,7 @@ impl Pass for FfSubPass {
     }
 
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let workers = cx.opts.workers();
         let regions = cx
             .regions
             .take()
@@ -443,20 +476,49 @@ impl Pass for FfSubPass {
         let mut substituted = 0usize;
         let mut extra_gates = 0usize;
         let mut degraded: Vec<Degradation> = Vec::new();
+        let mut region_wall_ns = vec![0u128; regions.regions.len()];
         let result = (|| -> Result<(), DesyncError> {
-            for r in &regions.regions {
-                if r.seq_cells.is_empty()
-                    || cx.degradations.iter().any(|d| d.region == r.name)
-                {
+            // Validate every region up front, one read-only task per
+            // region: substitution is destructive, so degradation must be
+            // atomic — either every flip-flop converts or none does. The
+            // checks only inspect the region's own cells (regions are
+            // disjoint), so they are independent of each other and of the
+            // serial substitution order below.
+            let skip: Vec<bool> = regions
+                .regions
+                .iter()
+                .map(|r| {
+                    r.seq_cells.is_empty()
+                        || cx.degradations.iter().any(|d| d.region == r.name)
+                })
+                .collect();
+            let checks: Vec<(Option<DegradeReason>, u128)> = {
+                let working = cx.module()?;
+                drd_runner::run_indexed(regions.regions.len(), workers, |i| {
+                    let start = Instant::now();
+                    let reason = if skip[i] {
+                        None
+                    } else {
+                        ffsub::region_degrade_reason(
+                            working,
+                            lib,
+                            gatefile,
+                            &regions.regions[i].seq_cells,
+                        )
+                    };
+                    (reason, start.elapsed().as_nanos())
+                })
+            };
+            // Serial merge and substitution in region-index order — the
+            // mutations (and therefore the netlist bytes) are identical
+            // for every worker count.
+            for (i, r) in regions.regions.iter().enumerate() {
+                let (reason, wall) = &checks[i];
+                region_wall_ns[i] = *wall;
+                if skip[i] {
                     continue;
                 }
-                let working = cx.module_mut()?;
-                // Validate the whole region before mutating anything:
-                // substitution is destructive, so degradation must be
-                // atomic — either every flip-flop converts or none does.
-                if let Some(reason) =
-                    ffsub::region_degrade_reason(working, lib, gatefile, &r.seq_cells)
-                {
+                if let Some(reason) = reason.clone() {
                     if strict {
                         return Err(match reason {
                             DegradeReason::UnknownCell { kind } => {
@@ -477,6 +539,7 @@ impl Pass for FfSubPass {
                     });
                     continue;
                 }
+                let working = cx.module_mut()?;
                 let (gm_name, gs_name) = enable_net_names(&r.name);
                 let gm = working.add_net(gm_name)?;
                 let gs = working.add_net(gs_name)?;
@@ -501,7 +564,12 @@ impl Pass for FfSubPass {
             )
         };
         cx.degradations.extend(degraded);
-        Ok(PassReport::new(vec!["substituted-ffs"], detail))
+        Ok(PassReport::parallel(
+            vec!["substituted-ffs"],
+            detail,
+            workers,
+            region_wall_ns,
+        ))
     }
 }
 
@@ -532,9 +600,10 @@ impl Pass for ControlNetworkPass {
         else {
             return Err(missing("a pre-network module", "control-network"));
         };
+        let workers = cx.opts.workers();
         let mut design = Design::new();
         let top = design.insert(working);
-        let inserted = network::insert_control_network(
+        let inserted = network::insert_control_network_with(
             &mut design,
             top,
             regions,
@@ -546,15 +615,21 @@ impl Pass for ControlNetworkPass {
                 muxed: cx.opts.muxed_delay_elements,
                 margin: cx.opts.delay_margin,
             },
+            workers,
         );
         cx.netlist = Netlist::Design { design, top };
-        let net_report = inserted?;
+        let (net_report, region_wall_ns) = inserted?;
         let detail = format!(
             "{} controllers, {} C-elements, {} delay elements",
             net_report.controllers, net_report.celements, net_report.delay_elements
         );
         cx.network = Some(net_report);
-        Ok(PassReport::new(vec!["network-report", "design"], detail))
+        Ok(PassReport::parallel(
+            vec!["network-report", "design"],
+            detail,
+            workers,
+            region_wall_ns,
+        ))
     }
 }
 
@@ -601,10 +676,11 @@ impl Pass for SdcPass {
             &delem_min,
             &degraded,
         );
-        let text = sdc::generate(&spec);
+        let workers = cx.opts.workers();
+        let (text, region_wall_ns) = sdc::generate_with(&spec, workers);
         let detail = format!("{} SDC lines", text.lines().count());
         cx.sdc = Some(text);
-        Ok(PassReport::new(vec!["sdc"], detail))
+        Ok(PassReport::parallel(vec!["sdc"], detail, workers, region_wall_ns))
     }
 }
 
@@ -631,6 +707,11 @@ pub struct PassTrace {
     pub artifacts: Vec<&'static str>,
     /// One-line summary.
     pub detail: String,
+    /// Worker threads the pass fanned out over (0 for serial passes).
+    pub workers: usize,
+    /// Per-region task wall times (ns), region-index order; empty for
+    /// serial passes.
+    pub region_wall_ns: Vec<u128>,
 }
 
 impl PassTrace {
@@ -702,6 +783,18 @@ impl FlowTrace {
             out.push_str(&format!("\"name\": \"{}\", ", escape(p.name)));
             if with_times {
                 out.push_str(&format!("\"wall_ns\": {}, ", p.wall_ns));
+                if p.workers > 0 {
+                    out.push_str(&format!("\"workers\": {}, ", p.workers));
+                    out.push_str("\"region_wall_ns\": [");
+                    for (j, w) in p.region_wall_ns.iter().enumerate() {
+                        out.push_str(&format!(
+                            "{}{}",
+                            w,
+                            if j + 1 == p.region_wall_ns.len() { "" } else { ", " }
+                        ));
+                    }
+                    out.push_str("], ");
+                }
             }
             out.push_str(&format!(
                 "\"cells_before\": {}, \"cells_after\": {}, \"nets_before\": {}, \"nets_after\": {}, ",
@@ -925,6 +1018,8 @@ impl Pipeline {
                 nets_after,
                 artifacts: report.artifacts,
                 detail: report.detail,
+                workers: report.workers,
+                region_wall_ns: report.region_wall_ns,
             });
             // Guard: resource budgets and the wall-clock deadline are
             // enforced after every pass (passes cannot be preempted). The

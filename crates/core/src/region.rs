@@ -68,14 +68,28 @@ pub struct Region {
 pub struct Regions {
     /// Regions, `g0` (if any) last.
     pub regions: Vec<Region>,
+    /// Cell name → region index, built once at construction. Keeps
+    /// [`Regions::region_of`] O(1); the per-cell loops in DDG building and
+    /// SDC emission call it once per cell, so a linear scan here made those
+    /// passes quadratic in design size.
+    index: HashMap<String, usize>,
 }
 
 impl Regions {
+    /// Builds the grouping result, indexing every member cell by name.
+    pub fn new(regions: Vec<Region>) -> Self {
+        let mut index = HashMap::new();
+        for (i, r) in regions.iter().enumerate() {
+            for c in &r.cells {
+                index.insert(c.clone(), i);
+            }
+        }
+        Regions { regions, index }
+    }
+
     /// Index of the region containing cell `name`.
     pub fn region_of(&self, name: &str) -> Option<usize> {
-        self.regions
-            .iter()
-            .position(|r| r.cells.iter().any(|c| c == name))
+        self.index.get(name).copied()
     }
 
     /// Number of regions.
@@ -90,7 +104,10 @@ impl Regions {
 }
 
 /// Identifies the clock net: the net driving the largest number of
-/// sequential clock/enable pins.
+/// sequential clock/enable pins. Ties are broken deterministically —
+/// port-driven nets win over internally generated ones (a gated clock must
+/// not shadow the primary clock it derives from), then the
+/// lexicographically smallest net name.
 pub fn find_clock_net(module: &Module, lib: &Library) -> Option<NetId> {
     let mut counts: HashMap<NetId, usize> = HashMap::new();
     for (_, cell) in module.cells() {
@@ -106,7 +123,15 @@ pub fn find_clock_net(module: &Module, lib: &Library) -> Option<NetId> {
             }
         }
     }
-    counts.into_iter().max_by_key(|&(_, c)| c).map(|(n, _)| n)
+    let port_nets: HashSet<NetId> = module.ports().map(|(_, p)| p.net).collect();
+    counts
+        .into_iter()
+        .max_by(|&(n1, c1), &(n2, c2)| {
+            c1.cmp(&c2)
+                .then_with(|| port_nets.contains(&n1).cmp(&port_nets.contains(&n2)))
+                .then_with(|| module.net(n2).name.cmp(&module.net(n1).name))
+        })
+        .map(|(n, _)| n)
 }
 
 /// Classifier for the cleaning pass: buffers and inverters of `lib`.
@@ -207,14 +232,12 @@ pub fn group(
                 seq.push(cell.name.clone());
             }
         }
-        return Ok(Regions {
-            regions: vec![Region {
-                name: "g1".into(),
-                cells: all,
-                seq_cells: seq,
-                is_input_region: false,
-            }],
-        });
+        return Ok(Regions::new(vec![Region {
+            name: "g1".into(),
+            cells: all,
+            seq_cells: seq,
+            is_input_region: false,
+        }]));
     }
 
     // False-path nets: user-marked plus the clock.
@@ -386,7 +409,7 @@ pub fn group(
             is_input_region: true,
         });
     }
-    Ok(Regions { regions })
+    Ok(Regions::new(regions))
 }
 
 #[cfg(test)]
@@ -601,5 +624,62 @@ mod tests {
         .unwrap();
         let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
         assert_eq!(regions.region_of("r3"), regions.region_of("r2"));
+    }
+
+    #[test]
+    fn region_lookup_uses_the_prebuilt_index() {
+        let m = pipeline();
+        let lib = vlib90::high_speed();
+        let regions = group(&m, &lib, &GroupingOptions::recommended()).unwrap();
+        // Every member resolves through the name → index map, and the map
+        // agrees with a full scan of the membership lists.
+        for (i, r) in regions.regions.iter().enumerate() {
+            for c in &r.cells {
+                assert_eq!(regions.region_of(c), Some(i), "cell {c}");
+            }
+        }
+        assert_eq!(regions.region_of("no_such_cell"), None);
+    }
+
+    #[test]
+    fn gated_clock_loses_to_the_primary_port_clock() {
+        // Half the flip-flops run on a derived (gated) clock produced by
+        // combinational logic; the other half on the port clock. With equal
+        // clock-pin counts the port-driven net must win, independent of
+        // hash-map iteration order.
+        let lib = vlib90::high_speed();
+        let mut m = Module::new("g");
+        m.add_port("clk", PortDir::Input).unwrap();
+        m.add_port("en", PortDir::Input).unwrap();
+        let clk = m.find_net("clk").unwrap();
+        let en = m.find_net("en").unwrap();
+        let gclk = m.add_net("aaa_gated").unwrap(); // sorts before "clk"
+        m.add_cell(
+            "cg",
+            "AND2X1",
+            &[("A", Conn::Net(clk)), ("B", Conn::Net(en)), ("Z", Conn::Net(gclk))],
+        )
+        .unwrap();
+        for i in 0..3 {
+            let d = m.add_net(format!("d{i}")).unwrap();
+            let qp = m.add_net(format!("qp{i}")).unwrap();
+            let qg = m.add_net(format!("qg{i}")).unwrap();
+            m.add_cell(
+                format!("rp{i}"),
+                "DFFX1",
+                &[("D", Conn::Net(d)), ("CK", Conn::Net(clk)), ("Q", Conn::Net(qp))],
+            )
+            .unwrap();
+            m.add_cell(
+                format!("rg{i}"),
+                "DFFX1",
+                &[("D", Conn::Net(d)), ("CK", Conn::Net(gclk)), ("Q", Conn::Net(qg))],
+            )
+            .unwrap();
+        }
+        for _ in 0..32 {
+            let found = find_clock_net(&m, &lib).unwrap();
+            assert_eq!(m.net(found).name, "clk");
+        }
     }
 }

@@ -40,8 +40,41 @@ pub struct SdcSpec {
     pub degraded: Vec<String>,
 }
 
+/// Renders a netlist name as a safe `get_ports`/`get_pins`/`get_cells`
+/// argument.
+///
+/// Netlist names are not Tcl-safe: import keeps the bus brackets of escaped
+/// identifiers (`\clk[0] ` becomes `clk[0]`), and `[...]` outside braces is
+/// Tcl command substitution. Bracing fixes every name except those
+/// containing brace or backslash characters, which switch to
+/// backslash-escaping (braces would not nest).
+fn tcl_arg(name: &str) -> String {
+    if !name.contains(['{', '}', '\\']) {
+        return format!("{{{name}}}");
+    }
+    let mut out = String::with_capacity(name.len() + 4);
+    for c in name.chars() {
+        if matches!(c, '{' | '}' | '\\' | '[' | ']' | '$' | '"' | ';' | ' ' | '\t') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
 /// Generates the SDC text.
 pub fn generate(spec: &SdcSpec) -> String {
+    generate_with(spec, 1).0
+}
+
+/// [`generate`] with an explicit worker count.
+///
+/// The per-controller constraint fragments (loop breaking and `size_only`)
+/// fan out one task per controlled region; fragments are concatenated
+/// serially in region-index order, so the text is byte-identical for every
+/// worker count. Returns the SDC text plus the per-region fragment wall
+/// time in nanoseconds.
+pub fn generate_with(spec: &SdcSpec, workers: usize) -> (String, Vec<u128>) {
     let mut out = String::new();
     let p = spec.period_ns;
     let _ = writeln!(out, "# drdesync generated constraints");
@@ -49,7 +82,7 @@ pub fn generate(spec: &SdcSpec) -> String {
         out,
         "# original: create_clock -name \"Clk\" -period {p:.2} -waveform {{0 {:.2}}} [get_ports {}]",
         p / 2.0,
-        spec.clock_port
+        tcl_arg(&spec.clock_port)
     );
     // Fig. 4.2: the falling edge of the master and the rising edge of the
     // slave coincide with the original rising edge.
@@ -74,9 +107,9 @@ pub fn generate(spec: &SdcSpec) -> String {
         );
         let _ = writeln!(
             out,
-            "create_clock -name \"Clk\" -period {p:.2} -waveform {{0 {:.2}}} [get_ports {{{}}}]",
+            "create_clock -name \"Clk\" -period {p:.2} -waveform {{0 {:.2}}} [get_ports {}]",
             p / 2.0,
-            spec.clock_port
+            tcl_arg(&spec.clock_port)
         );
         let _ = writeln!(
             out,
@@ -88,27 +121,42 @@ pub fn generate(spec: &SdcSpec) -> String {
         out.push('\n');
     }
 
-    let _ = writeln!(out, "# controller loop breaking (Fig. 4.5)");
-    for (master, slave) in &spec.controllers {
+    // Per-controller fragments, built in parallel and concatenated in
+    // region-index order.
+    let fragments = drd_runner::run_indexed(spec.controllers.len(), workers, |i| {
+        let start = std::time::Instant::now();
+        let (master, slave) = &spec.controllers[i];
+        let mut disable = String::new();
+        let mut size_only = String::new();
         for inst in [master, slave] {
             if inst.is_empty() {
                 continue;
             }
             for (cell, pin) in controller::disabled_pins() {
-                let _ = writeln!(out, "set_disable_timing [get_pins {{{inst}/{cell}/{pin}}}]");
+                let _ = writeln!(
+                    disable,
+                    "set_disable_timing [get_pins {}]",
+                    tcl_arg(&format!("{inst}/{cell}/{pin}"))
+                );
             }
+            let _ = writeln!(
+                size_only,
+                "set_size_only [get_cells {}]",
+                tcl_arg(&format!("{inst}/*"))
+            );
         }
+        (disable, size_only, start.elapsed().as_nanos())
+    });
+
+    let _ = writeln!(out, "# controller loop breaking (Fig. 4.5)");
+    for (disable, _, _) in &fragments {
+        out.push_str(disable);
     }
     out.push('\n');
 
     let _ = writeln!(out, "# allow only safe optimizations (§4.6.2)");
-    for (master, slave) in &spec.controllers {
-        for inst in [master, slave] {
-            if inst.is_empty() {
-                continue;
-            }
-            let _ = writeln!(out, "set_size_only [get_cells {{{inst}/*}}]");
-        }
+    for (_, size_only, _) in &fragments {
+        out.push_str(size_only);
     }
     out.push('\n');
 
@@ -116,11 +164,14 @@ pub fn generate(spec: &SdcSpec) -> String {
     for (inst, min_delay) in &spec.delay_elements {
         let _ = writeln!(
             out,
-            "set_min_delay {min_delay:.3} -from [get_pins {{{inst}/in1}}] -to [get_pins {{{inst}/out1}}]"
+            "set_min_delay {min_delay:.3} -from [get_pins {}] -to [get_pins {}]",
+            tcl_arg(&format!("{inst}/in1")),
+            tcl_arg(&format!("{inst}/out1"))
         );
-        let _ = writeln!(out, "set_dont_touch [get_cells {{{inst}}}]");
+        let _ = writeln!(out, "set_dont_touch [get_cells {}]", tcl_arg(inst));
     }
-    out
+    let region_wall_ns = fragments.into_iter().map(|(_, _, w)| w).collect();
+    (out, region_wall_ns)
 }
 
 /// Convenience: builds the [`SdcSpec`] from a network report.
@@ -190,6 +241,41 @@ mod tests {
             !sdc.lines().any(|l| l.starts_with("create_clock -name \"Clk\"")),
             "{sdc}"
         );
+    }
+
+    #[test]
+    fn bracketed_clock_port_is_braced_in_every_get_ports() {
+        // Escaped bus-bit identifiers keep their brackets through import
+        // (`\clk[0] ` -> `clk[0]`); unbraced, `[0]` is Tcl command
+        // substitution.
+        let mut spec = sample();
+        spec.clock_port = "clk[0]".into();
+        spec.degraded = vec!["g2".into()];
+        let sdc = generate(&spec);
+        assert!(sdc.contains("[get_ports {clk[0]}]"), "{sdc}");
+        assert!(!sdc.contains("[get_ports clk[0]]"), "{sdc}");
+    }
+
+    #[test]
+    fn brace_and_backslash_names_fall_back_to_backslash_escaping() {
+        assert_eq!(tcl_arg("clk"), "{clk}");
+        assert_eq!(tcl_arg("clk[0]"), "{clk[0]}");
+        assert_eq!(tcl_arg("a{b"), "a\\{b");
+        assert_eq!(tcl_arg("a\\b[1]"), "a\\\\b\\[1\\]");
+    }
+
+    #[test]
+    fn parallel_generation_is_byte_identical_to_serial() {
+        let mut spec = sample();
+        spec.controllers = (1..6)
+            .map(|i| (format!("drd_g{i}_ctlm"), format!("drd_g{i}_ctls")))
+            .collect();
+        let serial = generate(&spec);
+        for workers in [2, 3, 8] {
+            let (par, walls) = generate_with(&spec, workers);
+            assert_eq!(serial, par, "workers={workers}");
+            assert_eq!(walls.len(), spec.controllers.len());
+        }
     }
 
     #[test]

@@ -85,37 +85,95 @@ impl TimingGraph {
     /// Returns [`StaError::Cycle`] if an unbroken cycle remains; call
     /// [`TimingGraph::break_loops`] or [`TimingGraph::disable_pin`] first.
     pub fn arrivals(&self, corner: Corner) -> Result<Arrivals, StaError> {
+        self.arrivals_with(corner, 1)
+    }
+
+    /// [`TimingGraph::arrivals`] with an explicit worker count, propagating
+    /// levelized wavefronts: a serial Kahn pass assigns each node its
+    /// topological level, then every node of a level is relaxed from its
+    /// incoming edges — independent work, fanned out across `workers` when
+    /// the wavefront is wide enough. Each node scans its in-edges in
+    /// edge-id order with a strict-max first-wins tie-break, so arrivals
+    /// *and* worst-predecessor choices are identical for every worker
+    /// count (the old stack-driven propagation broke arrival ties by
+    /// visit order).
+    ///
+    /// # Errors
+    /// As [`TimingGraph::arrivals`].
+    pub fn arrivals_with(&self, corner: Corner, workers: usize) -> Result<Arrivals, StaError> {
         let n = self.node_count();
         let mut indegree = vec![0usize; n];
         for e in self.edges.iter().filter(|e| !e.disabled) {
             indegree[e.to.0 as usize] += 1;
         }
-        let mut arrivals = vec![0.0f64; n];
-        let mut worst_pred: Vec<Option<NodeId>> = vec![None; n];
-        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut incoming: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            if !e.disabled {
+                incoming[e.to.0 as usize].push(i as u32);
+            }
+        }
+
+        // Serial levelization.
+        let mut remaining = indegree;
+        let mut frontier: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let mut levels: Vec<Vec<usize>> = Vec::new();
         let mut seen = 0usize;
-        while let Some(i) = queue.pop() {
-            seen += 1;
-            let a = arrivals[i];
-            for (_, e) in self.active_out(NodeId(i as u32)) {
-                let t = e.to.0 as usize;
-                let cand = a + corner.delay(e.delay);
-                if cand > arrivals[t] || (worst_pred[t].is_none() && cand >= arrivals[t]) {
-                    arrivals[t] = cand;
-                    worst_pred[t] = Some(NodeId(i as u32));
-                }
-                indegree[t] -= 1;
-                if indegree[t] == 0 {
-                    queue.push(t);
+        while !frontier.is_empty() {
+            seen += frontier.len();
+            let mut next = Vec::new();
+            for &i in &frontier {
+                for (_, e) in self.active_out(NodeId(i as u32)) {
+                    let t = e.to.0 as usize;
+                    remaining[t] -= 1;
+                    if remaining[t] == 0 {
+                        next.push(t);
+                    }
                 }
             }
+            levels.push(frontier);
+            frontier = next;
         }
         if seen != n {
             let through = (0..n)
-                .find(|&i| indegree[i] > 0)
+                .find(|&i| remaining[i] > 0)
                 .map(|i| self.node_name(NodeId(i as u32)).to_owned())
                 .unwrap_or_default();
             return Err(StaError::Cycle { through });
+        }
+
+        // Wavefront relaxation: each node depends only on lower levels.
+        let mut arrivals = vec![0.0f64; n];
+        let mut worst_pred: Vec<Option<NodeId>> = vec![None; n];
+        let relax = |arr: &[f64], node: usize| -> (f64, Option<NodeId>) {
+            let mut best = 0.0f64;
+            let mut pred = None;
+            for &eid in &incoming[node] {
+                let e = &self.edges[eid as usize];
+                let cand = arr[e.from.0 as usize] + corner.delay(e.delay);
+                if pred.is_none() || cand > best {
+                    best = cand;
+                    pred = Some(e.from);
+                }
+            }
+            (best, pred)
+        };
+        // Narrow wavefronts are not worth the fan-out overhead.
+        const PAR_MIN_WIDTH: usize = 64;
+        for level in &levels {
+            if workers > 1 && level.len() >= PAR_MIN_WIDTH {
+                let relaxed =
+                    drd_runner::run_indexed(level.len(), workers, |k| relax(&arrivals, level[k]));
+                for (k, (a, p)) in relaxed.into_iter().enumerate() {
+                    arrivals[level[k]] = a;
+                    worst_pred[level[k]] = p;
+                }
+            } else {
+                for &node in level {
+                    let (a, p) = relax(&arrivals, node);
+                    arrivals[node] = a;
+                    worst_pred[node] = p;
+                }
+            }
         }
         Ok(Arrivals {
             arrivals,
@@ -212,6 +270,44 @@ mod tests {
             g.arrivals(Corner::typical()),
             Err(StaError::Cycle { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_wavefronts_match_serial_exactly() {
+        // Same arrivals AND same worst-predecessor choices for any worker
+        // count, across a batch of fuzzed netlists (wide enough to cross
+        // the parallel wavefront threshold).
+        let lib = vlib90::high_speed();
+        let mut rng = drd_check::Rng::new(0xA11_D0CF);
+        for case in 0..8 {
+            let params = drd_check::netgen::NetGenParams {
+                max_stages: 4,
+                max_width: 6,
+                max_cloud: 40,
+                ..drd_check::netgen::NetGenParams::default()
+            };
+            let recipe = drd_check::netgen::NetRecipe::sample(&mut rng, &params);
+            let m = recipe.build().unwrap();
+            let g = TimingGraph::build(&m, &lib, &GraphOptions::default()).unwrap();
+            let serial = g.arrivals(Corner::typical()).unwrap();
+            for workers in [2usize, 3, 8] {
+                let par = g.arrivals_with(Corner::typical(), workers).unwrap();
+                for i in 0..g.node_count() {
+                    let node = NodeId(i as u32);
+                    assert_eq!(
+                        serial.at(node).to_bits(),
+                        par.at(node).to_bits(),
+                        "case {case}, {workers} workers, node {}",
+                        g.node_name(node)
+                    );
+                    assert_eq!(
+                        serial.worst_pred[i], par.worst_pred[i],
+                        "case {case}, {workers} workers, node {}",
+                        g.node_name(node)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use drd_liberty::{Library, SeqKind};
-use drd_netlist::{CellId, CellKind, Conn, Design, Endpoint, Module, PortDir, PortId};
+use drd_netlist::{
+    CellId, CellKind, Conn, Connectivity, Design, Endpoint, Module, NetId, PortDir, PortId,
+};
 
 use crate::StaError;
 
@@ -88,6 +90,68 @@ impl Default for GraphOptions {
             wire_delay: 0.0,
             instance_arcs: HashMap::new(),
         }
+    }
+}
+
+/// Shared read-only preparation for building many per-region subset
+/// graphs of one module (see [`TimingGraph::build_subset`]): connectivity
+/// and full-module net load capacitances are derived once and then shared
+/// — the struct is `Sync`, so region tasks can build their subgraphs in
+/// parallel.
+#[derive(Debug)]
+pub struct SubsetContext<'a> {
+    module: &'a Module,
+    conn: Connectivity,
+    net_load: Vec<f64>,
+}
+
+impl<'a> SubsetContext<'a> {
+    /// Prepares subset building for `module`, which must contain library
+    /// cells only (instances are allowed but get arcs solely through
+    /// [`GraphOptions::instance_arcs`]).
+    ///
+    /// # Errors
+    /// Returns [`StaError`] for unknown cells or a malformed netlist.
+    pub fn new(module: &'a Module, lib: &Library) -> Result<Self, StaError> {
+        for (_, cell) in module.cells() {
+            if let CellKind::Lib(name) = &cell.kind {
+                if lib.cell(name).is_none() {
+                    return Err(StaError::UnknownCell { name: name.clone() });
+                }
+            }
+        }
+        let conn = module.connectivity(lib).map_err(|e| StaError::BadNetlist {
+            message: e.to_string(),
+        })?;
+        let mut net_load: Vec<f64> = vec![0.0; module.net_count()];
+        for (_, cell) in module.cells() {
+            if let CellKind::Lib(_) = &cell.kind {
+                let lc = lib
+                    .cell_of(&cell.kind)
+                    .ok_or_else(|| StaError::UnknownCell {
+                        name: cell.kind.name().to_owned(),
+                    })?;
+                for (pin, c) in cell.pins() {
+                    if let Conn::Net(n) = c {
+                        if let Some(p) = lc.pin(pin) {
+                            if p.dir == PortDir::Input {
+                                net_load[n.index()] += p.capacitance;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SubsetContext {
+            module,
+            conn,
+            net_load,
+        })
+    }
+
+    /// The module this context was prepared for.
+    pub fn module(&self) -> &'a Module {
+        self.module
     }
 }
 
@@ -248,6 +312,127 @@ impl TimingGraph {
             let Some(driver) = conn.driver(nid) else { continue };
             let Some(from) = g.endpoint_node(driver) else { continue };
             for load in conn.loads(nid) {
+                if let Some(to) = g.endpoint_node(*load) {
+                    g.push_edge(from, to, opts.wire_delay, EdgeKind::Net);
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Builds the timing graph restricted to `cells` (all module ports are
+    /// kept). Shared read-only preparation — connectivity and net load
+    /// capacitances — comes from `cx`, so many subset graphs of the same
+    /// module can be built concurrently without re-deriving O(design)
+    /// state per call.
+    ///
+    /// Net loads are taken from the **full** module, so arc delays match
+    /// [`TimingGraph::build`] exactly. Arrival times at the subset's
+    /// endpoints equal the full-graph arrivals whenever every path into
+    /// them stays inside `cells` — which holds for desynchronization
+    /// regions: clouds of different regions are disjoint, and with the
+    /// default [`GraphOptions`] sequential outputs and ports are zero-
+    /// arrival sources either way.
+    ///
+    /// # Errors
+    /// Returns [`StaError`] for unknown cells or pins.
+    pub fn build_subset(
+        cx: &SubsetContext<'_>,
+        lib: &Library,
+        opts: &GraphOptions,
+        cells: &[CellId],
+    ) -> Result<Self, StaError> {
+        let module = cx.module;
+        let mut g = TimingGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            pin_nodes: HashMap::new(),
+            port_nodes: HashMap::new(),
+            cell_names: HashMap::new(),
+            cell_pins: HashMap::new(),
+        };
+
+        // Nodes for ports (zero-arrival sources / output endpoints).
+        for (pid, port) in module.ports() {
+            let node = NodeId(g.nodes.len() as u32);
+            g.nodes.push(Node {
+                kind: NodeKind::Port(pid),
+                name: port.name.clone(),
+                disabled: false,
+                endpoint: port.dir != PortDir::Input,
+            });
+            g.port_nodes.insert(pid, node);
+        }
+
+        // Nodes and arcs for the subset cells only.
+        for &cid in cells {
+            let cell = module.cell(cid);
+            g.cell_names.insert(cell.name.clone(), cid);
+            for (idx, (pin, c)) in cell.pins().iter().enumerate() {
+                if c.net().is_none() {
+                    continue;
+                }
+                let node = NodeId(g.nodes.len() as u32);
+                g.nodes.push(Node {
+                    kind: NodeKind::Pin {
+                        cell: cid,
+                        pin: idx as u32,
+                    },
+                    name: format!("{}/{}", cell.name, pin),
+                    disabled: false,
+                    endpoint: false,
+                });
+                g.pin_nodes.insert((cid, idx as u32), node);
+                g.cell_pins
+                    .entry(cid)
+                    .or_default()
+                    .push((pin.clone(), idx as u32));
+            }
+            match &cell.kind {
+                CellKind::Lib(_) => {
+                    let lc = lib.cell_of(&cell.kind).ok_or_else(|| StaError::UnknownCell {
+                        name: cell.kind.name().to_owned(),
+                    })?;
+                    g.add_lib_arcs(module, cid, lc, &cx.net_load, opts)?;
+                    g.mark_seq_endpoints(cid, lc);
+                }
+                CellKind::Instance(name) => {
+                    if let Some(arcs) = opts.instance_arcs.get(name) {
+                        for (from, to, delay) in arcs {
+                            let (Some(fi), Some(ti)) =
+                                (g.pin_index(cid, from), g.pin_index(cid, to))
+                            else {
+                                continue;
+                            };
+                            let f = g.pin_nodes[&(cid, fi)];
+                            let t = g.pin_nodes[&(cid, ti)];
+                            g.push_edge(f, t, *delay, EdgeKind::CellArc);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Net edges over the nets touched by the subset (plus port nets),
+        // visited in net-id order for a deterministic edge list.
+        let mut touched: Vec<NetId> = Vec::new();
+        for (_, port) in module.ports() {
+            touched.push(port.net);
+        }
+        for &cid in cells {
+            for (_, c) in module.cell(cid).pins() {
+                if let Conn::Net(n) = c {
+                    touched.push(*n);
+                }
+            }
+        }
+        touched.sort_unstable_by_key(|n| n.index());
+        touched.dedup();
+        for nid in touched {
+            let Some(driver) = cx.conn.driver(nid) else { continue };
+            let Some(from) = g.endpoint_node(driver) else { continue };
+            for load in cx.conn.loads(nid) {
                 if let Some(to) = g.endpoint_node(*load) {
                     g.push_edge(from, to, opts.wire_delay, EdgeKind::Net);
                 }

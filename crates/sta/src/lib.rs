@@ -45,5 +45,5 @@ mod loops;
 
 pub use analysis::{Arrivals, PathStep};
 pub use error::StaError;
-pub use graph::{EdgeId, EdgeKind, GraphOptions, NodeId, NodeKind, TimingGraph};
+pub use graph::{EdgeId, EdgeKind, GraphOptions, NodeId, NodeKind, SubsetContext, TimingGraph};
 pub use loops::LoopReport;

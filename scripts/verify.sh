@@ -17,7 +17,12 @@
 #    and gates on zero escaped panics,
 # 8. checks the panic-free guard rails: the lint deny attributes on the
 #    core passes and the Verilog reader, and the Degradation schema in
-#    the golden degraded-flow artifacts.
+#    the golden degraded-flow artifacts,
+# 9. runs the parallel scaling bench (results/BENCH_scale.json), checks
+#    its schema, gates on >= 2x flow speedup where there are >= 4 cores
+#    (reported, not gated, on narrower hosts), and re-runs the
+#    determinism suite under DRD_WORKERS=3 to cross-check that worker
+#    count never leaks into artifacts.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -187,5 +192,45 @@ if ! grep -q 'left synchronous' "$deg_report"; then
   exit 1
 fi
 echo "ok: deny attributes and Degradation schema in place"
+
+echo "== parallel scaling bench gate (offline) =="
+# The binary itself exits non-zero if region lookup is no longer O(1)
+# or if serial and parallel artifacts diverge at any step.
+cargo run --release --offline -p drd-bench --bin scale
+scale_json=results/BENCH_scale.json
+if [ ! -s "$scale_json" ]; then
+  echo "error: $scale_json missing or empty" >&2
+  exit 1
+fi
+for field in '"name": "scale"' '"workers"' '"speedup"' '"lookup_ratio"' \
+             '"points"' '"serial_ns"' '"parallel_ns"'; do
+  if ! grep -q "$field" "$scale_json"; then
+    echo "error: $scale_json misses field $field" >&2
+    exit 1
+  fi
+done
+open_braces=$(grep -o '{' "$scale_json" | wc -l)
+close_braces=$(grep -o '}' "$scale_json" | wc -l)
+if [ "$open_braces" -ne "$close_braces" ]; then
+  echo "error: $scale_json is not well-formed (unbalanced braces)" >&2
+  exit 1
+fi
+# The region fan-out must pay off where there are cores to run on; on
+# narrow hosts (CI containers, laptops on battery) only report.
+cores=$(nproc 2>/dev/null || echo 1)
+scale_speedup=$(sed -n 's/^[[:space:]]*"speedup": \([0-9.]*\),.*/\1/p' "$scale_json")
+if [ "$cores" -ge 4 ]; then
+  if ! awk -v s="$scale_speedup" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "error: flow speedup $scale_speedup < 2.0x on a $cores-core host" >&2
+    exit 1
+  fi
+  echo "ok: flow speedup ${scale_speedup}x on $cores cores"
+else
+  echo "note: $cores core(s) — flow speedup ${scale_speedup}x reported, not gated"
+fi
+
+echo "== determinism cross-check under DRD_WORKERS=3 (offline) =="
+DRD_WORKERS=3 cargo test -q --offline --test determinism
+echo "ok: artifacts byte-identical with an odd ambient worker count"
 
 echo "verify: OK"

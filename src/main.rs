@@ -5,7 +5,7 @@
 //! ```text
 //! drdesync desync <input.v> [-o out.v] [--sdc out.sdc] [--blif out.blif]
 //!                 [--lib hs|ll] [--single-group] [--muxed] [--strict]
-//!                 [--keep-sync-ff KIND]...
+//!                 [--keep-sync-ff KIND]... [--jobs N]
 //!                 [--max-cells N] [--max-nets N] [--pass-deadline-ms N]
 //!                 [--false-path NET]... [--clock PORT] [--period NS]
 //!                 [--trace FILE] [--stop-after PASS] [--dump-after PASS[=FILE]]
@@ -30,10 +30,15 @@ fn usage() -> &'static str {
      USAGE:\n\
        drdesync desync <input.v> [-o OUT.v] [--sdc OUT.sdc] [--blif OUT.blif]\n\
                        [--lib hs|ll] [--single-group] [--muxed] [--strict]\n\
-                       [--keep-sync-ff KIND]...\n\
+                       [--keep-sync-ff KIND]... [--jobs N]\n\
                        [--max-cells N] [--max-nets N] [--pass-deadline-ms N]\n\
                        [--false-path NET]... [--clock PORT] [--period NS]\n\
                        [--trace FILE] [--stop-after PASS] [--dump-after PASS[=FILE]]\n\
+     \n\
+     PARALLELISM:\n\
+       --jobs N             worker threads for the per-region pass fan-out\n\
+                            (default: DRD_WORKERS, else available cores;\n\
+                            outputs are byte-identical for any worker count)\n\
        drdesync gatefile [--lib hs|ll]\n\
        drdesync regions <input.v> [--lib hs|ll]\n\
      \n\
@@ -197,6 +202,7 @@ fn run() -> Result<(), CliError> {
                 opts.clock_period_ns = period;
             }
             opts.strict = args.iter().any(|a| a == "--strict");
+            opts.jobs = parsed_flag(&args, "--jobs")?;
             opts.max_cells = parsed_flag(&args, "--max-cells")?;
             opts.max_nets = parsed_flag(&args, "--max-nets")?;
             opts.pass_deadline_ms = parsed_flag(&args, "--pass-deadline-ms")?;

@@ -1,0 +1,65 @@
+//! Parallel determinism suite: every flow artifact — report, SDC, exported
+//! Verilog and the deterministic FlowTrace rendering — must be
+//! byte-identical whatever the worker count. The per-region fan-out only
+//! parallelizes read-only analysis; merges happen serially in region-index
+//! order, so `--jobs`/`DRD_WORKERS` must never leak into outputs.
+//!
+//! Cases route through `prop_par_with`, so the suite itself exercises the
+//! parallel runner; re-run a single case with `DRD_PROP_CASE_SEED=<seed>`.
+
+use drd_check::netgen::{NetGenParams, NetRecipe};
+use drd_check::{prop_par_with, Config, Rng};
+use drdesync::core::{DesyncOptions, Desynchronizer};
+use drdesync::liberty::vlib90;
+
+#[test]
+fn flow_artifacts_are_byte_identical_for_any_worker_count() {
+    let lib = vlib90::high_speed();
+    let tool = Desynchronizer::new(&lib).expect("tool builds");
+    let params = NetGenParams {
+        max_stages: 4,
+        max_width: 4,
+        max_cloud: 12,
+        max_inputs: 4,
+        scan_set_reset: true,
+    };
+    prop_par_with(
+        Config::new(25).seed(0xDE7E_2313_57A8_1E01),
+        |rng: &mut Rng| NetRecipe::sample(rng, &params),
+        |recipe: &NetRecipe| {
+            let module = recipe.build().map_err(|e| e.to_string())?;
+            // One artifact bundle per worker count; flow errors must also
+            // be identical, so they become part of the bundle.
+            let bundle = |jobs: usize| -> [String; 4] {
+                let opts = DesyncOptions {
+                    jobs: Some(jobs),
+                    ..DesyncOptions::default()
+                };
+                match tool.run_traced(module.clone(), &opts) {
+                    Ok((result, trace)) => [
+                        format!("{:?}", result.report),
+                        result.sdc.clone(),
+                        drdesync::netlist::verilog::write_design(&result.design),
+                        trace.to_json_deterministic(),
+                    ],
+                    Err(e) => [format!("flow error: {e}"), String::new(), String::new(), String::new()],
+                }
+            };
+            let serial = bundle(1);
+            for workers in [2, 8] {
+                let par = bundle(workers);
+                if serial != par {
+                    let which = ["report", "sdc", "verilog", "trace"]
+                        .iter()
+                        .zip(serial.iter().zip(par.iter()))
+                        .filter(|(_, (a, b))| a != b)
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    return Err(format!("workers={workers} diverged in: {which}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}

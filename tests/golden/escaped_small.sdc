@@ -1,16 +1,20 @@
 # drdesync generated constraints
-# original: create_clock -name "Clk" -period 2.40 -waveform {0 1.20} [get_ports {clk}]
+# original: create_clock -name "Clk" -period 2.40 -waveform {0 1.20} [get_ports {clk[0]}]
 create_clock -name "ClkM" -period 2.40 -waveform {1.00 2.40} [get_pins {*_ctlm/u_g/Z}]
 create_clock -name "ClkS" -period 2.40 -waveform {2.40 2.80} [get_pins {*_ctls/u_g/Z}]
 
 # controller loop breaking (Fig. 4.5)
 set_disable_timing [get_pins {drd_g1_ctlm/u_nro/A}]
 set_disable_timing [get_pins {drd_g1_ctls/u_nro/A}]
+set_disable_timing [get_pins {drd_g0_ctlm/u_nro/A}]
+set_disable_timing [get_pins {drd_g0_ctls/u_nro/A}]
 
 # allow only safe optimizations (§4.6.2)
 set_size_only [get_cells {drd_g1_ctlm/*}]
 set_size_only [get_cells {drd_g1_ctls/*}]
+set_size_only [get_cells {drd_g0_ctlm/*}]
+set_size_only [get_cells {drd_g0_ctls/*}]
 
 # matched delay elements: preserve minimum delays
-set_min_delay 1.319 -from [get_pins {drd_g1_delem/in1}] -to [get_pins {drd_g1_delem/out1}]
+set_min_delay 0.066 -from [get_pins {drd_g1_delem/in1}] -to [get_pins {drd_g1_delem/out1}]
 set_dont_touch [get_cells {drd_g1_delem}]

@@ -1,0 +1,10 @@
+module escaped_small ( \clk[0] , din, dout);
+  input \clk[0] ;
+  input din;
+  output dout;
+  wire \q+0 ;
+  wire \n-1 ;
+  DFFX1 \r.in (.D(din), .CK(\clk[0] ), .Q(\q+0 ));
+  INVX1 \c#1 (.A(\q+0 ), .Z(\n-1 ));
+  DFFX1 r1 (.D(\n-1 ), .CK(\clk[0] ), .Q(dout));
+endmodule

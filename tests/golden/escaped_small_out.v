@@ -1,0 +1,89 @@
+module escaped_small (clk, din, dout, drd_rst);
+  input [0:0] clk;
+  input din;
+  output dout;
+  input drd_rst;
+  wire q_0;
+  wire n_1;
+  wire drd_g1_gm;
+  wire drd_g1_gs;
+  wire r1__qm;
+  wire drd_g0_gm;
+  wire drd_g0_gs;
+  wire r_in__qm;
+  wire drd_g1_rom;
+  wire drd_g1_ros;
+  wire drd_g1_aim;
+  wire drd_g1_ais;
+  wire drd_g0_rom;
+  wire drd_g0_ros;
+  wire drd_g0_aim;
+  wire drd_g0_ais;
+  wire drd_g1_rim;
+  wire drd_g0_rim;
+  INVX1 c_1 (.A(q_0), .Z(n_1));
+  LDX1 r1_lm (.D(n_1), .G(drd_g1_gm), .Q(r1__qm));
+  LDX1 r1_ls (.D(r1__qm), .G(drd_g1_gs), .Q(dout));
+  LDX1 r_in_lm (.D(din), .G(drd_g0_gm), .Q(r_in__qm));
+  LDX1 r_in_ls (.D(r_in__qm), .G(drd_g0_gs), .Q(q_0));
+  drd_delem_2 drd_g1_delem (.in1(drd_g0_ros), .out1(drd_g1_rim));
+  drd_ctrl_master drd_g1_ctlm (.ri(drd_g1_rim), .ao(drd_g1_ais), .rst(drd_rst), .ai(drd_g1_aim), .ro(drd_g1_rom), .g(drd_g1_gm));
+  drd_ctrl_slave drd_g1_ctls (.ri(drd_g1_rom), .ao(drd_g1_ros), .rst(drd_rst), .ai(drd_g1_ais), .ro(drd_g1_ros), .g(drd_g1_gs));
+  drd_delem_1 drd_g0_delem (.in1(drd_g0_ros), .out1(drd_g0_rim));
+  drd_ctrl_master drd_g0_ctlm (.ri(drd_g0_rim), .ao(drd_g0_ais), .rst(drd_rst), .ai(drd_g0_aim), .ro(drd_g0_rom), .g(drd_g0_gm));
+  drd_ctrl_slave drd_g0_ctls (.ri(drd_g0_rom), .ao(drd_g1_aim), .rst(drd_rst), .ai(drd_g0_ais), .ro(drd_g0_ros), .g(drd_g0_gs));
+endmodule
+
+module drd_ctrl_master (ri, ao, rst, ai, ro, g);
+  input ri;
+  input ao;
+  input rst;
+  output ai;
+  output ro;
+  output g;
+  wire a;
+  wire nro;
+  wire nao;
+  wire g_int;
+  INVX1 u_nro (.A(ro), .Z(nro));
+  C2RX1 u_a (.A(ri), .B(nro), .RN(rst), .Z(a));
+  INVX1 u_nao (.A(ao), .Z(nao));
+  C2RX1 u_ro (.A(a), .B(nao), .RN(rst), .Z(ro));
+  AND2X1 u_gp (.A(a), .B(nro), .Z(g_int));
+  BUFX2 u_g (.A(g_int), .Z(g));
+  BUFX1 u_ai (.A(a), .Z(ai));
+endmodule
+
+module drd_ctrl_slave (ri, ao, rst, ai, ro, g);
+  input ri;
+  input ao;
+  input rst;
+  output ai;
+  output ro;
+  output g;
+  wire a;
+  wire nro;
+  wire nao;
+  wire g_int;
+  INVX1 u_nro (.A(ro), .Z(nro));
+  C2RX1 u_a (.A(ri), .B(nro), .RN(rst), .Z(a));
+  INVX1 u_nao (.A(ao), .Z(nao));
+  C2SX1 u_ro (.A(a), .B(nao), .SN(rst), .Z(ro));
+  AND2X1 u_gp (.A(a), .B(nro), .Z(g_int));
+  BUFX2 u_g (.A(g_int), .Z(g));
+  BUFX1 u_ai (.A(a), .Z(ai));
+endmodule
+
+module drd_delem_2 (in1, out1);
+  input in1;
+  output out1;
+  wire d0;
+  AND2X1 u0 (.A(in1), .B(in1), .Z(d0));
+  AND2X1 u1 (.A(d0), .B(in1), .Z(out1));
+endmodule
+
+module drd_delem_1 (in1, out1);
+  input in1;
+  output out1;
+  AND2X1 u0 (.A(in1), .B(in1), .Z(out1));
+endmodule

@@ -40,6 +40,31 @@ fn golden_armlike_small_sdc_and_report() {
     snapshot_case(&case, "armlike_small");
 }
 
+/// Escaped-identifier handling: bus-bit names keep their brackets through
+/// import (`\clk[0] ` -> `clk[0]`), so SDC emission must brace every
+/// design-derived name (unbraced `[0]` is Tcl command substitution) and the
+/// exported Verilog must re-escape them and round-trip.
+#[test]
+fn golden_escaped_names_round_trip() {
+    let src = std::fs::read_to_string(golden_dir().join("escaped_small.v")).expect("input reads");
+    let module = drdesync::netlist::verilog::parse_module(&src).expect("escaped input parses");
+    let lib = drdesync::liberty::vlib90::high_speed();
+    let tool = Desynchronizer::new(&lib).expect("tool builds");
+    let result = tool
+        .run(&module, &drdesync::core::DesyncOptions::default())
+        .expect("desync runs");
+    assert!(
+        result.sdc.contains("[get_ports {clk[0]}]"),
+        "clock port must be braced:\n{}",
+        result.sdc
+    );
+    assert!(!result.sdc.contains("[get_ports clk[0]]"), "{}", result.sdc);
+    let out = drdesync::netlist::verilog::write_design(&result.design);
+    drdesync::netlist::verilog::parse_design(&out).expect("exported Verilog round-trips");
+    assert_golden(golden_dir().join("escaped_small.sdc"), &result.sdc);
+    assert_golden(golden_dir().join("escaped_small_out.v"), &out);
+}
+
 /// The snapshotted artifacts are deterministic: generating twice from
 /// scratch yields byte-identical text (guards the golden files against
 /// hidden iteration-order nondeterminism).
