@@ -25,6 +25,14 @@
 //!   structurally, independent of data patterns);
 //! * every controller handshake pin is a real net (kills tied-off
 //!   req/ack wires);
+//! * every scan flip-flop's mux still selects the original scan-in under
+//!   the original scan-enable and feeds the master latch (kills broken
+//!   scan stitching — behaviourally invisible whenever the workload
+//!   leaves `SE` at 0, §4.3);
+//! * the simulated handshake cycle time of every region respects the STA
+//!   matched-delay floor, and a zero-variability Monte-Carlo chip
+//!   reproduces the nominal simulation bit for bit
+//!   ([`crate::handshake`]);
 //! * the emitted SDC carries loop-break, `size_only` and matched
 //!   `set_min_delay` lines for every controller and delay element.
 //!
@@ -38,7 +46,7 @@ use drd_liberty::{Library, Lv};
 use drd_netlist::{Conn, Design};
 use drd_sim::{compare_capture_logs, FlowCheck, SimOptions, Simulator};
 
-use crate::netgen::NetRecipe;
+use crate::netgen::{FfKind, NetRecipe};
 
 /// Co-simulation windows for the differential check.
 #[derive(Debug, Clone)]
@@ -166,7 +174,15 @@ pub fn verify_result(
         ));
     }
     let controllers = check_structure(recipe, result, ff_names.len())?;
+    check_scan_chain(recipe, lib, result)?;
     lint_sdc(recipe, result)?;
+
+    // Handshake-timing oracle (DESIGN.md §3f): the event-driven
+    // control-network simulation must respect static timing.
+    let spec = crate::handshake::handshake_spec(&result.report, lib)
+        .map_err(|e| fail(recipe, &format!("handshake spec: {e}")))?;
+    crate::handshake::verify_handshake_timing(&spec, lib)
+        .map_err(|e| fail(recipe, &format!("handshake timing oracle: {e}")))?;
 
     let reference = simulate_reference(recipe, lib, config)?;
 
@@ -304,6 +320,98 @@ fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -
         .cells()
         .filter(|(_, c)| c.name.ends_with("/u_a"))
         .count())
+}
+
+/// Scan-chain preservation through latch substitution (§4.3): every scan
+/// flip-flop's `_smx` mux must still select the *original* scan-in net
+/// under the *original* scan-enable net and feed that flip-flop's master
+/// latch. The comparison nets come from a copy of the input netlist run
+/// through the same logic cleaning the flow applies before substitution
+/// (`drd_core::region::clean_for_grouping`), so buffered scan hookups
+/// resolve to the same net names on both sides.
+///
+/// This is a structural oracle on purpose: rewired scan stitching is
+/// behaviourally invisible whenever the workload holds `SE` at 0, which
+/// is exactly what mission-mode co-simulation does.
+fn check_scan_chain(
+    recipe: &NetRecipe,
+    lib: &Library,
+    result: &DesyncResult,
+) -> Result<(), String> {
+    let scan_ffs: Vec<String> = recipe
+        .stages
+        .iter()
+        .enumerate()
+        .flat_map(|(s, stage)| {
+            stage
+                .ffs
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.kind == FfKind::Scan)
+                .map(move |(l, _)| format!("r{s}_{l}"))
+        })
+        .collect();
+    if scan_ffs.is_empty() {
+        return Ok(());
+    }
+
+    let mut cleaned = recipe
+        .build()
+        .map_err(|e| format!("recipe does not build: {e}"))?;
+    drd_core::region::clean_for_grouping(&mut cleaned, lib);
+    let top = result.design.module(result.design.top());
+
+    // Net name of `pin` on cell `name` in `module`.
+    let pin_net = |module: &drd_netlist::Module, name: &str, pin: &str| -> Option<String> {
+        let cell = module.find_cell(name)?;
+        let net = module.cell(cell).pin(pin)?.net()?;
+        Some(module.net(net).name.clone())
+    };
+
+    for ff in &scan_ffs {
+        let si = pin_net(&cleaned, ff, "SI")
+            .ok_or_else(|| fail(recipe, &format!("cleaned netlist lost {ff}'s SI")))?;
+        let se = pin_net(&cleaned, ff, "SE")
+            .ok_or_else(|| fail(recipe, &format!("cleaned netlist lost {ff}'s SE")))?;
+        let mux_name = format!("{ff}_smx");
+        let Some(mux) = top.find_cell(&mux_name) else {
+            return Err(fail(recipe, &format!("scan mux {mux_name} is missing")));
+        };
+        if top.cell(mux).kind.name() != "MUX2X1" {
+            return Err(fail(
+                recipe,
+                &format!("{mux_name} is a {}, not MUX2X1", top.cell(mux).kind.name()),
+            ));
+        }
+        for (pin, want) in [("B", &si), ("S", &se)] {
+            let got = top
+                .cell(mux)
+                .pin(pin)
+                .and_then(|c| c.net())
+                .map(|n| top.net(n).name.clone());
+            if got.as_ref() != Some(want) {
+                return Err(fail(
+                    recipe,
+                    &format!("{mux_name} pin {pin} is {got:?}, scan chain expects `{want}`"),
+                ));
+            }
+        }
+        // The mux output must be what the master latch samples.
+        let mux_z = top
+            .cell(mux)
+            .pin("Z")
+            .and_then(|c| c.net())
+            .map(|n| top.net(n).name.clone())
+            .ok_or_else(|| fail(recipe, &format!("{mux_name} output is unconnected")))?;
+        let lm_d = pin_net(top, &format!("{ff}_lm"), "D");
+        if lm_d.as_ref() != Some(&mux_z) {
+            return Err(fail(
+                recipe,
+                &format!("{ff}_lm samples {lm_d:?}, scan mux drives `{mux_z}`"),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// SDC well-formedness: both derived clocks, loop-breaking disables and

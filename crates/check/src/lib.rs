@@ -17,6 +17,9 @@
 //!   capture-log equality (§2.1) plus SDC well-formedness,
 //! * [`golden`] — golden-file snapshot assertions (`DRD_BLESS=1` to
 //!   re-record),
+//! * [`handshake`] — the handshake-timing oracle: the event-driven
+//!   control-network simulation must respect the STA matched-delay floor
+//!   and reproduce the nominal run bit-for-bit at zero variability,
 //! * [`bench`] — a `std::time::Instant` micro-benchmark runner emitting
 //!   `BENCH_*.json` (replacing `criterion`),
 //! * [`runner`] — a dependency-free work-stealing parallel task runner on
@@ -35,6 +38,7 @@ pub mod bench;
 pub mod cover;
 pub mod diff;
 pub mod golden;
+pub mod handshake;
 pub mod hostile;
 pub mod mutate;
 pub mod netgen;

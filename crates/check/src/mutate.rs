@@ -18,6 +18,8 @@
 //!   `set_min_delay` floor from the SDC (§4.5);
 //! * the backend constraints (§4.4–4.6) — strip a loop-break or
 //!   `size_only` line;
+//! * the DFT scan chain (§4.3) — disconnect one scan mux's scan-in or
+//!   scan-enable leg, silently un-stitching the chain;
 //! * the handshake protocol itself (§2.2, Fig. 2.4) — substitute the
 //!   non-flow-equivalent fall-decoupled protocol, or drop one causality
 //!   arc from the semi-decoupled STG.
@@ -112,12 +114,18 @@ pub enum Mutation {
     /// structured diagnostic (never a panic) or the oracles reject the
     /// output.
     CorruptInput,
+    /// Tie one scan mux's scan-in or scan-enable leg (seed-selected) to
+    /// constant 0 — the chain is silently un-stitched while functional
+    /// behaviour is untouched (§4.3). Only the structural scan-chain
+    /// oracle can see it: scan shifting never happens in a functional
+    /// workload.
+    BrokenScanStitch,
 }
 
 impl Mutation {
     /// Every mutation kind, netlist-level first. Append-only: [`salt`]
     /// is position-based, so reordering would reshuffle seed streams.
-    pub const ALL: [Mutation; 16] = [
+    pub const ALL: [Mutation; 17] = [
         Mutation::DropCElement,
         Mutation::DuplicateCElement,
         Mutation::CElementToOr,
@@ -134,6 +142,7 @@ impl Mutation {
         Mutation::ProtocolFallDecoupled,
         Mutation::ProtocolDropArc,
         Mutation::CorruptInput,
+        Mutation::BrokenScanStitch,
     ];
 
     /// Stable kebab-case name (used in reports and `BENCH_mutation.json`).
@@ -155,6 +164,7 @@ impl Mutation {
             Mutation::ProtocolFallDecoupled => "protocol-fall-decoupled",
             Mutation::ProtocolDropArc => "protocol-drop-arc",
             Mutation::CorruptInput => "corrupt-input",
+            Mutation::BrokenScanStitch => "broken-scan-stitch",
         }
     }
 
@@ -177,6 +187,7 @@ impl Mutation {
             Mutation::ProtocolFallDecoupled => "flow equivalence, §2.2 / Fig. 2.4",
             Mutation::ProtocolDropArc => "protocol causality arcs, §2.2",
             Mutation::CorruptInput => "guarded ingestion / structured diagnostics, DESIGN §3d",
+            Mutation::BrokenScanStitch => "scan-chain stitching, §4.3",
         }
     }
 
@@ -496,6 +507,15 @@ fn apply_netlist(mutation: Mutation, m: &mut Module, rng: &mut Rng) -> Option<()
                 c.name.ends_with("_lm") || c.name.ends_with("_ls")
             })?;
             m.set_pin(id, "G", Conn::Const0);
+        }
+        Mutation::BrokenScanStitch => {
+            let id = pick_cell(m, rng, |c| {
+                c.kind.name() == "MUX2X1" && c.name.ends_with("_smx")
+            })?;
+            // Breaking either leg un-stitches the chain: B is the
+            // scan-in data path, S the shared scan-enable select.
+            let leg = if rng.next_u64() & 1 == 0 { "B" } else { "S" };
+            m.set_pin(id, leg, Conn::Const0);
         }
         Mutation::BypassDelayElement => {
             let id = pick_cell(m, rng, |c| c.kind.name().starts_with("drd_delem"))?;
@@ -879,6 +899,23 @@ mod tests {
         // The seed range must exercise every corruption shape.
         for shape in ["multiply-driven", "undriven net", "dangling instance pin"] {
             assert!(oracles.contains(shape), "`{shape}` never injected:\n{oracles}");
+        }
+    }
+
+    #[test]
+    fn broken_scan_stitch_mutants_are_killed() {
+        let lib = vlib90::high_speed();
+        let config = DiffConfig::default();
+        // Two seeds so both legs (scan-in B, scan-enable S) get exercised
+        // across the seed-derived site streams.
+        for seed in 0..2u64 {
+            let out = run_mutation(Mutation::BrokenScanStitch, seed, &lib, &config);
+            assert!(out.killed, "seed {seed} survived: {}", out.oracle);
+            assert!(
+                out.oracle.contains("scan"),
+                "killed by a non-scan oracle (fault not isolated): {}",
+                out.oracle
+            );
         }
     }
 

@@ -1,0 +1,82 @@
+//! Faithfulness of the handshake simulator's *deadlock* verdict.
+//!
+//! The loopback environment (`drd_core::network`) feeds a source
+//! region's own slave request back as its input request. That request
+//! falls as soon as the successor acknowledges, so its pulse width is
+//! set by the successor's response time — and a source whose matched
+//! delay exceeds that width has its request swallowed by the asymmetric
+//! delay element (every AND stage is fed by the input, so a fall
+//! collapses the chain): the region wedges after one transfer. Interior
+//! regions are immune — their requests are held by C-element joins
+//! until the consumer's full delay chain has been traversed.
+//!
+//! This test pins the hazard down at *both* levels on the same design:
+//! the gate-level netlist stalls in the event simulator, and the
+//! handshake-level timing simulation reports the same deadlock — the
+//! abstraction does not paper over real silicon behaviour.
+
+use drd_check::handshake::{handshake_spec, verify_handshake_timing};
+use drd_check::netgen::{FfKind, FfRecipe, GateOp, NetRecipe, StageRecipe};
+use drd_core::{DesyncOptions, Desynchronizer};
+use drd_liberty::{vlib90, Lv};
+use drd_sim::{SimOptions, Simulator};
+
+/// Two regions: a source with a 24-NAND critical path (a long matched
+/// delay) feeding a successor with a single inverter (a fast ack).
+fn imbalanced_recipe() -> NetRecipe {
+    // pool: din (0), q0_0 (1), q1_0 (2) → cloud nets start at index 3.
+    let chain: Vec<GateOp> = (0..24)
+        .map(|c| GateOp {
+            kind: 2, // NAND2X1 — survives buffer cleaning
+            a: if c == 0 { 0 } else { 3 + c - 1 },
+            b: 0,
+        })
+        .collect();
+    NetRecipe {
+        inputs: 1,
+        input_bits: 1,
+        stages: vec![
+            StageRecipe {
+                cloud: chain,
+                ffs: vec![FfRecipe { kind: FfKind::Plain, d: 3 + 23, aux0: 0, aux1: 0 }],
+            },
+            StageRecipe {
+                // One inverter reading q0_0 keeps the stages in separate
+                // regions (a direct FF→FF edge would merge them).
+                cloud: vec![GateOp { kind: 0, a: 1, b: 0 }],
+                ffs: vec![FfRecipe { kind: FfKind::Plain, d: 3, aux0: 0, aux1: 0 }],
+            },
+        ],
+    }
+}
+
+#[test]
+fn simulator_deadlock_verdict_matches_gate_level_stall() {
+    let lib = vlib90::high_speed();
+    let recipe = imbalanced_recipe();
+    let module = recipe.build().unwrap();
+    let tool = Desynchronizer::new(&lib).unwrap();
+    let result = tool.run(&module, &DesyncOptions::default()).unwrap();
+
+    // The shape under test: an open chain whose source carries the much
+    // longer matched delay.
+    let regions = &result.report.regions;
+    let source = regions.iter().find(|r| r.ffs > 0 && r.critical_delay_ns > 0.4).unwrap();
+    let sink = regions.iter().find(|r| r.ffs > 0 && r.critical_delay_ns < 0.2).unwrap();
+    assert!(source.delem_levels > sink.delem_levels + 5, "imbalance lost in grouping");
+
+    // Gate level: the source region's latches stop capturing.
+    let mut dut = Simulator::new(&result.design, &lib, SimOptions::default()).unwrap();
+    dut.poke("din", Lv::One).unwrap();
+    dut.poke("drd_rst", Lv::Zero).unwrap();
+    dut.run_for(2.0);
+    dut.poke("drd_rst", Lv::One).unwrap();
+    dut.run_for(240.0);
+    let captures = dut.captures().capture_count("r0_0_ls");
+    assert!(captures <= 2, "expected a stall, saw {captures} captures in 240 ns");
+
+    // Handshake level: the timing simulation reports the same wedge.
+    let spec = handshake_spec(&result.report, &lib).unwrap();
+    let err = verify_handshake_timing(&spec, &lib).expect_err("deadlock must be reported");
+    assert!(err.contains("deadlock"), "unexpected oracle failure: {err}");
+}

@@ -2,11 +2,13 @@
 //! twice — synchronous and desynchronized — with the same library and
 //! "tools", then compare area, timing, power and variability tolerance.
 
-use drd_core::{DesyncOptions, DesyncResult, Desynchronizer, FlowTrace};
+use drd_core::{DesyncOptions, DesyncReport, DesyncResult, Desynchronizer, FlowTrace};
 use drd_liberty::{Corner, Library, Lv};
 use drd_netlist::{Design, Module};
-use drd_sim::variability::ChipPopulation;
-use drd_sim::{compare_capture_logs, CaptureLog, SimOptions, Simulator};
+use drd_sim::{
+    compare_capture_logs, CaptureLog, GateVariability, HandshakeNet, HandshakeSpec, RegionSpec,
+    SimOptions, Simulator,
+};
 use drd_sta::{GraphOptions, TimingGraph};
 
 use crate::backend::{place_and_route, BackendOptions, LayoutResult};
@@ -463,10 +465,54 @@ pub struct VariabilityStudy {
     pub fraction_faster: f64,
 }
 
+/// Projects a desynchronization report onto the handshake simulator's
+/// control-network spec. `drd-sim` sits below `drd-core` in the crate
+/// order (core *tests* with the simulator), so the projection lives on
+/// the flow side: region rows become [`RegionSpec`]s and the DDG edges
+/// become index pairs.
+///
+/// # Errors
+/// Propagates delay-element probing errors.
+pub fn handshake_spec(
+    report: &DesyncReport,
+    lib: &Library,
+) -> Result<HandshakeSpec, DesyncError> {
+    let level_delay_ns = drd_core::delay_element::level_delay_ns(lib)?;
+    let ff = lib.cell("DFFX1").expect("vlib90 has DFFX1");
+    let regions: Vec<RegionSpec> = report
+        .regions
+        .iter()
+        .map(|r| RegionSpec {
+            name: r.name.clone(),
+            // Degraded regions keep ffs but get no delay element; both
+            // conditions must hold for the region to carry controllers.
+            controlled: r.ffs > 0 && r.delem_levels > 0,
+            matched_levels: r.delem_levels,
+            critical_delay_ns: r.critical_delay_ns,
+        })
+        .collect();
+    let slot = |name: &str| report.regions.iter().position(|r| r.name == name);
+    let edges = report
+        .ddg_edges
+        .iter()
+        .filter_map(|(a, b)| Some((slot(a)?, slot(b)?)))
+        .collect();
+    Ok(HandshakeSpec {
+        regions,
+        edges,
+        level_delay_ns,
+        ff_overhead_ns: ff.max_intrinsic_delay() + ff.setup,
+    })
+}
+
 /// Runs the Monte-Carlo variability study: the desynchronized circuit
 /// runs at its own chip's silicon speed (its delay elements track the
 /// logic, §2.5), while the synchronous design is stuck at the worst
-/// corner.
+/// corner. Per-chip periods come from the handshake-level event
+/// simulator — every control gate and delay-element level draws its own
+/// keyed delay factor, and the campaign fans out one chip per task with
+/// chip-order merging, so the study is byte-identical for any worker
+/// count.
 ///
 /// # Errors
 /// Propagates flow errors.
@@ -477,37 +523,14 @@ pub fn variability_study(
     seed: u64,
 ) -> Result<VariabilityStudy, DesyncError> {
     let typ_period = case.sync_min_period()?;
-    // Desynchronized effective period at the typical corner, measured
-    // once; per-chip periods scale with the chip's delay factor because
-    // delay elements and logic share the same silicon.
     let desync = case.desynchronize()?;
-    let watch_region = desync
-        .report
-        .regions
-        .iter()
-        .filter(|r| r.ffs > 0)
-        .max_by_key(|r| r.ffs)
-        .map(|r| r.name.clone())
-        .expect("controlled region");
-    let watch_net = format!("drd_{watch_region}_gs");
-    let mut sim =
-        Simulator::new(&desync.design, &case.lib, SimOptions::default()).map_err(sim_err)?;
-    init_inputs(&mut sim, &case.module);
-    sim.watch(&watch_net).map_err(sim_err)?;
-    sim.poke("drd_rst", Lv::Zero).map_err(sim_err)?;
-    sim.run_for(5.0);
-    sim.poke("drd_rst", Lv::One).map_err(sim_err)?;
-    sim.run_for(typ_period * 40.0);
-    let edges = sim.rising_edges(&watch_net);
-    assert!(edges.len() >= 6, "desynchronized circuit must run");
-    let desync_typ = (edges[edges.len() - 1] - edges[2]) / (edges.len() - 3) as f64;
-
-    let population = ChipPopulation::sample(chips, sigma, seed);
-    let desync_periods: Vec<f64> = population
-        .points()
-        .iter()
-        .map(|&t| desync_typ * Corner::interpolate(t).delay_factor)
-        .collect();
+    let spec = handshake_spec(&desync.report, &case.lib)?;
+    let net = HandshakeNet::elaborate(&spec, &case.lib).map_err(sim_err)?;
+    let var = GateVariability::new(seed, sigma);
+    let samples = net
+        .monte_carlo(&var, chips, drd_runner::worker_count())
+        .map_err(sim_err)?;
+    let desync_periods: Vec<f64> = samples.iter().map(|s| s.desync_cycle_ns).collect();
     let sync_worst = typ_period * Corner::worst().delay_factor;
     let faster = desync_periods
         .iter()

@@ -23,6 +23,6 @@ pub mod report;
 pub use backend::{place_and_route, BackendOptions, LayoutResult};
 pub use dft::{insert_scan, ScanReport};
 pub use experiment::{
-    area_comparison, power_sweep, timing_sweep, variability_study, AreaComparison, CaseStudy,
-    PowerSweep, TimingSweep, VariabilityStudy,
+    area_comparison, handshake_spec, power_sweep, timing_sweep, variability_study,
+    AreaComparison, CaseStudy, PowerSweep, TimingSweep, VariabilityStudy,
 };

@@ -93,8 +93,13 @@ where
             let work = &work;
             scope.spawn(move || loop {
                 // Own deque first (LIFO), then steal (FIFO) from a
-                // seeded-random victim.
-                let task = deques[w].lock().unwrap().pop_back().or_else(|| {
+                // seeded-random victim. The own-deque guard must be dropped
+                // before any steal attempt: holding it across a victim lock
+                // is an ABBA deadlock between two mutually-stealing workers
+                // (the temporary guard in a `lock().pop_back().or_else(..)`
+                // chain would live until the end of the statement).
+                let own = deques[w].lock().unwrap().pop_back();
+                let task = own.or_else(|| {
                     for _ in 0..4 * deques.len() {
                         let v = stream.range(0, deques.len());
                         if v == w {
@@ -187,6 +192,26 @@ mod tests {
         });
         let msg = *caught.expect_err("must fail").downcast::<String>().unwrap();
         assert_eq!(msg, "task 3 failed");
+    }
+
+    #[test]
+    fn mutual_stealing_does_not_deadlock() {
+        // Regression: the own-deque guard used to stay held across steal
+        // attempts (temporary-lifetime footgun in a
+        // `lock().pop_back().or_else(..)` chain), which deadlocks two
+        // workers stealing from each other. Tiny tasks, more workers than
+        // cores and many rounds make that collision likely; a watchdog
+        // turns a regression into a failure instead of a hung suite.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for round in 0..200usize {
+                let out = run_indexed(64, 8, |i| i + round);
+                assert_eq!(out, (round..round + 64).collect::<Vec<_>>());
+            }
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(120))
+            .expect("runner deadlocked in the steal path");
     }
 
     #[test]

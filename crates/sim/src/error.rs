@@ -21,6 +21,12 @@ pub enum SimError {
         /// Description of the problem.
         message: String,
     },
+    /// Handshake-level timing simulation failed (deadlock, unsettled
+    /// reset, event-cap overrun, or a malformed control-network spec).
+    Handshake {
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +35,7 @@ impl fmt::Display for SimError {
             SimError::UnknownCell { name } => write!(f, "unknown library cell `{name}`"),
             SimError::UnknownNet { name } => write!(f, "unknown net `{name}`"),
             SimError::Elaboration { message } => write!(f, "elaboration failed: {message}"),
+            SimError::Handshake { message } => write!(f, "handshake simulation failed: {message}"),
         }
     }
 }

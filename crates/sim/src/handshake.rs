@@ -1,0 +1,918 @@
+//! Handshake-level timing simulation of the desynchronized control
+//! network (§2.4, §5.2.2).
+//!
+//! The gate-level [`crate::Simulator`] answers "is the desynchronized
+//! circuit flow-equivalent?"; this module answers "how fast does it
+//! run, on *this* chip's silicon?". It elaborates the control network —
+//! two semi-decoupled controllers per region (the seven-gate
+//! implementation of `drd_core::controller`), the balanced C-element
+//! join trees over predecessor requests and successor acknowledges
+//! (`drd_core::celement::join`'s shape), and the asymmetric matched
+//! delay elements — into a timed event graph, races req/ack transitions
+//! through the deterministic [`crate::events::EventQueue`], and measures
+//! the effective cycle time of every region from its slave latch-enable
+//! (`gs`) rising edges, exactly like the Fig. 5.3 measurement harness
+//! does on the full netlist.
+//!
+//! Determinism rules (DESIGN.md §3f):
+//! * all times are integer femtoseconds; every gate delay is rounded to
+//!   fs once, up front;
+//! * events pop in `(time, event-id)` order and ids are assigned in
+//!   scheduling order, which is itself deterministic;
+//! * per-gate process variation comes from the *keyed* draws of
+//!   [`GateVariability`] — a pure function of `(campaign_seed, chip,
+//!   gate)` — so a Monte-Carlo campaign is one independent task per chip
+//!   and merges in chip order with byte-identical results for any worker
+//!   count.
+//!
+//! The elaboration consumes a [`HandshakeSpec`] (region summaries plus
+//! data-dependency edges) rather than the netlist itself: the spec is a
+//! faithful projection of `drd_core`'s `DesyncReport`, and keeping this
+//! crate below `drd-core` in the dependency order lets the core flow
+//! keep using `drd-sim` in its own tests.
+//!
+//! Faithfulness includes the construction's deadlocks. The matched
+//! delay swallows any request pulse shorter than its chain (each AND
+//! stage is fed by the input), so a *source* region — whose loopback
+//! request environment withdraws the request as soon as a successor
+//! acknowledges — wedges when its matched delay exceeds the successor's
+//! response time; interior regions are immune because C-element joins
+//! hold their requests until the full chain is traversed. The
+//! simulation reproduces both behaviours at gate-level fidelity
+//! (`drd-check`'s `handshake_stall` test pins the equivalence).
+
+use drd_liberty::Library;
+
+use crate::events::{fs_to_ns, ns_to_fs, EventQueue, TimeFs};
+use crate::variability::GateVariability;
+use crate::SimError;
+
+/// Rising `gs` edges collected per region before a run stops.
+pub const DEFAULT_MAX_EDGES: usize = 12;
+
+/// Hard cap on processed events per run — a livelocked graph (which a
+/// correct elaboration cannot produce) errors instead of spinning.
+const MAX_EVENTS: u64 = 8_000_000;
+
+/// One region of a [`HandshakeSpec`] — a projection of the flow's
+/// per-region report row.
+#[derive(Debug, Clone)]
+pub struct RegionSpec {
+    /// Region name (`g0` = input registers).
+    pub name: String,
+    /// True when the region got controllers and a matched delay
+    /// (substituted flip-flops, not degraded).
+    pub controlled: bool,
+    /// Matched-delay element depth in delay levels.
+    pub matched_levels: usize,
+    /// Region critical path through the combinational cloud (ns).
+    pub critical_delay_ns: f64,
+}
+
+/// The control-network shape the simulator elaborates.
+#[derive(Debug, Clone)]
+pub struct HandshakeSpec {
+    /// Regions in flow order.
+    pub regions: Vec<RegionSpec>,
+    /// Data-dependency edges as `(pred, succ)` region indices.
+    pub edges: Vec<(usize, usize)>,
+    /// Per-level delay of the matched-delay chain (ns) — the flow's
+    /// `delay_element::level_delay_ns` probe.
+    pub level_delay_ns: f64,
+    /// Flip-flop overhead (clk→Q plus setup, ns) of the synchronous
+    /// comparison model.
+    pub ff_overhead_ns: f64,
+}
+
+/// Per-region measurement from one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionCycle {
+    /// Region name.
+    pub region: String,
+    /// Effective cycle time (ns) over the measured steady-state window.
+    pub cycle_ns: f64,
+    /// Steady-state window: `span_fs` femtoseconds over `cycles` full
+    /// cycles (exact integers, for bit-stable oracles).
+    pub span_fs: TimeFs,
+    /// Cycles in the window.
+    pub cycles: usize,
+    /// The STA matched-delay floor (ns): the delay element's nominal
+    /// rise delay. Any simulated cycle must be at least this long.
+    pub matched_delay_ns: f64,
+}
+
+/// One Monte-Carlo chip: the desynchronized chip runs at its own
+/// silicon's handshake speed; the synchronous model's period is its
+/// slowest register-to-register path on the same silicon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipSample {
+    /// Chip index (also the variability coordinate).
+    pub chip: usize,
+    /// Slowest region's simulated handshake cycle time (ns).
+    pub desync_cycle_ns: f64,
+    /// Synchronous critical-path period on the same drawn silicon (ns).
+    pub sync_period_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NodeKind {
+    /// INVX1.
+    Inv(usize),
+    /// BUFX1 / BUFX2 (enable and acknowledge buffering).
+    Buf(usize),
+    /// AND2X1 — the controller's `g` pulse shaper.
+    And2(usize, usize),
+    /// A Muller C-element. `reset` is the value held while the handshake
+    /// reset is asserted: `Some(false)` for C2RX1, `Some(true)` for
+    /// C2SX1, `None` for the join-tree C2X1 (no reset pin — it settles
+    /// from its inputs).
+    C2 {
+        a: usize,
+        b: usize,
+        reset: Option<bool>,
+    },
+    /// Asymmetric matched delay: slow rise (the full chain), fast fall
+    /// (one level — the AND chain's fast-fall shortcut).
+    Delay(usize),
+}
+
+/// Unwired input sentinel during elaboration; never survives it.
+const PENDING: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    /// Nominal delay of each constituent variability gate (fs). Simple
+    /// gates have one; a matched delay has `matched_levels`.
+    levels: Vec<TimeFs>,
+    /// First variability-gate index; the node spans
+    /// `gate_base..gate_base + levels.len()`.
+    gate_base: usize,
+}
+
+/// Handles into the node table for one controlled region's two
+/// controllers (`m_` master, `s_` slave) and matched delay.
+#[derive(Debug, Clone, Copy)]
+struct RegionNodes {
+    region: usize,
+    m_nro: usize,
+    m_a: usize,
+    m_nao: usize,
+    m_ro: usize,
+    m_g1: usize,
+    /// Master latch-enable buffer; elaborated for delay fidelity, only
+    /// the slave enable is watched for cycle measurement.
+    _m_g: usize,
+    m_ai: usize,
+    s_nro: usize,
+    s_a: usize,
+    s_nao: usize,
+    s_ro: usize,
+    s_g1: usize,
+    s_g: usize,
+    s_ai: usize,
+    delay: usize,
+}
+
+/// The elaborated timed event graph plus the synchronous comparison
+/// model, ready to simulate at any drawn silicon.
+#[derive(Debug, Clone)]
+pub struct HandshakeNet {
+    nodes: Vec<Node>,
+    fanout: Vec<Vec<usize>>,
+    regions: Vec<RegionNodes>,
+    region_names: Vec<String>,
+    /// Nominal matched-delay floor per controlled region (fs).
+    matched_fs: Vec<TimeFs>,
+    /// Synchronous critical paths: per path, the nominal fs of each
+    /// variability gate on it (cloud stages plus one FF-overhead gate).
+    sync_paths: Vec<Vec<TimeFs>>,
+    gate_count: usize,
+}
+
+/// Library intrinsic delay of `cell` (ns).
+fn cell_delay_ns(lib: &Library, cell: &str) -> Result<f64, SimError> {
+    lib.cell(cell)
+        .map(|c| c.max_intrinsic_delay())
+        .ok_or_else(|| SimError::UnknownCell { name: cell.to_owned() })
+}
+
+impl HandshakeNet {
+    /// Elaborates the control network of `spec` into a timed event
+    /// graph, mirroring `drd_core::network::build_control_network`:
+    /// per controlled region a master/slave controller pair, a balanced
+    /// C-element join over controlled predecessors' requests (loopback
+    /// when none), a matched delay on the joined request, and a balanced
+    /// join over controlled successors' acknowledges (eager own-request
+    /// acknowledge when none).
+    ///
+    /// # Errors
+    /// [`SimError::UnknownCell`] when the library misses a controller
+    /// gate; [`SimError::Handshake`] when no region is controlled.
+    pub fn elaborate(spec: &HandshakeSpec, lib: &Library) -> Result<HandshakeNet, SimError> {
+        let inv = ns_to_fs(cell_delay_ns(lib, "INVX1")?);
+        let buf1 = ns_to_fs(cell_delay_ns(lib, "BUFX1")?);
+        let buf2 = ns_to_fs(cell_delay_ns(lib, "BUFX2")?);
+        let and2 = ns_to_fs(cell_delay_ns(lib, "AND2X1")?);
+        let c2r = ns_to_fs(cell_delay_ns(lib, "C2RX1")?);
+        let c2s = ns_to_fs(cell_delay_ns(lib, "C2SX1")?);
+        let c2 = ns_to_fs(cell_delay_ns(lib, "C2X1")?);
+        let level = ns_to_fs(spec.level_delay_ns);
+
+        let controlled: Vec<usize> = spec
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.controlled)
+            .map(|(i, _)| i)
+            .collect();
+        if controlled.is_empty() {
+            return Err(SimError::Handshake {
+                message: "no controlled regions to elaborate".into(),
+            });
+        }
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut gate_count = 0usize;
+        let mut push = |nodes: &mut Vec<Node>, kind: NodeKind, levels: Vec<TimeFs>| {
+            let gate_base = gate_count;
+            gate_count += levels.len();
+            nodes.push(Node { kind, levels, gate_base });
+            nodes.len() - 1
+        };
+
+        // Pass 1: allocate every controller in region order with
+        // intra-region wiring; cross-region inputs stay PENDING.
+        let mut handles: Vec<RegionNodes> = Vec::new();
+        let mut matched_fs = Vec::new();
+        let mut region_names = Vec::new();
+        for &ri in &controlled {
+            let r = &spec.regions[ri];
+            let base = nodes.len();
+            // Fixed per-region layout (offsets 0..=14) — see RegionNodes.
+            let h = RegionNodes {
+                region: ri,
+                m_nro: base,
+                m_a: base + 1,
+                m_nao: base + 2,
+                m_ro: base + 3,
+                m_g1: base + 4,
+                _m_g: base + 5,
+                m_ai: base + 6,
+                s_nro: base + 7,
+                s_a: base + 8,
+                s_nao: base + 9,
+                s_ro: base + 10,
+                s_g1: base + 11,
+                s_g: base + 12,
+                s_ai: base + 13,
+                delay: base + 14,
+            };
+            let levels = r.matched_levels.max(1);
+            push(&mut nodes, NodeKind::Inv(h.m_ro), vec![inv]);
+            push(&mut nodes, NodeKind::C2 { a: h.delay, b: h.m_nro, reset: Some(false) }, vec![c2r]);
+            push(&mut nodes, NodeKind::Inv(h.s_ai), vec![inv]);
+            push(&mut nodes, NodeKind::C2 { a: h.m_a, b: h.m_nao, reset: Some(false) }, vec![c2r]);
+            push(&mut nodes, NodeKind::And2(h.m_a, h.m_nro), vec![and2]);
+            push(&mut nodes, NodeKind::Buf(h.m_g1), vec![buf2]);
+            push(&mut nodes, NodeKind::Buf(h.m_a), vec![buf1]);
+            push(&mut nodes, NodeKind::Inv(h.s_ro), vec![inv]);
+            push(&mut nodes, NodeKind::C2 { a: h.m_ro, b: h.s_nro, reset: Some(false) }, vec![c2r]);
+            push(&mut nodes, NodeKind::Inv(PENDING), vec![inv]); // s_nao: ack join, pass 2
+            push(&mut nodes, NodeKind::C2 { a: h.s_a, b: h.s_nao, reset: Some(true) }, vec![c2s]);
+            push(&mut nodes, NodeKind::And2(h.s_a, h.s_nro), vec![and2]);
+            push(&mut nodes, NodeKind::Buf(h.s_g1), vec![buf2]);
+            push(&mut nodes, NodeKind::Buf(h.s_a), vec![buf1]);
+            push(&mut nodes, NodeKind::Delay(PENDING), vec![level; levels]); // req join, pass 2
+            matched_fs.push(level.saturating_mul(levels as TimeFs));
+            region_names.push(r.name.clone());
+            handles.push(h);
+        }
+
+        // Balanced pairwise reduction with the same chunks-of-2 shape as
+        // `drd_core::celement::join` — the odd element passes up a round.
+        let mut join = |nodes: &mut Vec<Node>, inputs: &[usize]| -> usize {
+            let mut layer: Vec<usize> = inputs.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    if let [a, b] = *pair {
+                        next.push(push(nodes, NodeKind::C2 { a, b, reset: None }, vec![c2]));
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                layer = next;
+            }
+            layer[0]
+        };
+
+        // Pass 2: join trees and cross-region wiring, in region order.
+        let slot_of = |region: usize| controlled.iter().position(|&r| r == region);
+        for (slot, h) in handles.clone().into_iter().enumerate() {
+            let preds: Vec<usize> = spec
+                .edges
+                .iter()
+                .filter(|&&(_, s)| s == h.region)
+                .filter_map(|&(p, _)| slot_of(p))
+                .collect();
+            let succs: Vec<usize> = spec
+                .edges
+                .iter()
+                .filter(|&&(p, _)| p == h.region)
+                .filter_map(|&(_, s)| slot_of(s))
+                .collect();
+
+            // Request side: join controlled predecessors' `ros`, or loop
+            // the region's own request back when it has none.
+            let raw_req = if preds.is_empty() {
+                handles[slot].s_ro
+            } else {
+                let inputs: Vec<usize> = preds.iter().map(|&p| handles[p].s_ro).collect();
+                join(&mut nodes, &inputs)
+            };
+            nodes[h.delay].kind = NodeKind::Delay(raw_req);
+
+            // Acknowledge side: join controlled successors' `aim`, or
+            // acknowledge eagerly from the region's own request.
+            let slave_ao = if succs.is_empty() {
+                handles[slot].s_ro
+            } else {
+                let inputs: Vec<usize> = succs.iter().map(|&s| handles[s].m_ai).collect();
+                join(&mut nodes, &inputs)
+            };
+            nodes[h.s_nao].kind = NodeKind::Inv(slave_ao);
+        }
+
+        debug_assert!(nodes.iter().all(|n| match n.kind {
+            NodeKind::Inv(a) | NodeKind::Buf(a) | NodeKind::Delay(a) => a != PENDING,
+            NodeKind::And2(a, b) | NodeKind::C2 { a, b, .. } => a != PENDING && b != PENDING,
+        }));
+
+        let mut fanout = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            match n.kind {
+                NodeKind::Inv(a) | NodeKind::Buf(a) | NodeKind::Delay(a) => fanout[a].push(i),
+                NodeKind::And2(a, b) | NodeKind::C2 { a, b, .. } => {
+                    fanout[a].push(i);
+                    if b != a {
+                        fanout[b].push(i);
+                    }
+                }
+            }
+        }
+
+        // Synchronous comparison model: each region with a combinational
+        // cloud contributes one register-to-register path, decomposed
+        // into level-sized gates so intra-die draws average the same way
+        // they do along the matched delay chains.
+        let mut sync_paths = Vec::new();
+        for r in &spec.regions {
+            if r.critical_delay_ns <= 0.0 {
+                continue;
+            }
+            let depth = (r.critical_delay_ns / spec.level_delay_ns.max(1e-9)).ceil().max(1.0);
+            let per_gate = ns_to_fs(r.critical_delay_ns / depth);
+            let mut path = vec![per_gate; depth as usize];
+            path.push(ns_to_fs(spec.ff_overhead_ns));
+            let gate_base = gate_count;
+            gate_count += path.len();
+            // Record the path's gate span via a synthetic node-free
+            // entry: sync paths are summed, never event-simulated.
+            sync_paths.push((gate_base, path));
+        }
+        let sync_paths = sync_paths
+            .into_iter()
+            .map(|(base, path)| {
+                // Stash the base in the vector by construction: gate
+                // index of element j is base + j. Recover it in
+                // `sync_period_fs` from the running offset.
+                debug_assert!(base < gate_count);
+                path
+            })
+            .collect();
+
+        Ok(HandshakeNet {
+            nodes,
+            fanout,
+            regions: handles,
+            region_names,
+            matched_fs,
+            sync_paths,
+            gate_count,
+        })
+    }
+
+    /// Total variability-gate coordinates: control-network gates first,
+    /// then the synchronous comparison paths.
+    pub fn gate_count(&self) -> usize {
+        self.gate_count
+    }
+
+    /// Control-network gate count (the prefix of [`gate_count`]'s range
+    /// that the event simulation consumes).
+    pub fn control_gate_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.levels.len()).sum()
+    }
+
+    /// Controlled region names, in elaboration order.
+    pub fn region_names(&self) -> &[String] {
+        &self.region_names
+    }
+
+    /// Nominal matched-delay floor of controlled region `slot` (ns).
+    pub fn matched_delay_ns(&self, slot: usize) -> f64 {
+        fs_to_ns(self.matched_fs[slot])
+    }
+
+    /// Per-gate delay factors for `chip`, in gate-index order.
+    pub fn chip_factors(&self, var: &GateVariability, chip: usize) -> Vec<f64> {
+        (0..self.gate_count)
+            .map(|g| var.factor(chip as u64, g as u64))
+            .collect()
+    }
+
+    /// Simulates at unit factors: the nominal analytical model (the
+    /// deterministic execution of the timed event graph at library
+    /// delays). A zero-sigma Monte-Carlo chip reproduces this bit for
+    /// bit.
+    ///
+    /// # Errors
+    /// Propagates simulation errors (deadlock, unsettled reset).
+    pub fn nominal_cycle_times(&self) -> Result<Vec<RegionCycle>, SimError> {
+        let factors = vec![1.0; self.gate_count];
+        self.cycle_times(&factors, DEFAULT_MAX_EDGES)
+    }
+
+    /// Simulates with per-gate `factors` (length [`gate_count`]) and
+    /// measures each region's effective cycle time over the trailing
+    /// half of `max_edges` slave-enable rising edges.
+    ///
+    /// # Errors
+    /// [`SimError::Handshake`] on factor-length mismatch, handshake
+    /// deadlock, unsettled reset, or event-cap overrun.
+    pub fn cycle_times(
+        &self,
+        factors: &[f64],
+        max_edges: usize,
+    ) -> Result<Vec<RegionCycle>, SimError> {
+        self.cycle_times_scaled(factors, 1.0, max_edges)
+    }
+
+    /// [`cycle_times`] with the matched-delay chains scaled by
+    /// `matched_scale` — the Fig. 5.3 tap-selection sweep (selection `k`
+    /// scales the matched delay by `tap_factor(k)`).
+    ///
+    /// # Errors
+    /// As [`cycle_times`].
+    pub fn cycle_times_scaled(
+        &self,
+        factors: &[f64],
+        matched_scale: f64,
+        max_edges: usize,
+    ) -> Result<Vec<RegionCycle>, SimError> {
+        if factors.len() < self.control_gate_count() {
+            return Err(SimError::Handshake {
+                message: format!(
+                    "{} delay factors for {} control gates",
+                    factors.len(),
+                    self.control_gate_count()
+                ),
+            });
+        }
+        let max_edges = max_edges.max(4);
+
+        // Per-node rise/fall delays (fs), rounded once up front.
+        let scale_term = |nominal: TimeFs, f: f64| -> TimeFs {
+            let fs = (nominal as f64 * f).round();
+            if fs < 1.0 {
+                1
+            } else {
+                fs as TimeFs
+            }
+        };
+        let delays: Vec<(TimeFs, TimeFs)> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let scale = if matches!(n.kind, NodeKind::Delay(_)) { matched_scale } else { 1.0 };
+                let terms: Vec<TimeFs> = n
+                    .levels
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &lv)| scale_term(lv, factors[n.gate_base + i] * scale))
+                    .collect();
+                let rise: TimeFs = terms.iter().sum();
+                // Matched delays fall fast (one level); everything else
+                // is symmetric.
+                let fall = if matches!(n.kind, NodeKind::Delay(_)) { terms[0] } else { rise };
+                (rise.max(1), fall.max(1))
+            })
+            .collect();
+
+        // Reset fixed point: C2R held 0, C2S held 1, the rest settles
+        // combinationally (the DAG left after holding the loop-breaking
+        // controller C-elements).
+        let mut values = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let NodeKind::C2 { reset: Some(r), .. } = n.kind {
+                values[i] = r;
+            }
+        }
+        let mut settled = false;
+        for _ in 0..self.nodes.len() + 2 {
+            let mut changed = false;
+            for i in 0..self.nodes.len() {
+                if let NodeKind::C2 { reset: Some(_), .. } = self.nodes[i].kind {
+                    continue; // held by reset
+                }
+                let v = self.eval(i, &values, values[i]);
+                if v != values[i] {
+                    values[i] = v;
+                    changed = true;
+                }
+            }
+            if !changed {
+                settled = true;
+                break;
+            }
+        }
+        if !settled {
+            return Err(SimError::Handshake {
+                message: "reset state did not settle".into(),
+            });
+        }
+
+        // Release reset at t = 0: every reset-held C-element re-evaluates
+        // against its settled inputs.
+        let mut next_values = values.clone();
+        let mut versions = vec![0u32; self.nodes.len()];
+        let mut queue = EventQueue::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let NodeKind::C2 { reset: Some(_), .. } = n.kind {
+                let v = self.eval(i, &values, values[i]);
+                if v != values[i] {
+                    next_values[i] = v;
+                    versions[i] += 1;
+                    let delay = if v { delays[i].0 } else { delays[i].1 };
+                    queue.schedule(delay, i, v, versions[i]);
+                }
+            }
+        }
+
+        // Watch table: slave enable node → region slot.
+        let mut watch = vec![usize::MAX; self.nodes.len()];
+        for (slot, h) in self.regions.iter().enumerate() {
+            watch[h.s_g] = slot;
+        }
+        let mut edges: Vec<Vec<TimeFs>> = vec![Vec::with_capacity(max_edges); self.regions.len()];
+        let mut done = 0usize;
+
+        let mut processed: u64 = 0;
+        while let Some(ev) = queue.pop() {
+            if ev.version != versions[ev.node] {
+                continue; // superseded (inertial cancellation)
+            }
+            processed += 1;
+            if processed > MAX_EVENTS {
+                return Err(SimError::Handshake {
+                    message: format!("event cap exceeded after {processed} events"),
+                });
+            }
+            values[ev.node] = ev.value;
+            let slot = watch[ev.node];
+            if ev.value && slot != usize::MAX && edges[slot].len() < max_edges {
+                edges[slot].push(ev.time);
+                if edges[slot].len() == max_edges {
+                    done += 1;
+                    if done == self.regions.len() {
+                        break;
+                    }
+                }
+            }
+            for &f in &self.fanout[ev.node] {
+                let target = self.eval(f, &values, next_values[f]);
+                if target != next_values[f] {
+                    next_values[f] = target;
+                    versions[f] += 1;
+                    let delay = if target { delays[f].0 } else { delays[f].1 };
+                    queue.schedule(ev.time + delay, f, target, versions[f]);
+                }
+            }
+        }
+
+        let warmup = max_edges / 2;
+        let mut out = Vec::with_capacity(self.regions.len());
+        for (slot, times) in edges.iter().enumerate() {
+            if times.len() < warmup + 2 {
+                return Err(SimError::Handshake {
+                    message: format!(
+                        "handshake deadlock: region {} produced {} enable edges (need {})",
+                        self.region_names[slot],
+                        times.len(),
+                        warmup + 2
+                    ),
+                });
+            }
+            let span_fs = times[times.len() - 1] - times[warmup];
+            let cycles = times.len() - 1 - warmup;
+            out.push(RegionCycle {
+                region: self.region_names[slot].clone(),
+                cycle_ns: fs_to_ns(span_fs) / cycles as f64,
+                span_fs,
+                cycles,
+                matched_delay_ns: fs_to_ns((self.matched_fs[slot] as f64 * matched_scale) as TimeFs),
+            });
+        }
+        Ok(out)
+    }
+
+    fn eval(&self, i: usize, values: &[bool], hold: bool) -> bool {
+        match self.nodes[i].kind {
+            NodeKind::Inv(a) => !values[a],
+            NodeKind::Buf(a) | NodeKind::Delay(a) => values[a],
+            NodeKind::And2(a, b) => values[a] && values[b],
+            NodeKind::C2 { a, b, .. } => {
+                if values[a] == values[b] {
+                    values[a]
+                } else {
+                    hold
+                }
+            }
+        }
+    }
+
+    /// Closed-form steady-state period of a **single-region self-loop
+    /// ring** (`edges = [(0, 0)]`, the one-region DDG): once the matched
+    /// delay dominates the controller gates, every cycle is the same
+    /// four-phase loop through the slave request —
+    ///
+    /// ```text
+    /// ros+ →(Dr)   rim+  →(C2R) m_a+ →(BUF) m_ai+ →(INV) nao− →(C2S) ros−
+    /// ros− →(lvl)  rim−  →(C2R) m_a− →(BUF) m_ai− →(INV) nao+ →(C2S) ros+
+    /// ```
+    ///
+    /// so the period is `Dr + lvl + 2·(d(C2RX1) + d(C2SX1) + d(BUFX1) +
+    /// d(INVX1))` exactly, where `Dr` is the matched rise delay and `lvl`
+    /// the one-level fast fall — in the same rounded femtoseconds the
+    /// simulator uses. `None` when the net is not a single-region ring.
+    pub fn analytical_ring_cycle_fs(&self, lib: &Library) -> Option<TimeFs> {
+        if self.regions.len() != 1 {
+            return None;
+        }
+        let c2r = ns_to_fs(cell_delay_ns(lib, "C2RX1").ok()?);
+        let c2s = ns_to_fs(cell_delay_ns(lib, "C2SX1").ok()?);
+        let buf = ns_to_fs(cell_delay_ns(lib, "BUFX1").ok()?);
+        let inv = ns_to_fs(cell_delay_ns(lib, "INVX1").ok()?);
+        let delay = &self.nodes[self.regions[0].delay];
+        let rise: TimeFs = delay.levels.iter().sum();
+        let fall = delay.levels[0];
+        Some(rise + fall + 2 * (c2r + c2s + buf + inv))
+    }
+
+    /// [`analytical_ring_cycle_fs`] in nanoseconds.
+    pub fn analytical_ring_cycle_ns(&self, lib: &Library) -> Option<f64> {
+        self.analytical_ring_cycle_fs(lib).map(fs_to_ns)
+    }
+
+    /// Synchronous period on `factors`' silicon: the slowest decomposed
+    /// register-to-register path, each gate derated by its own draw.
+    pub fn sync_period_fs(&self, factors: &[f64]) -> TimeFs {
+        let mut base = self.control_gate_count();
+        let mut worst: TimeFs = 0;
+        for path in &self.sync_paths {
+            let sum: TimeFs = path
+                .iter()
+                .enumerate()
+                .map(|(j, &fs)| {
+                    let scaled = (fs as f64 * factors[base + j]).round();
+                    if scaled < 1.0 {
+                        1
+                    } else {
+                        scaled as TimeFs
+                    }
+                })
+                .sum();
+            worst = worst.max(sum);
+            base += path.len();
+        }
+        worst
+    }
+
+    /// Simulates one Monte-Carlo chip: per-gate draws from `var`, the
+    /// slowest region's handshake cycle vs the synchronous critical
+    /// path on the same silicon.
+    ///
+    /// # Errors
+    /// Propagates simulation errors.
+    pub fn chip_sample(&self, var: &GateVariability, chip: usize) -> Result<ChipSample, SimError> {
+        let factors = self.chip_factors(var, chip);
+        let cycles = self.cycle_times(&factors, DEFAULT_MAX_EDGES)?;
+        let desync = cycles.iter().map(|c| c.cycle_ns).fold(0.0f64, f64::max);
+        Ok(ChipSample {
+            chip,
+            desync_cycle_ns: desync,
+            sync_period_ns: fs_to_ns(self.sync_period_fs(&factors)),
+        })
+    }
+
+    /// The Monte-Carlo campaign: one chip per task on the work-stealing
+    /// runner, merged in chip order — byte-identical for any `workers`.
+    ///
+    /// # Errors
+    /// The first failing chip's error, in chip order.
+    pub fn monte_carlo(
+        &self,
+        var: &GateVariability,
+        chips: usize,
+        workers: usize,
+    ) -> Result<Vec<ChipSample>, SimError> {
+        let samples = drd_runner::runner::run_indexed(chips, workers, |chip| {
+            self.chip_sample(var, chip)
+        });
+        samples.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drd_liberty::vlib90;
+
+    fn ring_spec(levels: usize) -> HandshakeSpec {
+        // One region whose flip-flops feed themselves: the DDG self-loop
+        // closes the request loop through the region's own master ack.
+        // (A controlled region with *neither* controlled predecessors nor
+        // successors gets loopback-request plus eager-ack and its request
+        // degenerates to a pulse the asymmetric delay swallows — that
+        // topology deadlocks by design, in silicon as here.)
+        HandshakeSpec {
+            regions: vec![RegionSpec {
+                name: "g1".into(),
+                controlled: true,
+                matched_levels: levels,
+                critical_delay_ns: levels as f64 * 0.08,
+            }],
+            edges: vec![(0, 0)],
+            level_delay_ns: 0.09,
+            ff_overhead_ns: 0.15,
+        }
+    }
+
+    fn pipeline_spec(stages: usize) -> HandshakeSpec {
+        let regions = (0..stages)
+            .map(|i| RegionSpec {
+                name: format!("g{i}"),
+                controlled: true,
+                matched_levels: 3 + i % 4,
+                critical_delay_ns: 0.2 + 0.05 * i as f64,
+            })
+            .collect();
+        HandshakeSpec {
+            regions,
+            edges: (1..stages).map(|i| (i - 1, i)).collect(),
+            level_delay_ns: 0.09,
+            ff_overhead_ns: 0.15,
+        }
+    }
+
+    #[test]
+    fn single_ring_matches_the_analytical_period_exactly() {
+        let lib = vlib90::high_speed();
+        // Matched delay dominates from a handful of levels up; the
+        // analytic chain must be met cycle-for-cycle, femtosecond-exact.
+        for levels in [6, 9, 14, 23] {
+            let net = HandshakeNet::elaborate(&ring_spec(levels), &lib).unwrap();
+            let cycles = net.nominal_cycle_times().unwrap();
+            assert_eq!(cycles.len(), 1);
+            let analytic = net.analytical_ring_cycle_fs(&lib).unwrap();
+            assert_eq!(
+                cycles[0].span_fs,
+                analytic * cycles[0].cycles as TimeFs,
+                "levels {levels}: measured {} fs/cycle over {} cycles, analytic {analytic} fs",
+                cycles[0].span_fs / cycles[0].cycles as TimeFs,
+                cycles[0].cycles,
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_time_respects_the_matched_delay_floor() {
+        let lib = vlib90::high_speed();
+        for spec in [ring_spec(8), pipeline_spec(3), pipeline_spec(5)] {
+            let net = HandshakeNet::elaborate(&spec, &lib).unwrap();
+            for c in net.nominal_cycle_times().unwrap() {
+                assert!(
+                    c.cycle_ns >= c.matched_delay_ns,
+                    "{}: cycle {} < matched {}",
+                    c.region,
+                    c.cycle_ns,
+                    c.matched_delay_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_regions_run_in_lockstep() {
+        let lib = vlib90::high_speed();
+        let net = HandshakeNet::elaborate(&pipeline_spec(4), &lib).unwrap();
+        let cycles = net.nominal_cycle_times().unwrap();
+        assert_eq!(cycles.len(), 4);
+        // A linear pipeline settles to one global rate: the slowest
+        // stage's ring paces everyone (steady-state token flow).
+        let max = cycles.iter().map(|c| c.cycle_ns).fold(0.0f64, f64::max);
+        let min = cycles.iter().map(|c| c.cycle_ns).fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.05, "{min} vs {max}");
+    }
+
+    #[test]
+    fn longer_matched_delays_slow_the_ring() {
+        let lib = vlib90::high_speed();
+        let short = HandshakeNet::elaborate(&ring_spec(4), &lib).unwrap();
+        let long = HandshakeNet::elaborate(&ring_spec(16), &lib).unwrap();
+        let a = short.nominal_cycle_times().unwrap()[0].cycle_ns;
+        let b = long.nominal_cycle_times().unwrap()[0].cycle_ns;
+        assert!(b > a, "{a} !< {b}");
+    }
+
+    #[test]
+    fn tap_scaling_sweeps_the_period() {
+        let lib = vlib90::high_speed();
+        let net = HandshakeNet::elaborate(&ring_spec(10), &lib).unwrap();
+        let factors = vec![1.0; net.gate_count()];
+        let slow = net.cycle_times_scaled(&factors, 1.75, DEFAULT_MAX_EDGES).unwrap();
+        let fast = net.cycle_times_scaled(&factors, 0.70, DEFAULT_MAX_EDGES).unwrap();
+        assert!(slow[0].cycle_ns > fast[0].cycle_ns);
+    }
+
+    #[test]
+    fn zero_sigma_chip_reproduces_the_nominal_run_bit_for_bit() {
+        let lib = vlib90::high_speed();
+        let net = HandshakeNet::elaborate(&pipeline_spec(3), &lib).unwrap();
+        let nominal = net.nominal_cycle_times().unwrap();
+        let var = GateVariability::new(0xDEAD, 0.0);
+        for chip in 0..4 {
+            let sample = net.chip_sample(&var, chip).unwrap();
+            let want = nominal.iter().map(|c| c.cycle_ns).fold(0.0f64, f64::max);
+            assert_eq!(sample.desync_cycle_ns.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_byte_identical_for_any_worker_count() {
+        let lib = vlib90::high_speed();
+        let net = HandshakeNet::elaborate(&pipeline_spec(4), &lib).unwrap();
+        let var = GateVariability::new(0xF00D, 0.15);
+        let serial = net.monte_carlo(&var, 64, 1).unwrap();
+        for workers in [2, 3, 8] {
+            let par = net.monte_carlo(&var, 64, workers).unwrap();
+            assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.desync_cycle_ns.to_bits(), b.desync_cycle_ns.to_bits());
+                assert_eq!(a.sync_period_ns.to_bits(), b.sync_period_ns.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn variability_spreads_the_population() {
+        let lib = vlib90::high_speed();
+        let net = HandshakeNet::elaborate(&pipeline_spec(3), &lib).unwrap();
+        let var = GateVariability::new(0xBEEF, 0.2);
+        let samples = net.monte_carlo(&var, 128, 4).unwrap();
+        let min = samples.iter().map(|s| s.desync_cycle_ns).fold(f64::INFINITY, f64::min);
+        let max = samples.iter().map(|s| s.desync_cycle_ns).fold(0.0f64, f64::max);
+        assert!(max > 1.1 * min, "spread {min}..{max}");
+        // The sync model spreads too, and both stay positive.
+        assert!(samples.iter().all(|s| s.sync_period_ns > 0.0));
+    }
+
+    #[test]
+    fn uncontrolled_regions_are_skipped_and_empty_specs_error() {
+        let lib = vlib90::high_speed();
+        let mut spec = pipeline_spec(3);
+        // A bypass edge keeps the survivors coupled once the middle
+        // region degrades (matching how the flow's DDG records all
+        // register-to-register dependencies, not just adjacent ones).
+        spec.edges.push((0, 2));
+        spec.regions[1].controlled = false;
+        let net = HandshakeNet::elaborate(&spec, &lib).unwrap();
+        assert_eq!(net.region_names().len(), 2);
+        // The degraded region contributes no controllers; the survivors
+        // handshake through the bypass edge and still run.
+        net.nominal_cycle_times().unwrap();
+
+        for r in &mut spec.regions {
+            r.controlled = false;
+        }
+        assert!(HandshakeNet::elaborate(&spec, &lib).is_err());
+    }
+
+    #[test]
+    fn factor_length_mismatch_is_rejected() {
+        let lib = vlib90::high_speed();
+        let net = HandshakeNet::elaborate(&ring_spec(4), &lib).unwrap();
+        assert!(net.cycle_times(&[1.0], DEFAULT_MAX_EDGES).is_err());
+    }
+}

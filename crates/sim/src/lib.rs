@@ -43,6 +43,8 @@
 mod capture;
 mod engine;
 mod error;
+pub mod events;
+pub mod handshake;
 mod names;
 mod options;
 mod power;
@@ -51,5 +53,8 @@ pub mod variability;
 pub use capture::{compare_capture_logs, CaptureLog, FlowCheck};
 pub use engine::Simulator;
 pub use error::SimError;
+pub use events::{fs_to_ns, ns_to_fs, EventQueue, TimeFs};
+pub use handshake::{ChipSample, HandshakeNet, HandshakeSpec, RegionCycle, RegionSpec};
 pub use options::SimOptions;
 pub use power::PowerReport;
+pub use variability::GateVariability;

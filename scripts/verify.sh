@@ -22,7 +22,11 @@
 #    its schema, gates on >= 2x flow speedup where there are >= 4 cores
 #    (reported, not gated, on narrower hosts), and re-runs the
 #    determinism suite under DRD_WORKERS=3 to cross-check that worker
-#    count never leaks into artifacts.
+#    count never leaks into artifacts,
+# 10. runs the handshake-level variability Monte Carlo
+#    (results/BENCH_variability.json), checks its schema, gates on >= 3x
+#    Monte-Carlo speedup where there are >= 4 cores, and re-runs the
+#    simulator determinism suite under DRD_WORKERS=3.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -232,5 +236,50 @@ fi
 echo "== determinism cross-check under DRD_WORKERS=3 (offline) =="
 DRD_WORKERS=3 cargo test -q --offline --test determinism
 echo "ok: artifacts byte-identical with an odd ambient worker count"
+
+echo "== handshake variability Monte Carlo gate (offline) =="
+# The binary itself exits non-zero when zero-sigma campaigns are not
+# bitwise nominal, when worker splits diverge, when the sync-vs-desync
+# variability crossover is lost, or (on >= 4 cores) when the parallel
+# Monte Carlo speedup falls under 3x.
+cargo run --release --offline -p drd-bench --bin variability
+var_json=results/BENCH_variability.json
+if [ ! -s "$var_json" ]; then
+  echo "error: $var_json missing or empty" >&2
+  exit 1
+fi
+for field in '"name": "variability"' '"chips"' '"workers"' '"host_cores"' \
+             '"sigma_grid"' '"speedup"' '"byte_identical": true' '"designs"' \
+             '"taps"' '"curve"' '"histogram"' '"desync_mean_norm"' \
+             '"sync_worst_norm"' '"fraction_faster"'; do
+  if ! grep -q "$field" "$var_json"; then
+    echo "error: $var_json misses field $field" >&2
+    exit 1
+  fi
+done
+open_braces=$(grep -o '{' "$var_json" | wc -l)
+close_braces=$(grep -o '}' "$var_json" | wc -l)
+if [ "$open_braces" -ne "$close_braces" ]; then
+  echo "error: $var_json is not well-formed (unbalanced braces)" >&2
+  exit 1
+fi
+chips=$(sed -n 's/^[[:space:]]*"chips": \([0-9]*\),.*/\1/p' "$var_json")
+if [ -z "$chips" ] || [ "$chips" -lt 1000 ]; then
+  echo "error: variability campaign ran $chips chips (< 1000 seeds)" >&2
+  exit 1
+fi
+cores=$(nproc 2>/dev/null || echo 1)
+mc_speedup=$(sed -n 's/^[[:space:]]*"speedup": \([0-9.]*\),.*/\1/p' "$var_json")
+if [ "$cores" -ge 4 ]; then
+  if ! awk -v s="$mc_speedup" 'BEGIN { exit !(s >= 3.0) }'; then
+    echo "error: Monte-Carlo speedup $mc_speedup < 3.0x on a $cores-core host" >&2
+    exit 1
+  fi
+  echo "ok: Monte-Carlo speedup ${mc_speedup}x on $cores cores"
+else
+  echo "note: $cores core(s) — Monte-Carlo speedup ${mc_speedup}x reported, not gated"
+fi
+DRD_WORKERS=3 cargo test -q --offline --test determinism mc_
+echo "ok: $chips-chip campaign byte-identical, simulator determinism holds at DRD_WORKERS=3"
 
 echo "verify: OK"

@@ -121,6 +121,52 @@ fn cli_trace_stop_after_and_dump_after() {
 }
 
 #[test]
+fn cli_simulate_reports_cycle_times_and_is_worker_stable() {
+    let dir = std::env::temp_dir().join("drdesync_cli_sim");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_sample(&dir);
+    let run = |jobs: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+            .args([
+                "simulate",
+                input.to_str().unwrap(),
+                "--seeds",
+                "64",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let serial = run("1");
+    assert!(serial.contains("matched floor"), "{serial}");
+    assert!(serial.contains("nominal effective period:"), "{serial}");
+    assert!(serial.contains("sync worst-case period:"), "{serial}");
+    // stdout carries only data, so it must be byte-identical whatever
+    // the worker count.
+    assert_eq!(serial, run("4"));
+
+    // `--seeds 0` skips the campaign but still measures nominal timing.
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["simulate", input.to_str().unwrap(), "--seeds", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nominal effective period:"), "{text}");
+    assert!(!text.contains("monte carlo"), "{text}");
+
+    // A malformed campaign seed is a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["simulate", input.to_str().unwrap(), "--seed", "zz"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
 fn cli_rejects_unknown_command() {
     let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
         .args(["frobnicate"])

@@ -11,6 +11,57 @@ use drd_check::netgen::{NetGenParams, NetRecipe};
 use drd_check::{prop_par_with, Config, Rng};
 use drdesync::core::{DesyncOptions, Desynchronizer};
 use drdesync::liberty::vlib90;
+use drdesync::sim::{GateVariability, HandshakeNet, HandshakeSpec, RegionSpec};
+
+/// The `BENCH_variability` sample vectors: a 1000-chip Monte-Carlo
+/// campaign over a four-region handshake ring must merge byte-identically
+/// whatever the worker split — every `(chip, desync_cycle_ns,
+/// sync_period_ns)` triple, compared at the bit level.
+#[test]
+fn mc_sample_vectors_are_byte_identical_for_any_worker_count() {
+    let lib = vlib90::high_speed();
+    let spec = HandshakeSpec {
+        regions: (0..4)
+            .map(|i| RegionSpec {
+                name: format!("g{i}"),
+                controlled: true,
+                matched_levels: 4 + 3 * i,
+                critical_delay_ns: 0.2 + 0.1 * i as f64,
+            })
+            .collect(),
+        edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+        level_delay_ns: 0.09,
+        ff_overhead_ns: 0.15,
+    };
+    let net = HandshakeNet::elaborate(&spec, &lib).expect("ring elaborates");
+    let var = GateVariability::new(0x0BE7_A110, 0.18);
+    let serial = net.monte_carlo(&var, 1000, 1).expect("serial campaign");
+    assert_eq!(serial.len(), 1000);
+    // The campaign must also not collapse to a constant: variability has
+    // to actually reach the samples.
+    let distinct: std::collections::HashSet<u64> =
+        serial.iter().map(|s| s.desync_cycle_ns.to_bits()).collect();
+    assert!(distinct.len() > 900, "only {} distinct cycles", distinct.len());
+    for workers in [2, 8] {
+        let par = net.monte_carlo(&var, 1000, workers).expect("parallel campaign");
+        assert_eq!(par.len(), serial.len(), "workers={workers}");
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.chip, b.chip, "workers={workers}");
+            assert_eq!(
+                a.desync_cycle_ns.to_bits(),
+                b.desync_cycle_ns.to_bits(),
+                "chip {} desync cycle diverged at workers={workers}",
+                a.chip
+            );
+            assert_eq!(
+                a.sync_period_ns.to_bits(),
+                b.sync_period_ns.to_bits(),
+                "chip {} sync period diverged at workers={workers}",
+                a.chip
+            );
+        }
+    }
+}
 
 #[test]
 fn flow_artifacts_are_byte_identical_for_any_worker_count() {
