@@ -17,6 +17,14 @@ use drd_sta::{GraphOptions, TimingGraph};
 use drd_stg::protocols::Protocol;
 
 fn main() {
+    // `cargo bench` runs with the package as cwd; default the output to
+    // the workspace `results/` dir the docs point at.
+    if std::env::var_os("DRD_BENCH_DIR").is_none() {
+        std::env::set_var(
+            "DRD_BENCH_DIR",
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"),
+        );
+    }
     let lib = vlib90::high_speed();
     let dlx = drd_designs::dlx::build(&DlxParams::small()).expect("dlx builds");
     let dlx_full = drd_designs::dlx::build(&DlxParams::full()).expect("dlx builds");
@@ -73,6 +81,65 @@ fn main() {
     let tool = Desynchronizer::new(&lib).unwrap();
     b.run("desynchronize_dlx_small", || {
         tool.run(&dlx, &DesyncOptions::default()).unwrap()
+    });
+
+    // Interner kernels: string-keyed maps in pass loops were the scaling
+    // bottleneck the symbol table removed. The pair of name-lookup
+    // kernels keeps the old HashMap-of-String cost visible next to the
+    // interned path every pass now takes.
+    let names: Vec<String> = (0..50_000)
+        .map(|i| format!("drd_g{}_net_{i}", i % 97))
+        .collect();
+    b.run("symbol_intern_50k", || {
+        let mut t = drd_netlist::SymbolTable::with_capacity(names.len());
+        for n in &names {
+            std::hint::black_box(t.intern(n));
+        }
+        t.len()
+    });
+    let mut table = drd_netlist::SymbolTable::with_capacity(names.len());
+    let syms: Vec<drd_netlist::Symbol> = names.iter().map(|n| table.intern(n)).collect();
+    b.run("symbol_resolve_50k", || {
+        let mut total = 0usize;
+        for &s in &syms {
+            total += table.resolve(s).len();
+        }
+        total
+    });
+    let string_map: std::collections::HashMap<&str, u32> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
+    b.run("name_lookup_string_hashmap_50k", || {
+        let mut acc = 0u64;
+        for n in &names {
+            acc += u64::from(string_map[n.as_str()]);
+        }
+        acc
+    });
+    let sym_map: std::collections::HashMap<drd_netlist::Symbol, u32> = syms
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    b.run("name_lookup_interned_50k", || {
+        let mut acc = 0u64;
+        for &s in &syms {
+            acc += u64::from(sym_map[&s]);
+        }
+        acc
+    });
+    // Uniquing over a dense pre-taken range: quadratic before the
+    // per-prefix counter cache, linear with it.
+    b.run("unique_net_name_dense_1k", || {
+        let mut m = drd_netlist::Module::new("t");
+        m.add_net("p").unwrap();
+        for _ in 0..1000 {
+            let name = m.unique_net_name("p");
+            m.add_net(name).unwrap();
+        }
+        m.net_count()
     });
 
     b.finish().expect("write BENCH_kernels.json");

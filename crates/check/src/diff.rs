@@ -240,7 +240,7 @@ fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -
     }
     let dffs = flat
         .cells()
-        .filter(|(_, c)| c.kind.name().starts_with("DFF") || c.kind.name().starts_with("SDFF"))
+        .filter(|(_, c)| c.kind_name().starts_with("DFF") || c.kind_name().starts_with("SDFF"))
         .count();
     if dffs != 0 {
         return Err(fail(recipe, &format!("{dffs} flip-flops survived substitution")));
@@ -249,7 +249,7 @@ fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -
     // Join-tree census: dropped or duplicated C-elements can be
     // sequentially benign on constant inputs, so count them exactly (the
     // controllers' internal C-elements are C2RX1/C2SX1, never C2X1).
-    let c2 = flat.cells().filter(|(_, c)| c.kind.name() == "C2X1").count();
+    let c2 = flat.cells().filter(|(_, c)| c.kind_name() == "C2X1").count();
     if c2 != result.report.celements {
         return Err(fail(
             recipe,
@@ -265,7 +265,7 @@ fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -
     let top = result.design.module(result.design.top());
     let delems = top
         .cells()
-        .filter(|(_, c)| c.kind.name().starts_with("drd_delem"))
+        .filter(|(_, c)| c.kind_name().starts_with("drd_delem"))
         .count();
     let controlled = result.report.regions.iter().filter(|r| r.ffs > 0).count();
     if delems != controlled {
@@ -302,15 +302,19 @@ fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -
     // a constant deadlocks or free-runs depending on polarity, but either
     // way it is no longer a handshake.
     for (_, cell) in top.cells() {
-        let kind = cell.kind.name();
+        let kind = cell.kind_name();
         if kind != "drd_ctrl_master" && kind != "drd_ctrl_slave" {
             continue;
         }
-        for (pin, conn) in cell.pins() {
+        for (i, &(_, conn)) in cell.pins().iter().enumerate() {
             if conn.net().is_none() {
                 return Err(fail(
                     recipe,
-                    &format!("controller {} pin {pin} tied off ({conn:?})", cell.name),
+                    &format!(
+                        "controller {} pin {} tied off ({conn:?})",
+                        cell.name,
+                        cell.pin_name(i)
+                    ),
                 ));
             }
         }
@@ -365,7 +369,7 @@ fn check_scan_chain(
     let pin_net = |module: &drd_netlist::Module, name: &str, pin: &str| -> Option<String> {
         let cell = module.find_cell(name)?;
         let net = module.cell(cell).pin(pin)?.net()?;
-        Some(module.net(net).name.clone())
+        Some(module.net(net).name.to_owned())
     };
 
     for ff in &scan_ffs {
@@ -377,10 +381,10 @@ fn check_scan_chain(
         let Some(mux) = top.find_cell(&mux_name) else {
             return Err(fail(recipe, &format!("scan mux {mux_name} is missing")));
         };
-        if top.cell(mux).kind.name() != "MUX2X1" {
+        if top.cell(mux).kind_name() != "MUX2X1" {
             return Err(fail(
                 recipe,
-                &format!("{mux_name} is a {}, not MUX2X1", top.cell(mux).kind.name()),
+                &format!("{mux_name} is a {}, not MUX2X1", top.cell(mux).kind_name()),
             ));
         }
         for (pin, want) in [("B", &si), ("S", &se)] {
@@ -388,7 +392,7 @@ fn check_scan_chain(
                 .cell(mux)
                 .pin(pin)
                 .and_then(|c| c.net())
-                .map(|n| top.net(n).name.clone());
+                .map(|n| top.net(n).name.to_owned());
             if got.as_ref() != Some(want) {
                 return Err(fail(
                     recipe,
@@ -401,7 +405,7 @@ fn check_scan_chain(
             .cell(mux)
             .pin("Z")
             .and_then(|c| c.net())
-            .map(|n| top.net(n).name.clone())
+            .map(|n| top.net(n).name.to_owned())
             .ok_or_else(|| fail(recipe, &format!("{mux_name} output is unconnected")))?;
         let lm_d = pin_net(top, &format!("{ff}_lm"), "D");
         if lm_d.as_ref() != Some(&mux_z) {

@@ -443,32 +443,34 @@ fn pick_cell(m: &Module, rng: &mut Rng, select: impl Fn(&drd_netlist::Cell) -> b
 fn apply_netlist(mutation: Mutation, m: &mut Module, rng: &mut Rng) -> Option<()> {
     match mutation {
         Mutation::DropCElement => {
-            let id = pick_cell(m, rng, |c| c.kind.name() == "C2X1")?;
-            let cell = m.cell(id).clone();
+            let id = pick_cell(m, rng, |c| c.kind_name() == "C2X1")?;
+            let cell = m.cell(id);
             let z = cell.pin("Z")?.net()?;
             let a = cell.pin("A")?;
             m.remove_cell(id);
             m.rewire_net(z, a);
         }
         Mutation::DuplicateCElement => {
-            let id = pick_cell(m, rng, |c| c.kind.name() == "C2X1")?;
-            let cell = m.cell(id).clone();
+            let id = pick_cell(m, rng, |c| c.kind_name() == "C2X1")?;
+            let cell = m.cell(id);
             let (a, b) = (cell.pin("A")?, cell.pin("B")?);
-            let dangling = m.add_net_auto(&format!("{}_dup", cell.name));
-            let name = m.unique_cell_name(&format!("{}_dup", cell.name));
+            let base = cell.name.to_owned();
+            let dangling = m.add_net_auto(&format!("{base}_dup"));
+            let name = m.unique_cell_name(&format!("{base}_dup"));
             m.add_cell(name, "C2X1", &[("A", a), ("B", b), ("Z", Conn::Net(dangling))])
                 .ok()?;
         }
         Mutation::CElementToOr => {
-            let id = pick_cell(m, rng, |c| c.kind.name() == "C2X1")?;
-            let cell = m.cell(id).clone();
-            let pins: Vec<(&str, Conn)> = cell
-                .pins()
-                .iter()
-                .map(|(p, c)| (p.as_str(), *c))
+            let id = pick_cell(m, rng, |c| c.kind_name() == "C2X1")?;
+            let cell = m.cell(id);
+            let name = cell.name.to_owned();
+            let pins: Vec<(String, Conn)> = (0..cell.pins().len())
+                .map(|i| (cell.pin_name(i).to_owned(), cell.pins()[i].1))
                 .collect();
             m.remove_cell(id);
-            m.add_cell(cell.name.clone(), "OR2X1", &pins).ok()?;
+            let pin_refs: Vec<(&str, Conn)> =
+                pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();
+            m.add_cell(name, "OR2X1", &pin_refs).ok()?;
         }
         Mutation::SwapLatchPhases => {
             let masters: Vec<(CellId, CellId)> = m
@@ -489,11 +491,11 @@ fn apply_netlist(mutation: Mutation, m: &mut Module, rng: &mut Rng) -> Option<()
             m.set_pin(ls, "G", gm);
         }
         Mutation::StuckRequest => {
-            let id = pick_cell(m, rng, |c| c.kind.name() == "drd_ctrl_master")?;
+            let id = pick_cell(m, rng, |c| c.kind_name() == "drd_ctrl_master")?;
             m.set_pin(id, "ri", Conn::Const0);
         }
         Mutation::StuckAck => {
-            let id = pick_cell(m, rng, |c| c.kind.name() == "drd_ctrl_slave")?;
+            let id = pick_cell(m, rng, |c| c.kind_name() == "drd_ctrl_slave")?;
             m.set_pin(id, "ao", Conn::Const1);
         }
         Mutation::DetachLatchEnable => {
@@ -510,7 +512,7 @@ fn apply_netlist(mutation: Mutation, m: &mut Module, rng: &mut Rng) -> Option<()
         }
         Mutation::BrokenScanStitch => {
             let id = pick_cell(m, rng, |c| {
-                c.kind.name() == "MUX2X1" && c.name.ends_with("_smx")
+                c.kind_name() == "MUX2X1" && c.name.ends_with("_smx")
             })?;
             // Breaking either leg un-stitches the chain: B is the
             // scan-in data path, S the shared scan-enable select.
@@ -518,8 +520,8 @@ fn apply_netlist(mutation: Mutation, m: &mut Module, rng: &mut Rng) -> Option<()
             m.set_pin(id, leg, Conn::Const0);
         }
         Mutation::BypassDelayElement => {
-            let id = pick_cell(m, rng, |c| c.kind.name().starts_with("drd_delem"))?;
-            let cell = m.cell(id).clone();
+            let id = pick_cell(m, rng, |c| c.kind_name().starts_with("drd_delem"))?;
+            let cell = m.cell(id);
             let out = cell.pin("out1")?.net()?;
             let inp = cell.pin("in1")?;
             m.remove_cell(id);
@@ -650,10 +652,9 @@ fn corrupt_input(m: &mut Module, rng: &mut Rng) -> &'static str {
             let driven: Vec<_> = m
                 .cells()
                 .flat_map(|(_, c)| {
-                    c.pins()
-                        .iter()
-                        .filter(|(p, _)| p == "Z" || p == "Q")
-                        .filter_map(|(_, conn)| conn.net())
+                    (0..c.pins().len())
+                        .filter(move |&i| matches!(c.pin_name(i), "Z" | "Q"))
+                        .filter_map(move |i| c.pins()[i].1.net())
                 })
                 .collect();
             if !driven.is_empty() {

@@ -88,11 +88,11 @@ pub fn decompose_celements(
     let targets: Vec<_> = module
         .cells()
         .filter_map(|(id, cell)| {
-            let lc = lib.cell_of(&cell.kind)?;
+            let lc = lib.cell_of(cell.kind_ref())?;
             match &lc.seq {
                 SeqKind::CElement { inputs, reset, set, q } => Some((
                     id,
-                    cell.name.clone(),
+                    cell.name.to_owned(),
                     inputs.clone(),
                     reset.clone(),
                     set.clone(),
@@ -105,7 +105,7 @@ pub fn decompose_celements(
     let count = targets.len();
     for (id, name, inputs, reset, set, q) in targets {
         assert_eq!(inputs.len(), 2, "tree-decomposed C-elements are 2-input");
-        let cell = module.cell(id).clone();
+        let cell = module.cell(id);
         let pin = |p: &str| cell.pin(p).unwrap_or(Conn::Open);
         let (a, b) = (pin(&inputs[0]), pin(&inputs[1]));
         let z = pin(&q);
@@ -117,18 +117,21 @@ pub fn decompose_celements(
         let and_ab = module.add_net_auto(&format!("{name}__maj_and"));
         let or_ab = module.add_net_auto(&format!("{name}__maj_or"));
         let hold = module.add_net_auto(&format!("{name}__maj_hold"));
+        let cname = module.unique_cell_name(&format!("{name}_mand"));
         module.add_cell(
-            module.unique_cell_name(&format!("{name}_mand")),
+            cname,
             "AND2X1",
             &[("A", a), ("B", b), ("Z", Conn::Net(and_ab))],
         )?;
+        let cname = module.unique_cell_name(&format!("{name}_mor"));
         module.add_cell(
-            module.unique_cell_name(&format!("{name}_mor")),
+            cname,
             "OR2X1",
             &[("A", a), ("B", b), ("Z", Conn::Net(or_ab))],
         )?;
+        let cname = module.unique_cell_name(&format!("{name}_mhold"));
         module.add_cell(
-            module.unique_cell_name(&format!("{name}_mhold")),
+            cname,
             "AND2X1",
             &[("A", Conn::Net(or_ab)), ("B", Conn::Net(z_net)), ("Z", Conn::Net(hold))],
         )?;
@@ -136,13 +139,15 @@ pub fn decompose_celements(
         match (rn, sn) {
             (Some(rn), None) => {
                 let pre = module.add_net_auto(&format!("{name}__maj_pre"));
+                let cname = module.unique_cell_name(&format!("{name}_mout"));
                 module.add_cell(
-                    module.unique_cell_name(&format!("{name}_mout")),
+                    cname,
                     "OR2X1",
                     &[("A", Conn::Net(and_ab)), ("B", Conn::Net(hold)), ("Z", Conn::Net(pre))],
                 )?;
+                let cname = module.unique_cell_name(&format!("{name}_mrst"));
                 module.add_cell(
-                    module.unique_cell_name(&format!("{name}_mrst")),
+                    cname,
                     "AND2X1",
                     &[("A", Conn::Net(pre)), ("B", rn), ("Z", Conn::Net(z_net))],
                 )?;
@@ -150,25 +155,29 @@ pub fn decompose_celements(
             (None, Some(sn)) => {
                 let pre = module.add_net_auto(&format!("{name}__maj_pre"));
                 let nsn = module.add_net_auto(&format!("{name}__maj_nsn"));
+                let cname = module.unique_cell_name(&format!("{name}_mout"));
                 module.add_cell(
-                    module.unique_cell_name(&format!("{name}_mout")),
+                    cname,
                     "OR2X1",
                     &[("A", Conn::Net(and_ab)), ("B", Conn::Net(hold)), ("Z", Conn::Net(pre))],
                 )?;
+                let cname = module.unique_cell_name(&format!("{name}_mnsn"));
                 module.add_cell(
-                    module.unique_cell_name(&format!("{name}_mnsn")),
+                    cname,
                     "INVX1",
                     &[("A", sn), ("Z", Conn::Net(nsn))],
                 )?;
+                let cname = module.unique_cell_name(&format!("{name}_mset"));
                 module.add_cell(
-                    module.unique_cell_name(&format!("{name}_mset")),
+                    cname,
                     "OR2X1",
                     &[("A", Conn::Net(pre)), ("B", Conn::Net(nsn)), ("Z", Conn::Net(z_net))],
                 )?;
             }
             _ => {
+                let cname = module.unique_cell_name(&format!("{name}_mout"));
                 module.add_cell(
-                    module.unique_cell_name(&format!("{name}_mout")),
+                    cname,
                     "OR2X1",
                     &[("A", Conn::Net(and_ab)), ("B", Conn::Net(hold)), ("Z", Conn::Net(z_net))],
                 )?;

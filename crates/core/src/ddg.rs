@@ -56,7 +56,7 @@ pub fn build(module: &Module, lib: &Library, regions: &Regions) -> Result<Ddg, D
     let conn = module.connectivity(lib)?;
     let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
     for (cid, cell) in module.cells() {
-        let Some(to) = regions.region_of(cell.name.as_str()) else {
+        let Some(to) = regions.region_of(cell.name) else {
             continue;
         };
         for (_, c) in cell.pins() {
@@ -68,12 +68,12 @@ pub fn build(module: &Module, lib: &Library, regions: &Regions) -> Result<Ddg, D
                 continue; // the cell's own output pin
             }
             let driver = module.cell(p.cell);
-            let Some(from) = regions.region_of(driver.name.as_str()) else {
+            let Some(from) = regions.region_of(driver.name) else {
                 continue;
             };
             if from != to {
                 edge_set.insert((from, to));
-            } else if lib.is_sequential(&driver.kind) {
+            } else if lib.is_sequential(driver.kind_ref()) {
                 // The cloud reads the region's own registers.
                 edge_set.insert((from, from));
             }

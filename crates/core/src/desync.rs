@@ -240,14 +240,10 @@ pub fn region_delays_with(
     workers: usize,
 ) -> Result<(Vec<f64>, Vec<u128>), DesyncError> {
     let cx = SubsetContext::new(module, lib)?;
-    let cell_ids: HashMap<&str, drd_netlist::CellId> = module
-        .cells()
-        .map(|(id, c)| (c.name.as_str(), id))
-        .collect();
-    let kind_of: HashMap<&str, &str> = module
-        .cells()
-        .map(|(_, c)| (c.name.as_str(), c.kind.name()))
-        .collect();
+    let cell_ids: HashMap<&str, drd_netlist::CellId> =
+        module.cells().map(|(id, c)| (c.name, id)).collect();
+    let kind_of: HashMap<&str, &str> =
+        module.cells().map(|(_, c)| (c.name, c.kind_name())).collect();
     let members: Vec<Vec<drd_netlist::CellId>> = regions
         .regions
         .iter()

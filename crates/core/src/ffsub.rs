@@ -70,7 +70,7 @@ pub fn region_degrade_reason(
         let Some(cell_id) = module.find_cell(name) else {
             continue; // already substituted or removed
         };
-        let kind_name = module.cell(cell_id).kind.name();
+        let kind_name = module.cell(cell_id).kind_name();
         let Some(lc) = lib.cell(kind_name) else {
             return Some(DegradeReason::UnknownCell {
                 kind: kind_name.to_owned(),
@@ -107,7 +107,7 @@ pub fn substitute_ffs(
         let Some(cell_id) = module.find_cell(name) else {
             continue; // already substituted or removed
         };
-        let kind_name = module.cell(cell_id).kind.name().to_owned();
+        let kind_name = module.cell(cell_id).kind_name().to_owned();
         let Some(lc) = lib.cell(&kind_name) else {
             return Err(DesyncError::UnknownCell { name: kind_name });
         };
@@ -138,11 +138,19 @@ fn substitute_one(
     gm: NetId,
     gs: NetId,
 ) -> Result<usize, DesyncError> {
-    let cell = module.cell(cell_id).clone();
-    let name = cell.name.clone();
+    let name = module.cell(cell_id).name.to_owned();
     let mut extra = 0usize;
 
-    let pin_conn = |pin: &str| cell.pin(pin).unwrap_or(Conn::Open);
+    // Snapshot the pin connections before the cell is removed; a cloned
+    // symbol table (refcount bumps) keeps name lookups alive while the
+    // module is mutated below.
+    let pins: Vec<(drd_netlist::Symbol, Conn)> = module.cell_pins(cell_id).to_vec();
+    let syms = module.symbols().clone();
+    let pin_conn = move |pin: &str| -> Conn {
+        syms.lookup(pin)
+            .and_then(|s| pins.iter().find(|&&(p, _)| p == s).map(|&(_, c)| c))
+            .unwrap_or(Conn::Open)
+    };
     let f = &rule.features;
 
     module.remove_cell(cell_id);
@@ -336,8 +344,9 @@ fn substitute_one(
 
     // ---- the latch pair --------------------------------------------------
     let qm = module.add_net_auto(&format!("{name}__qm"));
+    let cname = module.unique_cell_name(&format!("{name}_lm"));
     module.add_cell(
-        module.unique_cell_name(&format!("{name}_lm")),
+        cname,
         rule.latch_cell.clone(),
         &[
             (rule.latch_d.as_str(), d),
@@ -367,8 +376,9 @@ fn substitute_one(
         Conn::Net(n) => n,
         _ => module.add_net_auto(&format!("{name}__qs")),
     };
+    let cname = module.unique_cell_name(&format!("{name}_ls"));
     module.add_cell(
-        module.unique_cell_name(&format!("{name}_ls")),
+        cname,
         rule.latch_cell.clone(),
         &[
             (rule.latch_d.as_str(), slave_d),
@@ -377,8 +387,9 @@ fn substitute_one(
         ],
     )?;
     if let Conn::Net(qn_net) = qn_conn {
+        let cname = module.unique_cell_name(&format!("{name}_qn"));
         module.add_cell(
-            module.unique_cell_name(&format!("{name}_qn")),
+            cname,
             "INVX1",
             &[("A", Conn::Net(qs)), ("Z", Conn::Net(qn_net))],
         )?;
@@ -424,7 +435,7 @@ mod tests {
         assert!(m.find_cell("r1").is_none());
         let lm = m.find_cell("r1_lm").expect("master latch");
         let ls = m.find_cell("r1_ls").expect("slave latch");
-        assert_eq!(m.cell(lm).kind.name(), "LDX1");
+        assert_eq!(m.cell(lm).kind_name(), "LDX1");
         assert_eq!(m.cell(lm).pin("G"), Some(Conn::Net(gm)));
         assert_eq!(m.cell(ls).pin("G"), Some(Conn::Net(gs)));
         // Slave output drives the original Q net.
@@ -474,7 +485,7 @@ mod tests {
         let rep = substitute_ffs(&mut m, &lib, &gf, &["r1".into()], gm, gs).unwrap();
         assert_eq!(rep.extra_gates, 1);
         let mux = m.find_cell("r1_smx").expect("scan mux");
-        assert_eq!(m.cell(mux).kind.name(), "MUX2X1");
+        assert_eq!(m.cell(mux).kind_name(), "MUX2X1");
         assert_eq!(m.cell(mux).pin("B"), Some(Conn::Net(si)));
         assert_eq!(m.cell(mux).pin("S"), Some(Conn::Net(se)));
         // The mux feeds the master latch.

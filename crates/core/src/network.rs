@@ -374,8 +374,8 @@ fn buffer_enable_tree(
             inserted += 1;
             for load in chunk {
                 if let Endpoint::Pin(p) = load {
-                    let pin = m.cell(p.cell).pins()[p.pin as usize].0.clone();
-                    m.set_pin(p.cell, &pin, Conn::Net(out));
+                    let pin = m.cell_pins(p.cell)[p.pin as usize].0;
+                    m.set_pin_sym(p.cell, pin, Conn::Net(out));
                 }
             }
             // The buffer's "A" pin (index 0) is the only load the new
@@ -466,7 +466,7 @@ mod tests {
         // Every controlled region has a delay element instance.
         let delems = m
             .cells()
-            .filter(|(_, c)| c.kind.name().starts_with("drd_delem"))
+            .filter(|(_, c)| c.kind_name().starts_with("drd_delem"))
             .count();
         assert_eq!(delems, 2);
     }

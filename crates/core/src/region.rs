@@ -21,7 +21,7 @@ use std::collections::{HashMap, HashSet};
 
 use drd_liberty::{CellClass, Library, SeqKind};
 use drd_netlist::passes::{clean_logic, CleanKind, CleanStats};
-use drd_netlist::{Cell, CellId, Conn, Endpoint, Module, NetId};
+use drd_netlist::{Cell, CellId, Conn, Endpoint, Module, NetId, Symbol, SymbolTable};
 
 use crate::DesyncError;
 
@@ -68,28 +68,37 @@ pub struct Region {
 pub struct Regions {
     /// Regions, `g0` (if any) last.
     pub regions: Vec<Region>,
-    /// Cell name → region index, built once at construction. Keeps
-    /// [`Regions::region_of`] O(1); the per-cell loops in DDG building and
-    /// SDC emission call it once per cell, so a linear scan here made those
-    /// passes quadratic in design size.
-    index: HashMap<String, usize>,
+    /// Interned cell name → region index, built once at construction.
+    /// Keeps [`Regions::region_of`] O(1); the per-cell loops in DDG
+    /// building and SDC emission call it once per cell, so a linear scan
+    /// here made those passes quadratic in design size. Member names are
+    /// interned into a private table whose symbols are dense, so the
+    /// region index is a plain vector indexed by symbol — one hash probe
+    /// per lookup, not two.
+    index: Vec<usize>,
+    syms: SymbolTable,
 }
 
 impl Regions {
     /// Builds the grouping result, indexing every member cell by name.
     pub fn new(regions: Vec<Region>) -> Self {
-        let mut index = HashMap::new();
+        let mut syms = SymbolTable::default();
+        let mut index = Vec::new();
         for (i, r) in regions.iter().enumerate() {
             for c in &r.cells {
-                index.insert(c.clone(), i);
+                let sym = syms.intern(c);
+                if sym.index() == index.len() {
+                    index.push(i);
+                }
             }
         }
-        Regions { regions, index }
+        Regions { regions, index, syms }
     }
 
     /// Index of the region containing cell `name`.
     pub fn region_of(&self, name: &str) -> Option<usize> {
-        self.index.get(name).copied()
+        let sym = self.syms.lookup(name)?;
+        self.index.get(sym.index()).copied()
     }
 
     /// Number of regions.
@@ -111,7 +120,7 @@ impl Regions {
 pub fn find_clock_net(module: &Module, lib: &Library) -> Option<NetId> {
     let mut counts: HashMap<NetId, usize> = HashMap::new();
     for (_, cell) in module.cells() {
-        let Some(lc) = lib.cell_of(&cell.kind) else { continue };
+        let Some(lc) = lib.cell_of(cell.kind_ref()) else { continue };
         let clock_pin = match &lc.seq {
             SeqKind::FlipFlop(ff) => Some(ff.clocked_on.as_str()),
             SeqKind::Latch(l) => Some(l.enable.as_str()),
@@ -129,15 +138,15 @@ pub fn find_clock_net(module: &Module, lib: &Library) -> Option<NetId> {
         .max_by(|&(n1, c1), &(n2, c2)| {
             c1.cmp(&c2)
                 .then_with(|| port_nets.contains(&n1).cmp(&port_nets.contains(&n2)))
-                .then_with(|| module.net(n2).name.cmp(&module.net(n1).name))
+                .then_with(|| module.net(n2).name.cmp(module.net(n1).name))
         })
         .map(|(n, _)| n)
 }
 
 /// Classifier for the cleaning pass: buffers and inverters of `lib`.
-pub fn clean_classifier(lib: &Library) -> impl Fn(&Cell) -> Option<CleanKind> + '_ {
-    |cell: &Cell| {
-        let lc = lib.cell_of(&cell.kind)?;
+pub fn clean_classifier(lib: &Library) -> impl Fn(Cell<'_>) -> Option<CleanKind> + '_ {
+    |cell: Cell<'_>| {
+        let lc = lib.cell_of(cell.kind_ref())?;
         if lc.class() != CellClass::Combinational {
             return None;
         }
@@ -212,13 +221,13 @@ pub fn group(
     lib: &Library,
     opts: &GroupingOptions,
 ) -> Result<Regions, DesyncError> {
-    let cells: Vec<(CellId, &Cell)> = module.cells().collect();
+    let cells: Vec<(CellId, Cell<'_>)> = module.cells().collect();
     let index_of: HashMap<CellId, usize> =
         cells.iter().enumerate().map(|(i, (id, _))| (*id, i)).collect();
     for (_, cell) in &cells {
-        if lib.cell_of(&cell.kind).is_none() {
+        if lib.cell_of(cell.kind_ref()).is_none() {
             return Err(DesyncError::UnknownCell {
-                name: cell.kind.name().to_owned(),
+                name: cell.kind_name().to_owned(),
             });
         }
     }
@@ -227,9 +236,9 @@ pub fn group(
         let mut all = Vec::new();
         let mut seq = Vec::new();
         for (_, cell) in &cells {
-            all.push(cell.name.clone());
-            if lib.is_sequential(&cell.kind) {
-                seq.push(cell.name.clone());
+            all.push(cell.name.to_owned());
+            if lib.is_sequential(cell.kind_ref()) {
+                seq.push(cell.name.to_owned());
             }
         }
         return Ok(Regions::new(vec![Region {
@@ -253,19 +262,22 @@ pub fn group(
     let conn = module.connectivity(lib)?;
     let mut uf = UnionFind::new(cells.len());
 
-    // Clock/enable pin names per seq cell kind, to skip during traversal.
-    let clockish_pin = |cell: &Cell| -> Option<String> {
-        match &lib.cell_of(&cell.kind)?.seq {
-            SeqKind::FlipFlop(ff) => Some(ff.clocked_on.clone()),
-            SeqKind::Latch(l) => Some(l.enable.clone()),
-            _ => None,
-        }
+    // Clock/enable pin symbols per seq cell kind, to skip during
+    // traversal. A clock pin name absent from the symbol table cannot be
+    // connected anywhere, so `None` is equivalent to "no clock pin".
+    let clockish_pin = |cell: &Cell<'_>| -> Option<Symbol> {
+        let name = match &lib.cell_of(cell.kind_ref())?.seq {
+            SeqKind::FlipFlop(ff) => &ff.clocked_on,
+            SeqKind::Latch(l) => &l.enable,
+            _ => return None,
+        };
+        module.lookup_sym(name)
     };
 
     // Step 1: connected components over combinational connections, pulling
     // in the driven sequential elements.
     for (i, (cid, cell)) in cells.iter().enumerate() {
-        let is_comb = !lib.is_sequential(&cell.kind);
+        let is_comb = !lib.is_sequential(cell.kind_ref());
         if !is_comb {
             continue;
         }
@@ -286,11 +298,8 @@ pub fn group(
                 for load in conn.loads(*net) {
                     let Endpoint::Pin(p) = load else { continue };
                     let load_cell = cells[index_of[&p.cell]].1;
-                    if let Some(clk_pin) = clockish_pin(load_cell) {
-                        let pin_name = &load_cell.pins()[p.pin as usize].0;
-                        if *pin_name == clk_pin {
-                            continue;
-                        }
+                    if clockish_pin(&load_cell) == Some(load_cell.pins()[p.pin as usize].0) {
+                        continue;
                     }
                     uf.union(i, index_of[&p.cell]);
                 }
@@ -298,7 +307,7 @@ pub fn group(
                 // Union with a combinational source.
                 if let Some(Endpoint::Pin(p)) = conn.driver(*net) {
                     let src = cells[index_of[&p.cell]].1;
-                    if !lib.is_sequential(&src.kind) {
+                    if !lib.is_sequential(src.kind_ref()) {
                         uf.union(i, index_of[&p.cell]);
                     }
                 }
@@ -317,10 +326,10 @@ pub fn group(
             }
             let Some(Endpoint::Pin(p)) = conn.driver(nid) else { continue };
             let idx = index_of[&p.cell];
-            match bus_driver.get(bus.base.as_str()) {
+            match bus_driver.get(bus.base) {
                 Some(&first) => uf.union(first, idx),
                 None => {
-                    bus_driver.insert(bus.base.as_str(), idx);
+                    bus_driver.insert(bus.base, idx);
                 }
             }
         }
@@ -329,7 +338,7 @@ pub fn group(
     // Step 2: sequential elements directly driven by grouped sequential
     // elements join the driver's region.
     for (i, (cid, cell)) in cells.iter().enumerate() {
-        if !lib.is_sequential(&cell.kind) {
+        if !lib.is_sequential(cell.kind_ref()) {
             continue;
         }
         for (pin_idx, (_, c)) in cell.pins().iter().enumerate() {
@@ -348,14 +357,11 @@ pub fn group(
             for load in conn.loads(*net) {
                 let Endpoint::Pin(p) = load else { continue };
                 let load_cell = cells[index_of[&p.cell]].1;
-                if !lib.is_sequential(&load_cell.kind) {
+                if !lib.is_sequential(load_cell.kind_ref()) {
                     continue;
                 }
-                if let Some(clk_pin) = clockish_pin(load_cell) {
-                    let pin_name = &load_cell.pins()[p.pin as usize].0;
-                    if *pin_name == clk_pin {
-                        continue;
-                    }
+                if clockish_pin(&load_cell) == Some(load_cell.pins()[p.pin as usize].0) {
+                    continue;
                 }
                 uf.union(i, index_of[&p.cell]);
             }
@@ -378,7 +384,7 @@ pub fn group(
         let members = &class_members[&root];
         let has_comb = members
             .iter()
-            .any(|&i| !lib.is_sequential(&cells[i].1.kind));
+            .any(|&i| !lib.is_sequential(cells[i].1.kind_ref()));
         let has_multiple_seq = members.len() > 1;
         if !has_comb && !has_multiple_seq {
             group0.extend(members.iter().copied());
@@ -388,9 +394,9 @@ pub fn group(
         let mut cell_names = Vec::with_capacity(members.len());
         let mut seq_names = Vec::new();
         for &i in members {
-            cell_names.push(cells[i].1.name.clone());
-            if lib.is_sequential(&cells[i].1.kind) {
-                seq_names.push(cells[i].1.name.clone());
+            cell_names.push(cells[i].1.name.to_owned());
+            if lib.is_sequential(cells[i].1.kind_ref()) {
+                seq_names.push(cells[i].1.name.to_owned());
             }
         }
         regions.push(Region {
@@ -401,7 +407,7 @@ pub fn group(
         });
     }
     if !group0.is_empty() {
-        let cell_names: Vec<String> = group0.iter().map(|&i| cells[i].1.name.clone()).collect();
+        let cell_names: Vec<String> = group0.iter().map(|&i| cells[i].1.name.to_owned()).collect();
         regions.push(Region {
             name: "g0".into(),
             seq_cells: cell_names.clone(),

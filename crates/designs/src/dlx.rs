@@ -304,7 +304,7 @@ mod tests {
         let lib = vlib90::high_speed();
         let seq = m
             .cells()
-            .filter(|(_, c)| lib.is_sequential(&c.kind))
+            .filter(|(_, c)| lib.is_sequential(c.kind_ref()))
             .count();
         assert!(seq > 1_500, "{seq} flip-flops");
     }

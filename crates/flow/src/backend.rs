@@ -82,16 +82,16 @@ pub fn place_and_route(
     // Collect clock-like nets: explicit + auto-detected.
     let mut clock_like: Vec<String> = opts.clock_like.clone();
     for (_, net) in flat.nets() {
-        let n = &net.name;
+        let n = net.name;
         if (n.starts_with("drd_") && (n.ends_with("_gm") || n.ends_with("_gs")))
-            && !clock_like.contains(n)
+            && !clock_like.iter().any(|c| c == n)
         {
-            clock_like.push(n.clone());
+            clock_like.push(n.to_owned());
         }
     }
     if clock_like.is_empty() {
         if let Some(clk) = drd_core::region::find_clock_net(&flat, lib) {
-            clock_like.push(flat.net(clk).name.clone());
+            clock_like.push(flat.net(clk).name.to_owned());
         }
     }
 
@@ -108,7 +108,7 @@ pub fn place_and_route(
         let conn = flat.connectivity(lib)?;
         let mut worst: Option<(drd_netlist::NetId, usize)> = None;
         for (nid, net) in flat.nets() {
-            if clock_like.contains(&net.name) {
+            if clock_like.iter().any(|c| c == net.name) {
                 continue;
             }
             let loads = conn.loads(nid).len();
@@ -173,8 +173,8 @@ fn buffer_tree(
             inserted += 1;
             for load in chunk {
                 if let Endpoint::Pin(p) = load {
-                    let pin_name = module.cell(p.cell).pins()[p.pin as usize].0.clone();
-                    module.set_pin(p.cell, &pin_name, Conn::Net(buf_out));
+                    let pin = module.cell_pins(p.cell)[p.pin as usize].0;
+                    module.set_pin_sym(p.cell, pin, Conn::Net(buf_out));
                 }
             }
         }

@@ -9,7 +9,7 @@
 
 use drd_liberty::gatefile::Gatefile;
 use drd_liberty::Library;
-use drd_netlist::{CellKind, Conn, Module, PortDir};
+use drd_netlist::{Conn, KindRef, Module, PortDir};
 
 use drd_core::DesyncError;
 
@@ -73,7 +73,7 @@ pub fn insert_scan(module: &mut Module, lib: &Library) -> Result<ScanReport, Des
     let targets: Vec<(String, String, String)> = module
         .cells()
         .filter_map(|(_, cell)| {
-            let CellKind::Lib(kind) = &cell.kind else { return None };
+            let KindRef::Lib(kind) = cell.kind_ref() else { return None };
             let lc = lib.cell(kind)?;
             if lc.class() != drd_liberty::CellClass::FlipFlop {
                 return None;
@@ -82,28 +82,27 @@ pub fn insert_scan(module: &mut Module, lib: &Library) -> Result<ScanReport, Des
             if variant == kind {
                 return None;
             }
-            Some((cell.name.clone(), kind.clone(), variant.to_owned()))
+            Some((cell.name.to_owned(), kind.to_owned(), variant.to_owned()))
         })
         .collect();
 
     let mut prev_q = scan_in;
     for (name, _old_kind, new_kind) in &targets {
         let id = module.find_cell(name).expect("listed above");
-        let old = module.cell(id).clone();
+        let old = module.cell(id);
         let scan_rule = gatefile.rule(new_kind).expect("scan variant has a rule");
         let scan = scan_rule.features.scan.as_ref().expect("scan pins");
         // Rebuild the cell with the scan kind and the extra pins.
-        module.remove_cell(id);
-        let mut pins: Vec<(String, Conn)> = old
-            .pins()
-            .iter()
-            .map(|(p, c)| (p.clone(), *c))
+        let mut pins: Vec<(String, Conn)> = (0..old.pins().len())
+            .map(|i| (old.pin_name(i).to_owned(), old.pins()[i].1))
             .collect();
+        let q_pin = scan_rule.q_pin.clone();
+        let q_conn = old.pin(&q_pin);
+        module.remove_cell(id);
         pins.push((scan.scan_in.clone(), Conn::Net(prev_q)));
         pins.push((scan.scan_enable.clone(), Conn::Net(scan_en)));
         // The chain reads this cell's Q; create one if unconnected.
-        let q_pin = scan_rule.q_pin.clone();
-        let q_net = match old.pin(&q_pin) {
+        let q_net = match q_conn {
             Some(Conn::Net(n)) => n,
             _ => {
                 let n = module.add_net_auto(&format!("{name}__scanq"));
@@ -112,15 +111,17 @@ pub fn insert_scan(module: &mut Module, lib: &Library) -> Result<ScanReport, Des
             }
         };
         let pin_refs: Vec<(&str, Conn)> = pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();
-        module.add_cell_of_kind(name.clone(), CellKind::Lib(new_kind.clone()), &pin_refs)?;
+        let kind = module.lib_kind(new_kind);
+        module.add_cell_of_kind(name.clone(), kind, &pin_refs)?;
         prev_q = q_net;
         report.converted += 1;
         report.chain.push(name.clone());
     }
     report.chain_length = report.converted;
     // Close the chain on the scan-out port.
+    let cname = module.unique_cell_name("u_scan_out");
     module.add_cell(
-        module.unique_cell_name("u_scan_out"),
+        cname,
         "BUFX1",
         &[("A", Conn::Net(prev_q)), ("Z", Conn::Net(scan_out_port))],
     )?;
@@ -163,7 +164,7 @@ mod tests {
         // All flip-flops are now scan cells.
         for (_, cell) in m.cells() {
             if cell.name.starts_with('r') {
-                assert_eq!(cell.kind.name(), "SDFFX1", "{}", cell.name);
+                assert_eq!(cell.kind_name(), "SDFFX1", "{}", cell.name);
             }
         }
         assert!(m.find_port("scan_in").is_some());

@@ -151,10 +151,10 @@ fn area_row(module: &Module, lib: &Library) -> AreaRow {
     let mut combinational = 0.0;
     let mut sequential = 0.0;
     for (_, cell) in module.cells() {
-        let a = lib.area_of(&cell.kind);
+        let a = lib.area_of(cell.kind_ref());
         cell_area += a;
-        if lib.is_sequential(&cell.kind)
-            || drd_core::ffsub::is_substitution_cell(&cell.name)
+        if lib.is_sequential(cell.kind_ref())
+            || drd_core::ffsub::is_substitution_cell(cell.name)
         {
             sequential += a;
         } else {
@@ -337,7 +337,7 @@ fn init_inputs(sim: &mut Simulator, module: &Module) {
         if port.dir != drd_netlist::PortDir::Input {
             continue;
         }
-        let name = &port.name;
+        let name = port.name;
         if name == "clk" || name == "drd_rst" || name.starts_with("dsel") {
             continue;
         }

@@ -51,7 +51,7 @@ fn inverting_shift_register(n: usize) -> Module {
 fn pin_net(m: &Module, name: &str, pin: &str) -> Option<String> {
     let cell = m.find_cell(name)?;
     let net = m.cell(cell).pin(pin)?.net()?;
-    Some(m.net(net).name.clone())
+    Some(m.net(net).name.to_owned())
 }
 
 #[test]
@@ -71,7 +71,7 @@ fn scan_chain_survives_latch_substitution() {
         let id = top
             .find_cell(&mux)
             .unwrap_or_else(|| panic!("{mux} missing after substitution"));
-        assert_eq!(top.cell(id).kind.name(), "MUX2X1", "{mux}");
+        assert_eq!(top.cell(id).kind_name(), "MUX2X1", "{mux}");
         // The stitched ordering: each mux's scan leg taps the previous
         // link (the scan_in port, then each predecessor's Q net).
         assert_eq!(pin_net(top, &mux, "B").as_deref(), Some(prev_link.as_str()));

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use drd_netlist::{CellKind, PinDirs, PortDir};
+use drd_netlist::{KindRef, PinDirs, PortDir};
 
 use crate::cell::{CellClass, LibCell};
 
@@ -87,11 +87,11 @@ impl Library {
         self.index.get(name).map(|&i| &self.cells[i])
     }
 
-    /// Looks up the cell instantiated by a netlist [`CellKind`].
-    pub fn cell_of(&self, kind: &CellKind) -> Option<&LibCell> {
+    /// Looks up the cell instantiated by a netlist cell kind.
+    pub fn cell_of(&self, kind: KindRef<'_>) -> Option<&LibCell> {
         match kind {
-            CellKind::Lib(name) => self.cell(name),
-            CellKind::Instance(_) => None,
+            KindRef::Lib(name) => self.cell(name),
+            KindRef::Instance(_) => None,
         }
     }
 
@@ -101,17 +101,17 @@ impl Library {
     }
 
     /// Area of the named cell (0 for unknown cells).
-    pub fn area_of(&self, kind: &CellKind) -> f64 {
+    pub fn area_of(&self, kind: KindRef<'_>) -> f64 {
         self.cell_of(kind).map(|c| c.area).unwrap_or(0.0)
     }
 
     /// Whether the named cell is sequential (FF, latch or C-element).
-    pub fn is_sequential(&self, kind: &CellKind) -> bool {
+    pub fn is_sequential(&self, kind: KindRef<'_>) -> bool {
         self.cell_of(kind).map(|c| c.is_sequential()).unwrap_or(false)
     }
 
     /// Classification of the named cell.
-    pub fn class_of(&self, kind: &CellKind) -> Option<CellClass> {
+    pub fn class_of(&self, kind: KindRef<'_>) -> Option<CellClass> {
         self.cell_of(kind).map(|c| c.class())
     }
 
@@ -125,7 +125,7 @@ impl Library {
 }
 
 impl PinDirs for Library {
-    fn pin_dir(&self, kind: &CellKind, pin: &str) -> Option<PortDir> {
+    fn pin_dir(&self, kind: KindRef<'_>, pin: &str) -> Option<PortDir> {
         self.cell_of(kind)?.pin(pin).map(|p| p.dir)
     }
 }
@@ -161,9 +161,9 @@ mod tests {
         assert_eq!(lib.name(), "t");
         assert!(lib.cell("A").is_some());
         assert!(lib.cell("C").is_none());
-        assert_eq!(lib.area_of(&CellKind::Lib("B".into())), 2.0);
-        assert_eq!(lib.area_of(&CellKind::Lib("missing".into())), 0.0);
-        assert_eq!(lib.area_of(&CellKind::Instance("B".into())), 0.0);
+        assert_eq!(lib.area_of(KindRef::Lib("B")), 2.0);
+        assert_eq!(lib.area_of(KindRef::Lib("missing")), 0.0);
+        assert_eq!(lib.area_of(KindRef::Instance("B")), 0.0);
     }
 
     #[test]
@@ -174,11 +174,8 @@ mod tests {
     #[test]
     fn pin_dirs_impl() {
         let lib = Library::from_cells("t", vec![cell("A", 1.0)]).unwrap();
-        assert_eq!(
-            lib.pin_dir(&CellKind::Lib("A".into()), "Z"),
-            Some(PortDir::Output)
-        );
-        assert_eq!(lib.pin_dir(&CellKind::Lib("A".into()), "Y"), None);
+        assert_eq!(lib.pin_dir(KindRef::Lib("A"), "Z"), Some(PortDir::Output));
+        assert_eq!(lib.pin_dir(KindRef::Lib("A"), "Y"), None);
     }
 
     #[test]

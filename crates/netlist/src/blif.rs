@@ -18,8 +18,8 @@ pub fn write_blif(module: &Module) -> String {
     let mut outputs = Vec::new();
     for (_, p) in module.ports() {
         match p.dir {
-            PortDir::Input => inputs.push(p.name.clone()),
-            PortDir::Output | PortDir::Inout => outputs.push(p.name.clone()),
+            PortDir::Input => inputs.push(p.name),
+            PortDir::Output | PortDir::Inout => outputs.push(p.name),
         }
     }
     let _ = writeln!(out, ".inputs {}", inputs.join(" "));
@@ -28,8 +28,9 @@ pub fn write_blif(module: &Module) -> String {
     let mut used_consts: HashSet<bool> = HashSet::new();
     let mut gate_lines = String::new();
     for (_, cell) in module.cells() {
-        let _ = write!(gate_lines, ".gate {}", cell.kind.name());
-        for (pin, conn) in cell.pins() {
+        let _ = write!(gate_lines, ".gate {}", cell.kind_name());
+        for (i, (_, conn)) in cell.pins().iter().enumerate() {
+            let pin = cell.pin_name(i);
             match conn {
                 Conn::Net(n) => {
                     let _ = write!(gate_lines, " {}={}", pin, module.net(*n).name);

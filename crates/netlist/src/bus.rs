@@ -5,21 +5,21 @@
 //! has not collapsed the bus in individual nets, i.e. `bus[n]` versus `bus_n`
 //! naming" — so only the `base[index]` form is recognized here.
 
-use crate::module::BusBit;
-
-/// Parses a net name of the form `base[index]` into its [`BusBit`].
+/// Parses a net name of the form `base[index]` into `(base, index)`.
 ///
 /// Returns `None` for names that are not bus bits (including `bus_n`-style
-/// collapsed names, negative-looking garbage, or empty base names).
+/// collapsed names, negative-looking garbage, or empty base names). The
+/// base is returned as a slice of `name`; [`crate::Module::add_net`]
+/// interns it alongside the full net name.
 ///
 /// ```
 /// use drd_netlist::bus::parse_bus_bit;
-/// let bit = parse_bus_bit("data[12]").unwrap();
-/// assert_eq!(bit.base, "data");
-/// assert_eq!(bit.index, 12);
+/// let (base, index) = parse_bus_bit("data[12]").unwrap();
+/// assert_eq!(base, "data");
+/// assert_eq!(index, 12);
 /// assert!(parse_bus_bit("data_12").is_none());
 /// ```
-pub fn parse_bus_bit(name: &str) -> Option<BusBit> {
+pub fn parse_bus_bit(name: &str) -> Option<(&str, i64)> {
     let name = name.strip_suffix(']')?;
     let open = name.rfind('[')?;
     let (base, idx) = name.split_at(open);
@@ -30,18 +30,15 @@ pub fn parse_bus_bit(name: &str) -> Option<BusBit> {
     if index < 0 {
         return None;
     }
-    Some(BusBit {
-        base: base.to_owned(),
-        index,
-    })
+    Some((base, index))
 }
 
 /// Formats a bus bit back into its `base[index]` net name.
 ///
 /// ```
 /// use drd_netlist::bus::{bus_bit_name, parse_bus_bit};
-/// let bit = parse_bus_bit("q[3]").unwrap();
-/// assert_eq!(bus_bit_name(&bit.base, bit.index), "q[3]");
+/// let (base, index) = parse_bus_bit("q[3]").unwrap();
+/// assert_eq!(bus_bit_name(base, index), "q[3]");
 /// ```
 pub fn bus_bit_name(base: &str, index: i64) -> String {
     format!("{base}[{index}]")
@@ -53,10 +50,8 @@ mod tests {
 
     #[test]
     fn recognizes_bus_bits() {
-        let b = parse_bus_bit("addr[0]").unwrap();
-        assert_eq!((b.base.as_str(), b.index), ("addr", 0));
-        let b = parse_bus_bit("x.y/z[31]").unwrap();
-        assert_eq!((b.base.as_str(), b.index), ("x.y/z", 31));
+        assert_eq!(parse_bus_bit("addr[0]"), Some(("addr", 0)));
+        assert_eq!(parse_bus_bit("x.y/z[31]"), Some(("x.y/z", 31)));
     }
 
     #[test]
@@ -72,15 +67,14 @@ mod tests {
 
     #[test]
     fn nested_brackets_use_last_group() {
-        let b = parse_bus_bit("mem[2][7]").unwrap();
-        assert_eq!((b.base.as_str(), b.index), ("mem[2]", 7));
+        assert_eq!(parse_bus_bit("mem[2][7]"), Some(("mem[2]", 7)));
     }
 
     #[test]
     fn roundtrip() {
         for name in ["a[0]", "data[31]", "q[100]"] {
-            let b = parse_bus_bit(name).unwrap();
-            assert_eq!(bus_bit_name(&b.base, b.index), name);
+            let (base, index) = parse_bus_bit(name).unwrap();
+            assert_eq!(bus_bit_name(base, index), name);
         }
     }
 }

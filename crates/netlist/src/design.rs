@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{CellKind, Module, ModuleId, NetlistError, PinDirs, PortDir};
+use crate::{KindRef, Module, ModuleId, NetlistError, PinDirs, PortDir};
 
 /// A multi-module design (hierarchy is shallow: submodules are used for
 /// generated blocks such as latch controllers and composite latches).
@@ -135,10 +135,10 @@ pub struct DesignPinDirs<'a, L> {
 }
 
 impl<L: PinDirs> PinDirs for DesignPinDirs<'_, L> {
-    fn pin_dir(&self, kind: &CellKind, pin: &str) -> Option<PortDir> {
+    fn pin_dir(&self, kind: KindRef<'_>, pin: &str) -> Option<PortDir> {
         match kind {
-            CellKind::Lib(_) => self.lib.pin_dir(kind, pin),
-            CellKind::Instance(module) => {
+            KindRef::Lib(_) => self.lib.pin_dir(kind, pin),
+            KindRef::Instance(module) => {
                 let m = self.design.find_module(module)?;
                 let m = self.design.module(m);
                 let p = m.find_port(pin)?;
@@ -191,7 +191,7 @@ mod tests {
             )
             .unwrap();
 
-        let lib = |_: &CellKind, _: &str| -> Option<PortDir> { None };
+        let lib = |_: KindRef<'_>, _: &str| -> Option<PortDir> { None };
         let dirs = d.pin_dirs(&lib);
         let conn = d.module(top).connectivity(&dirs).unwrap();
         assert!(conn.driver(n2).is_some());

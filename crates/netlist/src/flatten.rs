@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use crate::{CellKind, Conn, Design, Module, ModuleId, NetId, NetlistError};
+use crate::{Conn, Design, KindRef, Module, ModuleId, NetId, NetlistError};
 
 /// Deepest instance nesting the flattener follows. Real designs are a
 /// handful of levels; anything past this is either generated pathology or
@@ -34,14 +34,14 @@ pub fn flatten(design: &Design, top: ModuleId) -> Result<Module, NetlistError> {
     let mut out = Module::new(src.name.clone());
     // Copy ports (and their nets).
     for (_, port) in src.ports() {
-        out.add_port(port.name.clone(), port.dir)?;
+        out.add_port(port.name, port.dir)?;
     }
     let mut net_map: HashMap<NetId, NetId> = HashMap::new();
     for (_, port) in src.ports() {
-        let name = &src.net(port.net).name;
+        let name = src.net(port.net).name;
         let new = out.find_net(name).ok_or_else(|| NetlistError::UnknownName {
             kind: "net",
-            name: name.clone(),
+            name: name.to_owned(),
         })?;
         net_map.insert(port.net, new);
     }
@@ -60,7 +60,7 @@ fn mapped(
 ) -> Result<NetId, NetlistError> {
     net_map.get(&net).copied().ok_or_else(|| NetlistError::UnknownName {
         kind: "net",
-        name: module.net(net).name.clone(),
+        name: module.net(net).name.to_owned(),
     })
 }
 
@@ -104,42 +104,40 @@ fn flatten_into(
     }
 
     for (_, cell) in module.cells() {
-        match &cell.kind {
-            CellKind::Lib(_) => {
-                let pins: Vec<(String, Conn)> = cell
+        match cell.kind_ref() {
+            KindRef::Lib(lib_name) => {
+                // Pin names and the library-cell name cross the symbol
+                // boundary here: they are re-interned in `out`'s table.
+                let pins: Vec<(&str, Conn)> = cell
                     .pins()
                     .iter()
-                    .map(|(p, c)| {
+                    .enumerate()
+                    .map(|(i, (_, c))| {
                         let conn = match c {
                             Conn::Net(n) => Conn::Net(mapped(net_map, module, *n)?),
                             other => *other,
                         };
-                        Ok((p.clone(), conn))
+                        Ok((cell.pin_name(i), conn))
                     })
                     .collect::<Result<_, NetlistError>>()?;
-                let pin_refs: Vec<(&str, Conn)> =
-                    pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();
-                let id = out.add_cell_of_kind(
-                    format!("{prefix}{}", cell.name),
-                    cell.kind.clone(),
-                    &pin_refs,
-                )?;
+                let kind = out.lib_kind(lib_name);
+                let id = out.add_cell_of_kind(format!("{prefix}{}", cell.name), kind, &pins)?;
                 out.set_size_only(id, cell.size_only);
             }
-            CellKind::Instance(sub_name) => {
+            KindRef::Instance(sub_name) => {
                 let sub_id =
                     design
                         .find_module(sub_name)
                         .ok_or_else(|| NetlistError::UnknownName {
                             kind: "module",
-                            name: sub_name.clone(),
+                            name: sub_name.to_owned(),
                         })?;
                 let sub = design.module(sub_id);
                 let sub_prefix = format!("{prefix}{}/", cell.name);
                 // Bind submodule port nets to the instantiation conns.
                 let mut sub_map: HashMap<NetId, NetId> = HashMap::new();
                 for (_, port) in sub.ports() {
-                    let conn = cell.pin(&port.name).unwrap_or(Conn::Open);
+                    let conn = cell.pin(port.name).unwrap_or(Conn::Open);
                     let outer = match conn {
                         Conn::Net(n) => Some(mapped(net_map, module, n)?),
                         Conn::Const0 | Conn::Const1 => {

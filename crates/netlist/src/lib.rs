@@ -38,6 +38,7 @@ mod ids;
 mod module;
 pub mod passes;
 pub mod stats;
+pub mod symbol;
 pub mod verilog;
 
 pub use flatten::flatten;
@@ -46,6 +47,7 @@ pub use design::{Design, DesignPinDirs};
 pub use error::NetlistError;
 pub use ids::{CellId, ModuleId, NetId, PortId};
 pub use module::{
-    BusBit, Cell, CellKind, Conn, Connectivity, Endpoint, Module, Net, PinDirs, PinUse, Port,
-    PortDir,
+    BusBit, Cell, CellKind, Conn, Connectivity, Endpoint, KindRef, Module, Net, PinDirs, PinUse,
+    Port, PortDir,
 };
+pub use symbol::{Symbol, SymbolTable};

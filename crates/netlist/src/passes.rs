@@ -46,7 +46,7 @@ pub struct CleanStats {
 pub fn clean_logic(
     module: &mut Module,
     dirs: &impl PinDirs,
-    classify: impl Fn(&Cell) -> Option<CleanKind>,
+    classify: impl Fn(Cell<'_>) -> Option<CleanKind>,
 ) -> CleanStats {
     let mut stats = CleanStats::default();
     loop {
@@ -114,7 +114,7 @@ pub fn clean_logic(
                         continue;
                     };
                     // The mid net must enter the second inverter's input pin.
-                    if second.pins()[pin_use.pin as usize].0 != in2 {
+                    if second.pin_name(pin_use.pin as usize) != in2 {
                         continue;
                     }
                     let Some(Conn::Net(out_net)) = second.pin(&out2) else {
@@ -159,7 +159,7 @@ pub fn clean_logic(
 pub fn sweep_dangling(
     module: &mut Module,
     dirs: &impl PinDirs,
-    keep: impl Fn(&Cell) -> bool,
+    keep: impl Fn(Cell<'_>) -> bool,
 ) -> usize {
     let mut swept = 0;
     loop {
@@ -206,17 +206,17 @@ pub fn sweep_dangling(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CellKind, PortDir};
+    use crate::{KindRef, PortDir};
 
-    fn dirs(_: &CellKind, pin: &str) -> Option<PortDir> {
+    fn dirs(_: KindRef<'_>, pin: &str) -> Option<PortDir> {
         Some(match pin {
             "Z" | "Q" => PortDir::Output,
             _ => PortDir::Input,
         })
     }
 
-    fn classify(cell: &Cell) -> Option<CleanKind> {
-        match cell.kind.name() {
+    fn classify(cell: Cell<'_>) -> Option<CleanKind> {
+        match cell.kind_name() {
             "BUFX1" => Some(CleanKind::Buffer {
                 input: "A".into(),
                 output: "Z".into(),
@@ -323,7 +323,7 @@ mod tests {
         let n = m.add_net("n").unwrap();
         m.add_cell("u", "DFFX1", &[("D", Conn::Net(a)), ("Q", Conn::Net(n))])
             .unwrap();
-        let swept = sweep_dangling(&mut m, &dirs, |c| c.kind.name().starts_with("DFF"));
+        let swept = sweep_dangling(&mut m, &dirs, |c| c.kind_name().starts_with("DFF"));
         assert_eq!(swept, 0);
         assert_eq!(m.cell_count(), 1);
     }

@@ -2,7 +2,7 @@
 //! (Table 5.1 / Table 5.2 rows: `# nets`, `# cells`, cell area,
 //! combinational vs sequential area).
 
-use crate::{CellKind, Conn, Module};
+use crate::{Conn, KindRef, Module};
 
 /// Basic object counts of a module.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,14 +55,14 @@ pub struct AreaBreakdown {
 /// their flattened contents' area); `is_sequential` classifies kinds.
 pub fn area_breakdown(
     module: &Module,
-    mut area_of: impl FnMut(&CellKind) -> f64,
-    mut is_sequential: impl FnMut(&CellKind) -> bool,
+    mut area_of: impl FnMut(KindRef<'_>) -> f64,
+    mut is_sequential: impl FnMut(KindRef<'_>) -> bool,
 ) -> AreaBreakdown {
     let mut b = AreaBreakdown::default();
     for (_, cell) in module.cells() {
-        let a = area_of(&cell.kind);
+        let a = area_of(cell.kind_ref());
         b.cell_area += a;
-        if is_sequential(&cell.kind) {
+        if is_sequential(cell.kind_ref()) {
             b.sequential += a;
         } else {
             b.combinational += a;
@@ -103,7 +103,7 @@ mod tests {
         let b = area_breakdown(
             &m,
             |k| if k.name() == "DFFX1" { 5.0 } else { 1.5 },
-            |k| k.name() == "DFFX1",
+            |k: KindRef<'_>| k.name() == "DFFX1",
         );
         assert_eq!(b.cell_area, 6.5);
         assert_eq!(b.combinational, 1.5);

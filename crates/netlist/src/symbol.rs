@@ -1,0 +1,200 @@
+//! String interning for netlist names.
+//!
+//! Every name in a [`crate::Module`] — nets, cells, ports, pins, referenced
+//! library cells and submodules — is stored once in a [`SymbolTable`] and
+//! referenced by a dense [`Symbol`] id. Passes compare and hash `u32`s;
+//! the strings themselves are resolved only at the parse/write/report
+//! boundaries.
+//!
+//! The table also hosts the per-prefix next-counter cache behind
+//! `unique_net_name`/`unique_cell_name`: minting a run of `prefix_N` names
+//! no longer re-probes the whole taken range on every call (which made
+//! name minting quadratic when the input netlist already contained a
+//! dense `prefix_N` range).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An interned name: a dense index into a [`SymbolTable`].
+///
+/// `Symbol`s are only meaningful relative to the table (in practice: the
+/// module) that produced them; moving names across modules goes through
+/// [`SymbolTable::resolve`] + re-interning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a symbol from [`Symbol::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        Symbol(i as u32)
+    }
+}
+
+/// Namespace tag for the unique-name counter cache.
+///
+/// Net and cell names live in independent uniqueness domains, so the
+/// cached next-counter for a prefix must too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UniqueSpace {
+    /// Net-name uniquing.
+    Net,
+    /// Cell-name uniquing.
+    Cell,
+}
+
+#[derive(Debug, Clone)]
+struct UniqueHint {
+    /// Epoch at which the hint was recorded (see [`SymbolTable::bump_epoch`]).
+    epoch: u64,
+    /// Probe from this counter value; everything below was taken when the
+    /// hint was recorded.
+    start: usize,
+}
+
+/// An append-only interner mapping names to dense [`Symbol`] ids.
+///
+/// Names are stored as `Arc<str>` so the lookup map shares the allocation
+/// with the id → name vector; a clone of the table (e.g. for the simulator)
+/// costs one refcount bump per name, not a reallocation.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<Arc<str>>,
+    map: HashMap<Arc<str>, Symbol>,
+    /// `(namespace, prefix symbol)` → probe-start hint for `prefix_{N}`
+    /// uniquing. Hints are advisory: a stale hint (epoch mismatch after
+    /// names were freed) falls back to the caller's base counter.
+    unique_hints: HashMap<(UniqueSpace, Symbol), UniqueHint>,
+    /// Bumped whenever a previously-taken name becomes free again
+    /// (cell removal); invalidates all hints recorded before.
+    epoch: u64,
+}
+
+impl SymbolTable {
+    /// An empty table sized for `capacity` names.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SymbolTable {
+            names: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            unique_hints: HashMap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Interns `name`, returning its (new or existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let sym = Symbol::from_index(self.names.len());
+        self.names.push(Arc::clone(&arc));
+        self.map.insert(arc, sym);
+        sym
+    }
+
+    /// The symbol of `name`, if already interned.
+    #[inline]
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The string of `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` came from a different table.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Invalidates all unique-name hints (a taken name became free).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Probe-start counter for uniquing `prefix` in `space`, never below
+    /// `base`. Returns `base` when no (valid) hint exists.
+    pub fn unique_start(&self, space: UniqueSpace, prefix: &str, base: usize) -> usize {
+        let Some(sym) = self.lookup(prefix) else { return base };
+        match self.unique_hints.get(&(space, sym)) {
+            Some(h) if h.epoch == self.epoch => base.max(h.start),
+            _ => base,
+        }
+    }
+
+    /// Records that uniquing `prefix` in `space` settled on counter value
+    /// `found`: every counter below it is taken, so later probes may start
+    /// there. The hint stores `found` itself (not `found + 1`) — the caller
+    /// may decide not to register the minted name, and a later probe must
+    /// then find it again.
+    pub fn note_unique(&mut self, space: UniqueSpace, prefix: &str, found: usize) {
+        let sym = self.intern(prefix);
+        let epoch = self.epoch;
+        self.unique_hints
+            .insert((space, sym), UniqueHint { epoch, start: found });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::default();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.lookup("b"), Some(b));
+        assert_eq!(t.lookup("c"), None);
+        assert_eq!(t.resolve(a), "a");
+        assert_eq!(t.resolve(b), "b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn unique_hints_advance_and_respect_epoch() {
+        let mut t = SymbolTable::default();
+        assert_eq!(t.unique_start(UniqueSpace::Net, "p", 3), 3);
+        t.note_unique(UniqueSpace::Net, "p", 10);
+        assert_eq!(t.unique_start(UniqueSpace::Net, "p", 3), 10);
+        // A larger base wins over the hint.
+        assert_eq!(t.unique_start(UniqueSpace::Net, "p", 12), 12);
+        // Namespaces are independent.
+        assert_eq!(t.unique_start(UniqueSpace::Cell, "p", 3), 3);
+        // Freed names invalidate hints.
+        t.bump_epoch();
+        assert_eq!(t.unique_start(UniqueSpace::Net, "p", 3), 3);
+    }
+
+    #[test]
+    fn clones_share_name_allocations() {
+        let mut t = SymbolTable::default();
+        let s = t.intern("shared");
+        let c = t.clone();
+        assert_eq!(c.resolve(s), "shared");
+        assert!(Arc::ptr_eq(&t.names[0], &c.names[0]));
+    }
+}

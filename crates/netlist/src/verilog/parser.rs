@@ -49,7 +49,7 @@ pub fn parse_design(source: &str) -> Result<Design, NetlistError> {
     }
     // Instances that name a module of this design are module instances, not
     // library cells.
-    retarget_instances(&mut design)?;
+    retarget_instances(&mut design);
     Ok(design)
 }
 
@@ -70,7 +70,7 @@ pub fn parse_module(source: &str) -> Result<Module, NetlistError> {
     Ok(modules.remove(0))
 }
 
-fn retarget_instances(design: &mut Design) -> Result<(), NetlistError> {
+fn retarget_instances(design: &mut Design) {
     let module_names: Vec<String> = design.modules().map(|(_, m)| m.name.clone()).collect();
     let module_set: std::collections::HashSet<&str> =
         module_names.iter().map(|s| s.as_str()).collect();
@@ -79,36 +79,17 @@ fn retarget_instances(design: &mut Design) -> Result<(), NetlistError> {
             continue;
         };
         let module = design.module_mut(id);
-        let cell_ids: Vec<_> = module.cells().map(|(c, _)| c).collect();
+        let cell_ids: Vec<_> = module.cell_ids().collect();
         for cid in cell_ids {
-            let kind = module.cell(cid).kind.clone();
-            if let CellKind::Lib(name) = &kind {
-                if module_set.contains(name.as_str()) {
-                    set_cell_kind(module, cid, CellKind::Instance(name.clone()))?;
+            // The instance keeps the same name symbol: `Lib(sym)` and
+            // `Instance(sym)` reference the same interned string.
+            if let CellKind::Lib(sym) = module.cell_kind(cid) {
+                if module_set.contains(module.resolve(sym)) {
+                    module.set_cell_kind(cid, CellKind::Instance(sym));
                 }
             }
         }
     }
-    Ok(())
-}
-
-fn set_cell_kind(
-    module: &mut Module,
-    cell: crate::CellId,
-    kind: CellKind,
-) -> Result<(), NetlistError> {
-    // Rebuild the cell with the new kind, preserving name/pins/flags.
-    let old = module.cell(cell).clone();
-    module.remove_cell(cell);
-    let pins: Vec<(&str, Conn)> = old
-        .pins()
-        .iter()
-        .map(|(p, c)| (p.as_str(), *c))
-        .collect();
-    // The name was freed by `remove_cell`, so this only fails if the
-    // netlist was already inconsistent — report rather than panic.
-    module.add_cell_of_kind(old.name.clone(), kind, &pins)?;
-    Ok(())
 }
 
 struct Parser {
@@ -228,7 +209,7 @@ impl Parser {
         }
         // Preserve a trailing `[index]` (bus-bit) if present.
         let (body, suffix) = match crate::bus::parse_bus_bit(raw) {
-            Some(bit) => (bit.base.clone(), format!("[{}]", bit.index)),
+            Some((base, index)) => (base.to_owned(), format!("[{index}]")),
             None => (raw.to_owned(), String::new()),
         };
         let mut clean: String = body
@@ -446,7 +427,7 @@ impl Parser {
             let pin_refs: Vec<(&str, Conn)> =
                 pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();
             ctx.module
-                .add_cell_of_kind(inst_name, CellKind::Lib(cell_type.clone()), &pin_refs)
+                .add_cell(inst_name, &cell_type, &pin_refs)
                 .map_err(|e| self.to_parse_err(e))?;
             if !self.eat_punct(',') {
                 break;
@@ -823,7 +804,7 @@ mod tests {
             Some(Conn::Net(top.find_net("w[1]").unwrap()))
         );
         // SUB resolved as a module instance.
-        assert_eq!(u.kind, CellKind::Instance("SUB".into()));
+        assert_eq!(u.kind_ref(), crate::KindRef::Instance("SUB"));
     }
 
     #[test]
@@ -894,7 +875,7 @@ mod tests {
             endmodule";
         let m = parse_module(src).unwrap();
         let net = m.find_net("r_x[3]").unwrap();
-        assert_eq!(m.net(net).bus.as_ref().unwrap().index, 3);
+        assert_eq!(m.net(net).bus.unwrap().index, 3);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
-use crate::{CellKind, Conn, Design, Module, PortDir};
+use crate::{Conn, Design, Module, PortDir};
 
 /// Writes all modules of `design` (top first) as structural Verilog.
 pub fn write_design(design: &Design) -> String {
@@ -69,17 +69,15 @@ fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup> {
     let mut scalars: HashSet<String> = HashSet::new();
     for name in names {
         match crate::bus::parse_bus_bit(name) {
-            Some(bit)
-                if is_simple_id(&bit.base) && !scalar_names.contains(bit.base.as_str()) =>
-            {
-                match buses.get_mut(&bit.base) {
+            Some((base, index)) if is_simple_id(base) && !scalar_names.contains(base) => {
+                match buses.get_mut(base) {
                     Some((msb, lsb)) => {
-                        *msb = (*msb).max(bit.index);
-                        *lsb = (*lsb).min(bit.index);
+                        *msb = (*msb).max(index);
+                        *lsb = (*lsb).min(index);
                     }
                     None => {
-                        buses.insert(bit.base.clone(), (bit.index, bit.index));
-                        order.push(bit.base);
+                        buses.insert(base.to_owned(), (index, index));
+                        order.push(base.to_owned());
                     }
                 }
             }
@@ -100,7 +98,7 @@ fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup> {
 }
 
 fn write_module_into(module: &Module, out: &mut String) {
-    let port_groups = group_decls(module.ports().map(|(_, p)| p.name.as_str()));
+    let port_groups = group_decls(module.ports().map(|(_, p)| p.name));
     let _ = write!(out, "module {} (", id(&module.name));
     for (i, g) in port_groups.iter().enumerate() {
         if i > 0 {
@@ -112,10 +110,7 @@ fn write_module_into(module: &Module, out: &mut String) {
 
     // Port direction declarations (one per group; direction taken from the
     // first member port).
-    let dir_of: HashMap<&str, PortDir> = module
-        .ports()
-        .map(|(_, p)| (p.name.as_str(), p.dir))
-        .collect();
+    let dir_of: HashMap<&str, PortDir> = module.ports().map(|(_, p)| (p.name, p.dir)).collect();
     for g in &port_groups {
         let sample = match g.range {
             Some((msb, _)) => crate::bus::bus_bit_name(&g.base, msb),
@@ -135,13 +130,13 @@ fn write_module_into(module: &Module, out: &mut String) {
     // Wire declarations for non-port nets.
     let port_nets: HashSet<&str> = module
         .ports()
-        .map(|(_, p)| module.net(p.net).name.as_str())
-        .chain(module.ports().map(|(_, p)| p.name.as_str()))
+        .map(|(_, p)| module.net(p.net).name)
+        .chain(module.ports().map(|(_, p)| p.name))
         .collect();
     let wire_groups = group_decls(
         module
             .nets()
-            .map(|(_, n)| n.name.as_str())
+            .map(|(_, n)| n.name)
             .filter(|n| !port_nets.contains(n)),
     );
     for g in &wire_groups {
@@ -157,26 +152,23 @@ fn write_module_into(module: &Module, out: &mut String) {
 
     // Residual continuous assignments: constant ties on port nets and ports
     // whose net was merged into a different net by `assign` resolution.
-    let port_name_set: HashSet<&str> = module.ports().map(|(_, p)| p.name.as_str()).collect();
+    let port_name_set: HashSet<&str> = module.ports().map(|(_, p)| p.name).collect();
     for &(net, value) in module.const_ties() {
-        let name = &module.net(net).name;
-        if port_name_set.contains(name.as_str()) {
+        let name = module.net(net).name;
+        if port_name_set.contains(name) {
             let _ = writeln!(out, "  assign {} = 1'b{};", id(name), u8::from(value));
         }
     }
     for (_, port) in module.ports() {
-        let net_name = &module.net(port.net).name;
-        if net_name != &port.name && port.dir != PortDir::Input {
-            let _ = writeln!(out, "  assign {} = {};", id(&port.name), id(net_name));
+        let net_name = module.net(port.net).name;
+        if net_name != port.name && port.dir != PortDir::Input {
+            let _ = writeln!(out, "  assign {} = {};", id(port.name), id(net_name));
         }
     }
 
     // Instances.
     for (_, cell) in module.cells() {
-        let type_name = match &cell.kind {
-            CellKind::Lib(n) | CellKind::Instance(n) => n,
-        };
-        let _ = write!(out, "  {} {} (", id(type_name), id(&cell.name));
+        let _ = write!(out, "  {} {} (", id(cell.kind_name()), id(cell.name));
         let rendered = render_pins(module, cell);
         for (i, (pin, conn)) in rendered.iter().enumerate() {
             if i > 0 {
@@ -191,46 +183,44 @@ fn write_module_into(module: &Module, out: &mut String) {
 
 /// Renders the pin connections of a cell, re-grouping bit-blasted pins
 /// (`data[1]`, `data[0]`) into a single concatenation connection.
-fn render_pins(module: &Module, cell: &crate::Cell) -> Vec<(String, String)> {
+fn render_pins(module: &Module, cell: crate::Cell<'_>) -> Vec<(String, String)> {
     let conn_text = |c: &Conn| -> String {
         match c {
-            Conn::Net(n) => id(&module.net(*n).name),
+            Conn::Net(n) => id(module.net(*n).name),
             Conn::Const0 => "1'b0".to_owned(),
             Conn::Const1 => "1'b1".to_owned(),
             Conn::Open => String::new(),
         }
     };
     // Collect multi-bit pin groups.
-    let mut groups: HashMap<String, Vec<(i64, String)>> = HashMap::new();
-    let mut multi: HashSet<String> = HashSet::new();
-    for (pin, conn) in cell.pins() {
-        if let Some(bit) = crate::bus::parse_bus_bit(pin) {
-            groups
-                .entry(bit.base.clone())
-                .or_default()
-                .push((bit.index, conn_text(conn)));
-            if groups[&bit.base].len() > 1 {
-                multi.insert(bit.base);
+    let mut groups: HashMap<&str, Vec<(i64, String)>> = HashMap::new();
+    let mut multi: HashSet<&str> = HashSet::new();
+    for (i, (_, conn)) in cell.pins().iter().enumerate() {
+        if let Some((base, index)) = crate::bus::parse_bus_bit(cell.pin_name(i)) {
+            groups.entry(base).or_default().push((index, conn_text(conn)));
+            if groups[base].len() > 1 {
+                multi.insert(base);
             }
         }
     }
-    let mut done: HashSet<String> = HashSet::new();
+    let mut done: HashSet<&str> = HashSet::new();
     let mut result = Vec::new();
-    for (pin, conn) in cell.pins() {
+    for (i, (_, conn)) in cell.pins().iter().enumerate() {
+        let pin = cell.pin_name(i);
         match crate::bus::parse_bus_bit(pin) {
-            Some(bit) if multi.contains(&bit.base) => {
-                if done.insert(bit.base.clone()) {
-                    let mut bits = groups.remove(&bit.base).expect("grouped above");
+            Some((base, _)) if multi.contains(base) => {
+                if done.insert(base) {
+                    let mut bits = groups.remove(base).expect("grouped above");
                     bits.sort_by_key(|(i, _)| std::cmp::Reverse(*i));
                     let concat = bits
                         .iter()
                         .map(|(_, t)| t.as_str())
                         .collect::<Vec<_>>()
                         .join(", ");
-                    result.push((bit.base, format!("{{{concat}}}")));
+                    result.push((base.to_owned(), format!("{{{concat}}}")));
                 }
             }
-            _ => result.push((pin.clone(), conn_text(conn))),
+            _ => result.push((pin.to_owned(), conn_text(conn))),
         }
     }
     result

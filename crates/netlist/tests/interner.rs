@@ -1,0 +1,178 @@
+//! Interner edge cases: escaped Verilog identifiers survive interning
+//! byte-for-byte, fuzzed prefixes never produce colliding unique names,
+//! and `Symbol` values stay stable while the module is mutated.
+
+use drd_check::{prop, Rng};
+use drd_netlist::{Conn, Module, Symbol};
+
+/// Escaped identifiers exercise every character class the interner must
+/// treat as opaque bytes: brackets, dots, plus/minus, hashes, spaces are
+/// all legal inside a `\escaped ` Verilog name.
+const NASTY: &[&str] = &[
+    "clk[0]",
+    "q+0",
+    "n-1",
+    "r.in",
+    "c#1",
+    "a b",
+    "u$2",
+    "p_3",
+    "\\start",
+    "net[3][4]",
+];
+
+#[test]
+fn escaped_identifiers_intern_byte_for_byte() {
+    let mut m = Module::new("t");
+    let mut ids = Vec::new();
+    for &name in NASTY {
+        ids.push((m.add_net(name).unwrap(), name));
+    }
+    for &(id, name) in &ids {
+        assert_eq!(m.net(id).name, name, "resolve must not normalize");
+        assert_eq!(m.find_net(name), Some(id), "lookup must not normalize");
+        let sym = m.net_sym(id);
+        assert_eq!(m.symbols().resolve(sym), name);
+        assert_eq!(m.symbols().lookup(name), Some(sym));
+    }
+    // Near-miss names are distinct symbols, not hash-collision aliases.
+    assert!(m.find_net("clk[0] ").is_none());
+    assert!(m.find_net("clk0").is_none());
+    assert!(m.find_net("start").is_none());
+}
+
+/// Writing a module whose names need escaping and importing it again
+/// follows the documented §3.2.1 contract: the importer *sanitizes*
+/// escaped names to simple identifiers (bus bits keep their brackets),
+/// nothing is lost, and from the first import on the text is a fixed
+/// point — sanitized names intern and round-trip byte-for-byte.
+#[test]
+fn escaped_identifiers_round_trip_through_write_parse() {
+    let mut m = Module::new("t");
+    use drd_netlist::PortDir;
+    m.add_port("clk[0]", PortDir::Input).unwrap();
+    let clk = m.find_net("clk[0]").unwrap();
+    let mut prev = clk;
+    // A name containing whitespace cannot be written as a Verilog
+    // escaped identifier at all (escapes terminate at whitespace), so
+    // the write-boundary contract only covers whitespace-free names.
+    for (i, &name) in NASTY.iter().enumerate().skip(1).filter(|(_, n)| !n.contains(' ')) {
+        let n = m.add_net(name).unwrap();
+        m.add_cell(
+            format!("g+{i}"),
+            "INVX1",
+            &[("A", Conn::Net(prev)), ("Z", Conn::Net(n))],
+        )
+        .unwrap();
+        prev = n;
+    }
+    let mut d = drd_netlist::Design::new();
+    d.insert(m);
+    let text1 = drd_netlist::verilog::write_design(&d);
+    let back = drd_netlist::verilog::parse_design(&text1).expect("escaped output reparses");
+    let (a, b) = (d.top_module(), back.top_module());
+    assert_eq!(a.net_count(), b.net_count(), "no nets lost to sanitizing");
+    assert_eq!(a.cell_count(), b.cell_count(), "no cells lost to sanitizing");
+    // Bus-bit names keep their identity verbatim; `$` is a legal simple
+    // character and passes through untouched.
+    for keep in ["clk[0]", "u$2", "p_3"] {
+        assert!(b.find_net(keep).is_some(), "`{keep}` lost:\n{text1}");
+    }
+    // Once sanitized, the text is a fixed point of write → parse.
+    let text2 = drd_netlist::verilog::write_design(&back);
+    let again = drd_netlist::verilog::parse_design(&text2).expect("sanitized output reparses");
+    assert_eq!(text2, drd_netlist::verilog::write_design(&again), "fixed point");
+    // Every sanitized name interns and resolves byte-for-byte.
+    for (id, net) in b.nets() {
+        let sym = b.net_sym(id);
+        assert_eq!(b.symbols().resolve(sym), net.name);
+        assert_eq!(b.find_net(net.name), Some(id));
+    }
+}
+
+/// Fuzzed prefixes — including prefixes that look like already-minted
+/// unique names (`p_3`), bracketed bus stems, and prefixes colliding
+/// with pre-existing nets — never produce a name that collides.
+#[test]
+fn fuzzed_prefixes_unique_without_collision() {
+    const PREFIXES: &[&str] = &["p", "p_3", "drd_req", "a[1]", "x y", "", "_", "n#"];
+    prop(
+        128,
+        |rng: &mut Rng| {
+            let n_picks = rng.range(1, 24);
+            let picks: Vec<u8> = rng.bytes(n_picks);
+            let n_taken = rng.range(0, 8);
+            let pre_taken: Vec<u8> = rng.bytes(n_taken);
+            (picks, pre_taken)
+        },
+        |(picks, pre_taken): &(Vec<u8>, Vec<u8>)| {
+            let mut m = Module::new("t");
+            // Pre-occupy names the minting must skip over.
+            for &b in pre_taken {
+                let p = PREFIXES[b as usize % PREFIXES.len()];
+                let taken = format!("{p}_{}", b % 5);
+                let _ = m.add_net(taken);
+            }
+            // Nets and cells are separate namespaces, so each gets its
+            // own collision set.
+            let mut seen_nets = std::collections::HashSet::new();
+            let mut seen_cells = std::collections::HashSet::new();
+            for (_, net) in m.nets() {
+                seen_nets.insert(net.name.to_owned());
+            }
+            for &b in picks {
+                let p = PREFIXES[b as usize % PREFIXES.len()];
+                let (name, fresh) = if b % 2 == 0 {
+                    let name = m.unique_net_name(p);
+                    m.add_net(&name).map_err(|e| format!("net `{name}`: {e}"))?;
+                    let fresh = seen_nets.insert(name.clone());
+                    (name, fresh)
+                } else {
+                    let name = m.unique_cell_name(p);
+                    m.add_cell(name.clone(), "INVX1", &[])
+                        .map_err(|e| format!("cell `{name}`: {e}"))?;
+                    let fresh = seen_cells.insert(name.clone());
+                    (name, fresh)
+                };
+                if !fresh {
+                    return Err(format!("minted duplicate `{name}`"));
+                }
+                if !name.starts_with(p) {
+                    return Err(format!("`{name}` does not extend prefix `{p}`"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `Symbol` values captured before heavy mutation still resolve to the
+/// same bytes afterwards: removal, re-adding, and unique-name minting
+/// never invalidate or re-map existing symbols.
+#[test]
+fn symbols_stay_stable_under_mutation() {
+    let mut m = Module::new("t");
+    let mut recorded: Vec<(Symbol, String)> = Vec::new();
+    for &name in NASTY {
+        let id = m.add_net(name).unwrap();
+        recorded.push((m.net_sym(id), name.to_owned()));
+    }
+    let a = m.find_net("clk[0]").unwrap();
+    for i in 0..200 {
+        let name = m.unique_cell_name("drd_u");
+        let id = m
+            .add_cell(name, "INVX1", &[("A", Conn::Net(a)), ("Z", Conn::Const0)])
+            .unwrap();
+        recorded.push((m.cell_sym(id), m.cell(id).name.to_owned()));
+        if i % 3 == 0 {
+            m.remove_cell(id);
+        }
+        let nn = m.unique_net_name("drd_n");
+        let nid = m.add_net(&nn).unwrap();
+        recorded.push((m.net_sym(nid), nn));
+    }
+    for (sym, name) in &recorded {
+        assert_eq!(m.symbols().resolve(*sym), name.as_str());
+        assert_eq!(m.symbols().lookup(name), Some(*sym));
+    }
+}

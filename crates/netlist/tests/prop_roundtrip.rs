@@ -89,29 +89,35 @@ fn write_parse_is_identity() {
         }
         for (_, cell) in a.cells() {
             let other = b
-                .find_cell(&cell.name)
+                .find_cell(cell.name)
                 .ok_or_else(|| format!("cell {} lost", cell.name))?;
             let other = b.cell(other);
-            if cell.kind != other.kind {
-                return Err(format!("{}: kind {:?} vs {:?}", cell.name, cell.kind, other.kind));
+            if cell.kind_ref() != other.kind_ref() {
+                return Err(format!(
+                    "{}: kind {:?} vs {:?}",
+                    cell.name,
+                    cell.kind_ref(),
+                    other.kind_ref()
+                ));
             }
-            for (pin, conn) in cell.pins() {
+            for (i, &(_, conn)) in cell.pins().iter().enumerate() {
+                let pin = cell.pin_name(i);
                 let oc = other
                     .pin(pin)
                     .ok_or_else(|| format!("{}: pin {pin} lost", cell.name))?;
                 match (conn, oc) {
                     (Conn::Net(x), Conn::Net(y)) => {
-                        if a.net(*x).name != b.net(y).name {
+                        if a.net(x).name != b.net(y).name {
                             return Err(format!(
                                 "{}/{pin}: net {} vs {}",
                                 cell.name,
-                                a.net(*x).name,
+                                a.net(x).name,
                                 b.net(y).name
                             ));
                         }
                     }
                     (x, y) => {
-                        if *x != y {
+                        if x != y {
                             return Err(format!("{}/{pin}: {x:?} vs {y:?}", cell.name));
                         }
                     }

@@ -8,12 +8,12 @@
 
 use drd_liberty::Lv;
 
-use crate::names::NameTable;
+use crate::names::SymSlots;
 
 /// Per-element capture sequences.
 #[derive(Debug, Clone, Default)]
 pub struct CaptureLog {
-    names: NameTable,
+    names: SymSlots,
     seqs: Vec<Vec<(u64, Lv)>>,
 }
 
@@ -21,6 +21,16 @@ impl CaptureLog {
     /// Creates an empty log.
     pub fn new() -> Self {
         CaptureLog::default()
+    }
+
+    /// Creates an empty log sharing an existing symbol table, so
+    /// registering element names already interned there allocates
+    /// nothing.
+    pub(crate) fn with_table(syms: drd_netlist::SymbolTable) -> Self {
+        CaptureLog {
+            names: SymSlots::from_table(syms),
+            seqs: Vec::new(),
+        }
     }
 
     /// Registers an element and returns its slot.

@@ -8,7 +8,7 @@ use drd_liberty::{Library, Lv, SeqKind};
 use drd_netlist::{Conn, Design, Module, PortDir};
 
 use crate::capture::CaptureLog;
-use crate::names::NameTable;
+use crate::names::SymSlots;
 use crate::{SimError, SimOptions};
 
 /// Compiled boolean expression over net indices.
@@ -122,7 +122,7 @@ fn ns_to_ps(ns: f64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     net_values: Vec<Lv>,
-    net_names: NameTable,
+    net_names: SymSlots,
     cells: Vec<SimCell>,
     /// net → cells with an input on that net.
     loads: Vec<Vec<u32>>,
@@ -164,7 +164,7 @@ impl Simulator {
         let net_count = flat.net_count();
         let mut sim = Simulator {
             net_values: vec![Lv::X; net_count],
-            net_names: NameTable::with_capacity(net_count),
+            net_names: SymSlots::from_table(flat.symbols().clone()),
             cells: Vec::new(),
             loads: vec![Vec::new(); net_count],
             driver: vec![None; net_count],
@@ -174,25 +174,25 @@ impl Simulator {
             seq: 0,
             toggles: vec![0; net_count],
             watches: HashMap::new(),
-            captures: CaptureLog::new(),
+            captures: CaptureLog::with_table(flat.symbols().clone()),
             leakage_total: 0.0,
             corner: opts.corner,
             window_start_ps: 0,
         };
-        for (nid, net) in flat.nets() {
-            let slot = sim.net_names.add(&net.name);
+        for (nid, _) in flat.nets() {
+            let slot = sim.net_names.add_sym(flat.net_sym(nid));
             debug_assert_eq!(slot, nid.index() as u32);
         }
 
         // Net load capacitances for the delay model.
         let mut net_cap = vec![0.0f64; net_count];
         for (_, cell) in flat.cells() {
-            let lc = lib.cell_of(&cell.kind).ok_or_else(|| SimError::UnknownCell {
-                name: cell.kind.name().to_owned(),
+            let lc = lib.cell_of(cell.kind_ref()).ok_or_else(|| SimError::UnknownCell {
+                name: cell.kind_name().to_owned(),
             })?;
-            for (pin, conn) in cell.pins() {
+            for (i, &(_, conn)) in cell.pins().iter().enumerate() {
                 if let Conn::Net(n) = conn {
-                    if let Some(p) = lc.pin(pin) {
+                    if let Some(p) = lc.pin(cell.pin_name(i)) {
                         if p.dir == PortDir::Input {
                             net_cap[n.index()] += p.capacitance;
                         }
@@ -220,14 +220,14 @@ impl Simulator {
         };
 
         for (_, cell) in flat.cells() {
-            let lc = lib.cell_of(&cell.kind).expect("checked above");
+            let lc = lib.cell_of(cell.kind_ref()).expect("checked above");
             let factor = opts.corner.delay_factor * gaussian_factor(opts.intra_die_sigma);
             let cell_idx = sim.cells.len() as u32;
 
             // Pin bindings.
             let mut bind: HashMap<&str, Conn> = HashMap::new();
-            for (pin, conn) in cell.pins() {
-                bind.insert(pin.as_str(), *conn);
+            for (i, &(_, conn)) in cell.pins().iter().enumerate() {
+                bind.insert(cell.pin_name(i), conn);
             }
             let net_of = |pin: &str| -> Option<u32> {
                 match bind.get(pin) {
@@ -319,7 +319,7 @@ impl Simulator {
 
             let is_storage = matches!(model, Model::Ff { .. } | Model::Latch { .. });
             let capture_slot = if is_storage {
-                Some(sim.captures.add_element(&cell.name))
+                Some(sim.captures.add_element(cell.name))
             } else {
                 None
             };
@@ -330,7 +330,7 @@ impl Simulator {
             };
             sim.leakage_total += lc.leakage;
             sim.cells.push(SimCell {
-                name: cell.name.clone(),
+                name: cell.name.to_owned(),
                 model,
                 state: initial_state,
                 last_clk: Lv::X,

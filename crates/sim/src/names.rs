@@ -1,46 +1,63 @@
-//! A shared name↔index table.
+//! Symbol-backed slot tables for the simulator's API boundary.
 //!
 //! Both the simulator (net names) and the capture log (element names)
 //! need the same bidirectional lookup: a dense `u32` slot per name for
-//! hot-path indexing, plus name resolution at the API boundary. One type
-//! keeps the two maps from drifting apart.
+//! hot-path indexing, plus name resolution at the API boundary. Instead
+//! of duplicating every name into an owned `String` table, the slots are
+//! keyed on the netlist's interned [`Symbol`]s and share the module's
+//! [`SymbolTable`] (a clone costs one refcount bump per name). Strings
+//! only appear at `poke`/`peek`/report boundaries.
 
 use std::collections::HashMap;
 
-/// An append-only bidirectional `name ↔ u32` table.
+use drd_netlist::{Symbol, SymbolTable};
+
+/// An append-only `name ↔ u32` slot table over interned symbols.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct NameTable {
-    names: Vec<String>,
-    index: HashMap<String, u32>,
+pub(crate) struct SymSlots {
+    syms: SymbolTable,
+    slots: Vec<Symbol>,
+    index: HashMap<Symbol, u32>,
 }
 
-impl NameTable {
-    /// An empty table sized for `capacity` names.
-    pub fn with_capacity(capacity: usize) -> Self {
-        NameTable {
-            names: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+impl SymSlots {
+    /// An empty slot table sharing `syms` (typically a clone of the
+    /// elaborated module's table, so registering existing names is
+    /// allocation-free).
+    pub fn from_table(syms: SymbolTable) -> Self {
+        SymSlots {
+            syms,
+            slots: Vec::new(),
+            index: HashMap::new(),
         }
     }
 
-    /// Registers `name` and returns its slot. The caller guarantees
-    /// uniqueness (netlist nets and capture elements are unique by
-    /// construction); a duplicate would shadow the earlier slot.
+    /// Registers `name` and returns its slot, interning it if needed.
+    /// The caller guarantees uniqueness (netlist nets and capture
+    /// elements are unique by construction); a duplicate would shadow
+    /// the earlier slot.
     pub fn add(&mut self, name: &str) -> u32 {
-        let slot = self.names.len() as u32;
-        self.names.push(name.to_owned());
-        self.index.insert(name.to_owned(), slot);
+        let sym = self.syms.intern(name);
+        self.add_sym(sym)
+    }
+
+    /// Registers an already-interned symbol and returns its slot.
+    pub fn add_sym(&mut self, sym: Symbol) -> u32 {
+        let slot = self.slots.len() as u32;
+        self.slots.push(sym);
+        self.index.insert(sym, slot);
         slot
     }
 
     /// The slot of `name`, if registered.
     pub fn get(&self, name: &str) -> Option<u32> {
-        self.index.get(name).copied()
+        let sym = self.syms.lookup(name)?;
+        self.index.get(&sym).copied()
     }
 
     /// All registered names, in slot order.
     pub fn iter(&self) -> impl Iterator<Item = &str> {
-        self.names.iter().map(String::as_str)
+        self.slots.iter().map(|&s| self.syms.resolve(s))
     }
 }
 
@@ -50,12 +67,24 @@ mod tests {
 
     #[test]
     fn slots_are_dense_and_resolvable() {
-        let mut t = NameTable::with_capacity(2);
+        let mut t = SymSlots::default();
         assert_eq!(t.add("a"), 0);
         assert_eq!(t.add("b"), 1);
         assert_eq!(t.get("a"), Some(0));
         assert_eq!(t.get("b"), Some(1));
         assert_eq!(t.get("c"), None);
         assert_eq!(t.iter().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn shared_table_registration_reuses_symbols() {
+        let mut syms = SymbolTable::default();
+        let pre = syms.intern("n0");
+        let mut t = SymSlots::from_table(syms);
+        let slot = t.add_sym(pre);
+        assert_eq!(t.get("n0"), Some(slot));
+        // A name absent from the shared table is still registrable.
+        t.add("fresh");
+        assert_eq!(t.get("fresh"), Some(1));
     }
 }

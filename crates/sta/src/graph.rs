@@ -1,10 +1,12 @@
 //! Pin-level timing-graph construction.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use drd_liberty::{Library, SeqKind};
+use drd_liberty::{LibCell, Library, SeqKind};
 use drd_netlist::{
-    CellId, CellKind, Conn, Connectivity, Design, Endpoint, Module, NetId, PortDir, PortId,
+    CellId, CellKind, Conn, Connectivity, Design, Endpoint, KindRef, Module, NetId, PortDir,
+    PortId, Symbol, SymbolTable,
 };
 
 use crate::StaError;
@@ -93,6 +95,106 @@ impl Default for GraphOptions {
     }
 }
 
+/// Timing arcs and endpoint pins of one library cell, with pin names
+/// resolved against the module's symbol table once and then replayed for
+/// every instance of that kind — arc construction never touches strings.
+#[derive(Debug, Default)]
+struct KindArcs {
+    /// `(from pin, to pin, intrinsic delay, output drive resistance)` for
+    /// every arc enabled under the current [`GraphOptions`].
+    arcs: Vec<(Symbol, Symbol, f64, f64)>,
+    /// Sequential data inputs (timing endpoints).
+    endpoints: Vec<Symbol>,
+}
+
+fn prepare_kind(module: &Module, lc: &LibCell, opts: &GraphOptions) -> KindArcs {
+    let mut k = KindArcs::default();
+    // Which input pin launches paths through this cell?
+    let blocked_from: Option<&str> = match &lc.seq {
+        SeqKind::None | SeqKind::CElement { .. } => None,
+        SeqKind::FlipFlop(ff) => Some(ff.clocked_on.as_str()),
+        SeqKind::Latch(l) => Some(l.enable.as_str()),
+    };
+    let is_latch = matches!(lc.seq, SeqKind::Latch(_));
+    for arc in &lc.arcs {
+        let through_clock = Some(arc.from.as_str()) == blocked_from;
+        let allowed = match &lc.seq {
+            SeqKind::None | SeqKind::CElement { .. } => true,
+            SeqKind::FlipFlop(_) => opts.include_clock_to_q && through_clock,
+            SeqKind::Latch(_) => {
+                (through_clock && opts.include_clock_to_q)
+                    || (!through_clock && (opts.latch_transparent && is_latch))
+            }
+        };
+        if !allowed {
+            continue;
+        }
+        // A pin name that was never interned in the module cannot be
+        // connected on any instance — the arc can never materialize.
+        let (Some(from), Some(to)) = (module.lookup_sym(&arc.from), module.lookup_sym(&arc.to))
+        else {
+            continue;
+        };
+        let res = lc.pin(&arc.to).map(|p| p.drive_resistance).unwrap_or(0.0);
+        k.arcs.push((from, to, arc.rise.max(arc.fall), res));
+    }
+    if let Some(clockish) = blocked_from {
+        for pin in lc.input_pins() {
+            if pin.name == clockish {
+                continue;
+            }
+            if let Some(s) = module.lookup_sym(&pin.name) {
+                k.endpoints.push(s);
+            }
+        }
+    }
+    k
+}
+
+/// Net load capacitances (input-pin caps of all loads), with per-kind
+/// `(pin symbol, capacitance)` tables derived once per distinct cell kind.
+fn net_loads(module: &Module, lib: &Library) -> Result<Vec<f64>, StaError> {
+    let mut kind_caps: HashMap<Symbol, Vec<(Symbol, f64)>> = HashMap::new();
+    let mut net_load: Vec<f64> = vec![0.0; module.net_count()];
+    for (_, cell) in module.cells() {
+        let CellKind::Lib(kind) = cell.kind else { continue };
+        let caps = match kind_caps.entry(kind) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let lc = lib.cell(module.resolve(kind)).ok_or_else(|| StaError::UnknownCell {
+                    name: module.resolve(kind).to_owned(),
+                })?;
+                e.insert(
+                    lc.input_pins()
+                        .filter_map(|p| module.lookup_sym(&p.name).map(|s| (s, p.capacitance)))
+                        .collect(),
+                )
+            }
+        };
+        for &(pin, c) in cell.pins() {
+            if let Conn::Net(n) = c {
+                if let Some(&(_, cap)) = caps.iter().find(|&&(s, _)| s == pin) {
+                    net_load[n.index()] += cap;
+                }
+            }
+        }
+    }
+    Ok(net_load)
+}
+
+fn check_lib_cells(module: &Module, lib: &Library) -> Result<(), StaError> {
+    for (_, cell) in module.cells() {
+        if let KindRef::Lib(name) = cell.kind_ref() {
+            if lib.cell(name).is_none() {
+                return Err(StaError::UnknownCell {
+                    name: name.to_owned(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Shared read-only preparation for building many per-region subset
 /// graphs of one module (see [`TimingGraph::build_subset`]): connectivity
 /// and full-module net load capacitances are derived once and then shared
@@ -113,35 +215,11 @@ impl<'a> SubsetContext<'a> {
     /// # Errors
     /// Returns [`StaError`] for unknown cells or a malformed netlist.
     pub fn new(module: &'a Module, lib: &Library) -> Result<Self, StaError> {
-        for (_, cell) in module.cells() {
-            if let CellKind::Lib(name) = &cell.kind {
-                if lib.cell(name).is_none() {
-                    return Err(StaError::UnknownCell { name: name.clone() });
-                }
-            }
-        }
+        check_lib_cells(module, lib)?;
         let conn = module.connectivity(lib).map_err(|e| StaError::BadNetlist {
             message: e.to_string(),
         })?;
-        let mut net_load: Vec<f64> = vec![0.0; module.net_count()];
-        for (_, cell) in module.cells() {
-            if let CellKind::Lib(_) = &cell.kind {
-                let lc = lib
-                    .cell_of(&cell.kind)
-                    .ok_or_else(|| StaError::UnknownCell {
-                        name: cell.kind.name().to_owned(),
-                    })?;
-                for (pin, c) in cell.pins() {
-                    if let Conn::Net(n) = c {
-                        if let Some(p) = lc.pin(pin) {
-                            if p.dir == PortDir::Input {
-                                net_load[n.index()] += p.capacitance;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let net_load = net_loads(module, lib)?;
         Ok(SubsetContext {
             module,
             conn,
@@ -163,11 +241,12 @@ pub struct TimingGraph {
     pub(crate) out: Vec<Vec<EdgeId>>,
     pin_nodes: HashMap<(CellId, u32), NodeId>,
     port_nodes: HashMap<PortId, NodeId>,
-    cell_names: HashMap<String, CellId>,
-    /// Connected pins of each cell as `(name, pin index)` — a short
-    /// linear scan per cell beats hashing `(CellId, String)` keys, which
-    /// forced a `String` clone on every arc lookup.
-    cell_pins: HashMap<CellId, Vec<(String, u32)>>,
+    /// Clone of the module's symbol table (refcount bumps, not string
+    /// copies) so the string-facing `find_pin` API can resolve names.
+    syms: SymbolTable,
+    cell_ids: HashMap<Symbol, CellId>,
+    /// First pin index carrying each pin-name symbol on a cell.
+    pin_ids: HashMap<(CellId, Symbol), u32>,
 }
 
 impl TimingGraph {
@@ -198,13 +277,7 @@ impl TimingGraph {
         let module = design.module(id);
         // Verify library references up-front so unknown cells are reported
         // as such rather than as connectivity failures.
-        for (_, cell) in module.cells() {
-            if let CellKind::Lib(name) = &cell.kind {
-                if lib.cell(name).is_none() {
-                    return Err(StaError::UnknownCell { name: name.clone() });
-                }
-            }
-        }
+        check_lib_cells(module, lib)?;
         let dirs = design.pin_dirs(lib);
         let conn = module
             .connectivity(&dirs)
@@ -212,97 +285,26 @@ impl TimingGraph {
                 message: e.to_string(),
             })?;
 
-        let mut g = TimingGraph {
-            nodes: Vec::new(),
-            edges: Vec::new(),
-            out: Vec::new(),
-            pin_nodes: HashMap::new(),
-            port_nodes: HashMap::new(),
-            cell_names: HashMap::new(),
-            cell_pins: HashMap::new(),
-        };
-
-        // Net load capacitance (input-pin caps of all loads).
-        let mut net_load: Vec<f64> = vec![0.0; module.net_count()];
-        for (cid, cell) in module.cells() {
-            if let CellKind::Lib(_) = &cell.kind {
-                let lc = lib
-                    .cell_of(&cell.kind)
-                    .ok_or_else(|| StaError::UnknownCell {
-                        name: cell.kind.name().to_owned(),
-                    })?;
-                for (pin, c) in cell.pins() {
-                    if let Conn::Net(n) = c {
-                        if let Some(p) = lc.pin(pin) {
-                            if p.dir == PortDir::Input {
-                                net_load[n.index()] += p.capacitance;
-                            }
-                        }
-                    }
-                }
-            }
-            let _ = cid;
-        }
+        let mut g = TimingGraph::empty(module);
+        let net_load = net_loads(module, lib)?;
 
         // Nodes for ports.
         for (pid, port) in module.ports() {
-            let node = NodeId(g.nodes.len() as u32);
-            g.nodes.push(Node {
-                kind: NodeKind::Port(pid),
-                name: port.name.clone(),
-                disabled: false,
-                endpoint: port.dir != PortDir::Input,
-            });
-            g.port_nodes.insert(pid, node);
+            g.push_port_node(pid, port.name, port.dir);
         }
 
-        // Nodes for cell pins + intra-cell arcs.
+        // Nodes for cell pins + intra-cell arcs (arc pin names resolved
+        // once per distinct cell kind).
+        let mut kinds: HashMap<Symbol, KindArcs> = HashMap::new();
         for (cid, cell) in module.cells() {
-            g.cell_names.insert(cell.name.clone(), cid);
-            for (idx, (pin, c)) in cell.pins().iter().enumerate() {
-                if c.net().is_none() {
-                    continue;
+            g.push_cell_nodes(cid, cell);
+            match cell.kind {
+                CellKind::Lib(kind) => {
+                    let ka = kind_arcs(&mut kinds, module, lib, opts, kind)?;
+                    g.add_kind_arcs(module, cid, ka, &net_load);
                 }
-                let node = NodeId(g.nodes.len() as u32);
-                g.nodes.push(Node {
-                    kind: NodeKind::Pin {
-                        cell: cid,
-                        pin: idx as u32,
-                    },
-                    name: format!("{}/{}", cell.name, pin),
-                    disabled: false,
-                    endpoint: false,
-                });
-                g.pin_nodes.insert((cid, idx as u32), node);
-                g.cell_pins
-                    .entry(cid)
-                    .or_default()
-                    .push((pin.clone(), idx as u32));
-            }
-
-            match &cell.kind {
-                CellKind::Lib(_) => {
-                    let lc = lib.cell_of(&cell.kind).ok_or_else(|| StaError::UnknownCell {
-                        name: cell.kind.name().to_owned(),
-                    })?;
-                    g.add_lib_arcs(module, cid, lc, &net_load, opts)?;
-                    g.mark_seq_endpoints(cid, lc);
-                }
-                CellKind::Instance(name) => {
-                    if let Some(arcs) = opts.instance_arcs.get(name) {
-                        for (from, to, delay) in arcs {
-                            let (Some(fi), Some(ti)) =
-                                (g.pin_index(cid, from), g.pin_index(cid, to))
-                            else {
-                                continue;
-                            };
-                            let f = g.pin_nodes[&(cid, fi)];
-                            let t = g.pin_nodes[&(cid, ti)];
-                            g.push_edge(f, t, *delay, EdgeKind::CellArc);
-                        }
-                    }
-                    // Without arcs, the instance is an opaque boundary: its
-                    // inputs are endpoints, its outputs sources.
+                CellKind::Instance(kind) => {
+                    g.add_instance_arcs(module, cid, kind, opts);
                 }
             }
         }
@@ -343,73 +345,25 @@ impl TimingGraph {
         cells: &[CellId],
     ) -> Result<Self, StaError> {
         let module = cx.module;
-        let mut g = TimingGraph {
-            nodes: Vec::new(),
-            edges: Vec::new(),
-            out: Vec::new(),
-            pin_nodes: HashMap::new(),
-            port_nodes: HashMap::new(),
-            cell_names: HashMap::new(),
-            cell_pins: HashMap::new(),
-        };
+        let mut g = TimingGraph::empty(module);
 
         // Nodes for ports (zero-arrival sources / output endpoints).
         for (pid, port) in module.ports() {
-            let node = NodeId(g.nodes.len() as u32);
-            g.nodes.push(Node {
-                kind: NodeKind::Port(pid),
-                name: port.name.clone(),
-                disabled: false,
-                endpoint: port.dir != PortDir::Input,
-            });
-            g.port_nodes.insert(pid, node);
+            g.push_port_node(pid, port.name, port.dir);
         }
 
         // Nodes and arcs for the subset cells only.
+        let mut kinds: HashMap<Symbol, KindArcs> = HashMap::new();
         for &cid in cells {
             let cell = module.cell(cid);
-            g.cell_names.insert(cell.name.clone(), cid);
-            for (idx, (pin, c)) in cell.pins().iter().enumerate() {
-                if c.net().is_none() {
-                    continue;
+            g.push_cell_nodes(cid, cell);
+            match cell.kind {
+                CellKind::Lib(kind) => {
+                    let ka = kind_arcs(&mut kinds, module, lib, opts, kind)?;
+                    g.add_kind_arcs(module, cid, ka, &cx.net_load);
                 }
-                let node = NodeId(g.nodes.len() as u32);
-                g.nodes.push(Node {
-                    kind: NodeKind::Pin {
-                        cell: cid,
-                        pin: idx as u32,
-                    },
-                    name: format!("{}/{}", cell.name, pin),
-                    disabled: false,
-                    endpoint: false,
-                });
-                g.pin_nodes.insert((cid, idx as u32), node);
-                g.cell_pins
-                    .entry(cid)
-                    .or_default()
-                    .push((pin.clone(), idx as u32));
-            }
-            match &cell.kind {
-                CellKind::Lib(_) => {
-                    let lc = lib.cell_of(&cell.kind).ok_or_else(|| StaError::UnknownCell {
-                        name: cell.kind.name().to_owned(),
-                    })?;
-                    g.add_lib_arcs(module, cid, lc, &cx.net_load, opts)?;
-                    g.mark_seq_endpoints(cid, lc);
-                }
-                CellKind::Instance(name) => {
-                    if let Some(arcs) = opts.instance_arcs.get(name) {
-                        for (from, to, delay) in arcs {
-                            let (Some(fi), Some(ti)) =
-                                (g.pin_index(cid, from), g.pin_index(cid, to))
-                            else {
-                                continue;
-                            };
-                            let f = g.pin_nodes[&(cid, fi)];
-                            let t = g.pin_nodes[&(cid, ti)];
-                            g.push_edge(f, t, *delay, EdgeKind::CellArc);
-                        }
-                    }
+                CellKind::Instance(kind) => {
+                    g.add_instance_arcs(module, cid, kind, opts);
                 }
             }
         }
@@ -421,9 +375,9 @@ impl TimingGraph {
             touched.push(port.net);
         }
         for &cid in cells {
-            for (_, c) in module.cell(cid).pins() {
+            for &(_, c) in module.cell_pins(cid) {
                 if let Conn::Net(n) = c {
-                    touched.push(*n);
+                    touched.push(n);
                 }
             }
         }
@@ -441,15 +395,99 @@ impl TimingGraph {
         Ok(g)
     }
 
-    /// Resolves a pin name to its index within `cid`'s pin list without
-    /// allocating — cells have a handful of pins, so a linear scan wins
-    /// over a string-keyed hash lookup.
-    fn pin_index(&self, cid: CellId, pin: &str) -> Option<u32> {
-        self.cell_pins
-            .get(&cid)?
-            .iter()
-            .find(|(name, _)| name == pin)
-            .map(|&(_, idx)| idx)
+    fn empty(module: &Module) -> Self {
+        TimingGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            pin_nodes: HashMap::new(),
+            port_nodes: HashMap::new(),
+            syms: module.symbols().clone(),
+            cell_ids: HashMap::new(),
+            pin_ids: HashMap::new(),
+        }
+    }
+
+    fn push_port_node(&mut self, pid: PortId, name: &str, dir: PortDir) {
+        let node = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Port(pid),
+            name: name.to_owned(),
+            disabled: false,
+            endpoint: dir != PortDir::Input,
+        });
+        self.port_nodes.insert(pid, node);
+    }
+
+    /// Creates nodes for every net-connected pin of `cell`.
+    fn push_cell_nodes(&mut self, cid: CellId, cell: drd_netlist::Cell<'_>) {
+        self.cell_ids.insert(cell.name_sym(), cid);
+        for (idx, &(pin, c)) in cell.pins().iter().enumerate() {
+            if c.net().is_none() {
+                continue;
+            }
+            let node = NodeId(self.nodes.len() as u32);
+            self.nodes.push(Node {
+                kind: NodeKind::Pin {
+                    cell: cid,
+                    pin: idx as u32,
+                },
+                name: format!("{}/{}", cell.name, cell.pin_name(idx)),
+                disabled: false,
+                endpoint: false,
+            });
+            self.pin_nodes.insert((cid, idx as u32), node);
+            self.pin_ids.entry((cid, pin)).or_insert(idx as u32);
+        }
+    }
+
+    /// Replays a kind's prepared arcs onto one instance and marks its
+    /// sequential data inputs as endpoints.
+    fn add_kind_arcs(&mut self, module: &Module, cid: CellId, ka: &KindArcs, net_load: &[f64]) {
+        for &(from_sym, to_sym, intrinsic, res) in &ka.arcs {
+            let (Some(&fi), Some(&ti)) = (
+                self.pin_ids.get(&(cid, from_sym)),
+                self.pin_ids.get(&(cid, to_sym)),
+            ) else {
+                continue;
+            };
+            let from = self.pin_nodes[&(cid, fi)];
+            let to = self.pin_nodes[&(cid, ti)];
+            // Load-dependent delay on the output pin.
+            let load = module.cell_pins(cid)[ti as usize]
+                .1
+                .net()
+                .map(|n| net_load[n.index()])
+                .unwrap_or(0.0);
+            self.push_edge(from, to, intrinsic + res * load, EdgeKind::CellArc);
+        }
+        for &s in &ka.endpoints {
+            if let Some(&pi) = self.pin_ids.get(&(cid, s)) {
+                let node = self.pin_nodes[&(cid, pi)];
+                self.nodes[node.0 as usize].endpoint = true;
+            }
+        }
+    }
+
+    /// Adds black-box arcs of a module instance from
+    /// [`GraphOptions::instance_arcs`]. Without arcs the instance is an
+    /// opaque boundary: its inputs are endpoints, its outputs sources.
+    fn add_instance_arcs(&mut self, module: &Module, cid: CellId, kind: Symbol, opts: &GraphOptions) {
+        let Some(arcs) = opts.instance_arcs.get(module.resolve(kind)) else {
+            return;
+        };
+        for (from, to, delay) in arcs {
+            let (Some(f), Some(t)) = (self.pin_node(cid, from), self.pin_node(cid, to)) else {
+                continue;
+            };
+            self.push_edge(f, t, *delay, EdgeKind::CellArc);
+        }
+    }
+
+    /// Resolves `cid`'s pin by name through the interned symbol table.
+    fn pin_node(&self, cid: CellId, pin: &str) -> Option<NodeId> {
+        let pi = *self.pin_ids.get(&(cid, self.syms.lookup(pin)?))?;
+        self.pin_nodes.get(&(cid, pi)).copied()
     }
 
     fn endpoint_node(&self, e: Endpoint) -> Option<NodeId> {
@@ -474,74 +512,6 @@ impl TimingGraph {
         self.out[from.0 as usize].push(id);
     }
 
-    fn add_lib_arcs(
-        &mut self,
-        module: &Module,
-        cid: CellId,
-        lc: &drd_liberty::LibCell,
-        net_load: &[f64],
-        opts: &GraphOptions,
-    ) -> Result<(), StaError> {
-        let cell = module.cell(cid);
-        // Which input pins launch paths through this cell?
-        let blocked_from: Option<&str> = match &lc.seq {
-            SeqKind::None | SeqKind::CElement { .. } => None,
-            SeqKind::FlipFlop(ff) => Some(ff.clocked_on.as_str()),
-            SeqKind::Latch(l) => Some(l.enable.as_str()),
-        };
-        let is_latch = matches!(lc.seq, SeqKind::Latch(_));
-        for arc in &lc.arcs {
-            let through_clock = Some(arc.from.as_str()) == blocked_from;
-            let allowed = match &lc.seq {
-                SeqKind::None | SeqKind::CElement { .. } => true,
-                SeqKind::FlipFlop(_) => opts.include_clock_to_q && through_clock,
-                SeqKind::Latch(_) => {
-                    (through_clock && opts.include_clock_to_q)
-                        || (!through_clock && (opts.latch_transparent && is_latch))
-                }
-            };
-            if !allowed {
-                continue;
-            }
-            let (Some(fi), Some(ti)) = (
-                self.pin_index(cid, &arc.from),
-                self.pin_index(cid, &arc.to),
-            ) else {
-                continue;
-            };
-            let from = self.pin_nodes[&(cid, fi)];
-            let to = self.pin_nodes[&(cid, ti)];
-            // Load-dependent delay on the output pin.
-            let load = cell.pins()[ti as usize]
-                .1
-                .net()
-                .map(|n| net_load[n.index()])
-                .unwrap_or(0.0);
-            let res = lc.pin(&arc.to).map(|p| p.drive_resistance).unwrap_or(0.0);
-            let delay = arc.rise.max(arc.fall) + res * load;
-            self.push_edge(from, to, delay, EdgeKind::CellArc);
-        }
-        Ok(())
-    }
-
-    /// Marks sequential data inputs as endpoints.
-    fn mark_seq_endpoints(&mut self, cid: CellId, lc: &drd_liberty::LibCell) {
-        let clockish: &str = match &lc.seq {
-            SeqKind::None | SeqKind::CElement { .. } => return,
-            SeqKind::FlipFlop(ff) => &ff.clocked_on,
-            SeqKind::Latch(l) => &l.enable,
-        };
-        for pin in lc.input_pins() {
-            if pin.name == clockish {
-                continue;
-            }
-            if let Some(pi) = self.pin_index(cid, &pin.name) {
-                let node = self.pin_nodes[&(cid, pi)];
-                self.nodes[node.0 as usize].endpoint = true;
-            }
-        }
-    }
-
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -564,9 +534,8 @@ impl TimingGraph {
 
     /// Finds the node of `instance/pin`.
     pub fn find_pin(&self, cell: &str, pin: &str) -> Option<NodeId> {
-        let cid = *self.cell_names.get(cell)?;
-        let pi = self.pin_index(cid, pin)?;
-        self.pin_nodes.get(&(cid, pi)).copied()
+        let cid = *self.cell_ids.get(&self.syms.lookup(cell)?)?;
+        self.pin_node(cid, pin)
     }
 
     /// Disables timing through `instance/pin` (the paper's
@@ -610,6 +579,25 @@ impl TimingGraph {
             .map(|&eid| (eid, &self.edges[eid.0 as usize]))
             .filter(|(_, e)| !e.disabled)
     }
+}
+
+/// Fetches (building on first use) the prepared arcs of `kind`.
+fn kind_arcs<'a>(
+    kinds: &'a mut HashMap<Symbol, KindArcs>,
+    module: &Module,
+    lib: &Library,
+    opts: &GraphOptions,
+    kind: Symbol,
+) -> Result<&'a KindArcs, StaError> {
+    Ok(match kinds.entry(kind) {
+        Entry::Occupied(e) => e.into_mut(),
+        Entry::Vacant(e) => {
+            let lc = lib.cell(module.resolve(kind)).ok_or_else(|| StaError::UnknownCell {
+                name: module.resolve(kind).to_owned(),
+            })?;
+            e.insert(prepare_kind(module, lc, opts))
+        }
+    })
 }
 
 #[cfg(test)]

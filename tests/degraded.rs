@@ -149,7 +149,10 @@ fn partially_degraded_dlx_small_is_flow_equivalent_elsewhere() {
     assert_eq!(victim.seq_cells.len(), 1, "{:?}", victim.seq_cells);
     let ff_name = victim.seq_cells[0].clone();
     let id = module.find_cell(&ff_name).expect("victim FF exists");
-    let mut pins: Vec<(String, Conn)> = module.cell(id).pins().to_vec();
+    let cell = module.cell(id);
+    let mut pins: Vec<(String, Conn)> = (0..cell.pins().len())
+        .map(|i| (cell.pin_name(i).to_owned(), cell.pins()[i].1))
+        .collect();
     pins.push(("RN".to_owned(), Conn::Const1));
     module.remove_cell(id);
     let pin_refs: Vec<(&str, Conn)> = pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();

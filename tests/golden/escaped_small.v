@@ -4,7 +4,11 @@ module escaped_small ( \clk[0] , din, dout);
   output dout;
   wire \q+0 ;
   wire \n-1 ;
+  wire \bus[3][4] ;
+  wire \a$b ;
   DFFX1 \r.in (.D(din), .CK(\clk[0] ), .Q(\q+0 ));
   INVX1 \c#1 (.A(\q+0 ), .Z(\n-1 ));
-  DFFX1 r1 (.D(\n-1 ), .CK(\clk[0] ), .Q(dout));
+  INVX1 \g!2 (.A(\n-1 ), .Z(\bus[3][4] ));
+  INVX1 \u$3 (.A(\bus[3][4] ), .Z(\a$b ));
+  DFFX1 r1 (.D(\a$b ), .CK(\clk[0] ), .Q(dout));
 endmodule

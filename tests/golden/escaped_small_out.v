@@ -5,6 +5,8 @@ module escaped_small (clk, din, dout, drd_rst);
   input drd_rst;
   wire q_0;
   wire n_1;
+  wire [4:4] bus_3_;
+  wire a$b;
   wire drd_g1_gm;
   wire drd_g1_gs;
   wire r1__qm;
@@ -21,8 +23,8 @@ module escaped_small (clk, din, dout, drd_rst);
   wire drd_g0_ais;
   wire drd_g1_rim;
   wire drd_g0_rim;
-  INVX1 c_1 (.A(q_0), .Z(n_1));
-  LDX1 r1_lm (.D(n_1), .G(drd_g1_gm), .Q(r1__qm));
+  INVX1 u$3 (.A(q_0), .Z(a$b));
+  LDX1 r1_lm (.D(a$b), .G(drd_g1_gm), .Q(r1__qm));
   LDX1 r1_ls (.D(r1__qm), .G(drd_g1_gs), .Q(dout));
   LDX1 r_in_lm (.D(din), .G(drd_g0_gm), .Q(r_in__qm));
   LDX1 r_in_ls (.D(r_in__qm), .G(drd_g0_gs), .Q(q_0));

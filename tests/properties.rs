@@ -100,7 +100,7 @@ fn desynchronization_structural_invariants() {
     let lib = vlib90::high_speed();
     prop(16, pipeline_strategy(3, 4), |(stages, width, taps)| {
         let m = pipeline(*stages, *width, taps);
-        let ff_count = m.cells().filter(|(_, c)| c.kind.name() == "DFFX1").count();
+        let ff_count = m.cells().filter(|(_, c)| c.kind_name() == "DFFX1").count();
         let tool = Desynchronizer::new(&lib).map_err(|e| e.to_string())?;
         let result = tool
             .run(&m, &DesyncOptions::default())
@@ -122,7 +122,7 @@ fn desynchronization_structural_invariants() {
         // No flip-flops remain.
         let dffs = flat
             .cells()
-            .filter(|(_, c)| c.kind.name().starts_with("DFF"))
+            .filter(|(_, c)| c.kind_name().starts_with("DFF"))
             .count();
         if dffs != 0 {
             return Err(format!("{dffs} flip-flops remain"));

@@ -1,0 +1,60 @@
+//! `Symbol` stability across parse → flow → write: symbols recorded on
+//! the parsed input module still resolve to the same bytes in the flow
+//! output (the flow clones the module, so its interner travels with it),
+//! and the exported Verilog spells every surviving name identically.
+
+use std::path::PathBuf;
+
+use drdesync::core::Desynchronizer;
+use drdesync::netlist::Symbol;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn symbols_survive_parse_flow_write() {
+    let src = std::fs::read_to_string(golden_dir().join("escaped_small.v")).expect("input reads");
+    let module = drdesync::netlist::verilog::parse_module(&src).expect("input parses");
+
+    // Record every name boundary-crossing symbol on the parsed module.
+    let mut recorded: Vec<(Symbol, String)> = Vec::new();
+    for (id, net) in module.nets() {
+        recorded.push((module.net_sym(id), net.name.to_owned()));
+    }
+    for (id, cell) in module.cells() {
+        recorded.push((module.cell_sym(id), cell.name.to_owned()));
+    }
+    assert!(recorded.len() > 4, "fixture is non-trivial");
+
+    let lib = drdesync::liberty::vlib90::high_speed();
+    let tool = Desynchronizer::new(&lib).expect("tool builds");
+    let result = tool
+        .run(&module, &drdesync::core::DesyncOptions::default())
+        .expect("desync runs");
+
+    // The flow mutates a clone of the input module, so every recorded
+    // symbol must still resolve to the exact same bytes in the output.
+    let out = result.design.top_module();
+    for (sym, name) in &recorded {
+        assert_eq!(
+            out.symbols().resolve(*sym),
+            name.as_str(),
+            "symbol for `{name}` drifted through the flow"
+        );
+    }
+
+    // Names that survive into the output netlist are spelled identically
+    // at the write boundary (modulo Verilog escaping, which the reparse
+    // strips again).
+    let text = drdesync::netlist::verilog::write_design(&result.design);
+    let back = drdesync::netlist::verilog::parse_design(&text).expect("output reparses");
+    let back_top = back.top_module();
+    let mut survived = 0usize;
+    for (_, name) in &recorded {
+        if out.find_net(name).is_some() && back_top.find_net(name).is_some() {
+            survived += 1;
+        }
+    }
+    assert!(survived >= 2, "escaped input nets survive to the output: {survived}");
+}
