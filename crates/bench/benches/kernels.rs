@@ -41,6 +41,15 @@ fn main() {
     b.run("verilog_parse_dlx_full", || {
         drd_netlist::verilog::parse_design(std::hint::black_box(&text)).unwrap()
     });
+    // The frozen pre-streaming front end on the same input: the
+    // `*_legacy / *` mean ratio is the streaming speedup, measured
+    // in-process so it is host-independent (see scripts/verify.sh).
+    b.run("verilog_write_dlx_full_legacy", || {
+        drd_netlist::verilog::legacy::write_design(std::hint::black_box(&design))
+    });
+    b.run("verilog_parse_dlx_full_legacy", || {
+        drd_netlist::verilog::legacy::parse_design(std::hint::black_box(&text)).unwrap()
+    });
 
     // Region grouping on the full DLX.
     b.run("grouping_dlx_full", || {

@@ -26,9 +26,19 @@ pub enum NetlistError {
         net: String,
     },
     /// A syntax error from the structural Verilog reader.
+    ///
+    /// The span points at the token where the error was detected in the
+    /// *borrowed input buffer*: `offset` is the byte offset, `line`/`col`
+    /// the 1-based position derived from it. Producers that only know a
+    /// line (e.g. the legacy front end) set `col` and `offset` to 0;
+    /// [`std::fmt::Display`] then omits them.
     Parse {
         /// 1-based line where the error was detected.
         line: usize,
+        /// 1-based character column within the line (0 if unknown).
+        col: usize,
+        /// Byte offset of the offending token in the input (0 if unknown).
+        offset: usize,
         /// Human-readable description.
         message: String,
     },
@@ -53,8 +63,17 @@ impl fmt::Display for NetlistError {
             NetlistError::MultipleDrivers { net } => {
                 write!(f, "net `{net}` has multiple drivers")
             }
-            NetlistError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            NetlistError::Parse {
+                line,
+                col,
+                offset: _,
+                message,
+            } => {
+                if *col > 0 {
+                    write!(f, "parse error at line {line}:{col}: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
             }
             NetlistError::Unsupported { line, message } => {
                 write!(f, "unsupported construct at line {line}: {message}")
@@ -78,9 +97,19 @@ mod tests {
         assert_eq!(e.to_string(), "duplicate net name `clk`");
         let e = NetlistError::Parse {
             line: 3,
+            col: 0,
+            offset: 0,
             message: "expected `;`".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        // With a known column the span is printed as line:col.
+        let e = NetlistError::Parse {
+            line: 3,
+            col: 7,
+            offset: 42,
+            message: "expected `;`".into(),
+        };
+        assert!(e.to_string().contains("line 3:7"));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod bus;
 mod design;
 mod error;
 mod flatten;
+pub mod hash;
 mod ids;
 mod module;
 pub mod passes;

@@ -297,6 +297,27 @@ impl Module {
         }
     }
 
+    /// Pre-sizes the symbol table and the net/cell/pin stores for a module
+    /// expected to hold roughly the given counts. Purely an allocation
+    /// hint (used by the Verilog parser, which estimates from source
+    /// length); under- or over-estimating is always safe.
+    pub fn reserve(&mut self, syms: usize, nets: usize, cells: usize, pins: usize) {
+        if self.syms.is_empty() && syms > 0 {
+            self.syms = SymbolTable::with_capacity(syms);
+        }
+        self.net_name.reserve(nets);
+        self.net_bus.reserve(nets);
+        self.cell_name.reserve(cells);
+        self.cell_kind.reserve(cells);
+        self.cell_size_only.reserve(cells);
+        self.cell_alive.reserve(cells);
+        self.pin_start.reserve(cells);
+        self.pin_len.reserve(cells);
+        self.pins.reserve(pins);
+        self.sym_net.reserve(syms);
+        self.sym_cell.reserve(syms);
+    }
+
     // ---- symbols --------------------------------------------------------
 
     /// Interns `name` in this module's symbol table.
@@ -360,6 +381,77 @@ impl Module {
         self.net_name.push(sym);
         self.net_bus.push(bus);
         Ok(id)
+    }
+
+    /// The net named `name`, creating it if it does not exist yet.
+    ///
+    /// One symbol-table probe on the hit path — this is the parser's
+    /// implicit-net fast path (`find_net` + `add_net` would intern and
+    /// hash the name twice).
+    pub fn get_or_add_net(&mut self, name: &str) -> NetId {
+        let sym = self.syms.intern(name);
+        self.get_or_add_net_sym(sym, name)
+    }
+
+    /// [`Module::get_or_add_net`] for a name the caller has already
+    /// interned — zero symbol-table probes on the hit path. `name` must be
+    /// the string of `sym`.
+    pub fn get_or_add_net_sym(&mut self, sym: Symbol, name: &str) -> NetId {
+        debug_assert_eq!(self.syms.resolve(sym), name);
+        if let Some(i) = slot_get(&self.sym_net, sym) {
+            return NetId::from_index(i as usize);
+        }
+        let id = NetId::from_index(self.net_name.len());
+        let bus = crate::bus::parse_bus_bit(name)
+            .map(|(base, index)| (self.syms.intern(base), index));
+        slot_set(&mut self.sym_net, sym, id.index() as u32);
+        self.net_name.push(sym);
+        self.net_bus.push(bus);
+        id
+    }
+
+    /// [`Module::get_or_add_net`] for a net the caller already knows is
+    /// bit `index` of bus `base` — the create path records the bus
+    /// membership directly instead of re-parsing (and re-interning the
+    /// base of) the composed name. `name` must be the `base[index]`
+    /// composition of the other two arguments.
+    pub fn get_or_add_bus_net(&mut self, name: &str, base: Symbol, index: i64) -> NetId {
+        debug_assert_eq!(
+            crate::bus::parse_bus_bit(name).filter(|&(_, i)| i >= 0),
+            if index >= 0 {
+                Some((self.syms.resolve(base), index))
+            } else {
+                None
+            }
+        );
+        let sym = self.syms.intern(name);
+        if let Some(i) = slot_get(&self.sym_net, sym) {
+            return NetId::from_index(i as usize);
+        }
+        let id = NetId::from_index(self.net_name.len());
+        // `parse_bus_bit` treats a negative index as "not a bus bit";
+        // mirror that so both creation paths agree.
+        let bus = (index >= 0).then_some((base, index));
+        slot_set(&mut self.sym_net, sym, id.index() as u32);
+        self.net_name.push(sym);
+        self.net_bus.push(bus);
+        id
+    }
+
+    /// [`Module::get_or_add_net_sym`] when only the symbol is at hand; the
+    /// name is resolved from the table on the (rare) create path.
+    pub fn get_or_add_net_interned(&mut self, sym: Symbol) -> NetId {
+        if let Some(i) = slot_get(&self.sym_net, sym) {
+            return NetId::from_index(i as usize);
+        }
+        let name = self.syms.resolve_arc(sym);
+        let id = NetId::from_index(self.net_name.len());
+        let bus = crate::bus::parse_bus_bit(&name)
+            .map(|(base, index)| (self.syms.intern(base), index));
+        slot_set(&mut self.sym_net, sym, id.index() as u32);
+        self.net_name.push(sym);
+        self.net_bus.push(bus);
+        id
     }
 
     /// Adds a net with a unique name starting with `prefix`.
@@ -569,6 +661,46 @@ impl Module {
         self.pin_start.push(start);
         self.pin_len.push(pins.len() as u32);
         Ok(id)
+    }
+
+    /// Adds a cell whose pin names are already interned in this module's
+    /// symbol table (the streaming parser's path: pin symbols are produced
+    /// at lex time, so the pin slice is copied straight into the flat pin
+    /// arena with no per-pin re-hash).
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::DuplicateName`] if the instance name exists.
+    pub fn add_cell_interned(
+        &mut self,
+        name: impl AsRef<str>,
+        kind: CellKind,
+        pins: &[(Symbol, Conn)],
+    ) -> Result<CellId, NetlistError> {
+        let name = name.as_ref();
+        let sym = self.syms.intern(name);
+        if slot_get(&self.sym_cell, sym).is_some() {
+            return Err(NetlistError::DuplicateName {
+                kind: "cell",
+                name: name.to_owned(),
+            });
+        }
+        let id = CellId::from_index(self.cell_name.len());
+        slot_set(&mut self.sym_cell, sym, id.index() as u32);
+        let start = self.pins.len() as u32;
+        self.pins.extend_from_slice(pins);
+        self.cell_name.push(sym);
+        self.cell_kind.push(kind);
+        self.cell_size_only.push(false);
+        self.cell_alive.push(true);
+        self.pin_start.push(start);
+        self.pin_len.push(pins.len() as u32);
+        Ok(id)
+    }
+
+    /// Total number of pin-arena entries (including pins of dead cells).
+    /// Used by the writer to preallocate its output buffer.
+    pub fn pin_table_len(&self) -> usize {
+        self.pins.len()
     }
 
     /// Returns a cell name starting with `prefix` that is not yet in use.

@@ -12,8 +12,9 @@
 //! name minting quadratic when the input netlist already contained a
 //! dense `prefix_N` range).
 
-use std::collections::HashMap;
 use std::sync::Arc;
+
+use crate::hash::FastHashMap;
 
 /// An interned name: a dense index into a [`SymbolTable`].
 ///
@@ -61,49 +62,122 @@ struct UniqueHint {
 
 /// An append-only interner mapping names to dense [`Symbol`] ids.
 ///
-/// Names are stored as `Arc<str>` so the lookup map shares the allocation
-/// with the id → name vector; a clone of the table (e.g. for the simulator)
-/// costs one refcount bump per name, not a reallocation.
+/// Names are stored as `Arc<str>`, so a clone of the table (e.g. for the
+/// simulator) costs one refcount bump per name, not a reallocation. The
+/// lookup side is a hand-rolled open-addressed probe table over the name
+/// vector with the hash of every name memoized: an intern hit is one fast
+/// hash plus (usually) one probe, an intern miss inserts without
+/// re-hashing, and growing rehashes nothing — this is the hottest loop of
+/// the streaming Verilog front end, where every identifier occurrence in
+/// the source buffer lands.
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
     names: Vec<Arc<str>>,
-    map: HashMap<Arc<str>, Symbol>,
+    /// Memoized hash of each name, indexed like `names`.
+    hashes: Vec<u64>,
+    /// Open-addressed (linear probe) index: bucket → symbol index, with
+    /// [`EMPTY`] for free buckets. Length is always a power of two (or 0
+    /// for a never-used table); grown at 3/4 load.
+    buckets: Vec<u32>,
     /// `(namespace, prefix symbol)` → probe-start hint for `prefix_{N}`
     /// uniquing. Hints are advisory: a stale hint (epoch mismatch after
     /// names were freed) falls back to the caller's base counter.
-    unique_hints: HashMap<(UniqueSpace, Symbol), UniqueHint>,
+    unique_hints: FastHashMap<(UniqueSpace, Symbol), UniqueHint>,
     /// Bumped whenever a previously-taken name becomes free again
     /// (cell removal); invalidates all hints recorded before.
     epoch: u64,
 }
 
+/// Free-bucket sentinel. Symbol indices are bounded well below it by the
+/// grow policy (the table would exceed memory long before 2^32 names).
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn hash_name(name: &str) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = crate::hash::FastHasher::default();
+    h.write(name.as_bytes());
+    h.finish()
+}
+
 impl SymbolTable {
     /// An empty table sized for `capacity` names.
     pub fn with_capacity(capacity: usize) -> Self {
+        let buckets = (capacity * 4 / 3 + 1).next_power_of_two().max(16);
         SymbolTable {
             names: Vec::with_capacity(capacity),
-            map: HashMap::with_capacity(capacity),
-            unique_hints: HashMap::new(),
+            hashes: Vec::with_capacity(capacity),
+            buckets: vec![EMPTY; buckets],
+            unique_hints: FastHashMap::default(),
             epoch: 0,
         }
     }
 
     /// Interns `name`, returning its (new or existing) symbol.
     pub fn intern(&mut self, name: &str) -> Symbol {
-        if let Some(&sym) = self.map.get(name) {
-            return sym;
+        if self.buckets.is_empty() {
+            self.buckets = vec![EMPTY; 16];
         }
-        let arc: Arc<str> = Arc::from(name);
+        let hash = hash_name(name);
+        let mask = self.buckets.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = self.buckets[i];
+            if slot == EMPTY {
+                break;
+            }
+            let s = slot as usize;
+            if self.hashes[s] == hash && &*self.names[s] == name {
+                return Symbol(slot);
+            }
+            i = (i + 1) & mask;
+        }
         let sym = Symbol::from_index(self.names.len());
-        self.names.push(Arc::clone(&arc));
-        self.map.insert(arc, sym);
+        self.names.push(Arc::from(name));
+        self.hashes.push(hash);
+        self.buckets[i] = sym.0;
+        if self.names.len() * 4 >= self.buckets.len() * 3 {
+            self.grow();
+        }
         sym
+    }
+
+    /// Doubles the bucket array, re-placing every symbol by its memoized
+    /// hash (no string is re-hashed).
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mask = new_len - 1;
+        let mut buckets = vec![EMPTY; new_len];
+        for (s, &hash) in self.hashes.iter().enumerate() {
+            let mut i = (hash as usize) & mask;
+            while buckets[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            buckets[i] = s as u32;
+        }
+        self.buckets = buckets;
     }
 
     /// The symbol of `name`, if already interned.
     #[inline]
     pub fn lookup(&self, name: &str) -> Option<Symbol> {
-        self.map.get(name).copied()
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let hash = hash_name(name);
+        let mask = self.buckets.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = self.buckets[i];
+            if slot == EMPTY {
+                return None;
+            }
+            let s = slot as usize;
+            if self.hashes[s] == hash && &*self.names[s] == name {
+                return Some(Symbol(slot));
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// The string of `sym`.
@@ -113,6 +187,16 @@ impl SymbolTable {
     #[inline]
     pub fn resolve(&self, sym: Symbol) -> &str {
         &self.names[sym.index()]
+    }
+
+    /// The string of `sym` as a shared handle (one refcount bump), for
+    /// callers that need the name while mutating the table.
+    ///
+    /// # Panics
+    /// Panics if `sym` came from a different table.
+    #[inline]
+    pub fn resolve_arc(&self, sym: Symbol) -> Arc<str> {
+        Arc::clone(&self.names[sym.index()])
     }
 
     /// Number of distinct interned names.

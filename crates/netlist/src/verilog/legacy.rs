@@ -1,0 +1,1246 @@
+//! Frozen copy of the PR 4–7 token-vector Verilog front end.
+//!
+//! The streaming zero-copy front end (`super::lexer`/`super::parser`/
+//! `super::writer`) replaced this implementation. The old one is kept
+//! compiled for one release as the baseline of the differential
+//! parser-equivalence suite (`tests/differential_frontend.rs`) and of the
+//! `verilog_{parse,write}_dlx_full_legacy` bench kernels: old and new front
+//! ends must produce structurally identical `Design`s on every accepted
+//! input and must agree on rejection everywhere else.
+//!
+//! Behavioural quirk preserved on purpose: this parser forwards duplicate
+//! module names straight into `Design::insert`, which panics. The new
+//! parser reports `NetlistError::DuplicateName` instead; the differential
+//! harness treats legacy-panic and new-error as equivalent rejection.
+//!
+//! Compiled only under `cfg(test)` or the `legacy-parser` feature. Do not
+//! fix bugs here — fix them in the streaming front end and record the
+//! divergence in the differential suite if observable.
+
+pub use parser::{parse_design, parse_module};
+pub use writer::{write_design, write_module};
+
+mod lexer {
+    use crate::NetlistError;
+
+    /// A lexical token with its source line (1-based).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub(super) struct Token {
+        pub kind: TokenKind,
+        pub line: usize,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub(super) enum TokenKind {
+        /// Identifier or keyword. Escaped identifiers (`\foo `) arrive with
+        /// the backslash stripped and `escaped == true`.
+        Id { name: String, escaped: bool },
+        /// A sized constant such as `1'b0` or `8'hFF`: (width, base, digits).
+        SizedConst {
+            width: u32,
+            base: char,
+            digits: String,
+        },
+        /// A bare unsigned decimal number (used in ranges and indices).
+        Number(u64),
+        /// Single-character punctuation: `( ) [ ] { } , ; : . =` etc.
+        Punct(char),
+        Eof,
+    }
+
+    impl TokenKind {
+        pub fn describe(&self) -> String {
+            match self {
+                TokenKind::Id { name, .. } => format!("identifier `{name}`"),
+                TokenKind::SizedConst { width, base, digits } => {
+                    format!("constant `{width}'{base}{digits}`")
+                }
+                TokenKind::Number(n) => format!("number `{n}`"),
+                TokenKind::Punct(c) => format!("`{c}`"),
+                TokenKind::Eof => "end of file".to_owned(),
+            }
+        }
+    }
+
+    /// Tokenizes `source`, skipping `//`, `/* */` comments and attributes
+    /// `(* ... *)`.
+    pub(super) fn tokenize(source: &str) -> Result<Vec<Token>, NetlistError> {
+        let mut tokens = Vec::new();
+        let bytes = source.as_bytes();
+        let mut i = 0;
+        let mut line = 1;
+        let n = bytes.len();
+        while i < n {
+            let c = bytes[i] as char;
+            match c {
+                '\n' => {
+                    line += 1;
+                    i += 1;
+                }
+                ' ' | '\t' | '\r' => i += 1,
+                '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                    while i < n && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                }
+                '/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                    i += 2;
+                    loop {
+                        if i + 1 >= n {
+                            return Err(NetlistError::Parse {
+                                line,
+                                col: 0,
+                                offset: 0,
+                                message: "unterminated block comment".into(),
+                            });
+                        }
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                '(' if i + 1 < n && bytes[i + 1] == b'*' => {
+                    // Attribute instance `(* ... *)` — skipped.
+                    i += 2;
+                    loop {
+                        if i + 1 >= n {
+                            return Err(NetlistError::Parse {
+                                line,
+                                col: 0,
+                                offset: 0,
+                                message: "unterminated attribute".into(),
+                            });
+                        }
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                '\\' => {
+                    // Escaped identifier: up to the next whitespace. Only
+                    // ASCII whitespace terminates (per the LRM).
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < n && !bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j == start {
+                        return Err(NetlistError::Parse {
+                            line,
+                            col: 0,
+                            offset: 0,
+                            message: "empty escaped identifier".into(),
+                        });
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Id {
+                            name: source[start..j].to_owned(),
+                            escaped: true,
+                        },
+                        line,
+                    });
+                    i = j;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                    let start = i;
+                    while i < n {
+                        let c = bytes[i] as char;
+                        if c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.' {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Id {
+                            name: source[start..i].to_owned(),
+                            escaped: false,
+                        },
+                        line,
+                    });
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    while i < n && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let value: u64 =
+                        source[start..i]
+                            .parse()
+                            .map_err(|_| NetlistError::Parse {
+                                line,
+                                col: 0,
+                                offset: 0,
+                                message: "number too large".into(),
+                            })?;
+                    if i < n && bytes[i] == b'\'' {
+                        if value > u64::from(u32::MAX) {
+                            return Err(NetlistError::Parse {
+                                line,
+                                col: 0,
+                                offset: 0,
+                                message: format!("constant width {value} too large"),
+                            });
+                        }
+                        i += 1;
+                        if i >= n {
+                            return Err(NetlistError::Parse {
+                                line,
+                                col: 0,
+                                offset: 0,
+                                message: "truncated sized constant".into(),
+                            });
+                        }
+                        let base = (bytes[i] as char).to_ascii_lowercase();
+                        if !matches!(base, 'b' | 'h' | 'd' | 'o') {
+                            return Err(NetlistError::Parse {
+                                line,
+                                col: 0,
+                                offset: 0,
+                                message: format!("unknown constant base `{base}`"),
+                            });
+                        }
+                        i += 1;
+                        let dstart = i;
+                        while i < n {
+                            let c = (bytes[i] as char).to_ascii_lowercase();
+                            if c.is_ascii_hexdigit() || c == '_' || c == 'x' || c == 'z' {
+                                i += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if i == dstart {
+                            return Err(NetlistError::Parse {
+                                line,
+                                col: 0,
+                                offset: 0,
+                                message: "sized constant has no digits".into(),
+                            });
+                        }
+                        tokens.push(Token {
+                            kind: TokenKind::SizedConst {
+                                width: value as u32,
+                                base,
+                                digits: source[dstart..i].replace('_', ""),
+                            },
+                            line,
+                        });
+                    } else {
+                        tokens.push(Token {
+                            kind: TokenKind::Number(value),
+                            line,
+                        });
+                    }
+                }
+                '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | ':' | '.' | '=' | '#' => {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(c),
+                        line,
+                    });
+                    i += 1;
+                }
+                other => {
+                    return Err(NetlistError::Parse {
+                        line,
+                        col: 0,
+                        offset: 0,
+                        message: format!("unexpected character `{other}`"),
+                    });
+                }
+            }
+        }
+        tokens.push(Token {
+            kind: TokenKind::Eof,
+            line,
+        });
+        Ok(tokens)
+    }
+}
+
+mod parser {
+    use std::collections::HashMap;
+
+    use super::lexer::{tokenize, Token, TokenKind};
+    use crate::{CellKind, Conn, Design, Module, NetId, NetlistError, PortDir};
+
+    /// Widest bus (and largest bit index / constant width) accepted.
+    const MAX_BUS_WIDTH: u64 = 65_536;
+
+    /// Deepest `{...}` concatenation nesting accepted.
+    const MAX_EXPR_DEPTH: usize = 64;
+
+    /// Parses a (possibly multi-module) structural Verilog design with the
+    /// frozen token-vector parser.
+    ///
+    /// # Errors
+    /// As the streaming [`crate::verilog::parse_design`], except that
+    /// duplicate module names panic here instead of erroring.
+    pub fn parse_design(source: &str) -> Result<Design, NetlistError> {
+        let tokens = tokenize(source)?;
+        let mut p = Parser {
+            tokens,
+            pos: 0,
+            escaped_names: HashMap::new(),
+        };
+        let mut design = Design::new();
+        while !p.at_eof() {
+            let module = p.parse_module()?;
+            design.insert(module);
+        }
+        retarget_instances(&mut design);
+        Ok(design)
+    }
+
+    /// Parses a source containing exactly one module with the frozen parser.
+    ///
+    /// # Errors
+    /// As [`parse_design`]; additionally fails if the file does not contain
+    /// exactly one module.
+    pub fn parse_module(source: &str) -> Result<Module, NetlistError> {
+        let design = parse_design(source)?;
+        let mut modules: Vec<Module> = design.modules().map(|(_, m)| m.clone()).collect();
+        if modules.len() != 1 {
+            return Err(NetlistError::Parse {
+                line: 1,
+                col: 0,
+                offset: 0,
+                message: format!("expected exactly one module, found {}", modules.len()),
+            });
+        }
+        Ok(modules.remove(0))
+    }
+
+    fn retarget_instances(design: &mut Design) {
+        let module_names: Vec<String> = design.modules().map(|(_, m)| m.name.clone()).collect();
+        let module_set: std::collections::HashSet<&str> =
+            module_names.iter().map(|s| s.as_str()).collect();
+        for name in &module_names {
+            let Some(id) = design.find_module(name) else {
+                continue;
+            };
+            let module = design.module_mut(id);
+            let cell_ids: Vec<_> = module.cell_ids().collect();
+            for cid in cell_ids {
+                if let CellKind::Lib(sym) = module.cell_kind(cid) {
+                    if module_set.contains(module.resolve(sym)) {
+                        module.set_cell_kind(cid, CellKind::Instance(sym));
+                    }
+                }
+            }
+        }
+    }
+
+    struct Parser {
+        tokens: Vec<Token>,
+        pos: usize,
+        /// Translation of escaped identifiers to sanitized simple names.
+        escaped_names: HashMap<String, String>,
+    }
+
+    /// One bit of a connection expression.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Bit {
+        Net(NetId),
+        Const0,
+        Const1,
+    }
+
+    impl Bit {
+        fn to_conn(self) -> Conn {
+            match self {
+                Bit::Net(n) => Conn::Net(n),
+                Bit::Const0 => Conn::Const0,
+                Bit::Const1 => Conn::Const1,
+            }
+        }
+    }
+
+    impl Parser {
+        fn peek(&self) -> &TokenKind {
+            &self.tokens[self.pos].kind
+        }
+
+        fn line(&self) -> usize {
+            self.tokens[self.pos].line
+        }
+
+        fn at_eof(&self) -> bool {
+            matches!(self.peek(), TokenKind::Eof)
+        }
+
+        fn bump(&mut self) -> TokenKind {
+            let kind = self.tokens[self.pos].kind.clone();
+            if self.pos + 1 < self.tokens.len() {
+                self.pos += 1;
+            }
+            kind
+        }
+
+        fn error(&self, message: impl Into<String>) -> NetlistError {
+            NetlistError::Parse {
+                line: self.line(),
+                col: 0,
+                offset: 0,
+                message: message.into(),
+            }
+        }
+
+        fn expect_punct(&mut self, c: char) -> Result<(), NetlistError> {
+            if matches!(self.peek(), TokenKind::Punct(p) if *p == c) {
+                self.bump();
+                Ok(())
+            } else {
+                Err(self.error(format!("expected `{c}`, found {}", self.peek().describe())))
+            }
+        }
+
+        fn eat_punct(&mut self, c: char) -> bool {
+            if matches!(self.peek(), TokenKind::Punct(p) if *p == c) {
+                self.bump();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn expect_id(&mut self) -> Result<String, NetlistError> {
+            match self.peek().clone() {
+                TokenKind::Id { name, escaped } => {
+                    self.bump();
+                    Ok(if escaped {
+                        self.sanitize_escaped(&name)
+                    } else {
+                        name
+                    })
+                }
+                other => {
+                    Err(self.error(format!("expected identifier, found {}", other.describe())))
+                }
+            }
+        }
+
+        fn expect_keyword(&mut self, kw: &str) -> Result<(), NetlistError> {
+            match self.peek() {
+                TokenKind::Id { name, escaped: false } if name == kw => {
+                    self.bump();
+                    Ok(())
+                }
+                other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+            }
+        }
+
+        fn peek_keyword(&self, kw: &str) -> bool {
+            matches!(self.peek(), TokenKind::Id { name, escaped: false } if name == kw)
+        }
+
+        fn expect_number(&mut self) -> Result<u64, NetlistError> {
+            match self.peek().clone() {
+                TokenKind::Number(n) => {
+                    self.bump();
+                    Ok(n)
+                }
+                other => Err(self.error(format!("expected number, found {}", other.describe()))),
+            }
+        }
+
+        /// Replaces characters outside `[A-Za-z0-9_$]` and normalizes bus
+        /// brackets so `\reg[3] `-style escaped names keep their bus
+        /// identity.
+        fn sanitize_escaped(&mut self, raw: &str) -> String {
+            if let Some(done) = self.escaped_names.get(raw) {
+                return done.clone();
+            }
+            let (body, suffix) = match crate::bus::parse_bus_bit(raw) {
+                Some((base, index)) => (base.to_owned(), format!("[{index}]")),
+                None => (raw.to_owned(), String::new()),
+            };
+            let mut clean: String = body
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            if clean.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+                clean.insert(0, '_');
+            }
+            let mut candidate = format!("{clean}{suffix}");
+            let mut i = 0;
+            while self.escaped_names.values().any(|v| v == &candidate) {
+                i += 1;
+                candidate = format!("{clean}_e{i}{suffix}");
+            }
+            self.escaped_names.insert(raw.to_owned(), candidate.clone());
+            candidate
+        }
+
+        fn parse_module(&mut self) -> Result<Module, NetlistError> {
+            self.expect_keyword("module")?;
+            let name = self.expect_id()?;
+            let mut ctx = ModuleCtx {
+                module: Module::new(name),
+                buses: HashMap::new(),
+                aliases: Vec::new(),
+                header_ports: Vec::new(),
+            };
+            if self.eat_punct('(') {
+                self.parse_port_list(&mut ctx)?;
+                self.expect_punct(')')?;
+            }
+            self.expect_punct(';')?;
+            while !self.peek_keyword("endmodule") {
+                if self.at_eof() {
+                    return Err(self.error("unexpected end of file inside module"));
+                }
+                self.parse_statement(&mut ctx)?;
+            }
+            self.expect_keyword("endmodule")?;
+            ctx.resolve_aliases();
+            Ok(ctx.module)
+        }
+
+        fn parse_port_list(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
+            if matches!(self.peek(), TokenKind::Punct(')')) {
+                return Ok(());
+            }
+            loop {
+                if self.peek_keyword("input")
+                    || self.peek_keyword("output")
+                    || self.peek_keyword("inout")
+                {
+                    // ANSI style: `input [3:0] a`
+                    let dir = self.parse_dir()?;
+                    let range = self.parse_optional_range()?;
+                    let name = self.expect_id()?;
+                    ctx.declare_port(&name, dir, range)
+                        .map_err(|e| self.to_parse_err(e))?;
+                } else {
+                    let name = self.expect_id()?;
+                    ctx.header_ports.push(name);
+                }
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            Ok(())
+        }
+
+        fn parse_dir(&mut self) -> Result<PortDir, NetlistError> {
+            let kw = self.expect_id()?;
+            match kw.as_str() {
+                "input" => Ok(PortDir::Input),
+                "output" => Ok(PortDir::Output),
+                "inout" => Ok(PortDir::Inout),
+                other => Err(self.error(format!("expected port direction, found `{other}`"))),
+            }
+        }
+
+        /// A range/index bound, rejected beyond `MAX_BUS_WIDTH`.
+        fn bounded_index(&mut self) -> Result<i64, NetlistError> {
+            let line = self.line();
+            let n = self.expect_number()?;
+            if n > MAX_BUS_WIDTH {
+                return Err(NetlistError::Parse {
+                    line,
+                    col: 0,
+                    offset: 0,
+                    message: format!(
+                        "bit index {n} exceeds the supported maximum {MAX_BUS_WIDTH}"
+                    ),
+                });
+            }
+            Ok(n as i64)
+        }
+
+        fn parse_optional_range(&mut self) -> Result<Option<(i64, i64)>, NetlistError> {
+            if !self.eat_punct('[') {
+                return Ok(None);
+            }
+            let msb = self.bounded_index()?;
+            self.expect_punct(':')?;
+            let lsb = self.bounded_index()?;
+            self.expect_punct(']')?;
+            Ok(Some((msb, lsb)))
+        }
+
+        fn parse_statement(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
+            if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout")
+            {
+                let dir = self.parse_dir()?;
+                let range = self.parse_optional_range()?;
+                loop {
+                    let name = self.expect_id()?;
+                    ctx.declare_port(&name, dir, range)
+                        .map_err(|e| self.to_parse_err(e))?;
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.expect_punct(';')?;
+            } else if self.peek_keyword("wire") || self.peek_keyword("tri") {
+                self.bump();
+                let range = self.parse_optional_range()?;
+                loop {
+                    let name = self.expect_id()?;
+                    ctx.declare_wire(&name, range)
+                        .map_err(|e| self.to_parse_err(e))?;
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.expect_punct(';')?;
+            } else if self.peek_keyword("assign") {
+                self.bump();
+                let line = self.line();
+                let lhs = self.parse_expr(ctx)?;
+                self.expect_punct('=')?;
+                let rhs = self.parse_expr(ctx)?;
+                self.expect_punct(';')?;
+                if lhs.len() != rhs.len() {
+                    return Err(NetlistError::Parse {
+                        line,
+                        col: 0,
+                        offset: 0,
+                        message: format!(
+                            "assign width mismatch: {} vs {} bits",
+                            lhs.len(),
+                            rhs.len()
+                        ),
+                    });
+                }
+                for (l, r) in lhs.iter().zip(rhs.iter()) {
+                    let Bit::Net(lnet) = *l else {
+                        return Err(NetlistError::Parse {
+                            line,
+                            col: 0,
+                            offset: 0,
+                            message: "assign target must be a net".into(),
+                        });
+                    };
+                    ctx.aliases.push((lnet, *r));
+                }
+            } else {
+                self.parse_instances(ctx)?;
+            }
+            Ok(())
+        }
+
+        fn parse_instances(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
+            let cell_type = self.expect_id()?;
+            if self.eat_punct('#') {
+                return Err(NetlistError::Unsupported {
+                    line: self.line(),
+                    message: "parameterized instances (`#`) are not supported".into(),
+                });
+            }
+            loop {
+                let inst_name = self.expect_id()?;
+                self.expect_punct('(')?;
+                let mut pins: Vec<(String, Conn)> = Vec::new();
+                if !matches!(self.peek(), TokenKind::Punct(')')) {
+                    if !matches!(self.peek(), TokenKind::Punct('.')) {
+                        return Err(NetlistError::Unsupported {
+                            line: self.line(),
+                            message: "ordered (positional) connections are not supported; \
+                                      use named connections"
+                                .into(),
+                        });
+                    }
+                    loop {
+                        self.expect_punct('.')?;
+                        let pin = self.expect_id()?;
+                        self.expect_punct('(')?;
+                        if matches!(self.peek(), TokenKind::Punct(')')) {
+                            pins.push((pin, Conn::Open));
+                        } else {
+                            let bits = self.parse_expr(ctx)?;
+                            if bits.len() == 1 {
+                                pins.push((pin, bits[0].to_conn()));
+                            } else {
+                                let width = bits.len();
+                                for (i, bit) in bits.iter().enumerate() {
+                                    let idx = width - 1 - i;
+                                    pins.push((format!("{pin}[{idx}]"), bit.to_conn()));
+                                }
+                            }
+                        }
+                        self.expect_punct(')')?;
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(')')?;
+                let pin_refs: Vec<(&str, Conn)> =
+                    pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();
+                ctx.module
+                    .add_cell(inst_name, &cell_type, &pin_refs)
+                    .map_err(|e| self.to_parse_err(e))?;
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(';')?;
+            Ok(())
+        }
+
+        /// expr := sized_const | id | id `[` number `]` | `{` expr, ... `}`
+        fn parse_expr(&mut self, ctx: &mut ModuleCtx) -> Result<Vec<Bit>, NetlistError> {
+            self.parse_expr_at(ctx, 0)
+        }
+
+        fn parse_expr_at(
+            &mut self,
+            ctx: &mut ModuleCtx,
+            depth: usize,
+        ) -> Result<Vec<Bit>, NetlistError> {
+            if depth > MAX_EXPR_DEPTH {
+                return Err(self.error(format!(
+                    "concatenation nested deeper than {MAX_EXPR_DEPTH} levels"
+                )));
+            }
+            match self.peek().clone() {
+                TokenKind::SizedConst {
+                    width,
+                    base,
+                    digits,
+                } => {
+                    self.bump();
+                    self.const_bits(width, base, &digits)
+                }
+                TokenKind::Punct('{') => {
+                    self.bump();
+                    let mut bits = Vec::new();
+                    loop {
+                        bits.extend(self.parse_expr_at(ctx, depth + 1)?);
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct('}')?;
+                    Ok(bits)
+                }
+                TokenKind::Id { .. } => {
+                    let name = self.expect_id()?;
+                    if self.eat_punct('[') {
+                        let idx = self.bounded_index()?;
+                        if self.eat_punct(':') {
+                            let lsb = self.bounded_index()?;
+                            self.expect_punct(']')?;
+                            let mut bits = Vec::new();
+                            let (hi, lo) = (idx.max(lsb), idx.min(lsb));
+                            for i in (lo..=hi).rev() {
+                                bits.push(Bit::Net(
+                                    ctx.bit_net(&name, i).map_err(|e| self.to_parse_err(e))?,
+                                ));
+                            }
+                            Ok(bits)
+                        } else {
+                            self.expect_punct(']')?;
+                            Ok(vec![Bit::Net(
+                                ctx.bit_net(&name, idx).map_err(|e| self.to_parse_err(e))?,
+                            )])
+                        }
+                    } else {
+                        Ok(ctx
+                            .name_bits(&name)
+                            .map_err(|e| self.to_parse_err(e))?)
+                    }
+                }
+                other => {
+                    Err(self.error(format!("expected expression, found {}", other.describe())))
+                }
+            }
+        }
+
+        fn const_bits(
+            &self,
+            width: u32,
+            base: char,
+            digits: &str,
+        ) -> Result<Vec<Bit>, NetlistError> {
+            if u64::from(width) > MAX_BUS_WIDTH {
+                return Err(NetlistError::Parse {
+                    line: self.line(),
+                    col: 0,
+                    offset: 0,
+                    message: format!(
+                        "constant width {width} exceeds the supported maximum {MAX_BUS_WIDTH}"
+                    ),
+                });
+            }
+            let radix = match base {
+                'b' => 2,
+                'o' => 8,
+                'd' => 10,
+                'h' => 16,
+                _ => {
+                    return Err(NetlistError::Parse {
+                        line: self.line(),
+                        col: 0,
+                        offset: 0,
+                        message: format!("unknown constant base `{base}`"),
+                    })
+                }
+            };
+            let value = u128::from_str_radix(digits, radix).map_err(|_| NetlistError::Parse {
+                line: self.line(),
+                col: 0,
+                offset: 0,
+                message: format!("invalid digits `{digits}` for base `{base}`"),
+            })?;
+            let mut bits = Vec::with_capacity(width as usize);
+            for i in (0..width).rev() {
+                bits.push(if (value >> i) & 1 == 1 {
+                    Bit::Const1
+                } else {
+                    Bit::Const0
+                });
+            }
+            Ok(bits)
+        }
+
+        fn to_parse_err(&self, e: NetlistError) -> NetlistError {
+            match e {
+                NetlistError::Parse { .. } | NetlistError::Unsupported { .. } => e,
+                other => NetlistError::Parse {
+                    line: self.line(),
+                    col: 0,
+                    offset: 0,
+                    message: other.to_string(),
+                },
+            }
+        }
+    }
+
+    struct ModuleCtx {
+        module: Module,
+        /// Declared bus ranges: base name → (msb, lsb).
+        buses: HashMap<String, (i64, i64)>,
+        /// `assign lhs = rhs` pairs collected for post-parse resolution.
+        aliases: Vec<(NetId, Bit)>,
+        /// Port names from a classic (non-ANSI) header, direction pending.
+        header_ports: Vec<String>,
+    }
+
+    impl ModuleCtx {
+        fn declare_wire(
+            &mut self,
+            name: &str,
+            range: Option<(i64, i64)>,
+        ) -> Result<(), NetlistError> {
+            match range {
+                None => {
+                    if self.module.find_net(name).is_none() {
+                        self.module.add_net(name)?;
+                    }
+                }
+                Some((msb, lsb)) => {
+                    self.buses.insert(name.to_owned(), (msb, lsb));
+                    let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                    for i in lo..=hi {
+                        let bit = crate::bus::bus_bit_name(name, i);
+                        if self.module.find_net(&bit).is_none() {
+                            self.module.add_net(bit)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        fn declare_port(
+            &mut self,
+            name: &str,
+            dir: PortDir,
+            range: Option<(i64, i64)>,
+        ) -> Result<(), NetlistError> {
+            match range {
+                None => {
+                    self.module.add_port(name, dir)?;
+                }
+                Some((msb, lsb)) => {
+                    self.buses.insert(name.to_owned(), (msb, lsb));
+                    let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                    for i in lo..=hi {
+                        self.module
+                            .add_port(crate::bus::bus_bit_name(name, i), dir)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Net for `name[index]`, creating it if the bus was only implicit.
+        fn bit_net(&mut self, name: &str, index: i64) -> Result<NetId, NetlistError> {
+            let bit = crate::bus::bus_bit_name(name, index);
+            match self.module.find_net(&bit) {
+                Some(n) => Ok(n),
+                None => self.module.add_net(bit),
+            }
+        }
+
+        /// Bits for a bare identifier: the whole bus (MSB first) if declared
+        /// as one, otherwise the scalar net (implicitly declared if needed).
+        fn name_bits(&mut self, name: &str) -> Result<Vec<Bit>, NetlistError> {
+            if let Some(&(msb, lsb)) = self.buses.get(name) {
+                let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                let mut bits = Vec::with_capacity((hi - lo + 1) as usize);
+                for i in (lo..=hi).rev() {
+                    bits.push(Bit::Net(self.bit_net(name, i)?));
+                }
+                return Ok(bits);
+            }
+            let net = match self.module.find_net(name) {
+                Some(n) => n,
+                None => self.module.add_net(name)?,
+            };
+            Ok(vec![Bit::Net(net)])
+        }
+
+        /// Resolves `assign` aliases by merging nets (§3.2.1), leaving
+        /// constant ties recorded on the module.
+        fn resolve_aliases(&mut self) {
+            if self.aliases.is_empty() {
+                return;
+            }
+            let n = self.module.net_count();
+            let mut uf = UnionFind::new(n);
+            let mut consts: Vec<Option<bool>> = vec![None; n];
+            for (lhs, rhs) in &self.aliases {
+                match rhs {
+                    Bit::Net(r) => uf.union(lhs.index(), r.index()),
+                    Bit::Const0 => consts[uf.find(lhs.index())] = Some(false),
+                    Bit::Const1 => consts[uf.find(lhs.index())] = Some(true),
+                }
+            }
+            for i in 0..n {
+                if let Some(v) = consts[i] {
+                    let root = uf.find(i);
+                    consts[root] = Some(v);
+                }
+            }
+            let mut rep: Vec<Option<NetId>> = vec![None; n];
+            let port_rank: Vec<Option<PortDir>> = {
+                let mut ranks = vec![None; n];
+                for (_, port) in self.module.ports() {
+                    ranks[port.net.index()] = Some(port.dir);
+                }
+                ranks
+            };
+            for i in 0..n {
+                let root = uf.find(i);
+                let candidate = NetId::from_index(i);
+                let better = match (rep[root], port_rank[i]) {
+                    (None, _) => true,
+                    (Some(cur), Some(PortDir::Input)) => {
+                        port_rank[cur.index()] != Some(PortDir::Input)
+                    }
+                    _ => false,
+                };
+                if better {
+                    rep[root] = Some(candidate);
+                }
+            }
+            let mut involved: Vec<usize> = Vec::new();
+            for (lhs, rhs) in &self.aliases {
+                involved.push(lhs.index());
+                if let Bit::Net(r) = rhs {
+                    involved.push(r.index());
+                }
+            }
+            involved.sort_unstable();
+            involved.dedup();
+
+            let mut remap: HashMap<NetId, Conn> = HashMap::new();
+            for &i in &involved {
+                let root = uf.find(i);
+                let target = rep[root].expect("every class has a representative");
+                match consts[root] {
+                    Some(v) => {
+                        let conn = if v { Conn::Const1 } else { Conn::Const0 };
+                        remap.insert(NetId::from_index(i), conn);
+                        self.module.add_const_tie(NetId::from_index(i), v);
+                    }
+                    None if i != target.index() => {
+                        remap.insert(NetId::from_index(i), Conn::Net(target));
+                        self.module.merge_port_net(NetId::from_index(i), target);
+                    }
+                    None => {}
+                }
+            }
+            self.module.rewire_many(&remap);
+        }
+    }
+
+    struct UnionFind {
+        parent: Vec<u32>,
+    }
+
+    impl UnionFind {
+        fn new(n: usize) -> Self {
+            UnionFind {
+                parent: (0..n as u32).collect(),
+            }
+        }
+
+        fn find(&mut self, i: usize) -> usize {
+            let mut root = i;
+            while self.parent[root] as usize != root {
+                root = self.parent[root] as usize;
+            }
+            let mut cur = i;
+            while self.parent[cur] as usize != root {
+                let next = self.parent[cur] as usize;
+                self.parent[cur] = root as u32;
+                cur = next;
+            }
+            root
+        }
+
+        fn union(&mut self, a: usize, b: usize) {
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra != rb {
+                self.parent[ra] = rb as u32;
+            }
+        }
+    }
+}
+
+mod writer {
+    use std::collections::{HashMap, HashSet};
+    use std::fmt::Write as _;
+
+    use crate::{Conn, Design, Module, PortDir};
+
+    /// Writes all modules of `design` (top first) as structural Verilog
+    /// with the frozen per-line-allocation writer.
+    pub fn write_design(design: &Design) -> String {
+        let mut out = String::new();
+        let top = design.top();
+        write_module_into(design.module(top), &mut out);
+        for (id, module) in design.modules() {
+            if id != top {
+                out.push('\n');
+                write_module_into(module, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Writes a single module as structural Verilog with the frozen writer.
+    pub fn write_module(module: &Module) -> String {
+        let mut out = String::new();
+        write_module_into(module, &mut out);
+        out
+    }
+
+    /// True if `name` is a plain Verilog identifier needing no escape.
+    fn is_simple_id(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+    }
+
+    /// Renders an identifier, escaping it if necessary. Escaped identifiers
+    /// carry their mandatory trailing space.
+    fn id(name: &str) -> String {
+        if is_simple_id(name) {
+            name.to_owned()
+        } else {
+            format!("\\{name} ")
+        }
+    }
+
+    /// A declaration group: either one scalar name or a contiguous bus.
+    #[derive(Debug)]
+    struct DeclGroup {
+        base: String,
+        /// `None` for scalars, `Some((msb, lsb))` for buses.
+        range: Option<(i64, i64)>,
+    }
+
+    /// Groups names (in first-seen order) into scalar and bus declarations.
+    fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup> {
+        let names: Vec<&str> = names.collect();
+        let scalar_names: HashSet<&str> = names
+            .iter()
+            .copied()
+            .filter(|n| crate::bus::parse_bus_bit(n).is_none())
+            .collect();
+        let mut order: Vec<String> = Vec::new();
+        let mut buses: HashMap<String, (i64, i64)> = HashMap::new();
+        let mut scalars: HashSet<String> = HashSet::new();
+        for name in names {
+            match crate::bus::parse_bus_bit(name) {
+                Some((base, index)) if is_simple_id(base) && !scalar_names.contains(base) => {
+                    match buses.get_mut(base) {
+                        Some((msb, lsb)) => {
+                            *msb = (*msb).max(index);
+                            *lsb = (*lsb).min(index);
+                        }
+                        None => {
+                            buses.insert(base.to_owned(), (index, index));
+                            order.push(base.to_owned());
+                        }
+                    }
+                }
+                _ => {
+                    if scalars.insert(name.to_owned()) {
+                        order.push(name.to_owned());
+                    }
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|base| DeclGroup {
+                range: buses.get(&base).copied(),
+                base,
+            })
+            .collect()
+    }
+
+    fn write_module_into(module: &Module, out: &mut String) {
+        let port_groups = group_decls(module.ports().map(|(_, p)| p.name));
+        let _ = write!(out, "module {} (", id(&module.name));
+        for (i, g) in port_groups.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&id(&g.base));
+        }
+        out.push_str(");\n");
+
+        let dir_of: HashMap<&str, PortDir> =
+            module.ports().map(|(_, p)| (p.name, p.dir)).collect();
+        for g in &port_groups {
+            let sample = match g.range {
+                Some((msb, _)) => crate::bus::bus_bit_name(&g.base, msb),
+                None => g.base.clone(),
+            };
+            let dir = dir_of
+                .get(sample.as_str())
+                .copied()
+                .unwrap_or(PortDir::Input);
+            match g.range {
+                Some((msb, lsb)) => {
+                    let _ = writeln!(out, "  {dir} [{msb}:{lsb}] {};", id(&g.base));
+                }
+                None => {
+                    let _ = writeln!(out, "  {dir} {};", id(&g.base));
+                }
+            }
+        }
+
+        let port_nets: HashSet<&str> = module
+            .ports()
+            .map(|(_, p)| module.net(p.net).name)
+            .chain(module.ports().map(|(_, p)| p.name))
+            .collect();
+        let wire_groups = group_decls(
+            module
+                .nets()
+                .map(|(_, n)| n.name)
+                .filter(|n| !port_nets.contains(n)),
+        );
+        for g in &wire_groups {
+            match g.range {
+                Some((msb, lsb)) => {
+                    let _ = writeln!(out, "  wire [{msb}:{lsb}] {};", id(&g.base));
+                }
+                None => {
+                    let _ = writeln!(out, "  wire {};", id(&g.base));
+                }
+            }
+        }
+
+        let port_name_set: HashSet<&str> = module.ports().map(|(_, p)| p.name).collect();
+        for &(net, value) in module.const_ties() {
+            let name = module.net(net).name;
+            if port_name_set.contains(name) {
+                let _ = writeln!(out, "  assign {} = 1'b{};", id(name), u8::from(value));
+            }
+        }
+        for (_, port) in module.ports() {
+            let net_name = module.net(port.net).name;
+            if net_name != port.name && port.dir != PortDir::Input {
+                let _ = writeln!(out, "  assign {} = {};", id(port.name), id(net_name));
+            }
+        }
+
+        for (_, cell) in module.cells() {
+            let _ = write!(out, "  {} {} (", id(cell.kind_name()), id(cell.name));
+            let rendered = render_pins(module, cell);
+            for (i, (pin, conn)) in rendered.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, ".{}({})", id(pin), conn);
+            }
+            out.push_str(");\n");
+        }
+        out.push_str("endmodule\n");
+    }
+
+    /// Renders the pin connections of a cell, re-grouping bit-blasted pins
+    /// (`data[1]`, `data[0]`) into a single concatenation connection.
+    fn render_pins(module: &Module, cell: crate::Cell<'_>) -> Vec<(String, String)> {
+        let conn_text = |c: &Conn| -> String {
+            match c {
+                Conn::Net(n) => id(module.net(*n).name),
+                Conn::Const0 => "1'b0".to_owned(),
+                Conn::Const1 => "1'b1".to_owned(),
+                Conn::Open => String::new(),
+            }
+        };
+        let mut groups: HashMap<&str, Vec<(i64, String)>> = HashMap::new();
+        let mut multi: HashSet<&str> = HashSet::new();
+        for (i, (_, conn)) in cell.pins().iter().enumerate() {
+            if let Some((base, index)) = crate::bus::parse_bus_bit(cell.pin_name(i)) {
+                groups.entry(base).or_default().push((index, conn_text(conn)));
+                if groups[base].len() > 1 {
+                    multi.insert(base);
+                }
+            }
+        }
+        let mut done: HashSet<&str> = HashSet::new();
+        let mut result = Vec::new();
+        for (i, (_, conn)) in cell.pins().iter().enumerate() {
+            let pin = cell.pin_name(i);
+            match crate::bus::parse_bus_bit(pin) {
+                Some((base, _)) if multi.contains(base) => {
+                    if done.insert(base) {
+                        let mut bits = groups.remove(base).expect("grouped above");
+                        bits.sort_by_key(|(i, _)| std::cmp::Reverse(*i));
+                        let concat = bits
+                            .iter()
+                            .map(|(_, t)| t.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        result.push((base.to_owned(), format!("{{{concat}}}")));
+                    }
+                }
+                _ => result.push((pin.to_owned(), conn_text(conn))),
+            }
+        }
+        result
+    }
+}

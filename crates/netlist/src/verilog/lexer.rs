@@ -1,24 +1,28 @@
-//! Tokenizer for the structural-Verilog subset.
+//! Streaming zero-copy tokenizer for the structural-Verilog subset.
+//!
+//! The lexer borrows every identifier and constant directly out of the one
+//! input buffer as `&str` slices — no per-token `String`, no token vector.
+//! [`Lexer`] is a pull lexer with one token of lookahead: [`Lexer::peek`]
+//! returns the current (`Copy`) token, [`Lexer::advance`] scans the next
+//! one in place. Positions are byte offsets into the borrowed buffer;
+//! line/column are derived lazily (only when an error is actually
+//! reported) by [`line_col`].
 
 use crate::NetlistError;
 
-/// A lexical token with its source line (1-based).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Token {
-    pub kind: TokenKind,
-    pub line: usize,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum TokenKind {
+/// A lexical token borrowing its text from the source buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum TokenKind<'a> {
     /// Identifier or keyword. Escaped identifiers (`\foo `) arrive with the
     /// backslash stripped and `escaped == true`.
-    Id { name: String, escaped: bool },
+    Id { name: &'a str, escaped: bool },
     /// A sized constant such as `1'b0` or `8'hFF`: (width, base, digits).
+    /// `digits` is the raw slice — underscores are still present and are
+    /// skipped when the constant's value is computed.
     SizedConst {
         width: u32,
         base: char,
-        digits: String,
+        digits: &'a str,
     },
     /// A bare unsigned decimal number (used in ranges and indices).
     Number(u64),
@@ -27,7 +31,7 @@ pub(crate) enum TokenKind {
     Eof,
 }
 
-impl TokenKind {
+impl TokenKind<'_> {
     pub fn describe(&self) -> String {
         match self {
             TokenKind::Id { name, .. } => format!("identifier `{name}`"),
@@ -41,67 +45,146 @@ impl TokenKind {
     }
 }
 
-/// Tokenizes `source`, skipping `//`, `/* */` comments and attributes
-/// `(* ... *)`.
-pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, NetlistError> {
-    let mut tokens = Vec::new();
-    let bytes = source.as_bytes();
-    let mut i = 0;
-    let mut line = 1;
-    let n = bytes.len();
-    while i < n {
-        let c = bytes[i] as char;
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
+/// 1-based (line, column) of byte `offset` in `src`, computed on demand.
+///
+/// Columns count characters, not bytes, so multi-byte identifiers report
+/// the position a text editor shows. Offsets past the end (or mid
+/// character, which token starts never are) are clamped to a boundary.
+pub(super) fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let mut offset = offset.min(src.len());
+    while offset > 0 && !src.is_char_boundary(offset) {
+        offset -= 1;
+    }
+    let before = &src[..offset];
+    let line = 1 + before.bytes().filter(|&b| b == b'\n').count();
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let col = 1 + before[line_start..].chars().count();
+    (line, col)
+}
+
+/// A [`NetlistError::Parse`] carrying the full span (byte offset plus the
+/// derived line/column) of the offending token.
+pub(super) fn error_at(src: &str, offset: usize, message: String) -> NetlistError {
+    let (line, col) = line_col(src, offset);
+    NetlistError::Parse {
+        line,
+        col,
+        offset,
+        message,
+    }
+}
+
+/// Streaming tokenizer over one borrowed source buffer.
+pub(super) struct Lexer<'a> {
+    src: &'a str,
+    /// Scan cursor: first byte not yet consumed by the current token.
+    pos: usize,
+    /// Byte offset where the current token starts.
+    tok_start: usize,
+    /// The current token (one-token lookahead).
+    tok: TokenKind<'a>,
+}
+
+/// Bytes that may continue a plain identifier (`.` included: flattened
+/// hierarchical names keep their dots). One table load per byte beats the
+/// four-way compare in the hottest scan of the lexer.
+static ID_CHAR: [bool; 256] = {
+    let mut t = [false; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let b = i as u8;
+        t[i] = b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b == b'.';
+        i += 1;
+    }
+    t
+};
+
+impl<'a> Lexer<'a> {
+    /// Starts lexing `src` at byte offset `start` (0 for whole-buffer
+    /// parses; a module span start for parallel per-module parses — error
+    /// spans stay global either way).
+    pub fn new(src: &'a str, start: usize) -> Result<Self, Box<NetlistError>> {
+        let mut lx = Lexer {
+            src,
+            pos: start,
+            tok_start: start,
+            tok: TokenKind::Eof,
+        };
+        lx.advance()?;
+        Ok(lx)
+    }
+
+    /// The current token. `Copy`, so no clone and no allocation.
+    pub fn peek(&self) -> TokenKind<'a> {
+        self.tok
+    }
+
+    /// Byte offset of the current token in the source buffer.
+    pub fn offset(&self) -> usize {
+        self.tok_start
+    }
+
+    fn err(&self, offset: usize, message: impl Into<String>) -> Box<NetlistError> {
+        Box::new(error_at(self.src, offset, message.into()))
+    }
+
+    /// Scans the next token into `peek()`, skipping whitespace, `//` and
+    /// `/* */` comments and `(* ... *)` attributes.
+    pub fn advance(&mut self) -> Result<(), Box<NetlistError>> {
+        let bytes = self.src.as_bytes();
+        let n = bytes.len();
+        let mut i = self.pos;
+        // Skip trivia.
+        loop {
+            if i >= n {
+                self.tok_start = n;
+                self.pos = n;
+                self.tok = TokenKind::Eof;
+                return Ok(());
             }
-            ' ' | '\t' | '\r' => i += 1,
-            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
-                while i < n && bytes[i] != b'\n' {
-                    i += 1;
+            match bytes[i] {
+                b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+                b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                    while i < n && bytes[i] != b'\n' {
+                        i += 1;
+                    }
                 }
-            }
-            '/' if i + 1 < n && bytes[i + 1] == b'*' => {
-                i += 2;
-                loop {
-                    if i + 1 >= n {
-                        return Err(NetlistError::Parse {
-                            line,
-                            message: "unterminated block comment".into(),
-                        });
+                b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                    let open = i;
+                    i += 2;
+                    loop {
+                        if i + 1 >= n {
+                            return Err(self.err(open, "unterminated block comment"));
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
                     }
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                    }
-                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
-                        i += 2;
-                        break;
-                    }
-                    i += 1;
                 }
-            }
-            '(' if i + 1 < n && bytes[i + 1] == b'*' => {
-                // Attribute instance `(* ... *)` — skipped.
-                i += 2;
-                loop {
-                    if i + 1 >= n {
-                        return Err(NetlistError::Parse {
-                            line,
-                            message: "unterminated attribute".into(),
-                        });
+                b'(' if i + 1 < n && bytes[i + 1] == b'*' => {
+                    // Attribute instance `(* ... *)` — skipped.
+                    let open = i;
+                    i += 2;
+                    loop {
+                        if i + 1 >= n {
+                            return Err(self.err(open, "unterminated attribute"));
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
                     }
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                    }
-                    if bytes[i] == b'*' && bytes[i + 1] == b')' {
-                        i += 2;
-                        break;
-                    }
-                    i += 1;
                 }
+                _ => break,
             }
-            '\\' => {
+        }
+        self.tok_start = i;
+        let c = bytes[i];
+        self.tok = match c {
+            b'\\' => {
                 // Escaped identifier: up to the next whitespace. Only ASCII
                 // whitespace terminates (per the LRM) — testing a raw byte
                 // with `char::is_whitespace` would also match UTF-8
@@ -113,122 +196,81 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, NetlistError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(NetlistError::Parse {
-                        line,
-                        message: "empty escaped identifier".into(),
-                    });
+                    return Err(self.err(i, "empty escaped identifier"));
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Id {
-                        name: source[start..j].to_owned(),
-                        escaped: true,
-                    },
-                    line,
-                });
                 i = j;
-            }
-            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
-                let start = i;
-                while i < n {
-                    let c = bytes[i] as char;
-                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.' {
-                        i += 1;
-                    } else {
-                        break;
-                    }
+                TokenKind::Id {
+                    name: &self.src[start..j],
+                    escaped: true,
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Id {
-                        name: source[start..i].to_owned(),
-                        escaped: false,
-                    },
-                    line,
-                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                let start = i;
+                while i < n && ID_CHAR[bytes[i] as usize] {
+                    i += 1;
+                }
+                TokenKind::Id {
+                    name: &self.src[start..i],
+                    escaped: false,
+                }
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < n && (bytes[i] as char).is_ascii_digit() {
+                while i < n && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let value: u64 =
-                    source[start..i]
-                        .parse()
-                        .map_err(|_| NetlistError::Parse {
-                            line,
-                            message: "number too large".into(),
-                        })?;
+                let value: u64 = self.src[start..i]
+                    .parse()
+                    .map_err(|_| self.err(start, "number too large"))?;
                 if i < n && bytes[i] == b'\'' {
                     if value > u64::from(u32::MAX) {
-                        return Err(NetlistError::Parse {
-                            line,
-                            message: format!("constant width {value} too large"),
-                        });
+                        return Err(self.err(start, format!("constant width {value} too large")));
                     }
                     i += 1;
                     if i >= n {
-                        return Err(NetlistError::Parse {
-                            line,
-                            message: "truncated sized constant".into(),
-                        });
+                        return Err(self.err(start, "truncated sized constant"));
                     }
                     let base = (bytes[i] as char).to_ascii_lowercase();
                     if !matches!(base, 'b' | 'h' | 'd' | 'o') {
-                        return Err(NetlistError::Parse {
-                            line,
-                            message: format!("unknown constant base `{base}`"),
-                        });
+                        return Err(self.err(start, format!("unknown constant base `{base}`")));
                     }
                     i += 1;
                     let dstart = i;
                     while i < n {
-                        let c = (bytes[i] as char).to_ascii_lowercase();
-                        if c.is_ascii_hexdigit() || c == '_' || c == 'x' || c == 'z' {
+                        let c = bytes[i].to_ascii_lowercase();
+                        if c.is_ascii_hexdigit() || c == b'_' || c == b'x' || c == b'z' {
                             i += 1;
                         } else {
                             break;
                         }
                     }
                     if i == dstart {
-                        return Err(NetlistError::Parse {
-                            line,
-                            message: "sized constant has no digits".into(),
-                        });
+                        return Err(self.err(start, "sized constant has no digits"));
                     }
-                    tokens.push(Token {
-                        kind: TokenKind::SizedConst {
-                            width: value as u32,
-                            base,
-                            digits: source[dstart..i].replace('_', ""),
-                        },
-                        line,
-                    });
+                    TokenKind::SizedConst {
+                        width: value as u32,
+                        base,
+                        digits: &self.src[dstart..i],
+                    }
                 } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Number(value),
-                        line,
-                    });
+                    TokenKind::Number(value)
                 }
             }
-            '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | ':' | '.' | '=' | '#' => {
-                tokens.push(Token {
-                    kind: TokenKind::Punct(c),
-                    line,
-                });
+            b'(' | b')' | b'[' | b']' | b'{' | b'}' | b',' | b';' | b':' | b'.' | b'=' | b'#' => {
                 i += 1;
+                TokenKind::Punct(c as char)
             }
-            other => {
-                return Err(NetlistError::Parse {
-                    line,
-                    message: format!("unexpected character `{other}`"),
-                });
+            _ => {
+                // Decode the full character for the message; `bytes[i] as
+                // char` would print a mojibake lead byte for multi-byte
+                // input.
+                let other = self.src[i..].chars().next().unwrap_or('\u{FFFD}');
+                return Err(self.err(i, format!("unexpected character `{other}`")));
             }
-        }
+        };
+        self.pos = i;
+        Ok(())
     }
-    tokens.push(Token {
-        kind: TokenKind::Eof,
-        line,
-    });
-    Ok(tokens)
 }
 
 #[cfg(test)]
@@ -236,25 +278,48 @@ mod tests {
     #![allow(clippy::unwrap_used, clippy::panic)]
     use super::*;
 
-    fn kinds(src: &str) -> Vec<TokenKind> {
-        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    /// Test helper reconstructing the legacy "tokenize everything" shape.
+    fn kinds(src: &str) -> Result<Vec<TokenKind<'_>>, Box<NetlistError>> {
+        let mut lx = Lexer::new(src, 0)?;
+        let mut out = Vec::new();
+        loop {
+            let t = lx.peek();
+            let eof = matches!(t, TokenKind::Eof);
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+            lx.advance()?;
+        }
     }
 
     #[test]
     fn identifiers_and_punct() {
-        let toks = kinds("module top (a, b);");
+        let toks = kinds("module top (a, b);").unwrap();
         assert_eq!(toks.len(), 9); // module top ( a , b ) ; EOF
-        assert!(matches!(&toks[0], TokenKind::Id { name, escaped: false } if name == "module"));
-        assert!(matches!(&toks[2], TokenKind::Punct('(')));
+        assert!(matches!(toks[0], TokenKind::Id { name: "module", escaped: false }));
+        assert!(matches!(toks[2], TokenKind::Punct('(')));
+    }
+
+    #[test]
+    fn tokens_borrow_from_the_source_buffer() {
+        let src = String::from("module top (a, b);");
+        let lx = Lexer::new(&src, 0).unwrap();
+        let TokenKind::Id { name, .. } = lx.peek() else {
+            panic!("expected identifier");
+        };
+        // Zero-copy: the token's text is a slice of the input allocation.
+        let src_range = src.as_ptr() as usize..src.as_ptr() as usize + src.len();
+        assert!(src_range.contains(&(name.as_ptr() as usize)));
     }
 
     #[test]
     fn comments_and_attributes_are_skipped() {
-        let toks = kinds("a // line\n /* block\n */ b (* keep=1 *) c");
+        let toks = kinds("a // line\n /* block\n */ b (* keep=1 *) c").unwrap();
         let names: Vec<_> = toks
             .iter()
             .filter_map(|t| match t {
-                TokenKind::Id { name, .. } => Some(name.clone()),
+                TokenKind::Id { name, .. } => Some(*name),
                 _ => None,
             })
             .collect();
@@ -263,38 +328,77 @@ mod tests {
 
     #[test]
     fn escaped_identifier() {
-        let toks = kinds("\\a+b[0] x");
-        assert!(matches!(&toks[0], TokenKind::Id { name, escaped: true } if name == "a+b[0]"));
-        assert!(matches!(&toks[1], TokenKind::Id { name, escaped: false } if name == "x"));
+        let toks = kinds("\\a+b[0] x").unwrap();
+        assert!(matches!(toks[0], TokenKind::Id { name: "a+b[0]", escaped: true }));
+        assert!(matches!(toks[1], TokenKind::Id { name: "x", escaped: false }));
     }
 
     #[test]
     fn sized_constants() {
-        let toks = kinds("1'b0 8'hFF 4'd10");
-        assert!(
-            matches!(&toks[0], TokenKind::SizedConst { width: 1, base: 'b', digits } if digits == "0")
-        );
-        assert!(
-            matches!(&toks[1], TokenKind::SizedConst { width: 8, base: 'h', digits } if digits == "FF")
-        );
-        assert!(
-            matches!(&toks[2], TokenKind::SizedConst { width: 4, base: 'd', digits } if digits == "10")
-        );
+        let toks = kinds("1'b0 8'hFF 4'd10 12'b0101_0101").unwrap();
+        assert!(matches!(
+            toks[0],
+            TokenKind::SizedConst { width: 1, base: 'b', digits: "0" }
+        ));
+        assert!(matches!(
+            toks[1],
+            TokenKind::SizedConst { width: 8, base: 'h', digits: "FF" }
+        ));
+        assert!(matches!(
+            toks[2],
+            TokenKind::SizedConst { width: 4, base: 'd', digits: "10" }
+        ));
+        // Digits stay raw (underscores included) — the parser skips them
+        // when computing the value.
+        assert!(matches!(
+            toks[3],
+            TokenKind::SizedConst { width: 12, base: 'b', digits: "0101_0101" }
+        ));
     }
 
     #[test]
-    fn line_numbers_track_newlines() {
-        let toks = tokenize("a\nb\nc").unwrap();
-        assert_eq!(toks[0].line, 1);
-        assert_eq!(toks[1].line, 2);
-        assert_eq!(toks[2].line, 3);
+    fn offsets_point_at_token_starts() {
+        let src = "a\n  b\nc";
+        let mut lx = Lexer::new(src, 0).unwrap();
+        assert_eq!(lx.offset(), 0);
+        lx.advance().unwrap();
+        assert_eq!(lx.offset(), 4); // `b` after "a\n  "
+        assert_eq!(line_col(src, lx.offset()), (2, 3));
+        lx.advance().unwrap();
+        assert_eq!(line_col(src, lx.offset()), (3, 1));
+        lx.advance().unwrap();
+        assert!(matches!(lx.peek(), TokenKind::Eof));
+        // Advancing past EOF is a no-op, not a panic.
+        lx.advance().unwrap();
+        assert!(matches!(lx.peek(), TokenKind::Eof));
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        // 'é' is 2 bytes, 1 char: column must be 3 (1-based, after "é ").
+        let src = "é x";
+        assert_eq!(line_col(src, 3), (1, 3));
+        // Clamped past the end.
+        assert_eq!(line_col(src, 999), (1, 4));
     }
 
     #[test]
     fn bad_input_is_an_error() {
-        assert!(tokenize("a ? b").is_err());
-        assert!(tokenize("/* unterminated").is_err());
-        assert!(tokenize("4'q0").is_err());
+        assert!(kinds("a ? b").is_err());
+        assert!(kinds("/* unterminated").is_err());
+        assert!(kinds("4'q0").is_err());
+    }
+
+    #[test]
+    fn lex_errors_carry_spans() {
+        let Err(e) = kinds("ab\n cd ? x") else {
+            panic!("expected error");
+        };
+        let NetlistError::Parse { line, col, offset, .. } = *e else {
+            panic!("expected parse error");
+        };
+        assert_eq!(offset, 7);
+        assert_eq!((line, col), (2, 5));
     }
 
     #[test]
@@ -302,17 +406,14 @@ mod tests {
         // U+00A0 is `char::is_whitespace` but its UTF-8 encoding starts
         // with 0xC2 — a byte-wise whitespace test would split the slice
         // mid-character and panic.
-        let r = tokenize("\\a\u{00A0}b ");
-        assert!(matches!(
-            r.unwrap()[0].kind.clone(),
-            TokenKind::Id { escaped: true, .. }
-        ));
+        let toks = kinds("\\a\u{00A0}b ").unwrap();
+        assert!(matches!(toks[0], TokenKind::Id { escaped: true, .. }));
     }
 
     #[test]
     fn oversized_constant_width_is_an_error() {
-        assert!(tokenize("99999999999'b0").is_err());
+        assert!(kinds("99999999999'b0").is_err());
         // A bare (unsized) huge number still errors only past u64.
-        assert!(tokenize("99999999999999999999999").is_err());
+        assert!(kinds("99999999999999999999999").is_err());
     }
 }

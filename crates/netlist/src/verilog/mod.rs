@@ -9,6 +9,14 @@
 //! As in the paper, design import substitutes escaped names by simple ones
 //! and resolves `assign` statements wherever possible, producing a cleaner
 //! netlist without altering functionality.
+//!
+//! The front end is streaming and zero-copy: the lexer hands `&str` token
+//! slices of the one input buffer to the parser, which interns them into
+//! the per-module symbol table as it consumes them; the writer emits into
+//! one preallocated buffer. Multi-module sources parse module-parallel
+//! with deterministic output (see [`parse_design_jobs`]). The previous
+//! front end survives verbatim in [`legacy`] as the differential-testing
+//! baseline until the streaming one has soaked for a release.
 
 // The reader is the hostile-input boundary of the whole tool: arbitrary
 // bytes must come back as `NetlistError`, never as a panic.
@@ -16,9 +24,13 @@
 mod lexer;
 #[deny(clippy::unwrap_used, clippy::panic)]
 mod parser;
+#[deny(clippy::unwrap_used, clippy::panic)]
 mod writer;
 
-pub use parser::{parse_design, parse_module};
+#[cfg(any(test, feature = "legacy-parser"))]
+pub mod legacy;
+
+pub use parser::{parse_design, parse_design_jobs, parse_module};
 pub use writer::{write_design, write_module};
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Recursive-descent parser for flat structural Verilog.
+//! Streaming recursive-descent parser for flat structural Verilog.
 //!
 //! Supported subset (everything a post-synthesis, technology-mapped netlist
 //! contains): module declarations with classic or ANSI port lists,
@@ -10,11 +10,48 @@
 //! Following §3.2.1 of the paper, import *cleans* the design: escaped names
 //! are substituted by simple ones and `assign` statements are resolved by
 //! merging the aliased nets wherever possible.
+//!
+//! ## Zero-copy model
+//!
+//! The parser pulls `Copy` tokens straight off the streaming [`Lexer`] —
+//! identifiers cross as `&str` slices of the one input buffer and are
+//! interned into the per-module [`crate::SymbolTable`] the moment they are
+//! consumed. The only per-name allocations left are for escaped
+//! identifiers (sanitized into fresh simple names) and bus-bit names
+//! (`base[i]`), which are composed in a reusable scratch buffer. Pin lists
+//! and expression bit vectors are reused across statements.
+//!
+//! ## Parallel module parsing
+//!
+//! [`parse_design_jobs`] splits a multi-module source into per-module
+//! spans with a token-level scan, parses the spans in parallel on the
+//! `drd-runner` pool and merges the resulting modules *in module index
+//! order* (first span = top module, first error by span index wins), so
+//! the resulting `Design` is byte-identical to a serial parse for any
+//! worker count. The scan refuses sources containing escaped identifiers
+//! — their sanitized names are uniqued across modules, a serial-order
+//! dependency — and anything that does not cleanly alternate
+//! `module`…`endmodule` at the top level; those parse serially.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
-use super::lexer::{tokenize, Token, TokenKind};
-use crate::{CellKind, Conn, Design, Module, NetId, NetlistError, PortDir};
+use super::lexer::{error_at, line_col, Lexer, TokenKind};
+use crate::hash::{FastHashMap, FastHashSet};
+use crate::{CellKind, Conn, Design, Module, NetId, NetlistError, PortDir, Symbol};
+
+/// Internal result type: errors are boxed so the `Result` fits in a
+/// register pair. `NetlistError` is a multi-word enum, and returning it by
+/// value from every `expect_*`/`advance` call makes the caller reserve and
+/// copy stack space on the hot path; errors themselves are rare and can
+/// afford the allocation. Unboxed at the public `parse_*` boundary.
+type PResult<T> = Result<T, Box<NetlistError>>;
+
+#[cold]
+fn box_err(src: &str, offset: usize, message: String) -> Box<NetlistError> {
+    Box::new(error_at(src, offset, message))
+}
 
 /// Widest bus (and largest bit index / constant width) the parser accepts.
 /// Declarations and expressions expand buses bit by bit, so an unchecked
@@ -27,30 +64,50 @@ const MAX_BUS_WIDTH: u64 = 65_536;
 /// hostile input like `({({({...` must be rejected by depth, not by crash.
 const MAX_EXPR_DEPTH: usize = 64;
 
+/// Sources smaller than this always parse serially when no explicit job
+/// count is given: the span scan is an extra lexing pass and thread
+/// startup costs more than parsing a small file.
+const PARALLEL_MIN_BYTES: usize = 64 * 1024;
+
 /// Parses a (possibly multi-module) structural Verilog design.
 ///
-/// The first module in the file becomes the top module.
+/// The first module in the file becomes the top module. Large multi-module
+/// sources are parsed module-parallel on the default worker pool
+/// (`DRD_WORKERS` / available cores); see [`parse_design_jobs`] for an
+/// explicit job count. The result is byte-identical either way.
 ///
 /// # Errors
-/// Returns [`NetlistError::Parse`] on syntax errors and
-/// [`NetlistError::Unsupported`] for constructs outside the structural
-/// subset (behavioural code, ordered connections, expressions).
+/// Returns [`NetlistError::Parse`] on syntax errors (with byte offset and
+/// line/column of the offending token), [`NetlistError::Unsupported`] for
+/// constructs outside the structural subset (behavioural code, ordered
+/// connections, expressions) and [`NetlistError::DuplicateName`] if two
+/// modules share a name.
 pub fn parse_design(source: &str) -> Result<Design, NetlistError> {
-    let tokens = tokenize(source)?;
-    let mut p = Parser {
-        tokens,
-        pos: 0,
-        escaped_names: HashMap::new(),
-    };
-    let mut design = Design::new();
-    while !p.at_eof() {
-        let module = p.parse_module()?;
-        design.insert(module);
+    parse_design_jobs(source, None)
+}
+
+/// [`parse_design`] with an explicit worker count (`None` = default pool).
+///
+/// `Some(1)` forces a serial parse; `Some(n > 1)` forces the parallel
+/// module path whenever the source is splittable, regardless of size.
+///
+/// # Errors
+/// As [`parse_design`].
+pub fn parse_design_jobs(source: &str, jobs: Option<usize>) -> Result<Design, NetlistError> {
+    let workers = jobs.unwrap_or_else(drd_runner::worker_count).max(1);
+    // Cheap necessary condition for >= 2 modules before paying for the
+    // token-level scan: "endmodule" must occur at least twice.
+    if workers > 1
+        && (jobs.is_some() || source.len() >= PARALLEL_MIN_BYTES)
+        && source.matches("endmodule").nth(1).is_some()
+    {
+        if let Some(spans) = scan_module_spans(source) {
+            if spans.len() >= 2 {
+                return parse_parallel(source, &spans, workers);
+            }
+        }
     }
-    // Instances that name a module of this design are module instances, not
-    // library cells.
-    retarget_instances(&mut design);
-    Ok(design)
+    parse_serial(source)
 }
 
 /// Parses a source containing exactly one module.
@@ -64,27 +121,115 @@ pub fn parse_module(source: &str) -> Result<Module, NetlistError> {
     if modules.len() != 1 {
         return Err(NetlistError::Parse {
             line: 1,
+            col: 0,
+            offset: 0,
             message: format!("expected exactly one module, found {}", modules.len()),
         });
     }
     Ok(modules.remove(0))
 }
 
+fn parse_serial(source: &str) -> Result<Design, NetlistError> {
+    let mut p = Parser::new(source, 0).map_err(|e| *e)?;
+    let mut design = Design::new();
+    while !p.at_eof() {
+        let module = p.parse_module_decl().map_err(|e| *e)?;
+        insert_module(&mut design, module)?;
+    }
+    retarget_instances(&mut design);
+    Ok(design)
+}
+
+/// Start offsets of each top-level `module` keyword, or `None` if the
+/// source is not cleanly splittable: lex errors anywhere, stray tokens
+/// between modules, a missing `endmodule`, or any escaped identifier
+/// (sanitized escaped names are uniqued across modules in lexical order —
+/// a serial-only dependency). `None` routes to the serial parser, which
+/// reproduces the exact diagnostics.
+fn scan_module_spans(src: &str) -> Option<Vec<usize>> {
+    let mut lx = Lexer::new(src, 0).ok()?;
+    let mut spans = Vec::new();
+    let mut in_module = false;
+    loop {
+        match lx.peek() {
+            TokenKind::Eof => break,
+            TokenKind::Id { escaped: true, .. } => return None,
+            TokenKind::Id {
+                name: "module",
+                escaped: false,
+            } if !in_module => {
+                spans.push(lx.offset());
+                in_module = true;
+            }
+            TokenKind::Id {
+                name: "endmodule",
+                escaped: false,
+            } if in_module => in_module = false,
+            _ if !in_module => return None,
+            _ => {}
+        }
+        lx.advance().ok()?;
+    }
+    if in_module {
+        return None;
+    }
+    Some(spans)
+}
+
+fn parse_parallel(
+    src: &str,
+    starts: &[usize],
+    workers: usize,
+) -> Result<Design, NetlistError> {
+    let results = drd_runner::run_indexed(starts.len(), workers, |i| -> PResult<Module> {
+        let mut p = Parser::new(src, starts[i])?;
+        p.parse_module_decl()
+    });
+    let mut design = Design::new();
+    // Merge in span order: module ids, top selection and error precedence
+    // all follow the source order, independent of scheduling.
+    for result in results {
+        insert_module(&mut design, result.map_err(|e| *e)?)?;
+    }
+    retarget_instances(&mut design);
+    Ok(design)
+}
+
+fn insert_module(design: &mut Design, module: Module) -> Result<(), NetlistError> {
+    if design.find_module(&module.name).is_some() {
+        return Err(NetlistError::DuplicateName {
+            kind: "module",
+            name: module.name,
+        });
+    }
+    design.insert(module);
+    Ok(())
+}
+
 fn retarget_instances(design: &mut Design) {
     let module_names: Vec<String> = design.modules().map(|(_, m)| m.name.clone()).collect();
-    let module_set: std::collections::HashSet<&str> =
-        module_names.iter().map(|s| s.as_str()).collect();
     for name in &module_names {
         let Some(id) = design.find_module(name) else {
             continue;
         };
         let module = design.module_mut(id);
+        // Resolve every design module name to this module's symbol table
+        // once; the per-cell check is then a u32 set probe instead of a
+        // string resolve + hash. A module name the table has never seen
+        // cannot be referenced by any cell here.
+        let targets: FastHashSet<Symbol> = module_names
+            .iter()
+            .filter_map(|n| module.lookup_sym(n))
+            .collect();
+        if targets.is_empty() {
+            continue;
+        }
         let cell_ids: Vec<_> = module.cell_ids().collect();
         for cid in cell_ids {
             // The instance keeps the same name symbol: `Lib(sym)` and
             // `Instance(sym)` reference the same interned string.
             if let CellKind::Lib(sym) = module.cell_kind(cid) {
-                if module_set.contains(module.resolve(sym)) {
+                if targets.contains(&sym) {
                     module.set_cell_kind(cid, CellKind::Instance(sym));
                 }
             }
@@ -92,11 +237,29 @@ fn retarget_instances(design: &mut Design) {
     }
 }
 
-struct Parser {
-    tokens: Vec<Token>,
-    pos: usize,
-    /// Translation of escaped identifiers to sanitized simple names.
-    escaped_names: HashMap<String, String>,
+struct Parser<'a> {
+    lx: Lexer<'a>,
+    src: &'a str,
+    /// Translation of escaped identifiers to sanitized simple names. Keys
+    /// borrow from the source buffer; the map is shared across all modules
+    /// of a serial parse so sanitized names stay design-unique.
+    escaped_names: FastHashMap<&'a str, String>,
+    /// Every sanitized name handed out so far, for O(1) collision checks
+    /// when sanitizing a new escaped identifier (a linear scan over
+    /// `escaped_names` values would make sanitization quadratic in the
+    /// number of distinct escaped names).
+    escaped_taken: FastHashSet<String>,
+    /// Raw escaped slice → interned symbol of its sanitized name in the
+    /// module currently being parsed. Written-out netlists reference every
+    /// bus-bit net through an escaped identifier, so this memo turns the
+    /// hot path (sanitize-map hit + `String` clone + re-intern) into one
+    /// probe. Cleared per module — symbols are per-module.
+    escaped_syms: FastHashMap<&'a str, Symbol>,
+    /// Reusable pin buffer for instance statements.
+    pins: Vec<(Symbol, Conn)>,
+    /// Reusable expression bit buffers (`assign` needs two live at once).
+    lhs_bits: Vec<Bit>,
+    rhs_bits: Vec<Bit>,
 }
 
 /// One bit of a connection expression.
@@ -117,84 +280,100 @@ impl Bit {
     }
 }
 
-impl Parser {
-    fn peek(&self) -> &TokenKind {
-        &self.tokens[self.pos].kind
-    }
-
-    fn line(&self) -> usize {
-        self.tokens[self.pos].line
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, start: usize) -> PResult<Self> {
+        Ok(Parser {
+            lx: Lexer::new(src, start)?,
+            src,
+            escaped_names: FastHashMap::default(),
+            escaped_taken: FastHashSet::default(),
+            escaped_syms: FastHashMap::default(),
+            pins: Vec::new(),
+            lhs_bits: Vec::new(),
+            rhs_bits: Vec::new(),
+        })
     }
 
     fn at_eof(&self) -> bool {
-        matches!(self.peek(), TokenKind::Eof)
+        matches!(self.lx.peek(), TokenKind::Eof)
     }
 
-    fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos].kind.clone();
-        if self.pos + 1 < self.tokens.len() {
-            self.pos += 1;
-        }
-        kind
+    /// A parse error pointing at the current token.
+    fn error(&self, message: impl Into<String>) -> Box<NetlistError> {
+        Box::new(error_at(self.src, self.lx.offset(), message.into()))
     }
 
-    fn error(&self, message: impl Into<String>) -> NetlistError {
-        NetlistError::Parse {
-            line: self.line(),
+    /// An unsupported-construct error at the current token's line.
+    fn unsupported(&self, message: impl Into<String>) -> Box<NetlistError> {
+        Box::new(NetlistError::Unsupported {
+            line: line_col(self.src, self.lx.offset()).0,
             message: message.into(),
-        }
+        })
     }
 
-    fn expect_punct(&mut self, c: char) -> Result<(), NetlistError> {
-        if matches!(self.peek(), TokenKind::Punct(p) if *p == c) {
-            self.bump();
-            Ok(())
+    fn expect_punct(&mut self, c: char) -> PResult<()> {
+        if matches!(self.lx.peek(), TokenKind::Punct(p) if p == c) {
+            self.lx.advance()
         } else {
-            Err(self.error(format!("expected `{c}`, found {}", self.peek().describe())))
+            Err(self.error(format!(
+                "expected `{c}`, found {}",
+                self.lx.peek().describe()
+            )))
         }
     }
 
-    fn eat_punct(&mut self, c: char) -> bool {
-        if matches!(self.peek(), TokenKind::Punct(p) if *p == c) {
-            self.bump();
-            true
+    /// Consumes `c` if it is the current token. The `Result` is for the
+    /// lexer scanning the *next* token, not for the match itself.
+    fn eat_punct(&mut self, c: char) -> PResult<bool> {
+        if matches!(self.lx.peek(), TokenKind::Punct(p) if p == c) {
+            self.lx.advance()?;
+            Ok(true)
         } else {
-            false
+            Ok(false)
         }
     }
 
-    fn expect_id(&mut self) -> Result<String, NetlistError> {
-        match self.peek().clone() {
-            TokenKind::Id { name, escaped } => {
-                self.bump();
-                Ok(if escaped {
-                    self.sanitize_escaped(&name)
-                } else {
-                    name
-                })
+    /// Consumes an identifier. Plain identifiers come back borrowed from
+    /// the source buffer (zero-copy); escaped ones are sanitized into an
+    /// owned simple name.
+    fn expect_id(&mut self) -> PResult<Cow<'a, str>> {
+        match self.lx.peek() {
+            TokenKind::Id {
+                name,
+                escaped: false,
+            } => {
+                self.lx.advance()?;
+                Ok(Cow::Borrowed(name))
+            }
+            TokenKind::Id {
+                name,
+                escaped: true,
+            } => {
+                self.lx.advance()?;
+                Ok(Cow::Owned(self.sanitize_escaped(name)))
             }
             other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
         }
     }
 
-    fn expect_keyword(&mut self, kw: &str) -> Result<(), NetlistError> {
-        match self.peek() {
-            TokenKind::Id { name, escaped: false } if name == kw => {
-                self.bump();
-                Ok(())
-            }
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        match self.lx.peek() {
+            TokenKind::Id {
+                name,
+                escaped: false,
+            } if name == kw => self.lx.advance(),
             other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
         }
     }
 
     fn peek_keyword(&self, kw: &str) -> bool {
-        matches!(self.peek(), TokenKind::Id { name, escaped: false } if name == kw)
+        matches!(self.lx.peek(), TokenKind::Id { name, escaped: false } if name == kw)
     }
 
-    fn expect_number(&mut self) -> Result<u64, NetlistError> {
-        match self.peek().clone() {
+    fn expect_number(&mut self) -> PResult<u64> {
+        match self.lx.peek() {
             TokenKind::Number(n) => {
-                self.bump();
+                self.lx.advance()?;
                 Ok(n)
             }
             other => Err(self.error(format!("expected number, found {}", other.describe()))),
@@ -203,14 +382,14 @@ impl Parser {
 
     /// Replaces characters outside `[A-Za-z0-9_$]` and normalizes bus
     /// brackets so `\reg[3] `-style escaped names keep their bus identity.
-    fn sanitize_escaped(&mut self, raw: &str) -> String {
+    fn sanitize_escaped(&mut self, raw: &'a str) -> String {
         if let Some(done) = self.escaped_names.get(raw) {
             return done.clone();
         }
         // Preserve a trailing `[index]` (bus-bit) if present.
         let (body, suffix) = match crate::bus::parse_bus_bit(raw) {
-            Some((base, index)) => (base.to_owned(), format!("[{index}]")),
-            None => (raw.to_owned(), String::new()),
+            Some((base, index)) => (base, format!("[{index}]")),
+            None => (raw, String::new()),
         };
         let mut clean: String = body
             .chars()
@@ -227,24 +406,38 @@ impl Parser {
         }
         let mut candidate = format!("{clean}{suffix}");
         let mut i = 0;
-        while self.escaped_names.values().any(|v| v == &candidate) {
+        while self.escaped_taken.contains(&candidate) {
             i += 1;
             candidate = format!("{clean}_e{i}{suffix}");
         }
-        self.escaped_names.insert(raw.to_owned(), candidate.clone());
+        self.escaped_taken.insert(candidate.clone());
+        self.escaped_names.insert(raw, candidate.clone());
         candidate
     }
 
-    fn parse_module(&mut self) -> Result<Module, NetlistError> {
+    fn parse_module_decl(&mut self) -> PResult<Module> {
+        self.escaped_syms.clear();
         self.expect_keyword("module")?;
         let name = self.expect_id()?;
         let mut ctx = ModuleCtx {
-            module: Module::new(name),
-            buses: HashMap::new(),
+            module: Module::new(name.into_owned()),
+            buses: Vec::new(),
+            bus_slots: Vec::new(),
             aliases: Vec::new(),
-            header_ports: Vec::new(),
+            scratch: String::new(),
         };
-        if self.eat_punct('(') {
+        // Allocation hints scaled from the remaining source (measured on
+        // written-out netlists: ~50 bytes per cell, ~45 per net, ~17 per
+        // pin). Capped so a module early in a huge multi-module file does
+        // not reserve for the whole rest of the file.
+        let remaining = self.src.len().saturating_sub(self.lx.offset()).min(2 << 20);
+        ctx.module.reserve(
+            remaining / 40,
+            remaining / 40,
+            remaining / 48,
+            remaining / 16,
+        );
+        if self.eat_punct('(')? {
             self.parse_port_list(&mut ctx)?;
             self.expect_punct(')')?;
         }
@@ -260,8 +453,8 @@ impl Parser {
         Ok(ctx.module)
     }
 
-    fn parse_port_list(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
-        if matches!(self.peek(), TokenKind::Punct(')')) {
+    fn parse_port_list(&mut self, ctx: &mut ModuleCtx) -> PResult<()> {
+        if matches!(self.lx.peek(), TokenKind::Punct(')')) {
             return Ok(());
         }
         loop {
@@ -274,42 +467,50 @@ impl Parser {
                 ctx.declare_port(&name, dir, range)
                     .map_err(|e| self.to_parse_err(e))?;
             } else {
-                let name = self.expect_id()?;
-                ctx.header_ports.push(name);
+                // Classic header: names repeat in the body with their
+                // directions; consuming the identifier (and sanitizing it
+                // if escaped) is all that is needed here.
+                self.expect_id()?;
             }
-            if !self.eat_punct(',') {
+            if !self.eat_punct(',')? {
                 break;
             }
         }
         Ok(())
     }
 
-    fn parse_dir(&mut self) -> Result<PortDir, NetlistError> {
+    fn parse_dir(&mut self) -> PResult<PortDir> {
+        let at = self.lx.offset();
         let kw = self.expect_id()?;
-        match kw.as_str() {
+        match &*kw {
             "input" => Ok(PortDir::Input),
             "output" => Ok(PortDir::Output),
             "inout" => Ok(PortDir::Inout),
-            other => Err(self.error(format!("expected port direction, found `{other}`"))),
+            other => Err(box_err(
+                self.src,
+                at,
+                format!("expected port direction, found `{other}`"),
+            )),
         }
     }
 
     /// A range/index bound, rejected beyond [`MAX_BUS_WIDTH`] (which also
     /// keeps the later `u64 → i64` cast lossless).
-    fn bounded_index(&mut self) -> Result<i64, NetlistError> {
-        let line = self.line();
+    fn bounded_index(&mut self) -> PResult<i64> {
+        let at = self.lx.offset();
         let n = self.expect_number()?;
         if n > MAX_BUS_WIDTH {
-            return Err(NetlistError::Parse {
-                line,
-                message: format!("bit index {n} exceeds the supported maximum {MAX_BUS_WIDTH}"),
-            });
+            return Err(box_err(
+                self.src,
+                at,
+                format!("bit index {n} exceeds the supported maximum {MAX_BUS_WIDTH}"),
+            ));
         }
         Ok(n as i64)
     }
 
-    fn parse_optional_range(&mut self) -> Result<Option<(i64, i64)>, NetlistError> {
-        if !self.eat_punct('[') {
+    fn parse_optional_range(&mut self) -> PResult<Option<(i64, i64)>> {
+        if !self.eat_punct('[')? {
             return Ok(None);
         }
         let msb = self.bounded_index()?;
@@ -319,117 +520,96 @@ impl Parser {
         Ok(Some((msb, lsb)))
     }
 
-    fn parse_statement(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
-        if self.peek_keyword("input") || self.peek_keyword("output") || self.peek_keyword("inout") {
+    fn parse_statement(&mut self, ctx: &mut ModuleCtx) -> PResult<()> {
+        // One keyword dispatch instead of a peek per candidate — every
+        // instance statement (the common case) would otherwise string-
+        // compare against all six keywords before falling through.
+        let kw = match self.lx.peek() {
+            TokenKind::Id {
+                name,
+                escaped: false,
+            } => name,
+            _ => "",
+        };
+        if matches!(kw, "input" | "output" | "inout") {
             let dir = self.parse_dir()?;
             let range = self.parse_optional_range()?;
             loop {
                 let name = self.expect_id()?;
                 ctx.declare_port(&name, dir, range)
                     .map_err(|e| self.to_parse_err(e))?;
-                if !self.eat_punct(',') {
+                if !self.eat_punct(',')? {
                     break;
                 }
             }
             self.expect_punct(';')?;
-        } else if self.peek_keyword("wire") || self.peek_keyword("tri") {
-            self.bump();
+        } else if matches!(kw, "wire" | "tri") {
+            self.lx.advance()?;
             let range = self.parse_optional_range()?;
             loop {
                 let name = self.expect_id()?;
-                ctx.declare_wire(&name, range)
-                    .map_err(|e| self.to_parse_err(e))?;
-                if !self.eat_punct(',') {
+                ctx.declare_wire(&name, range);
+                if !self.eat_punct(',')? {
                     break;
                 }
             }
             self.expect_punct(';')?;
-        } else if self.peek_keyword("assign") {
-            self.bump();
-            let line = self.line();
-            let lhs = self.parse_expr(ctx)?;
+        } else if kw == "assign" {
+            self.lx.advance()?;
+            let at = self.lx.offset();
+            let mut lhs = std::mem::take(&mut self.lhs_bits);
+            let mut rhs = std::mem::take(&mut self.rhs_bits);
+            lhs.clear();
+            rhs.clear();
+            self.parse_expr(ctx, &mut lhs)?;
             self.expect_punct('=')?;
-            let rhs = self.parse_expr(ctx)?;
+            self.parse_expr(ctx, &mut rhs)?;
             self.expect_punct(';')?;
             if lhs.len() != rhs.len() {
-                return Err(NetlistError::Parse {
-                    line,
-                    message: format!(
-                        "assign width mismatch: {} vs {} bits",
-                        lhs.len(),
-                        rhs.len()
-                    ),
-                });
+                return Err(box_err(
+                    self.src,
+                    at,
+                    format!("assign width mismatch: {} vs {} bits", lhs.len(), rhs.len()),
+                ));
             }
             for (l, r) in lhs.iter().zip(rhs.iter()) {
                 let Bit::Net(lnet) = *l else {
-                    return Err(NetlistError::Parse {
-                        line,
-                        message: "assign target must be a net".into(),
-                    });
+                    return Err(box_err(
+                        self.src,
+                        at,
+                        "assign target must be a net".into(),
+                    ));
                 };
                 ctx.aliases.push((lnet, *r));
             }
+            self.lhs_bits = lhs;
+            self.rhs_bits = rhs;
         } else {
             self.parse_instances(ctx)?;
         }
         Ok(())
     }
 
-    fn parse_instances(&mut self, ctx: &mut ModuleCtx) -> Result<(), NetlistError> {
+    fn parse_instances(&mut self, ctx: &mut ModuleCtx) -> PResult<()> {
         let cell_type = self.expect_id()?;
-        if self.eat_punct('#') {
-            return Err(NetlistError::Unsupported {
-                line: self.line(),
-                message: "parameterized instances (`#`) are not supported".into(),
-            });
+        // Intern the cell type once per statement; every instance in the
+        // statement shares the symbol.
+        let kind = CellKind::Lib(ctx.module.intern(&cell_type));
+        if self.eat_punct('#')? {
+            return Err(self.unsupported("parameterized instances (`#`) are not supported"));
         }
         loop {
             let inst_name = self.expect_id()?;
             self.expect_punct('(')?;
-            let mut pins: Vec<(String, Conn)> = Vec::new();
-            if !matches!(self.peek(), TokenKind::Punct(')')) {
-                if !matches!(self.peek(), TokenKind::Punct('.')) {
-                    return Err(NetlistError::Unsupported {
-                        line: self.line(),
-                        message: "ordered (positional) connections are not supported; \
-                                  use named connections"
-                            .into(),
-                    });
-                }
-                loop {
-                    self.expect_punct('.')?;
-                    let pin = self.expect_id()?;
-                    self.expect_punct('(')?;
-                    if matches!(self.peek(), TokenKind::Punct(')')) {
-                        pins.push((pin, Conn::Open));
-                    } else {
-                        let bits = self.parse_expr(ctx)?;
-                        if bits.len() == 1 {
-                            pins.push((pin, bits[0].to_conn()));
-                        } else {
-                            // Multi-bit connection to a bit-blasted port:
-                            // expand into `pin[k]` sub-pins, MSB first.
-                            let width = bits.len();
-                            for (i, bit) in bits.iter().enumerate() {
-                                let idx = width - 1 - i;
-                                pins.push((format!("{pin}[{idx}]"), bit.to_conn()));
-                            }
-                        }
-                    }
-                    self.expect_punct(')')?;
-                    if !self.eat_punct(',') {
-                        break;
-                    }
-                }
-            }
+            let mut pins = std::mem::take(&mut self.pins);
+            pins.clear();
+            self.parse_pin_list(ctx, &mut pins)?;
             self.expect_punct(')')?;
-            let pin_refs: Vec<(&str, Conn)> =
-                pins.iter().map(|(p, c)| (p.as_str(), *c)).collect();
             ctx.module
-                .add_cell(inst_name, &cell_type, &pin_refs)
+                .add_cell_interned(&inst_name, kind, &pins)
                 .map_err(|e| self.to_parse_err(e))?;
-            if !self.eat_punct(',') {
+            self.pins = pins;
+            if !self.eat_punct(',')? {
                 break;
             }
         }
@@ -437,83 +617,174 @@ impl Parser {
         Ok(())
     }
 
+    fn parse_pin_list(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        pins: &mut Vec<(Symbol, Conn)>,
+    ) -> PResult<()> {
+        if matches!(self.lx.peek(), TokenKind::Punct(')')) {
+            return Ok(());
+        }
+        if !matches!(self.lx.peek(), TokenKind::Punct('.')) {
+            return Err(self.unsupported(
+                "ordered (positional) connections are not supported; use named connections",
+            ));
+        }
+        let mut bits = std::mem::take(&mut self.rhs_bits);
+        loop {
+            self.expect_punct('.')?;
+            let pin = self.expect_id()?;
+            let pin_sym = ctx.module.intern(&pin);
+            self.expect_punct('(')?;
+            if matches!(self.lx.peek(), TokenKind::Punct(')')) {
+                pins.push((pin_sym, Conn::Open));
+            } else {
+                bits.clear();
+                self.parse_expr(ctx, &mut bits)?;
+                if bits.len() == 1 {
+                    pins.push((pin_sym, bits[0].to_conn()));
+                } else {
+                    // Multi-bit connection to a bit-blasted port: expand
+                    // into `pin[k]` sub-pins, MSB first.
+                    let width = bits.len();
+                    for (i, bit) in bits.iter().enumerate() {
+                        let idx = (width - 1 - i) as i64;
+                        let sub = ctx.intern_bus_bit(&pin, idx);
+                        pins.push((sub, bit.to_conn()));
+                    }
+                }
+            }
+            self.expect_punct(')')?;
+            if !self.eat_punct(',')? {
+                break;
+            }
+        }
+        self.rhs_bits = bits;
+        Ok(())
+    }
+
     /// expr := sized_const | id | id `[` number `]` | `{` expr, ... `}`
-    fn parse_expr(&mut self, ctx: &mut ModuleCtx) -> Result<Vec<Bit>, NetlistError> {
-        self.parse_expr_at(ctx, 0)
+    ///
+    /// Appends the expression's bits (MSB first) to `bits`.
+    fn parse_expr(&mut self, ctx: &mut ModuleCtx, bits: &mut Vec<Bit>) -> PResult<()> {
+        self.parse_expr_at(ctx, bits, 0)
     }
 
     fn parse_expr_at(
         &mut self,
         ctx: &mut ModuleCtx,
+        bits: &mut Vec<Bit>,
         depth: usize,
-    ) -> Result<Vec<Bit>, NetlistError> {
+    ) -> PResult<()> {
         if depth > MAX_EXPR_DEPTH {
             return Err(self.error(format!(
                 "concatenation nested deeper than {MAX_EXPR_DEPTH} levels"
             )));
         }
-        match self.peek().clone() {
+        match self.lx.peek() {
             TokenKind::SizedConst {
                 width,
                 base,
                 digits,
             } => {
-                self.bump();
-                self.const_bits(width, base, &digits)
+                let at = self.lx.offset();
+                self.lx.advance()?;
+                self.const_bits(at, width, base, digits, bits)
             }
             TokenKind::Punct('{') => {
-                self.bump();
-                let mut bits = Vec::new();
+                self.lx.advance()?;
                 loop {
-                    bits.extend(self.parse_expr_at(ctx, depth + 1)?);
-                    if !self.eat_punct(',') {
+                    self.parse_expr_at(ctx, bits, depth + 1)?;
+                    if !self.eat_punct(',')? {
                         break;
                     }
                 }
-                self.expect_punct('}')?;
-                Ok(bits)
+                self.expect_punct('}')
             }
-            TokenKind::Id { .. } => {
-                let name = self.expect_id()?;
-                if self.eat_punct('[') {
-                    let idx = self.bounded_index()?;
-                    if self.eat_punct(':') {
-                        let lsb = self.bounded_index()?;
-                        self.expect_punct(']')?;
-                        let mut bits = Vec::new();
-                        let (hi, lo) = (idx.max(lsb), idx.min(lsb));
-                        for i in (lo..=hi).rev() {
-                            bits.push(Bit::Net(
-                                ctx.bit_net(&name, i).map_err(|e| self.to_parse_err(e))?,
-                            ));
-                        }
-                        Ok(bits)
-                    } else {
-                        self.expect_punct(']')?;
-                        Ok(vec![Bit::Net(
-                            ctx.bit_net(&name, idx).map_err(|e| self.to_parse_err(e))?,
-                        )])
+            TokenKind::Id { name: raw, escaped } => {
+                if !escaped {
+                    // Dominant case: a plain net reference, usually without
+                    // a select. Skip the `expect_id` re-match and `Cow`.
+                    self.lx.advance()?;
+                    if !matches!(self.lx.peek(), TokenKind::Punct('[')) {
+                        ctx.name_bits(raw, bits);
+                        return Ok(());
                     }
-                } else {
-                    Ok(ctx
-                        .name_bits(&name)
-                        .map_err(|e| self.to_parse_err(e))?)
+                    return self.parse_id_select(ctx, bits, raw);
                 }
+                if escaped {
+                    if let Some(&sym) = self.escaped_syms.get(raw) {
+                        self.lx.advance()?;
+                        if !matches!(self.lx.peek(), TokenKind::Punct('[')) {
+                            ctx.sym_bits(sym, bits);
+                            return Ok(());
+                        }
+                        // Bit-select after an escaped identifier: rare
+                        // enough that resolving the sanitized name back
+                        // out of the table is fine.
+                        let name = ctx.module.resolve(sym).to_owned();
+                        return self.parse_id_select(ctx, bits, &name);
+                    }
+                }
+                let name = self.expect_id()?;
+                if escaped {
+                    let sym = ctx.module.intern(&name);
+                    self.escaped_syms.insert(raw, sym);
+                }
+                self.parse_id_select(ctx, bits, &name)
             }
             other => Err(self.error(format!("expected expression, found {}", other.describe()))),
         }
     }
 
-    fn const_bits(&self, width: u32, base: char, digits: &str) -> Result<Vec<Bit>, NetlistError> {
-        if u64::from(width) > MAX_BUS_WIDTH {
-            return Err(NetlistError::Parse {
-                line: self.line(),
-                message: format!(
-                    "constant width {width} exceeds the supported maximum {MAX_BUS_WIDTH}"
-                ),
-            });
+    /// The tail of an identifier expression: an optional `[idx]` /
+    /// `[msb:lsb]` select (the identifier itself is already consumed).
+    fn parse_id_select(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        bits: &mut Vec<Bit>,
+        name: &str,
+    ) -> PResult<()> {
+        if self.eat_punct('[')? {
+            let idx = self.bounded_index()?;
+            if self.eat_punct(':')? {
+                let lsb = self.bounded_index()?;
+                self.expect_punct(']')?;
+                let (hi, lo) = (idx.max(lsb), idx.min(lsb));
+                for i in (lo..=hi).rev() {
+                    bits.push(Bit::Net(ctx.bit_net(name, i)));
+                }
+            } else {
+                self.expect_punct(']')?;
+                bits.push(Bit::Net(ctx.bit_net(name, idx)));
+            }
+        } else {
+            ctx.name_bits(name, bits);
         }
-        let radix = match base {
+        Ok(())
+    }
+
+    /// Expands a sized constant into bits (MSB first). The digit slice is
+    /// raw from the lexer: underscores are skipped here and the value is
+    /// accumulated with checked arithmetic, so `'hxz`, overflow and
+    /// digits beyond the radix all come back as errors pointing at the
+    /// constant (`at`), never as panics.
+    fn const_bits(
+        &self,
+        at: usize,
+        width: u32,
+        base: char,
+        digits: &str,
+        bits: &mut Vec<Bit>,
+    ) -> PResult<()> {
+        if u64::from(width) > MAX_BUS_WIDTH {
+            return Err(box_err(
+                self.src,
+                at,
+                format!("constant width {width} exceeds the supported maximum {MAX_BUS_WIDTH}"),
+            ));
+        }
+        let radix: u32 = match base {
             'b' => 2,
             'o' => 8,
             'd' => 10,
@@ -521,72 +792,156 @@ impl Parser {
             // The lexer validates the base, but stay panic-free if that
             // invariant ever slips.
             _ => {
-                return Err(NetlistError::Parse {
-                    line: self.line(),
-                    message: format!("unknown constant base `{base}`"),
-                })
+                return Err(box_err(
+                    self.src,
+                    at,
+                    format!("unknown constant base `{base}`"),
+                ))
             }
         };
-        let value = u128::from_str_radix(digits, radix).map_err(|_| NetlistError::Parse {
-            line: self.line(),
-            message: format!("invalid digits `{digits}` for base `{base}`"),
-        })?;
-        let mut bits = Vec::with_capacity(width as usize);
-        for i in (0..width).rev() {
-            bits.push(if (value >> i) & 1 == 1 {
-                Bit::Const1
-            } else {
-                Bit::Const0
-            });
+        let invalid = || {
+            Box::new(error_at(
+                self.src,
+                at,
+                format!(
+                    "invalid digits `{}` for base `{base}`",
+                    digits.replace('_', "")
+                ),
+            ))
+        };
+        let mut value: u128 = 0;
+        let mut any = false;
+        for c in digits.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(radix).ok_or_else(invalid)?;
+            value = value
+                .checked_mul(u128::from(radix))
+                .and_then(|v| v.checked_add(u128::from(d)))
+                .ok_or_else(invalid)?;
+            any = true;
         }
-        Ok(bits)
+        if !any {
+            return Err(invalid());
+        }
+        bits.reserve(width as usize);
+        for i in (0..width).rev() {
+            // Bits above u128 are zero; guard the shift (u128 >> 128+
+            // would overflow-panic in debug builds).
+            let one = i < 128 && (value >> i) & 1 == 1;
+            bits.push(if one { Bit::Const1 } else { Bit::Const0 });
+        }
+        Ok(())
     }
 
-    fn to_parse_err(&self, e: NetlistError) -> NetlistError {
+    fn to_parse_err(&self, e: NetlistError) -> Box<NetlistError> {
         match e {
-            NetlistError::Parse { .. } | NetlistError::Unsupported { .. } => e,
-            other => NetlistError::Parse {
-                line: self.line(),
-                message: other.to_string(),
-            },
+            NetlistError::Parse { .. } | NetlistError::Unsupported { .. } => Box::new(e),
+            other => self.error(other.to_string()),
         }
     }
+}
+
+/// A declared bus: its source range plus the per-bit net ids, cached so
+/// references (`bus`, `bus[i]`) resolve with one symbol probe and an array
+/// index instead of re-composing and re-hashing a `base[i]` string.
+struct BusDecl {
+    msb: i64,
+    lsb: i64,
+    /// Net of each bit, ordered `lo..=hi`.
+    bits: Vec<NetId>,
+}
+
+impl BusDecl {
+    #[inline]
+    fn lo(&self) -> i64 {
+        self.msb.min(self.lsb)
+    }
+
+    #[inline]
+    fn hi(&self) -> i64 {
+        self.msb.max(self.lsb)
+    }
+}
+
+/// Slot-vector sentinel: symbol has no bus declaration.
+const NO_BUS: u32 = u32::MAX;
+
+/// Composes `base[index]` into `buf` without going through `fmt` — this
+/// runs once per declared bus bit and the formatting machinery is
+/// measurable there. Negative indices (not produced by well-formed
+/// ranges, but reachable) fall back to `write!`.
+fn push_bus_name(buf: &mut String, base: &str, index: i64) {
+    buf.clear();
+    buf.push_str(base);
+    buf.push('[');
+    if (0..=9).contains(&index) {
+        buf.push(char::from(b'0' + index as u8));
+    } else if index > 9 {
+        let mut tmp = [0u8; 20];
+        let mut n = tmp.len();
+        let mut v = index as u64;
+        while v > 0 {
+            n -= 1;
+            tmp[n] = b'0' + (v % 10) as u8;
+            v /= 10;
+        }
+        buf.push_str(std::str::from_utf8(&tmp[n..]).unwrap_or("0"));
+    } else {
+        let _ = write!(buf, "{index}");
+    }
+    buf.push(']');
 }
 
 struct ModuleCtx {
     module: Module,
-    /// Declared bus ranges: base name → (msb, lsb).
-    buses: HashMap<String, (i64, i64)>,
+    /// Declared buses, in declaration order.
+    buses: Vec<BusDecl>,
+    /// Interned base-name symbol -> index into `buses`, [`NO_BUS`] when the
+    /// symbol is not a declared bus. Indexed by `Symbol::index`, so the
+    /// per-reference check is an array load instead of a hash probe.
+    bus_slots: Vec<u32>,
     /// `assign lhs = rhs` pairs collected for post-parse resolution.
     aliases: Vec<(NetId, Bit)>,
-    /// Port names from a classic (non-ANSI) header, direction pending.
-    header_ports: Vec<String>,
+    /// Reusable buffer for composing `base[i]` bus-bit names.
+    scratch: String,
 }
 
 impl ModuleCtx {
-    fn declare_wire(
-        &mut self,
-        name: &str,
-        range: Option<(i64, i64)>,
-    ) -> Result<(), NetlistError> {
+    fn insert_bus(&mut self, sym: Symbol, decl: BusDecl) {
+        let i = sym.index();
+        if self.bus_slots.len() <= i {
+            self.bus_slots.resize(i + 1, NO_BUS);
+        }
+        self.bus_slots[i] = self.buses.len() as u32;
+        self.buses.push(decl);
+    }
+
+    #[inline]
+    fn bus_of(&self, sym: Symbol) -> Option<&BusDecl> {
+        match self.bus_slots.get(sym.index()).copied() {
+            Some(slot) if slot != NO_BUS => Some(&self.buses[slot as usize]),
+            _ => None,
+        }
+    }
+
+    fn declare_wire(&mut self, name: &str, range: Option<(i64, i64)>) {
         match range {
             None => {
-                if self.module.find_net(name).is_none() {
-                    self.module.add_net(name)?;
-                }
+                self.module.get_or_add_net(name);
             }
             Some((msb, lsb)) => {
-                self.buses.insert(name.to_owned(), (msb, lsb));
+                let sym = self.module.intern(name);
                 let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                let mut bits = Vec::with_capacity((hi - lo + 1) as usize);
                 for i in lo..=hi {
-                    let bit = crate::bus::bus_bit_name(name, i);
-                    if self.module.find_net(&bit).is_none() {
-                        self.module.add_net(bit)?;
-                    }
+                    push_bus_name(&mut self.scratch, name, i);
+                    bits.push(self.module.get_or_add_bus_net(&self.scratch, sym, i));
                 }
+                self.insert_bus(sym, BusDecl { msb, lsb, bits });
             }
         }
-        Ok(())
     }
 
     fn declare_port(
@@ -600,42 +955,59 @@ impl ModuleCtx {
                 self.module.add_port(name, dir)?;
             }
             Some((msb, lsb)) => {
-                self.buses.insert(name.to_owned(), (msb, lsb));
+                let sym = self.module.intern(name);
                 let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                let mut bits = Vec::with_capacity((hi - lo + 1) as usize);
                 for i in lo..=hi {
-                    self.module
-                        .add_port(crate::bus::bus_bit_name(name, i), dir)?;
+                    push_bus_name(&mut self.scratch, name, i);
+                    let pid = self.module.add_port(self.scratch.as_str(), dir)?;
+                    bits.push(self.module.port(pid).net);
                 }
+                self.insert_bus(sym, BusDecl { msb, lsb, bits });
             }
         }
         Ok(())
     }
 
-    /// Net for `name[index]`, creating it if the bus was only implicit.
-    fn bit_net(&mut self, name: &str, index: i64) -> Result<NetId, NetlistError> {
-        let bit = crate::bus::bus_bit_name(name, index);
-        match self.module.find_net(&bit) {
-            Some(n) => Ok(n),
-            None => self.module.add_net(bit),
-        }
+    /// Interns `base[index]` via the scratch buffer (no fresh `String`).
+    fn intern_bus_bit(&mut self, base: &str, index: i64) -> Symbol {
+        push_bus_name(&mut self.scratch, base, index);
+        self.module.intern(&self.scratch)
     }
 
-    /// Bits for a bare identifier: the whole bus (MSB first) if declared as
-    /// one, otherwise the scalar net (implicitly declared if needed).
-    fn name_bits(&mut self, name: &str) -> Result<Vec<Bit>, NetlistError> {
-        if let Some(&(msb, lsb)) = self.buses.get(name) {
-            let (hi, lo) = (msb.max(lsb), msb.min(lsb));
-            let mut bits = Vec::with_capacity((hi - lo + 1) as usize);
-            for i in (lo..=hi).rev() {
-                bits.push(Bit::Net(self.bit_net(name, i)?));
+    /// Net for `name[index]`: an array lookup for declared buses, falling
+    /// back to composing the `name[index]` net for implicit (undeclared)
+    /// buses and out-of-range indices.
+    fn bit_net(&mut self, name: &str, index: i64) -> NetId {
+        let sym = self.module.intern(name);
+        if let Some(decl) = self.bus_of(sym) {
+            if index >= decl.lo() && index <= decl.hi() {
+                return decl.bits[(index - decl.lo()) as usize];
             }
-            return Ok(bits);
         }
-        let net = match self.module.find_net(name) {
-            Some(n) => n,
-            None => self.module.add_net(name)?,
-        };
-        Ok(vec![Bit::Net(net)])
+        push_bus_name(&mut self.scratch, name, index);
+        self.module.get_or_add_net(&self.scratch)
+    }
+
+    /// Appends the bits for a bare identifier: the whole bus (MSB first)
+    /// if declared as one, otherwise the scalar net (implicitly declared
+    /// if needed).
+    fn name_bits(&mut self, name: &str, bits: &mut Vec<Bit>) {
+        let sym = self.module.intern(name);
+        if let Some(decl) = self.bus_of(sym) {
+            bits.extend(decl.bits.iter().rev().map(|&n| Bit::Net(n)));
+            return;
+        }
+        bits.push(Bit::Net(self.module.get_or_add_net_sym(sym, name)));
+    }
+
+    /// [`ModuleCtx::name_bits`] for an already-interned name.
+    fn sym_bits(&mut self, sym: Symbol, bits: &mut Vec<Bit>) {
+        if let Some(decl) = self.bus_of(sym) {
+            bits.extend(decl.bits.iter().rev().map(|&n| Bit::Net(n)));
+            return;
+        }
+        bits.push(Bit::Net(self.module.get_or_add_net_interned(sym)));
     }
 
     /// Resolves `assign` aliases by merging nets (§3.2.1), leaving constant
@@ -808,6 +1180,30 @@ mod tests {
     }
 
     #[test]
+    fn underscored_and_wide_constants() {
+        let src = "
+            module top (output z);
+              SUB u (.in1(8'b1010_0101), .out1(z));
+            endmodule";
+        let m = parse_module(src).unwrap();
+        let u = m.cell(m.find_cell("u").unwrap());
+        assert_eq!(u.pin("in1[7]"), Some(Conn::Const1));
+        assert_eq!(u.pin("in1[6]"), Some(Conn::Const0));
+        assert_eq!(u.pin("in1[0]"), Some(Conn::Const1));
+        // Widths beyond 128 bits zero-extend instead of overflowing the
+        // u128 accumulator's shift range.
+        let wide = "
+            module top (output z);
+              SUB u (.in1(200'h3), .out1(z));
+            endmodule";
+        let m = parse_module(wide).unwrap();
+        let u = m.cell(m.find_cell("u").unwrap());
+        assert_eq!(u.pin("in1[199]"), Some(Conn::Const0));
+        assert_eq!(u.pin("in1[1]"), Some(Conn::Const1));
+        assert_eq!(u.pin("in1[0]"), Some(Conn::Const1));
+    }
+
+    #[test]
     fn assign_aliases_are_merged() {
         let src = "
             module top (input a, output z);
@@ -968,8 +1364,68 @@ mod tests {
     fn syntax_errors_carry_line_numbers() {
         let src = "module top (a);\ninput a\nendmodule";
         match parse_module(src) {
-            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 3),
+            Err(NetlistError::Parse {
+                line, col, offset, ..
+            }) => {
+                assert_eq!(line, 3);
+                // Points at `endmodule`, where `;` was expected.
+                assert_eq!(col, 1);
+                assert_eq!(offset, 24);
+                assert_eq!(&src[offset..offset + 9], "endmodule");
+            }
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn duplicate_module_names_are_an_error_not_a_panic() {
+        let src = "module m (input a); endmodule\nmodule m (input b); endmodule";
+        assert!(matches!(
+            parse_design(src),
+            Err(NetlistError::DuplicateName { kind: "module", .. })
+        ));
+        // Also on the forced-parallel path.
+        assert!(matches!(
+            parse_design_jobs(src, Some(4)),
+            Err(NetlistError::DuplicateName { kind: "module", .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_parse_matches_serial_parse() {
+        let mut src = String::new();
+        for mi in 0..6 {
+            let _ = writeln!(src, "module m{mi} (input a, output z);");
+            let _ = writeln!(src, "  wire [3:0] w;");
+            for ci in 0..8 {
+                let _ = writeln!(src, "  INVX1 u{ci} (.A(w[{}]), .Z(w[{}]));", ci % 4, (ci + 1) % 4);
+            }
+            src.push_str("  BUFX1 o (.A(w[0]), .Z(z)), o2 (.A(a), .Z(w[3]));\nendmodule\n");
+        }
+        let serial = parse_design_jobs(&src, Some(1)).unwrap();
+        for jobs in [2, 8] {
+            let par = parse_design_jobs(&src, Some(jobs)).unwrap();
+            assert_eq!(
+                crate::verilog::write_design(&serial),
+                crate::verilog::write_design(&par),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn sources_with_escapes_fall_back_to_serial_cross_module_uniquing() {
+        // Two modules escape different raw names that sanitize to the same
+        // simple name: the second must be uniqued with `_e1` exactly as in
+        // a serial parse (which is why escaped sources never split).
+        let src = "module a (input \\x+1 ); endmodule\nmodule b (input \\x-1 ); endmodule";
+        let serial = parse_design_jobs(src, Some(1)).unwrap();
+        let par = parse_design_jobs(src, Some(8)).unwrap();
+        assert_eq!(
+            crate::verilog::write_design(&serial),
+            crate::verilog::write_design(&par)
+        );
+        let b = par.module(par.find_module("b").unwrap());
+        assert!(b.find_net("x_1_e1").is_some(), "cross-module uniquing");
     }
 }

@@ -1,13 +1,25 @@
 //! Structural Verilog emission.
+//!
+//! The writer streams every module into one preallocated output buffer:
+//! identifiers are resolved from the module's symbol table and appended
+//! in place ([`push_id`]), declaration grouping borrows net/port names
+//! instead of copying them, and instance pins take a no-allocation fast
+//! path whenever a cell has no bit-blasted (`pin[i]`) pins — the common
+//! case in technology-mapped netlists. Output is byte-identical to the
+//! pre-streaming writer.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
-use crate::{Conn, Design, Module, PortDir};
+use crate::hash::{FastHashMap, FastHashSet};
+use crate::{Cell, Conn, Design, Module, PortDir};
 
 /// Writes all modules of `design` (top first) as structural Verilog.
 pub fn write_design(design: &Design) -> String {
-    let mut out = String::new();
+    let mut estimate = 0;
+    for (_, module) in design.modules() {
+        estimate += estimate_module(module);
+    }
+    let mut out = String::with_capacity(estimate);
     let top = design.top();
     write_module_into(design.module(top), &mut out);
     for (id, module) in design.modules() {
@@ -21,9 +33,19 @@ pub fn write_design(design: &Design) -> String {
 
 /// Writes a single module as structural Verilog.
 pub fn write_module(module: &Module) -> String {
-    let mut out = String::new();
+    let mut out = String::with_capacity(estimate_module(module));
     write_module_into(module, &mut out);
     out
+}
+
+/// Rough upper-bound on a module's rendered size, so the output buffer is
+/// allocated once up front instead of growing through reallocation.
+fn estimate_module(module: &Module) -> usize {
+    module.pin_table_len() * 24
+        + module.net_count() * 16
+        + module.port_count() * 24
+        + module.cell_count() * 32
+        + 64
 }
 
 /// True if `name` is a plain Verilog identifier needing no escape.
@@ -36,20 +58,33 @@ fn is_simple_id(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
 }
 
-/// Renders an identifier, escaping it if necessary. Escaped identifiers
+/// Appends an identifier, escaping it if necessary. Escaped identifiers
 /// carry their mandatory trailing space.
-fn id(name: &str) -> String {
+fn push_id(out: &mut String, name: &str) {
     if is_simple_id(name) {
-        name.to_owned()
+        out.push_str(name);
     } else {
-        format!("\\{name} ")
+        out.push('\\');
+        out.push_str(name);
+        out.push(' ');
     }
 }
 
-/// A declaration group: either one scalar name or a contiguous bus.
+/// Appends a pin connection (net name, constant or nothing for open).
+fn push_conn(out: &mut String, module: &Module, conn: Conn) {
+    match conn {
+        Conn::Net(n) => push_id(out, module.net(n).name),
+        Conn::Const0 => out.push_str("1'b0"),
+        Conn::Const1 => out.push_str("1'b1"),
+        Conn::Open => {}
+    }
+}
+
+/// A declaration group: either one scalar name or a contiguous bus. Names
+/// borrow from the module's symbol table.
 #[derive(Debug)]
-struct DeclGroup {
-    base: String,
+struct DeclGroup<'a> {
+    base: &'a str,
     /// `None` for scalars, `Some((msb, lsb))` for buses.
     range: Option<(i64, i64)>,
 }
@@ -57,16 +92,16 @@ struct DeclGroup {
 /// Groups names (in first-seen order) into scalar and bus declarations. A
 /// name participates in a bus only if it has `base[idx]` form, the base is a
 /// simple identifier, and no scalar of the same base name exists.
-fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup> {
+fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup<'a>> {
     let names: Vec<&str> = names.collect();
-    let scalar_names: HashSet<&str> = names
+    let scalar_names: FastHashSet<&str> = names
         .iter()
         .copied()
         .filter(|n| crate::bus::parse_bus_bit(n).is_none())
         .collect();
-    let mut order: Vec<String> = Vec::new();
-    let mut buses: HashMap<String, (i64, i64)> = HashMap::new();
-    let mut scalars: HashSet<String> = HashSet::new();
+    let mut order: Vec<&str> = Vec::new();
+    let mut buses: FastHashMap<&str, (i64, i64)> = FastHashMap::default();
+    let mut scalars: FastHashSet<&str> = FastHashSet::default();
     for name in names {
         match crate::bus::parse_bus_bit(name) {
             Some((base, index)) if is_simple_id(base) && !scalar_names.contains(base) => {
@@ -76,14 +111,14 @@ fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup> {
                         *lsb = (*lsb).min(index);
                     }
                     None => {
-                        buses.insert(base.to_owned(), (index, index));
-                        order.push(base.to_owned());
+                        buses.insert(base, (index, index));
+                        order.push(base);
                     }
                 }
             }
             _ => {
-                if scalars.insert(name.to_owned()) {
-                    order.push(name.to_owned());
+                if scalars.insert(name) {
+                    order.push(name);
                 }
             }
         }
@@ -91,7 +126,7 @@ fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup> {
     order
         .into_iter()
         .map(|base| DeclGroup {
-            range: buses.get(&base).copied(),
+            range: buses.get(base).copied(),
             base,
         })
         .collect()
@@ -99,36 +134,41 @@ fn group_decls<'a>(names: impl Iterator<Item = &'a str>) -> Vec<DeclGroup> {
 
 fn write_module_into(module: &Module, out: &mut String) {
     let port_groups = group_decls(module.ports().map(|(_, p)| p.name));
-    let _ = write!(out, "module {} (", id(&module.name));
+    out.push_str("module ");
+    push_id(out, &module.name);
+    out.push_str(" (");
     for (i, g) in port_groups.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
-        out.push_str(&id(&g.base));
+        push_id(out, g.base);
     }
     out.push_str(");\n");
 
     // Port direction declarations (one per group; direction taken from the
     // first member port).
-    let dir_of: HashMap<&str, PortDir> = module.ports().map(|(_, p)| (p.name, p.dir)).collect();
+    let dir_of: FastHashMap<&str, PortDir> = module.ports().map(|(_, p)| (p.name, p.dir)).collect();
+    let mut sample = String::new();
     for g in &port_groups {
-        let sample = match g.range {
-            Some((msb, _)) => crate::bus::bus_bit_name(&g.base, msb),
-            None => g.base.clone(),
+        let key = match g.range {
+            Some((msb, _)) => {
+                sample.clear();
+                let _ = write!(sample, "{}[{msb}]", g.base);
+                sample.as_str()
+            }
+            None => g.base,
         };
-        let dir = dir_of.get(sample.as_str()).copied().unwrap_or(PortDir::Input);
-        match g.range {
-            Some((msb, lsb)) => {
-                let _ = writeln!(out, "  {dir} [{msb}:{lsb}] {};", id(&g.base));
-            }
-            None => {
-                let _ = writeln!(out, "  {dir} {};", id(&g.base));
-            }
+        let dir = dir_of.get(key).copied().unwrap_or(PortDir::Input);
+        let _ = write!(out, "  {dir} ");
+        if let Some((msb, lsb)) = g.range {
+            let _ = write!(out, "[{msb}:{lsb}] ");
         }
+        push_id(out, g.base);
+        out.push_str(";\n");
     }
 
     // Wire declarations for non-port nets.
-    let port_nets: HashSet<&str> = module
+    let port_nets: FastHashSet<&str> = module
         .ports()
         .map(|(_, p)| module.net(p.net).name)
         .chain(module.ports().map(|(_, p)| p.name))
@@ -140,42 +180,44 @@ fn write_module_into(module: &Module, out: &mut String) {
             .filter(|n| !port_nets.contains(n)),
     );
     for g in &wire_groups {
-        match g.range {
-            Some((msb, lsb)) => {
-                let _ = writeln!(out, "  wire [{msb}:{lsb}] {};", id(&g.base));
-            }
-            None => {
-                let _ = writeln!(out, "  wire {};", id(&g.base));
-            }
+        out.push_str("  wire ");
+        if let Some((msb, lsb)) = g.range {
+            let _ = write!(out, "[{msb}:{lsb}] ");
         }
+        push_id(out, g.base);
+        out.push_str(";\n");
     }
 
     // Residual continuous assignments: constant ties on port nets and ports
     // whose net was merged into a different net by `assign` resolution.
-    let port_name_set: HashSet<&str> = module.ports().map(|(_, p)| p.name).collect();
+    let port_name_set: FastHashSet<&str> = module.ports().map(|(_, p)| p.name).collect();
     for &(net, value) in module.const_ties() {
         let name = module.net(net).name;
         if port_name_set.contains(name) {
-            let _ = writeln!(out, "  assign {} = 1'b{};", id(name), u8::from(value));
+            out.push_str("  assign ");
+            push_id(out, name);
+            let _ = writeln!(out, " = 1'b{};", u8::from(value));
         }
     }
     for (_, port) in module.ports() {
         let net_name = module.net(port.net).name;
         if net_name != port.name && port.dir != PortDir::Input {
-            let _ = writeln!(out, "  assign {} = {};", id(port.name), id(net_name));
+            out.push_str("  assign ");
+            push_id(out, port.name);
+            out.push_str(" = ");
+            push_id(out, net_name);
+            out.push_str(";\n");
         }
     }
 
     // Instances.
     for (_, cell) in module.cells() {
-        let _ = write!(out, "  {} {} (", id(cell.kind_name()), id(cell.name));
-        let rendered = render_pins(module, cell);
-        for (i, (pin, conn)) in rendered.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(out, ".{}({})", id(pin), conn);
-        }
+        out.push_str("  ");
+        push_id(out, cell.kind_name());
+        out.push(' ');
+        push_id(out, cell.name);
+        out.push_str(" (");
+        render_pins_into(module, &cell, out);
         out.push_str(");\n");
     }
     out.push_str("endmodule\n");
@@ -183,51 +225,85 @@ fn write_module_into(module: &Module, out: &mut String) {
 
 /// Renders the pin connections of a cell, re-grouping bit-blasted pins
 /// (`data[1]`, `data[0]`) into a single concatenation connection.
-fn render_pins(module: &Module, cell: crate::Cell<'_>) -> Vec<(String, String)> {
-    let conn_text = |c: &Conn| -> String {
-        match c {
-            Conn::Net(n) => id(module.net(*n).name),
-            Conn::Const0 => "1'b0".to_owned(),
-            Conn::Const1 => "1'b1".to_owned(),
-            Conn::Open => String::new(),
+///
+/// Cells with no `pin[i]`-shaped pins — the overwhelmingly common case —
+/// take a direct streaming path with no intermediate collections.
+fn render_pins_into(module: &Module, cell: &Cell<'_>, out: &mut String) {
+    let pins = cell.pins();
+    let any_bus = (0..pins.len()).any(|i| crate::bus::parse_bus_bit(cell.pin_name(i)).is_some());
+    if !any_bus {
+        for (i, (_, conn)) in pins.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('.');
+            push_id(out, cell.pin_name(i));
+            out.push('(');
+            push_conn(out, module, *conn);
+            out.push(')');
         }
-    };
+        return;
+    }
+
     // Collect multi-bit pin groups.
-    let mut groups: HashMap<&str, Vec<(i64, String)>> = HashMap::new();
-    let mut multi: HashSet<&str> = HashSet::new();
-    for (i, (_, conn)) in cell.pins().iter().enumerate() {
+    let mut groups: FastHashMap<&str, Vec<(i64, Conn)>> = FastHashMap::default();
+    let mut multi: FastHashSet<&str> = FastHashSet::default();
+    for (i, (_, conn)) in pins.iter().enumerate() {
         if let Some((base, index)) = crate::bus::parse_bus_bit(cell.pin_name(i)) {
-            groups.entry(base).or_default().push((index, conn_text(conn)));
-            if groups[base].len() > 1 {
+            let group = groups.entry(base).or_default();
+            group.push((index, *conn));
+            if group.len() > 1 {
                 multi.insert(base);
             }
         }
     }
-    let mut done: HashSet<&str> = HashSet::new();
-    let mut result = Vec::new();
-    for (i, (_, conn)) in cell.pins().iter().enumerate() {
+    let mut done: FastHashSet<&str> = FastHashSet::default();
+    let mut first = true;
+    for (i, (_, conn)) in pins.iter().enumerate() {
         let pin = cell.pin_name(i);
         match crate::bus::parse_bus_bit(pin) {
             Some((base, _)) if multi.contains(base) => {
-                if done.insert(base) {
-                    let mut bits = groups.remove(base).expect("grouped above");
-                    bits.sort_by_key(|(i, _)| std::cmp::Reverse(*i));
-                    let concat = bits
-                        .iter()
-                        .map(|(_, t)| t.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ");
-                    result.push((base.to_owned(), format!("{{{concat}}}")));
+                if !done.insert(base) {
+                    continue;
                 }
+                let Some(mut bits) = groups.remove(base) else {
+                    continue;
+                };
+                // Stable sort: equal indices keep pin-list order.
+                bits.sort_by_key(|(idx, _)| std::cmp::Reverse(*idx));
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push('.');
+                push_id(out, base);
+                out.push_str("({");
+                for (k, (_, c)) in bits.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    push_conn(out, module, *c);
+                }
+                out.push_str("})");
             }
-            _ => result.push((pin.to_owned(), conn_text(conn))),
+            _ => {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push('.');
+                push_id(out, pin);
+                out.push('(');
+                push_conn(out, module, *conn);
+                out.push(')');
+            }
         }
     }
-    result
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::panic)]
     use super::*;
     use crate::{Design, NetlistError, PortDir};
 
@@ -243,8 +319,12 @@ mod tests {
 
     #[test]
     fn escaped_identifiers_get_trailing_space() {
-        assert_eq!(id("a+b"), "\\a+b ");
-        assert_eq!(id("plain"), "plain");
+        let mut out = String::new();
+        push_id(&mut out, "a+b");
+        assert_eq!(out, "\\a+b ");
+        out.clear();
+        push_id(&mut out, "plain");
+        assert_eq!(out, "plain");
     }
 
     #[test]
@@ -304,6 +384,20 @@ mod tests {
         module.merge_port_net(module.port(zp).net, a_net);
         let text = write_design(&d);
         assert!(text.contains("assign z = a;"), "{text}");
+        Ok(())
+    }
+
+    #[test]
+    fn single_bus_pin_is_not_grouped() -> Result<(), NetlistError> {
+        let mut d = Design::new();
+        let m = d.add_module("t");
+        let module = d.module_mut(m);
+        let a = module.add_net("a")?;
+        module.add_instance("u", "SUB", &[("in1[0]", Conn::Net(a))])?;
+        let text = write_design(&d);
+        // Stays a single named pin (escaped — brackets are not simple-id
+        // characters) rather than collapsing into a one-bit concat.
+        assert!(text.contains(".\\in1[0] (a)"), "{text}");
         Ok(())
     }
 }

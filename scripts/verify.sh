@@ -27,7 +27,12 @@
 # 10. runs the handshake-level variability Monte Carlo
 #    (results/BENCH_variability.json), checks its schema, gates on >= 3x
 #    Monte-Carlo speedup where there are >= 4 cores, and re-runs the
-#    simulator determinism suite under DRD_WORKERS=3.
+#    simulator determinism suite under DRD_WORKERS=3,
+# 11. regenerates the kernel micro-benchmarks (results/BENCH_kernels.json)
+#    and gates the streaming Verilog front end against the frozen
+#    pre-streaming baseline (>= 4x parse, >= 2x write on the full DLX),
+#    then re-runs the differential parser-equivalence, hostile-corpus
+#    replay and diagnostics suites that pin its behaviour.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -298,5 +303,48 @@ else
 fi
 DRD_WORKERS=3 cargo test -q --offline --test determinism mc_
 echo "ok: $chips-chip campaign byte-identical, simulator determinism holds at DRD_WORKERS=3"
+
+echo "== streaming Verilog front-end gate (offline) =="
+cargo bench --offline -p drd-bench
+kern_json=results/BENCH_kernels.json
+if [ ! -s "$kern_json" ]; then
+  echo "error: $kern_json missing or empty" >&2
+  exit 1
+fi
+# Absolute thresholds derived from the frozen pre-streaming front end's
+# BENCH_kernels.json on this design (full DLX: parse mean 35113000 ns,
+# write mean 11253601 ns): >= 4x parse and >= 2x write. Gated on min_ns —
+# the minimum over 10 iterations is the noise-robust statistic (means
+# swing with ambient host load; the min does not), and the mean-derived
+# thresholds make the bar conservative.
+min_of() {
+  sed -n 's/.*"label": "'"$1"'", "iters": [0-9]*, "min_ns": \([0-9]*\),.*/\1/p' "$kern_json"
+}
+parse_min=$(min_of verilog_parse_dlx_full)
+write_min=$(min_of verilog_write_dlx_full)
+parse_legacy=$(min_of verilog_parse_dlx_full_legacy)
+write_legacy=$(min_of verilog_write_dlx_full_legacy)
+for v in "$parse_min" "$write_min" "$parse_legacy" "$write_legacy"; do
+  if [ -z "$v" ]; then
+    echo "error: $kern_json misses a verilog_{parse,write}_dlx_full[_legacy] entry" >&2
+    exit 1
+  fi
+done
+if [ "$parse_min" -gt 8778250 ]; then
+  echo "error: streaming parse min ${parse_min} ns > 8778250 ns (4x gate vs frozen baseline)" >&2
+  exit 1
+fi
+if [ "$write_min" -gt 5626800 ]; then
+  echo "error: streaming write min ${write_min} ns > 5626800 ns (2x gate vs frozen baseline)" >&2
+  exit 1
+fi
+echo "ok: parse ${parse_min} ns (<= 8778250), write ${write_min} ns (<= 5626800);" \
+     "same-run legacy minima ${parse_legacy} / ${write_legacy} ns"
+# The behavioural pins for the rewrite: differential equivalence against
+# the frozen parser, the distilled hostile-regression corpus, and the
+# exact error-span diagnostics.
+cargo test -q --offline --test differential_frontend --test corpus_replay
+cargo test -q --offline -p drd-netlist --test diagnostics
+echo "ok: differential equivalence, corpus replay and diagnostics suites pass"
 
 echo "verify: OK"

@@ -1,0 +1,5 @@
+module t(a, b, z);
+  input a, b;
+  output z;
+  AND2X1 g (.A(a), .B(b), .Z(z));
+endmodule

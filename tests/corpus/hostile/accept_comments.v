@@ -1,0 +1,7 @@
+module t(a, b, z); // line comment
+  input a, b;
+  output z;
+  /* block
+     comment */
+  AND2X1 g (.A(a), .B(b), .Z(z)); // trailing
+endmodule

@@ -1,0 +1,7 @@
+module t(a, z);
+  input a;
+  output z;
+  wire \u.q[0] ;
+  BUFX1 b1 (.A(a), .Z(\u.q[0] ));
+  BUFX1 b2 (.A(\u.q[0] ), .Z(z));
+endmodule

@@ -1,0 +1,5 @@
+module t(a, b, z);
+  input a, b;
+  output z;
+  MX2X1 g (.A({a, b}), .S0(a), .Y(z));
+endmodule

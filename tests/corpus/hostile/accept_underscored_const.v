@@ -1,0 +1,5 @@
+module t(z0, z1);
+  output z0, z1;
+  BUFX1 g0 (.A(8'b1010_0101), .Z(z0));
+  BUFX1 g1 (.A(16'hDE_AD), .Z(z1));
+endmodule

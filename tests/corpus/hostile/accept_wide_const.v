@@ -1,0 +1,4 @@
+module t(z);
+  output z;
+  BUFX1 g (.A(200'h3), .Z(z));
+endmodule

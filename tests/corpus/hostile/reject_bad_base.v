@@ -1,0 +1,4 @@
+module t(z);
+  output z;
+  BUFX1 g (.A(4'q0), .Z(z));
+endmodule

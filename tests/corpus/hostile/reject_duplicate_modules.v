@@ -1,0 +1,6 @@
+module t(a);
+  input a;
+endmodule
+module t(b);
+  input b;
+endmodule

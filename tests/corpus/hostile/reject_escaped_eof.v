@@ -1,0 +1,3 @@
+module t(a);
+  input a;
+  wire \dangling

@@ -1,0 +1,4 @@
+module t(a);
+  input a;
+  wire [99999999:0] huge;
+endmodule

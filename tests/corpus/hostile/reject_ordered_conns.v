@@ -1,0 +1,5 @@
+module t(a, z);
+  input a;
+  output z;
+  BUFX1 g (a, z);
+endmodule

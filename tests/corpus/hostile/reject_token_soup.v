@@ -1,0 +1,2 @@
+endmodule ) ( ;; '' [3: module {{ .A wire 9'x assign == \ 
+module

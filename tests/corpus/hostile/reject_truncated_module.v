@@ -1,0 +1,3 @@
+module t(a);
+  input a;
+  BUFX1 g (.A(a), .Z(

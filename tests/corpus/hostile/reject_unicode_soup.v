@@ -1,0 +1,3 @@
+mödule t(a);
+  “input” a;
+endmodule

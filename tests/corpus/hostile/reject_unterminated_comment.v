@@ -1,0 +1,4 @@
+module t(a);
+  input a;
+  /* this comment never ends
+endmodule

@@ -1,0 +1,4 @@
+module t(z);
+  output z;
+  BUFX1 g (.A(70000'h0), .Z(z));
+endmodule

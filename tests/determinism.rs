@@ -63,6 +63,47 @@ fn mc_sample_vectors_are_byte_identical_for_any_worker_count() {
     }
 }
 
+/// The streaming front end parses independent modules in parallel and
+/// merges them in module-index order; the exported bytes must be
+/// identical whatever the job count, including the cross-module instance
+/// retargeting pass that runs after the merge.
+#[test]
+fn parallel_parse_is_byte_identical_for_any_job_count() {
+    let params = NetGenParams::default();
+    let mut rng = Rng::new(0x9A88_11E1_2026_0808);
+    let mut src = String::new();
+    let mut tops = Vec::new();
+    for i in 0..3 {
+        let recipe = NetRecipe::sample(&mut rng, &params);
+        let name = format!("fuzz_{i}");
+        // netgen always emits `module fuzz (...)`; rename so the three
+        // generated modules can share one source file.
+        src.push_str(&recipe.verilog().replacen("module fuzz ", &format!("module {name} "), 1));
+        tops.push(name);
+    }
+    // A top module instantiating the generated ones, so the parallel
+    // parse also exercises instance retargeting across module chunks.
+    src.push_str("module top (clk);\n  input clk;\n");
+    for (i, name) in tops.iter().enumerate() {
+        src.push_str(&format!("  {name} u{i} (.clk(clk));\n"));
+    }
+    src.push_str("endmodule\n");
+
+    let serial = drdesync::netlist::verilog::parse_design_jobs(&src, Some(1))
+        .expect("serial parse succeeds");
+    let serial_text = drdesync::netlist::verilog::write_design(&serial);
+    assert!(serial_text.contains("fuzz_2"), "all modules survive the merge");
+    for jobs in [2, 8] {
+        let par = drdesync::netlist::verilog::parse_design_jobs(&src, Some(jobs))
+            .expect("parallel parse succeeds");
+        assert_eq!(
+            serial_text,
+            drdesync::netlist::verilog::write_design(&par),
+            "parallel parse output diverged at jobs={jobs}"
+        );
+    }
+}
+
 #[test]
 fn flow_artifacts_are_byte_identical_for_any_worker_count() {
     let lib = vlib90::high_speed();

@@ -1,0 +1,202 @@
+//! Differential parser equivalence: the streaming zero-copy front end
+//! against the frozen pre-rewrite parser (`verilog::legacy`, kept under
+//! the `legacy-parser` feature exactly as it shipped).
+//!
+//! The contract, per input:
+//! - legacy parses → the streaming parser produces a *structurally
+//!   identical* design: same modules, ports, nets, cells, pins and
+//!   constant ties by **resolved name** (symbol indices are an internal
+//!   detail and free to differ), and the two designs re-export to
+//!   byte-identical Verilog;
+//! - legacy rejects → the streaming parser also rejects;
+//! - legacy panics (it predates some hostile-input hardening) → the
+//!   streaming parser must still return, never panic — its outcome may
+//!   be either a parse or a structured error.
+//!
+//! Exercised across the seeded 25-netlist fuzz corpus (`drd-check`
+//! netgen, the same generator family as the flow-equivalence fuzzer),
+//! every golden Verilog fixture, and targeted constructs around known
+//! legacy/streaming divergence risks (escaped names, wide constants,
+//! classic vs ANSI ports, assign aliases).
+
+use std::fmt::Write as _;
+use std::panic::catch_unwind;
+
+use drd_check::netgen::{NetGenParams, NetRecipe};
+use drd_check::Rng;
+use drd_netlist::verilog;
+use drd_netlist::{Conn, Design};
+
+/// A canonical, fully name-resolved dump of a design's structure. Two
+/// designs with equal signatures are the same netlist regardless of how
+/// their symbol tables assigned indices.
+fn design_signature(design: &Design) -> String {
+    let mut out = String::new();
+    for (_, m) in design.modules() {
+        let _ = writeln!(out, "module {}", m.name);
+        for (_, p) in m.ports() {
+            let _ = writeln!(out, "  port {} {:?}", p.name, p.dir);
+        }
+        for (_, n) in m.nets() {
+            let _ = write!(out, "  net {}", n.name);
+            if let Some(b) = n.bus {
+                let _ = write!(out, " bus {}[{}]", b.base, b.index);
+            }
+            out.push('\n');
+        }
+        for (_, c) in m.cells() {
+            let _ = write!(out, "  cell {} {:?}", c.name, c.kind_ref());
+            for &(pin, conn) in c.pins() {
+                let _ = write!(out, " .{}(", m.resolve(pin));
+                match conn {
+                    Conn::Net(id) => out.push_str(m.net(id).name),
+                    Conn::Const0 => out.push('0'),
+                    Conn::Const1 => out.push('1'),
+                    Conn::Open => {}
+                }
+                out.push(')');
+            }
+            out.push('\n');
+        }
+        for &(net, value) in m.const_ties() {
+            let _ = writeln!(out, "  tie {} {}", m.net(net).name, u8::from(value));
+        }
+    }
+    out
+}
+
+/// Runs one input through both front ends and asserts the outcome
+/// contract described in the module docs.
+fn assert_equivalent(src: &str, what: &str) {
+    let new = catch_unwind(|| verilog::parse_design(src))
+        .unwrap_or_else(|_| panic!("streaming parser panicked on {what}"));
+    let legacy = catch_unwind(|| verilog::legacy::parse_design(src));
+    match legacy {
+        Ok(Ok(old)) => {
+            let new = match new {
+                Ok(d) => d,
+                Err(e) => panic!("streaming parser rejected {what} that legacy accepts: {e}"),
+            };
+            assert_eq!(
+                design_signature(&old),
+                design_signature(&new),
+                "structural divergence on {what}"
+            );
+            assert_eq!(
+                verilog::write_design(&old),
+                verilog::write_design(&new),
+                "re-export divergence on {what}"
+            );
+        }
+        Ok(Err(_)) => {
+            assert!(
+                new.is_err(),
+                "streaming parser accepted {what} that legacy rejects"
+            );
+        }
+        // Legacy panicked: the streaming parser already proved it
+        // returns (unwrapped above); either outcome is acceptable.
+        Err(_) => {}
+    }
+}
+
+#[test]
+fn parsers_agree_on_25_netlist_fuzz_corpus() {
+    let params = NetGenParams::default();
+    let mut rng = Rng::new(0xD1FF_F00D_2026_0808);
+    for case in 0..25 {
+        let recipe = NetRecipe::sample(&mut rng, &params);
+        let src = recipe.verilog();
+        assert!(
+            src.contains("module"),
+            "netgen produced an empty case {case}"
+        );
+        assert_equivalent(&src, &format!("fuzz netlist {case}"));
+    }
+}
+
+#[test]
+fn parsers_agree_on_golden_fixtures() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("golden dir reads")
+        .map(|e| e.expect("entry reads").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "v"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("fixture reads");
+        assert_equivalent(&src, &path.display().to_string());
+        seen += 1;
+    }
+    assert!(seen >= 2, "expected at least escaped_small.v and its output");
+}
+
+#[test]
+fn parsers_agree_on_targeted_constructs() {
+    let cases: &[(&str, &str)] = &[
+        (
+            "escaped identifiers with bus suffixes",
+            "module t(a, z);\n  input a;\n  output z;\n  wire \\u.q[3] ;\n  \
+             BUFX1 b1 (.A(a), .Z(\\u.q[3] ));\n  BUFX1 b2 (.A(\\u.q[3] ), .Z(z));\nendmodule\n",
+        ),
+        (
+            "colliding sanitized escaped names",
+            "module t(z);\n  output z;\n  wire \\a+b ;\n  wire \\a-b ;\n  \
+             AND2X1 g (.A(\\a+b ), .B(\\a-b ), .Z(z));\nendmodule\n",
+        ),
+        (
+            "classic (non-ANSI) port declarations",
+            "module t(a, b, z);\n  input a, b;\n  output z;\n  \
+             AND2X1 g (.A(a), .B(b), .Z(z));\nendmodule\n",
+        ),
+        (
+            "ANSI ranged ports and bus expressions",
+            "module t(input [3:0] a, output [3:0] z);\n  \
+             BUFX1 g0 (.A(a[0]), .Z(z[0]));\n  BUFX1 g1 (.A(a[1]), .Z(z[1]));\n  \
+             BUFX1 g2 (.A(a[2]), .Z(z[2]));\n  BUFX1 g3 (.A(a[3]), .Z(z[3]));\nendmodule\n",
+        ),
+        (
+            "assign aliases onto ports and constants",
+            "module t(a, z, y);\n  input a;\n  output z, y;\n  wire w;\n  \
+             assign w = a;\n  assign y = 1'b1;\n  BUFX1 g (.A(w), .Z(z));\nendmodule\n",
+        ),
+        (
+            "concatenations into multi-bit pins",
+            "module t(a, b, z);\n  input a, b;\n  output z;\n  \
+             MX2X1 g (.A({a, b}), .S0(a), .Y(z));\nendmodule\n",
+        ),
+        (
+            "sized constants in every base",
+            "module t(z0, z1, z2, z3);\n  output z0, z1, z2, z3;\n  \
+             BUFX1 g0 (.A(1'b1), .Z(z0));\n  BUFX1 g1 (.A(4'hA), .Z(z1));\n  \
+             BUFX1 g2 (.A(3'o5), .Z(z2));\n  BUFX1 g3 (.A(2'd3), .Z(z3));\nendmodule\n",
+        ),
+        (
+            "multi-module designs with instance retargeting",
+            "module top(a, z);\n  input a;\n  output z;\n  \
+             leaf u (.p(a), .q(z));\nendmodule\n\
+             module leaf(p, q);\n  input p;\n  output q;\n  \
+             BUFX1 g (.A(p), .Z(q));\nendmodule\n",
+        ),
+        // Known legacy weak spots: the contract degrades to
+        // "streaming must not panic" when legacy panics.
+        (
+            "constants wider than 128 bits",
+            "module t(z);\n  output [199:0] z;\n  \
+             BUFX1 g (.A(1'b0), .Z(z[0]));\n  wire [199:0] k;\nendmodule\n",
+        ),
+        (
+            "syntax errors mid-statement",
+            "module t(a);\n  input a;\n  BUFX1 g (.A(a), ;\nendmodule\n",
+        ),
+        (
+            "unsupported behavioural code",
+            "module t(a);\n  input a;\n  always @(posedge a) q <= a;\nendmodule\n",
+        ),
+    ];
+    for (what, src) in cases {
+        assert_equivalent(src, what);
+    }
+}
