@@ -33,6 +33,10 @@
 //!   matched-delay floor, and a zero-variability Monte-Carlo chip
 //!   reproduces the nominal simulation bit for bit
 //!   ([`crate::handshake`]);
+//! * the netlist carries the liveness guard's reported repairs — delay
+//!   elements at their recorded depths, request latches where recorded —
+//!   and no unrepaired pulse-swallowing hazard ships
+//!   ([`crate::liveness`]);
 //! * the emitted SDC carries loop-break, `size_only` and matched
 //!   `set_min_delay` lines for every controller and delay element.
 //!
@@ -184,6 +188,12 @@ pub fn verify_result(
     crate::handshake::verify_handshake_timing(&spec, lib)
         .map_err(|e| fail(recipe, &format!("handshake timing oracle: {e}")))?;
 
+    // Liveness oracle (DESIGN.md §3i): the netlist must carry the
+    // repairs the guard reported, and the shipped delay-element depths
+    // must leave no pulse-swallowing hazard behind.
+    crate::liveness::verify_liveness(&result.report, &result.design, lib)
+        .map_err(|e| fail(recipe, &format!("liveness oracle: {e}")))?;
+
     let reference = simulate_reference(recipe, lib, config)?;
 
     // Desynchronized DUT: same constants, handshake reset, free run.
@@ -267,7 +277,12 @@ fn check_structure(recipe: &NetRecipe, result: &DesyncResult, ff_count: usize) -
         .cells()
         .filter(|(_, c)| c.kind_name().starts_with("drd_delem"))
         .count();
-    let controlled = result.report.regions.iter().filter(|r| r.ffs > 0).count();
+    let controlled = result
+        .report
+        .regions
+        .iter()
+        .filter(|r| r.ffs > 0 && r.delem_levels > 0)
+        .count();
     if delems != controlled {
         return Err(fail(
             recipe,
@@ -454,9 +469,10 @@ fn lint_sdc(recipe: &NetRecipe, result: &DesyncResult) -> Result<(), String> {
     // and a `dont_touch` — without them a timing tool may legally shrink
     // the matched path below the region's critical delay (§3.1.4).
     // Zero-delay regions (e.g. the input-register region `g0`) carry a
-    // minimum one-level element with no floor to preserve.
+    // minimum one-level element with no floor to preserve, and degraded
+    // regions (clock fallback, `delem_levels == 0`) carry none at all.
     for r in &result.report.regions {
-        if r.ffs == 0 || r.critical_delay_ns <= 0.0 {
+        if r.ffs == 0 || r.delem_levels == 0 || r.critical_delay_ns <= 0.0 {
             continue;
         }
         let inst = format!("drd_{}_delem", r.name);

@@ -24,10 +24,12 @@
 //!
 //! A simulated deadlock on any *coupled* topology is reported as a
 //! failure, and that is deliberate: the same wedge happens at gate
-//! level (e.g. a source region whose matched delay exceeds its
-//! successor's acknowledge time — see `tests/handshake_stall.rs`), and
-//! such a design also fails the behavioural capture-count oracle. The
-//! two oracles agree on what is broken.
+//! level, and such a design also fails the behavioural capture-count
+//! oracle — the two oracles agree on what is broken. Since PR 9 the
+//! flow's liveness guard repairs the classic instance (a source region
+//! whose matched delay exceeds its successor's acknowledge time — see
+//! `tests/handshake_stall.rs`) before export, so a deadlock here means
+//! the guard's contract was violated, not that the hazard is expected.
 
 use drd_core::{DesyncError, DesyncReport};
 use drd_liberty::Library;
@@ -53,6 +55,10 @@ pub fn handshake_spec(
             controlled: r.ffs > 0 && r.delem_levels > 0,
             matched_levels: r.delem_levels,
             critical_delay_ns: r.critical_delay_ns,
+            loopback_latch: report.liveness_repairs.iter().any(|lr| {
+                lr.region == r.name
+                    && matches!(lr.action, drd_core::LivenessAction::RequestLatch)
+            }),
         })
         .collect();
     let slot = |name: &str| report.regions.iter().position(|r| r.name == name);
@@ -169,12 +175,14 @@ mod tests {
                     controlled: true,
                     matched_levels: 4,
                     critical_delay_ns: 0.3,
+                    loopback_latch: false,
                 },
                 RegionSpec {
                     name: "g1".into(),
                     controlled: true,
                     matched_levels: 6,
                     critical_delay_ns: 0.5,
+                    loopback_latch: false,
                 },
             ],
             edges: vec![(0, 1)],

@@ -20,6 +20,9 @@
 //! * [`handshake`] — the handshake-timing oracle: the event-driven
 //!   control-network simulation must respect the STA matched-delay floor
 //!   and reproduce the nominal run bit-for-bit at zero variability,
+//! * [`liveness`] — the liveness oracle: measured delay-element depths
+//!   match the report, no unrepaired pulse-swallowing hazard ships, and
+//!   request-latch records agree with the netlist both ways,
 //! * [`bench`] — a `std::time::Instant` micro-benchmark runner emitting
 //!   `BENCH_*.json` (replacing `criterion`),
 //! * [`runner`] — a dependency-free work-stealing parallel task runner on
@@ -40,6 +43,7 @@ pub mod diff;
 pub mod golden;
 pub mod handshake;
 pub mod hostile;
+pub mod liveness;
 pub mod mutate;
 pub mod netgen;
 pub mod prop;

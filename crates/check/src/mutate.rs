@@ -120,12 +120,20 @@ pub enum Mutation {
     /// oracle can see it: scan shifting never happens in a functional
     /// workload.
     BrokenScanStitch,
+    /// Undo one liveness repair in the netlist while the report still
+    /// claims it (DESIGN §3i): shrink a deepened delay element back to
+    /// its pre-repair depth, or strip a request-extending latch and
+    /// rewire the bare loopback. The repaired handshake spec projected
+    /// from the pristine report still simulates live, so only the
+    /// structural liveness oracle — measuring the *netlist's* depths and
+    /// latches — can see the reopened pulse-swallowing hazard.
+    SwallowedRequest,
 }
 
 impl Mutation {
     /// Every mutation kind, netlist-level first. Append-only: [`salt`]
     /// is position-based, so reordering would reshuffle seed streams.
-    pub const ALL: [Mutation; 17] = [
+    pub const ALL: [Mutation; 18] = [
         Mutation::DropCElement,
         Mutation::DuplicateCElement,
         Mutation::CElementToOr,
@@ -143,6 +151,7 @@ impl Mutation {
         Mutation::ProtocolDropArc,
         Mutation::CorruptInput,
         Mutation::BrokenScanStitch,
+        Mutation::SwallowedRequest,
     ];
 
     /// Stable kebab-case name (used in reports and `BENCH_mutation.json`).
@@ -165,6 +174,7 @@ impl Mutation {
             Mutation::ProtocolDropArc => "protocol-drop-arc",
             Mutation::CorruptInput => "corrupt-input",
             Mutation::BrokenScanStitch => "broken-scan-stitch",
+            Mutation::SwallowedRequest => "swallowed-request",
         }
     }
 
@@ -188,6 +198,7 @@ impl Mutation {
             Mutation::ProtocolDropArc => "protocol causality arcs, §2.2",
             Mutation::CorruptInput => "guarded ingestion / structured diagnostics, DESIGN §3d",
             Mutation::BrokenScanStitch => "scan-chain stitching, §4.3",
+            Mutation::SwallowedRequest => "liveness repairs, DESIGN §3i",
         }
     }
 
@@ -257,7 +268,15 @@ pub fn run_mutation(
     // while keeping the whole task deterministic in (mutation, seed).
     let mut coverage = Coverage::new();
     for attempt_no in 1..=MAX_ATTEMPTS {
-        let recipe = cover::sample_guided(&mut rng, &params, &mut coverage, 4);
+        let recipe = if mutation == Mutation::SwallowedRequest {
+            // This kind only applies where the liveness guard fired:
+            // sample imbalanced open chains until a flow carries repairs.
+            let mut r = cover::sample_guided(&mut rng, &params, &mut coverage, 4);
+            r.imbalance(rng.range(10, 28));
+            r
+        } else {
+            cover::sample_guided(&mut rng, &params, &mut coverage, 4)
+        };
         let site_seed = rng.next_u64();
         match attempt(mutation, site_seed, &recipe, lib, config) {
             Verdict::NotApplicable => continue,
@@ -383,6 +402,7 @@ pub fn apply(
     let mut rng = Rng::new(site_seed);
     match mutation {
         Mutation::SkipRegionFfSub => apply_skip_ffsub(recipe, clean, lib, &mut rng),
+        Mutation::SwallowedRequest => apply_swallowed_request(clean, lib, &mut rng),
         Mutation::SdcDropMinDelay | Mutation::SdcDropLoopBreak | Mutation::SdcDropSizeOnly => {
             let keep: fn(&str) -> bool = match mutation {
                 Mutation::SdcDropMinDelay => |l| l.starts_with("set_min_delay"),
@@ -530,6 +550,71 @@ fn apply_netlist(mutation: Mutation, m: &mut Module, rng: &mut Rng) -> Option<()
         _ => unreachable!("handled in apply()"),
     }
     Some(())
+}
+
+/// Undoes one seed-selected liveness repair in the netlist while the
+/// report keeps claiming it — the repaired spec still *projects* live,
+/// so only the structural liveness oracle sees the reopened hazard.
+/// `None` when the clean flow recorded no undoable repair.
+fn apply_swallowed_request(
+    clean: &DesyncResult,
+    lib: &Library,
+    rng: &mut Rng,
+) -> Option<DesyncResult> {
+    use drd_core::LivenessAction;
+    let undoable: Vec<&drd_core::LivenessRepair> = clean
+        .report
+        .liveness_repairs
+        .iter()
+        .filter(|lr| !matches!(lr.action, LivenessAction::Degrade))
+        .collect();
+    if undoable.is_empty() {
+        return None;
+    }
+    let lr = *rng.choose(&undoable);
+    let mut design = clean.design.clone();
+    let top = design.top();
+    match &lr.action {
+        LivenessAction::DeepenSuccessor { successor, from_levels, .. } => {
+            let inst = format!("drd_{successor}_delem");
+            let muxed = {
+                let m = design.module(top);
+                let id = m.find_cell(&inst)?;
+                m.cell(id).kind_name().starts_with("drd_delemx_")
+            };
+            let shallow = drd_core::network::delem_module_name(muxed, *from_levels);
+            if design.find_module(&shallow).is_none() {
+                let module = if muxed {
+                    let overhead = drd_core::delay_element::mux_overhead_levels(lib).ok()?;
+                    drd_core::delay_element::build_muxed(&shallow, *from_levels, overhead)
+                } else {
+                    drd_core::delay_element::build_fixed(&shallow, *from_levels)
+                };
+                design.insert(module);
+            }
+            let m = design.module_mut(top);
+            let id = m.find_cell(&inst)?;
+            let kind = m.instance_kind(&shallow);
+            m.set_cell_kind(id, kind);
+        }
+        LivenessAction::RequestLatch => {
+            let m = design.module_mut(top);
+            let ros = m.find_net(&format!("drd_{}_ros", lr.region))?;
+            let delem = m.find_cell(&format!("drd_{}_delem", lr.region))?;
+            m.set_pin(delem, "in1", Conn::Net(ros));
+            let latch = m.find_cell(&format!("drd_{}_reqext", lr.region))?;
+            m.remove_cell(latch);
+            if let Some(inv) = m.find_cell(&format!("drd_{}_reqext_inv", lr.region)) {
+                m.remove_cell(inv);
+            }
+        }
+        LivenessAction::Degrade => unreachable!("filtered above"),
+    }
+    Some(DesyncResult {
+        design,
+        sdc: clean.sdc.clone(),
+        report: clean.report.clone(),
+    })
 }
 
 /// A standard-flow variant whose `ffsub` stage creates every region's
@@ -915,6 +1000,21 @@ mod tests {
             assert!(
                 out.oracle.contains("scan"),
                 "killed by a non-scan oracle (fault not isolated): {}",
+                out.oracle
+            );
+        }
+    }
+
+    #[test]
+    fn swallowed_request_mutants_are_killed_by_the_liveness_oracle() {
+        let lib = vlib90::high_speed();
+        let config = DiffConfig::default();
+        for seed in 0..2u64 {
+            let out = run_mutation(Mutation::SwallowedRequest, seed, &lib, &config);
+            assert!(out.killed, "seed {seed} survived: {}", out.oracle);
+            assert!(
+                out.oracle.contains("liveness"),
+                "killed by a non-liveness oracle (fault not isolated): {}",
                 out.oracle
             );
         }

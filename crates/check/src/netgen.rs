@@ -110,6 +110,12 @@ pub struct NetGenParams {
     pub max_inputs: usize,
     /// Include scan / sync-set / sync-reset flip-flop flavours.
     pub scan_set_reset: bool,
+    /// When positive, rewire every sample into an imbalanced open chain:
+    /// stage 0 becomes a loopback source carrying a NAND chain this many
+    /// gates deep, feeding a fast successor stage — the pulse-swallowing
+    /// topology the liveness guard must repair
+    /// (see [`NetRecipe::imbalance`]).
+    pub source_imbalance: usize,
 }
 
 impl Default for NetGenParams {
@@ -120,6 +126,7 @@ impl Default for NetGenParams {
             max_cloud: 6,
             max_inputs: 4,
             scan_set_reset: true,
+            source_imbalance: 0,
         }
     }
 }
@@ -162,10 +169,53 @@ impl NetRecipe {
                 StageRecipe { cloud, ffs }
             })
             .collect();
-        NetRecipe {
+        let mut recipe = NetRecipe {
             inputs,
             input_bits,
             stages,
+        };
+        if params.source_imbalance > 0 {
+            recipe.imbalance(params.source_imbalance);
+        }
+        recipe
+    }
+
+    /// Rewires this recipe into an imbalanced open chain: stage 0 grows
+    /// a `levels`-deep NAND chain (every gate also fed by `din`, the
+    /// stall-test shape) whose end drives *all* of its register lanes —
+    /// forced to plain flip-flops so no aux pin pulls in a predecessor —
+    /// and stage 1 (created on demand) reads `q0_0` through an inverter,
+    /// keeping the stages in separate regions. The result is a loopback
+    /// source whose matched delay dwarfs its successor's response time:
+    /// the topology the liveness guard exists to repair.
+    pub fn imbalance(&mut self, levels: usize) {
+        if self.stages.len() < 2 {
+            self.stages.push(StageRecipe {
+                cloud: Vec::new(),
+                ffs: vec![FfRecipe { kind: FfKind::Plain, d: 0, aux0: 0, aux1: 0 }],
+            });
+        }
+        let total_ffs: usize = self.stages.iter().map(|s| s.ffs.len()).sum();
+        let base = self.inputs.max(1) + total_ffs; // first cloud-net index
+        let chain: Vec<GateOp> = (0..levels)
+            .map(|c| GateOp {
+                kind: 2, // NAND2X1 — survives buffer cleaning
+                a: if c == 0 { 0 } else { base + c - 1 },
+                b: 0,
+            })
+            .collect();
+        let stage0 = &mut self.stages[0];
+        stage0.cloud.splice(0..0, chain);
+        for ff in &mut stage0.ffs {
+            ff.kind = FfKind::Plain;
+            ff.d = base + levels - 1;
+        }
+        let q0_0 = self.inputs.max(1);
+        let stage1 = &mut self.stages[1];
+        stage1.cloud.insert(0, GateOp { kind: 0, a: q0_0, b: 0 });
+        if let Some(ff) = stage1.ffs.first_mut() {
+            ff.kind = FfKind::Plain;
+            ff.d = base;
         }
     }
 

@@ -80,6 +80,7 @@ fn random_spec(rng: &mut Rng) -> SpecCase {
             controlled: true,
             matched_levels: rng.range(2, 24),
             critical_delay_ns: 0.05 + rng.range(0, 80) as f64 * 0.01,
+            loopback_latch: false,
         })
         .collect();
     let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
@@ -158,6 +159,7 @@ fn ring_simulation_matches_the_analytical_period() {
                 controlled: true,
                 matched_levels: rng.range(2, 40),
                 critical_delay_ns: 0.05 + rng.range(0, 100) as f64 * 0.01,
+                loopback_latch: false,
             })
         },
         |RingCase(region): &RingCase| {

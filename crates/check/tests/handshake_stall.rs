@@ -1,23 +1,28 @@
-//! Faithfulness of the handshake simulator's *deadlock* verdict.
+//! The liveness guard repairs the pulse-swallowing wedge.
 //!
 //! The loopback environment (`drd_core::network`) feeds a source
 //! region's own slave request back as its input request. That request
 //! falls as soon as the successor acknowledges, so its pulse width is
 //! set by the successor's response time — and a source whose matched
-//! delay exceeds that width has its request swallowed by the asymmetric
-//! delay element (every AND stage is fed by the input, so a fall
-//! collapses the chain): the region wedges after one transfer. Interior
-//! regions are immune — their requests are held by C-element joins
-//! until the consumer's full delay chain has been traversed.
+//! delay exceeds that width would have its request swallowed by the
+//! asymmetric delay element (every AND stage is fed by the input, so a
+//! fall collapses the chain): the region would wedge after one
+//! transfer. Interior regions are immune — their requests are held by
+//! C-element joins until the consumer's full delay chain has been
+//! traversed.
 //!
-//! This test pins the hazard down at *both* levels on the same design:
-//! the gate-level netlist stalls in the event simulator, and the
-//! handshake-level timing simulation reports the same deadlock — the
-//! abstraction does not paper over real silicon behaviour.
+//! Since PR 9 the `liveness` pass detects this hazard statically and
+//! repairs it (here by deepening the successor's delay element so the
+//! acknowledge arrives after the source's rise completes). This test
+//! pins the repair down at *both* levels on the same design: the
+//! gate-level netlist keeps capturing in the event simulator, the
+//! handshake-level timing oracle verifies the network live, the repair
+//! is recorded in the report, and the whole flow stays byte-identical
+//! across worker counts.
 
 use drd_check::handshake::{handshake_spec, verify_handshake_timing};
 use drd_check::netgen::{FfKind, FfRecipe, GateOp, NetRecipe, StageRecipe};
-use drd_core::{DesyncOptions, Desynchronizer};
+use drd_core::{DesyncOptions, Desynchronizer, LivenessAction};
 use drd_liberty::{vlib90, Lv};
 use drd_sim::{SimOptions, Simulator};
 
@@ -51,21 +56,36 @@ fn imbalanced_recipe() -> NetRecipe {
 }
 
 #[test]
-fn simulator_deadlock_verdict_matches_gate_level_stall() {
+fn liveness_guard_repairs_the_gate_level_stall() {
     let lib = vlib90::high_speed();
     let recipe = imbalanced_recipe();
     let module = recipe.build().unwrap();
     let tool = Desynchronizer::new(&lib).unwrap();
     let result = tool.run(&module, &DesyncOptions::default()).unwrap();
 
-    // The shape under test: an open chain whose source carries the much
-    // longer matched delay.
+    // The hazard was detected and repaired, not silently shipped: the
+    // report carries at least one structural repair and no region had to
+    // fall back to the clock.
+    let repairs = &result.report.liveness_repairs;
+    assert!(!repairs.is_empty(), "pulse-swallowing hazard must be repaired");
+    assert!(
+        repairs
+            .iter()
+            .any(|lr| matches!(lr.action, LivenessAction::DeepenSuccessor { .. })
+                | matches!(lr.action, LivenessAction::RequestLatch)),
+        "repair ladder must act structurally, got: {repairs:?}"
+    );
+    assert!(result.report.degradations.is_empty(), "no clock fallback expected");
+
+    // The repaired shape: the successor's delay element was brought up
+    // far enough that the source's rise fits inside its response window.
     let regions = &result.report.regions;
     let source = regions.iter().find(|r| r.ffs > 0 && r.critical_delay_ns > 0.4).unwrap();
     let sink = regions.iter().find(|r| r.ffs > 0 && r.critical_delay_ns < 0.2).unwrap();
-    assert!(source.delem_levels > sink.delem_levels + 5, "imbalance lost in grouping");
+    assert!(source.delem_levels > 0 && sink.delem_levels > 0, "both regions stay controlled");
 
-    // Gate level: the source region's latches stop capturing.
+    // Gate level: the source region's latches keep capturing — before
+    // the guard this design wedged after at most 2 captures in 240 ns.
     let mut dut = Simulator::new(&result.design, &lib, SimOptions::default()).unwrap();
     dut.poke("din", Lv::One).unwrap();
     dut.poke("drd_rst", Lv::Zero).unwrap();
@@ -73,10 +93,29 @@ fn simulator_deadlock_verdict_matches_gate_level_stall() {
     dut.poke("drd_rst", Lv::One).unwrap();
     dut.run_for(240.0);
     let captures = dut.captures().capture_count("r0_0_ls");
-    assert!(captures <= 2, "expected a stall, saw {captures} captures in 240 ns");
+    assert!(captures > 10, "expected a live ring, saw only {captures} captures in 240 ns");
 
-    // Handshake level: the timing simulation reports the same wedge.
+    // Handshake level: the timing oracle verifies the repaired network.
     let spec = handshake_spec(&result.report, &lib).unwrap();
-    let err = verify_handshake_timing(&spec, &lib).expect_err("deadlock must be reported");
-    assert!(err.contains("deadlock"), "unexpected oracle failure: {err}");
+    let cycles = verify_handshake_timing(&spec, &lib)
+        .expect("repaired network must be live")
+        .expect("non-vacuous");
+    assert!(!cycles.is_empty());
+
+    // Determinism: the repaired flow's artifacts are byte-identical for
+    // any worker count — the guard's decisions are serial by design.
+    let bundle = |jobs: usize| {
+        let opts = DesyncOptions { jobs: Some(jobs), ..DesyncOptions::default() };
+        let (result, trace) = tool.run_traced(module.clone(), &opts).unwrap();
+        [
+            format!("{:?}", result.report),
+            result.sdc.clone(),
+            drd_netlist::verilog::write_design(&result.design),
+            trace.to_json_deterministic(),
+        ]
+    };
+    let serial = bundle(1);
+    for jobs in [2, 8] {
+        assert_eq!(serial, bundle(jobs), "artifacts diverged at jobs={jobs}");
+    }
 }

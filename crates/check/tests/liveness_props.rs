@@ -1,0 +1,97 @@
+//! Property test for the liveness guard (DESIGN.md §3i): fuzzed
+//! *imbalanced open-chain* designs — a loopback source whose matched
+//! delay dwarfs its successor's response time, the pulse-swallowing
+//! topology — must always come out of the flow either
+//!
+//! * **live**: the handshake-timing oracle verifies the repaired
+//!   control network settles (and the structural liveness oracle agrees
+//!   the repairs actually landed in the netlist), or
+//! * **diagnosed**: an explicit [`drd_core::DesyncError::Liveness`] /
+//!   recorded `Degradation` — never an undiagnosed deadlock.
+//!
+//! Across the corpus the guard must actually fire: at least one design
+//! needs a recorded `LivenessRepair` (otherwise the generator stopped
+//! producing the hazard and the property is vacuous).
+//!
+//! Replay knobs: `DRD_PROP_SEED`, `DRD_PROP_CASES`, `DRD_PROP_CASE_SEED`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use drd_check::handshake::{handshake_spec, verify_handshake_timing};
+use drd_check::liveness::verify_liveness;
+use drd_check::netgen::{NetGenParams, NetRecipe};
+use drd_check::{prop_par_with, Config, Rng};
+use drd_core::{DesyncError, DesyncOptions, Desynchronizer};
+use drd_liberty::vlib90;
+
+#[test]
+fn imbalanced_open_chains_are_repaired_or_diagnosed_never_wedged() {
+    let lib = vlib90::high_speed();
+    let tool = Desynchronizer::new(&lib).expect("tool builds");
+    let base = NetGenParams { max_stages: 3, max_width: 2, ..NetGenParams::default() };
+    let repaired = AtomicUsize::new(0);
+    prop_par_with(
+        Config::new(40).seed(0x11FE_6A2D_5AFE),
+        |rng: &mut Rng| {
+            let mut recipe = NetRecipe::sample(rng, &base);
+            // Chain depths across the hazard boundary: shallow chains
+            // check the guard stays quiet, deep ones force the ladder.
+            recipe.imbalance(rng.range(6, 30));
+            recipe
+        },
+        |recipe: &NetRecipe| {
+            let module = recipe.build().map_err(|e| e.to_string())?;
+            let result = match tool.run(&module, &DesyncOptions::default()) {
+                Ok(result) => result,
+                // A structured liveness verdict (or any other typed flow
+                // rejection) is a diagnosis, not a wedge.
+                Err(DesyncError::Liveness { .. }) => return Ok(()),
+                Err(_) => return Ok(()),
+            };
+            if !result.report.liveness_repairs.is_empty() {
+                repaired.fetch_add(1, Ordering::Relaxed);
+            }
+            // Structural: the reported repairs are really in the netlist.
+            verify_liveness(&result.report, &result.design, &lib)?;
+            // Behavioural: the shipped network settles — a deadlock here
+            // would be exactly the undiagnosed wedge the guard forbids.
+            let spec = handshake_spec(&result.report, &lib).map_err(|e| e.to_string())?;
+            verify_handshake_timing(&spec, &lib)
+                .map_err(|e| format!("undiagnosed deadlock shipped: {e}"))?;
+            Ok(())
+        },
+    );
+    let hits = repaired.load(Ordering::Relaxed);
+    assert!(hits >= 5, "guard fired on only {hits} designs — generator lost the hazard");
+}
+
+/// Strict mode turns the degrade rung into a hard error; whatever the
+/// imbalance, a strict flow must either produce a live network or fail
+/// with a typed error — never record a silent clock fallback.
+#[test]
+fn strict_flows_never_record_a_liveness_degradation() {
+    let lib = vlib90::high_speed();
+    let tool = Desynchronizer::new(&lib).expect("tool builds");
+    let base = NetGenParams { max_stages: 2, max_width: 1, ..NetGenParams::default() };
+    prop_par_with(
+        Config::new(12).seed(0x57FF_1C7D_0C75),
+        |rng: &mut Rng| {
+            let mut recipe = NetRecipe::sample(rng, &base);
+            recipe.imbalance(rng.range(16, 28));
+            recipe
+        },
+        |recipe: &NetRecipe| {
+            let module = recipe.build().map_err(|e| e.to_string())?;
+            let opts = DesyncOptions { strict: true, ..DesyncOptions::default() };
+            match tool.run(&module, &opts) {
+                Ok(result) => {
+                    if !result.report.degradations.is_empty() {
+                        return Err("strict flow recorded a degradation".to_owned());
+                    }
+                    Ok(())
+                }
+                Err(_) => Ok(()), // typed rejection is fine under --strict
+            }
+        },
+    );
+}

@@ -104,6 +104,9 @@ pub struct DesyncReport {
     pub cleaned_cells: usize,
     /// Regions left synchronous (empty for a fully desynchronized run).
     pub degradations: Vec<crate::Degradation>,
+    /// Repairs the liveness guard applied to keep loopback source
+    /// regions from wedging (empty when no hazard was found).
+    pub liveness_repairs: Vec<crate::LivenessRepair>,
 }
 
 /// Per-region summary.

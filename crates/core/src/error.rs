@@ -64,6 +64,16 @@ pub enum DesyncError {
         /// The panic payload (message), when it was a string.
         message: String,
     },
+    /// The liveness guard could not repair a pulse-swallowing hazard
+    /// within its ladder (deepen → latch → degrade): either the run is
+    /// strict and a region would have to be degraded, or the repaired
+    /// network still deadlocks in validation.
+    Liveness {
+        /// The source region whose request pulse is swallowed.
+        region: String,
+        /// What the guard tried and why it stopped.
+        message: String,
+    },
 }
 
 impl fmt::Display for DesyncError {
@@ -92,6 +102,9 @@ impl fmt::Display for DesyncError {
             }
             DesyncError::Panic { pass, message } => {
                 write!(f, "pass `{pass}` panicked: {message}")
+            }
+            DesyncError::Liveness { region, message } => {
+                write!(f, "liveness guard failed for region `{region}`: {message}")
             }
         }
     }
@@ -150,6 +163,14 @@ pub enum DegradeReason {
         /// Explanation.
         message: String,
     },
+    /// The region is a loopback source whose request pulse would be
+    /// swallowed downstream, and neither deepening the successors'
+    /// delay elements nor latching the loopback produced a live
+    /// network.
+    Liveness {
+        /// Explanation from the liveness guard.
+        message: String,
+    },
 }
 
 impl fmt::Display for DegradeReason {
@@ -166,6 +187,9 @@ impl fmt::Display for DegradeReason {
             }
             DegradeReason::ControllerSynthesis { message } => {
                 write!(f, "controller synthesis failed: {message}")
+            }
+            DegradeReason::Liveness { message } => {
+                write!(f, "liveness repair exhausted: {message}")
             }
         }
     }

@@ -43,6 +43,7 @@ mod desync;
 mod error;
 #[deny(clippy::unwrap_used, clippy::panic)]
 pub mod ffsub;
+pub mod liveness;
 pub mod network;
 pub mod pipeline;
 #[deny(clippy::unwrap_used, clippy::panic)]
@@ -54,6 +55,8 @@ pub use desync::{
     RegionSummary,
 };
 pub use error::{DegradeReason, Degradation, DesyncError};
+pub use liveness::{LivenessAction, LivenessRepair};
 pub use pipeline::{
-    FlowContext, FlowErrorTrace, FlowTrace, Pass, PassReport, PassTrace, Pipeline,
+    FlowContext, FlowErrorTrace, FlowTrace, LivenessGuardPass, Pass, PassReport, PassTrace,
+    Pipeline,
 };

@@ -1,0 +1,808 @@
+//! Liveness guard (the ninth pass, DESIGN.md §3i).
+//!
+//! The loopback environment (`crate::network`) feeds a *source* region's
+//! own slave request back as its input request. That request falls as
+//! soon as the successor acknowledges, so its pulse width equals the
+//! successor's response time — and a source whose matched delay exceeds
+//! that width has its request swallowed by the asymmetric delay element
+//! (every AND stage is fed by the input, so a falling input collapses
+//! the whole chain) and the region wedges after one transfer. Interior
+//! regions are immune: their requests are held by C-element joins until
+//! the consumer has answered.
+//!
+//! The guard computes a conservative response-time bound for every
+//! source region's successors, flags sources whose request-chain rise
+//! time can outlive the pulse, and repairs each hazard with a
+//! deterministic ladder:
+//!
+//! 1. **Deepen** the deficient successors' delay elements so the pulse
+//!    outlives the source's rise time (with the flow's delay margin) —
+//!    unless the new chain would exceed the clock-period timing budget.
+//! 2. **Latch** the source's loopback with a request-extending
+//!    C-element (`C2(ros, !aim)`): the request is held until the
+//!    region's own master acknowledges, so no pulse can be swallowed.
+//! 3. **Degrade** the source to synchronous (reusing the per-region
+//!    degradation machinery) when simulation shows the network still
+//!    wedges — a strict run turns this rung into
+//!    [`DesyncError::Liveness`] instead.
+//!
+//! Every decision is recorded as a [`LivenessRepair`] and the repaired
+//! network is validated by `drd_sim::handshake`: the planner keeps
+//! repairing until the previously-deadlocking topology settles, and an
+//! unrepaireable deadlock is always a structured error — never silent.
+//!
+//! Determinism: hazards are processed one per round in region-index
+//! order, all netlist surgery is serial in record order, and the bound
+//! math uses only library constants — the records and the repaired
+//! netlist are byte-identical for every worker count.
+
+use std::fmt;
+
+use drd_liberty::Library;
+use drd_netlist::{CellId, Conn, Design, ModuleId};
+use drd_sim::{HandshakeNet, HandshakeSpec, RegionSpec};
+
+use crate::delay_element;
+use crate::network::{delem_module_name, enable_net_names};
+use crate::DesyncError;
+
+/// Library-derived constants of the response-bound model.
+///
+/// A successor's response time to a rising request is its own matched
+/// delay (the request must traverse the deepened chain) plus the
+/// controller round trip — request C-element, master latch controller,
+/// acknowledge inverter, slave controller — approximated by one
+/// worst-case intrinsic delay of each gate in that path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseModel {
+    /// Typical-corner delay of one AND level of a delay element (ns).
+    pub level_delay_ns: f64,
+    /// Controller round-trip delay: `C2RX1 + BUFX1 + INVX1 + C2SX1` (ns).
+    pub ctrl_response_ns: f64,
+}
+
+impl ResponseModel {
+    /// Probes the model's constants from `lib` by STA.
+    ///
+    /// # Errors
+    /// [`DesyncError::UnknownCell`] when a controller gate is missing.
+    pub fn probe(lib: &Library) -> Result<Self, DesyncError> {
+        let level_delay_ns = delay_element::level_delay_ns(lib)?;
+        let d = |name: &str| {
+            lib.cell(name)
+                .map(|c| c.max_intrinsic_delay())
+                .ok_or_else(|| DesyncError::UnknownCell { name: name.to_owned() })
+        };
+        let ctrl_response_ns = d("C2RX1")? + d("BUFX1")? + d("INVX1")? + d("C2SX1")?;
+        Ok(ResponseModel { level_delay_ns, ctrl_response_ns })
+    }
+
+    /// Rise time of a `levels`-deep request chain (ns).
+    pub fn rise_ns(&self, levels: usize) -> f64 {
+        levels as f64 * self.level_delay_ns
+    }
+
+    /// Conservative response time of a successor with a `levels`-deep
+    /// delay element (ns). Join trees are deliberately excluded — the
+    /// bound under-estimates the real response, so the guard over-flags
+    /// rather than misses hazards; simulation is the final arbiter.
+    pub fn response_ns(&self, levels: usize) -> f64 {
+        self.rise_ns(levels) + self.ctrl_response_ns
+    }
+}
+
+/// The planner's view of one region — the spec-level state the ladder
+/// operates on before any netlist surgery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionState {
+    /// Region name (`g0`, …).
+    pub name: String,
+    /// Carries a controller pair and delay element.
+    pub controlled: bool,
+    /// Matched delay-element levels.
+    pub levels: usize,
+    /// A request-extending latch holds the loopback request.
+    pub latched: bool,
+}
+
+/// Whether region `i` is a loopback source: controlled, no controlled
+/// predecessors (a self-loop counts as a predecessor) and at least one
+/// controlled successor to swallow its pulse.
+pub fn is_source(states: &[RegionState], edges: &[(usize, usize)], i: usize) -> bool {
+    states[i].controlled
+        && !edges.iter().any(|&(p, s)| s == i && states[p].controlled)
+        && edges
+            .iter()
+            .any(|&(p, s)| p == i && s != i && states[s].controlled)
+}
+
+/// One flagged pulse-swallowing hazard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hazard {
+    /// Index of the source region.
+    pub region: usize,
+    /// The source's request-chain rise time (ns).
+    pub rise_ns: f64,
+    /// The fastest successor's response time — the pulse width (ns).
+    pub bound_ns: f64,
+    /// Successors whose response is below `rise_ns ×` the margin.
+    pub deficient: Vec<usize>,
+}
+
+/// Flags every unlatched source whose rise time reaches the fastest
+/// successor's response bound, in region-index order.
+pub fn hazards(
+    model: &ResponseModel,
+    states: &[RegionState],
+    edges: &[(usize, usize)],
+    margin: f64,
+) -> Vec<Hazard> {
+    (0..states.len())
+        .filter(|&i| is_source(states, edges, i) && !states[i].latched)
+        .filter_map(|i| {
+            let rise = model.rise_ns(states[i].levels);
+            let succs: Vec<usize> = edges
+                .iter()
+                .filter(|&&(p, s)| p == i && s != i && states[s].controlled)
+                .map(|&(_, s)| s)
+                .collect();
+            let bound = succs
+                .iter()
+                .map(|&s| model.response_ns(states[s].levels))
+                .fold(f64::INFINITY, f64::min);
+            if rise < bound {
+                return None;
+            }
+            let deficient: Vec<usize> = succs
+                .iter()
+                .copied()
+                .filter(|&s| model.response_ns(states[s].levels) < rise * margin)
+                .collect();
+            Some(Hazard { region: i, rise_ns: rise, bound_ns: bound, deficient })
+        })
+        .collect()
+}
+
+/// What one repair did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LivenessAction {
+    /// A deficient successor's delay element was swapped for a deeper
+    /// one (the instance name is unchanged; only its module changes).
+    DeepenSuccessor {
+        /// The successor whose element was deepened.
+        successor: String,
+        /// Levels before the repair.
+        from_levels: usize,
+        /// Levels after the repair.
+        to_levels: usize,
+    },
+    /// A request-extending C-element latch was inserted on the source's
+    /// loopback path.
+    RequestLatch,
+    /// The source was degraded to synchronous.
+    Degrade,
+}
+
+/// One recorded liveness repair — a FlowTrace / report artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivenessRepair {
+    /// The source region whose pulse was at risk.
+    pub region: String,
+    /// The source's request-chain rise time at decision time (ns).
+    pub rise_ns: f64,
+    /// The fastest successor's response bound at decision time (ns).
+    pub response_bound_ns: f64,
+    /// The rung of the ladder that was applied.
+    pub action: LivenessAction,
+}
+
+impl fmt::Display for LivenessRepair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "region `{}`: request rise {:.3} ns vs successor response {:.3} ns — ",
+            self.region, self.rise_ns, self.response_bound_ns
+        )?;
+        match &self.action {
+            LivenessAction::DeepenSuccessor { successor, from_levels, to_levels } => write!(
+                f,
+                "deepened `{successor}`'s delay element {from_levels} → {to_levels} levels"
+            ),
+            LivenessAction::RequestLatch => {
+                write!(f, "request-extending latch inserted on the loopback")
+            }
+            LivenessAction::Degrade => write!(f, "repairs exhausted, region left synchronous"),
+        }
+    }
+}
+
+fn rise_and_bound(
+    model: &ResponseModel,
+    states: &[RegionState],
+    edges: &[(usize, usize)],
+    i: usize,
+) -> (f64, f64) {
+    let rise = model.rise_ns(states[i].levels);
+    let bound = edges
+        .iter()
+        .filter(|&&(p, s)| p == i && s != i && states[s].controlled)
+        .map(|&(_, s)| model.response_ns(states[s].levels))
+        .fold(f64::INFINITY, f64::min);
+    (rise, bound)
+}
+
+/// Plans the repair ladder over spec-level state.
+///
+/// Phase A screens statically: each hazard (one per round, region-index
+/// order) either deepens all deficient successors — sized so their
+/// response covers `margin ×` the source's rise, rejected when the new
+/// chain's own rise would exceed `clock_period_ns` — or, over budget,
+/// latches the source's loopback. Phase B validates dynamically: while
+/// `validate` reports a deadlock, the first unlatched source is latched;
+/// with every source latched, the first source is degraded (an error in
+/// `strict` mode). A deadlock that survives all rungs is
+/// [`DesyncError::Liveness`].
+///
+/// `validate` receives the candidate state and returns `Ok(true)` when
+/// the network settles (or the topology is vacuous — the caller decides).
+/// `states` is mutated to the final planned state; the returned records
+/// are the repairs in application order.
+///
+/// # Errors
+/// [`DesyncError::Liveness`] as above; propagates validator errors.
+pub fn plan_repairs(
+    model: &ResponseModel,
+    states: &mut [RegionState],
+    edges: &[(usize, usize)],
+    clock_period_ns: f64,
+    margin: f64,
+    strict: bool,
+    mut validate: impl FnMut(&[RegionState]) -> Result<bool, DesyncError>,
+) -> Result<Vec<LivenessRepair>, DesyncError> {
+    let n = states.len();
+    let mut repairs = Vec::new();
+
+    // Phase A: static screening. Deepening only raises successor
+    // response times and latching removes a source from the hazard set,
+    // so one hazard per round converges; the cap is pure defence.
+    for _ in 0..(2 * n + 2) {
+        let Some(h) = hazards(model, states, edges, margin).into_iter().next() else {
+            break;
+        };
+        let target = (((h.rise_ns * margin - model.ctrl_response_ns) / model.level_delay_ns)
+            .ceil() as usize)
+            .max(1);
+        let wanted: Vec<(usize, usize)> = h
+            .deficient
+            .iter()
+            .map(|&s| (s, target.max(states[s].levels + 1)))
+            .collect();
+        let within_budget =
+            wanted.iter().all(|&(_, to)| model.rise_ns(to) <= clock_period_ns);
+        if within_budget && !wanted.is_empty() {
+            for (s, to) in wanted {
+                let from = states[s].levels;
+                states[s].levels = to;
+                repairs.push(LivenessRepair {
+                    region: states[h.region].name.clone(),
+                    rise_ns: h.rise_ns,
+                    response_bound_ns: h.bound_ns,
+                    action: LivenessAction::DeepenSuccessor {
+                        successor: states[s].name.clone(),
+                        from_levels: from,
+                        to_levels: to,
+                    },
+                });
+            }
+        } else {
+            states[h.region].latched = true;
+            repairs.push(LivenessRepair {
+                region: states[h.region].name.clone(),
+                rise_ns: h.rise_ns,
+                response_bound_ns: h.bound_ns,
+                action: LivenessAction::RequestLatch,
+            });
+        }
+    }
+
+    // Phase B: dynamic validation. Degrading a source can expose new
+    // sources (its successors lose their predecessor); their hazards
+    // surface as fresh deadlocks and are latched on the next round.
+    let cap = 3 * n + 3;
+    let mut iterations = 0usize;
+    loop {
+        if validate(states)? {
+            return Ok(repairs);
+        }
+        iterations += 1;
+        let sources: Vec<usize> = (0..n).filter(|&i| is_source(states, edges, i)).collect();
+        if iterations <= cap {
+            if let Some(&i) = sources.iter().find(|&&i| !states[i].latched) {
+                let (rise, bound) = rise_and_bound(model, states, edges, i);
+                states[i].latched = true;
+                repairs.push(LivenessRepair {
+                    region: states[i].name.clone(),
+                    rise_ns: rise,
+                    response_bound_ns: bound,
+                    action: LivenessAction::RequestLatch,
+                });
+                continue;
+            }
+            if let Some(&i) = sources.first() {
+                if strict {
+                    return Err(DesyncError::Liveness {
+                        region: states[i].name.clone(),
+                        message: format!(
+                            "network still deadlocks after {} repair(s); the region \
+                             would be degraded to synchronous (strict mode)",
+                            repairs.len()
+                        ),
+                    });
+                }
+                let (rise, bound) = rise_and_bound(model, states, edges, i);
+                states[i].controlled = false;
+                states[i].latched = false;
+                repairs.push(LivenessRepair {
+                    region: states[i].name.clone(),
+                    rise_ns: rise,
+                    response_bound_ns: bound,
+                    action: LivenessAction::Degrade,
+                });
+                continue;
+            }
+        }
+        // No repairable source left (or the cap tripped): the deadlock
+        // is not the source-pulse hazard — refuse to ship it silently.
+        let region = sources
+            .first()
+            .map_or_else(|| "<network>".to_owned(), |&i| states[i].name.clone());
+        return Err(DesyncError::Liveness {
+            region,
+            message: format!(
+                "control network still deadlocks after {} repair(s)",
+                repairs.len()
+            ),
+        });
+    }
+}
+
+/// Validates spec-level state with the handshake simulator: `Ok(true)`
+/// when the network settles — or when the topology is vacuous (no
+/// controlled region, or an isolated controlled region whose
+/// loopback + eager-ack environment wedges by construction; the
+/// handshake-timing oracle skips the same shapes) — and `Ok(false)` on a
+/// simulated deadlock.
+///
+/// # Errors
+/// Propagates elaboration failures and non-deadlock simulation errors.
+pub fn validate_with_sim(
+    states: &[RegionState],
+    edges: &[(usize, usize)],
+    critical_delays_ns: &[f64],
+    lib: &Library,
+    level_delay_ns: f64,
+    ff_overhead_ns: f64,
+) -> Result<bool, DesyncError> {
+    if !states.iter().any(|s| s.controlled) {
+        return Ok(true);
+    }
+    let isolated = states.iter().enumerate().any(|(i, s)| {
+        s.controlled
+            && !edges.iter().any(|&(p, q)| {
+                (q == i && states[p].controlled) || (p == i && states[q].controlled)
+            })
+    });
+    if isolated {
+        return Ok(true);
+    }
+    let spec = HandshakeSpec {
+        regions: states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| RegionSpec {
+                name: s.name.clone(),
+                controlled: s.controlled,
+                matched_levels: s.levels,
+                critical_delay_ns: critical_delays_ns.get(i).copied().unwrap_or(0.0),
+                loopback_latch: s.latched,
+            })
+            .collect(),
+        edges: edges.to_vec(),
+        level_delay_ns,
+        ff_overhead_ns,
+    };
+    let net = HandshakeNet::elaborate(&spec, lib).map_err(|e| DesyncError::Pipeline {
+        message: format!("liveness validation: {e}"),
+    })?;
+    match net.nominal_cycle_times() {
+        Ok(_) => Ok(true),
+        Err(e) => {
+            let message = e.to_string();
+            if message.contains("deadlock") {
+                Ok(false)
+            } else {
+                Err(DesyncError::Pipeline {
+                    message: format!("liveness validation: {message}"),
+                })
+            }
+        }
+    }
+}
+
+/// Swaps region `succ`'s delay element for a `to_levels`-deep module.
+/// The instance name (`drd_<succ>_delem`) is unchanged — SDC constraints
+/// keep matching — and the new module is created (and deduplicated) on
+/// demand.
+///
+/// # Errors
+/// [`DesyncError::Pipeline`] when the instance is missing; propagates
+/// STA errors from muxed-overhead probing.
+pub fn apply_deepen(
+    design: &mut Design,
+    top: ModuleId,
+    succ: &str,
+    to_levels: usize,
+    muxed: bool,
+    lib: &Library,
+) -> Result<(), DesyncError> {
+    let module_name = delem_module_name(muxed, to_levels);
+    if design.find_module(&module_name).is_none() {
+        let module = if muxed {
+            let overhead = delay_element::mux_overhead_levels(lib)?;
+            delay_element::build_muxed(&module_name, to_levels, overhead)
+        } else {
+            delay_element::build_fixed(&module_name, to_levels)
+        };
+        design.insert(module);
+    }
+    let m = design.module_mut(top);
+    let inst = format!("drd_{succ}_delem");
+    let cell = m.find_cell(&inst).ok_or_else(|| DesyncError::Pipeline {
+        message: format!("liveness deepen: delay element `{inst}` missing"),
+    })?;
+    let kind = m.instance_kind(&module_name);
+    m.set_cell_kind(cell, kind);
+    Ok(())
+}
+
+/// Inserts the request-extending latch on `region`'s loopback path:
+/// `C2(ros, !aim)` between the slave request and the delay element, so
+/// the looped-back request is held high until the region's own master
+/// acknowledges. Both C-element inputs are 1 at reset (the slave request
+/// resets high, the master acknowledge low), so the element
+/// self-initializes to the bare-wire value — the same argument that lets
+/// the join trees go without explicit resets.
+///
+/// # Errors
+/// [`DesyncError::Pipeline`] when the region's handshake nets or delay
+/// element are missing; propagates netlist errors.
+pub fn apply_latch(design: &mut Design, top: ModuleId, region: &str) -> Result<(), DesyncError> {
+    let m = design.module_mut(top);
+    let net = |m: &drd_netlist::Module, name: &str| {
+        m.find_net(name).ok_or_else(|| DesyncError::Pipeline {
+            message: format!("liveness latch: net `{name}` missing"),
+        })
+    };
+    let ros = net(m, &format!("drd_{region}_ros"))?;
+    let aim = net(m, &format!("drd_{region}_aim"))?;
+    let nai = m.add_net_auto(&format!("drd_{region}_reqext_nai"));
+    let q = m.add_net_auto(&format!("drd_{region}_reqext_q"));
+    m.add_cell(
+        format!("drd_{region}_reqext_inv"),
+        "INVX1",
+        &[("A", Conn::Net(aim)), ("Z", Conn::Net(nai))],
+    )?;
+    m.add_cell(
+        format!("drd_{region}_reqext"),
+        "C2X1",
+        &[("A", Conn::Net(ros)), ("B", Conn::Net(nai)), ("Z", Conn::Net(q))],
+    )?;
+    let delem_name = format!("drd_{region}_delem");
+    let delem = m.find_cell(&delem_name).ok_or_else(|| DesyncError::Pipeline {
+        message: format!("liveness latch: delay element `{delem_name}` missing"),
+    })?;
+    m.set_pin(delem, "in1", Conn::Net(q));
+    Ok(())
+}
+
+/// What [`apply_degrade`] removed, for report bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradeStats {
+    /// Names of every removed cell.
+    pub removed_cells: Vec<String>,
+    /// How many of them were C-elements.
+    pub removed_celements: usize,
+}
+
+/// Degrades source region `region` back to synchronous: removes its
+/// controller pair, delay element, request-extending latch (if any) and
+/// acknowledge-join tree, re-clocks its latch enables from `clock_net`
+/// (master transparent clock-low via an inverter, slave clock-high via a
+/// buffer — the master/slave phasing of the original flip-flops), and
+/// rewires each controlled successor's request input: a direct loopback
+/// wire becomes the successor's own loopback (the successor is now a
+/// source itself), a join-tree input is shorted through to its sibling
+/// (a C-element with equal inputs follows them).
+///
+/// Only *sources* are ever degraded here, which is what keeps the
+/// surgery tractable: no upstream region holds a reference to a source's
+/// handshake nets.
+///
+/// # Errors
+/// [`DesyncError::Pipeline`] when the expected structure is missing;
+/// propagates netlist errors.
+pub fn apply_degrade(
+    design: &mut Design,
+    top: ModuleId,
+    region: &str,
+    succs: &[String],
+    clock_net: &str,
+) -> Result<DegradeStats, DesyncError> {
+    let m = design.module_mut(top);
+    let ros = m
+        .find_net(&format!("drd_{region}_ros"))
+        .ok_or_else(|| DesyncError::Pipeline {
+            message: format!("liveness degrade: net `drd_{region}_ros` missing"),
+        })?;
+
+    // Rewire successors off the dying request net first.
+    for s in succs {
+        let delem_name = format!("drd_{s}_delem");
+        let delem = m.find_cell(&delem_name).ok_or_else(|| DesyncError::Pipeline {
+            message: format!("liveness degrade: delay element `{delem_name}` missing"),
+        })?;
+        let direct = m
+            .cell_pins(delem)
+            .iter()
+            .any(|&(p, c)| m.resolve(p) == "in1" && c == Conn::Net(ros));
+        if direct {
+            // The source was the successor's only predecessor: loop the
+            // successor's own slave request back, making it a source.
+            let own = m.find_net(&format!("drd_{s}_ros")).ok_or_else(|| {
+                DesyncError::Pipeline {
+                    message: format!("liveness degrade: net `drd_{s}_ros` missing"),
+                }
+            })?;
+            m.set_pin(delem, "in1", Conn::Net(own));
+            continue;
+        }
+        // Request join tree: short the source's input through to its
+        // sibling — C2(x, x) is a follower of x.
+        let join_prefix = format!("drd_{s}_ri_uc");
+        let joins: Vec<CellId> = m
+            .cells()
+            .filter(|(_, c)| c.name.starts_with(join_prefix.as_str()))
+            .map(|(id, _)| id)
+            .collect();
+        for id in joins {
+            let pins = m.cell_pins(id);
+            let Some(&(hit, _)) = pins
+                .iter()
+                .find(|&&(p, c)| c == Conn::Net(ros) && m.resolve(p) != "Z")
+            else {
+                continue;
+            };
+            let Some(&(_, sibling)) = pins
+                .iter()
+                .find(|&&(p, c)| p != hit && c != Conn::Net(ros) && m.resolve(p) != "Z")
+            else {
+                continue;
+            };
+            m.set_pin_sym(id, hit, sibling);
+        }
+    }
+
+    // Remove the region's control machinery.
+    let exact = [
+        format!("drd_{region}_ctlm"),
+        format!("drd_{region}_ctls"),
+        format!("drd_{region}_delem"),
+        format!("drd_{region}_reqext"),
+        format!("drd_{region}_reqext_inv"),
+    ];
+    let ao_prefix = format!("drd_{region}_ao_uc");
+    let ri_prefix = format!("drd_{region}_ri_uc");
+    let mut stats = DegradeStats::default();
+    let doomed: Vec<(CellId, String, bool)> = m
+        .cells()
+        .filter(|(_, c)| {
+            exact.iter().any(|e| e.as_str() == c.name)
+                || c.name.starts_with(ao_prefix.as_str())
+                || c.name.starts_with(ri_prefix.as_str())
+        })
+        .map(|(id, c)| (id, c.name.to_owned(), c.kind_name() == "C2X1"))
+        .collect();
+    for (id, name, is_c2) in doomed {
+        m.remove_cell(id);
+        if is_c2 {
+            stats.removed_celements += 1;
+        }
+        stats.removed_cells.push(name);
+    }
+
+    // Re-clock the latch enables from the original clock: the master
+    // latch is transparent while the clock is low, the slave while it is
+    // high — together an edge-triggered pair again. The enable-tree
+    // buffers keep fanning the re-driven root nets out.
+    let clk = m.find_net(clock_net).ok_or_else(|| DesyncError::Pipeline {
+        message: format!("liveness degrade: clock net `{clock_net}` missing"),
+    })?;
+    let (gm_name, gs_name) = enable_net_names(region);
+    let gm = m.find_net(&gm_name).ok_or_else(|| DesyncError::Pipeline {
+        message: format!("liveness degrade: enable net `{gm_name}` missing"),
+    })?;
+    let gs = m.find_net(&gs_name).ok_or_else(|| DesyncError::Pipeline {
+        message: format!("liveness degrade: enable net `{gs_name}` missing"),
+    })?;
+    m.add_cell(
+        format!("drd_{region}_syncm"),
+        "INVX1",
+        &[("A", Conn::Net(clk)), ("Z", Conn::Net(gm))],
+    )?;
+    m.add_cell(
+        format!("drd_{region}_syncs"),
+        "BUFX1",
+        &[("A", Conn::Net(clk)), ("Z", Conn::Net(gs))],
+    )?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::panic)]
+    use super::*;
+    use drd_liberty::vlib90;
+
+    fn st(name: &str, levels: usize) -> RegionState {
+        RegionState { name: name.into(), controlled: true, levels, latched: false }
+    }
+
+    /// Source g0 (24 levels) → sink g1 (2 levels): the stall-test shape.
+    fn imbalanced() -> (Vec<RegionState>, Vec<(usize, usize)>) {
+        (vec![st("g0", 24), st("g1", 2)], vec![(0, 1)])
+    }
+
+    #[test]
+    fn model_probe_is_positive() {
+        let model = ResponseModel::probe(&vlib90::high_speed()).unwrap();
+        assert!(model.level_delay_ns > 0.0);
+        assert!(model.ctrl_response_ns > 0.0);
+        assert!(model.response_ns(3) > model.rise_ns(3));
+    }
+
+    #[test]
+    fn hazard_classification_flags_the_imbalanced_source_only() {
+        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let (states, edges) = imbalanced();
+        let found = hazards(&model, &states, &edges, 1.08);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].region, 0);
+        assert_eq!(found[0].deficient, vec![1]);
+        assert!(found[0].rise_ns > found[0].bound_ns);
+
+        // Balanced chain: no hazard.
+        let states = vec![st("g0", 4), st("g1", 4)];
+        assert!(hazards(&model, &states, &edges, 1.08).is_empty());
+
+        // Interior regions are never flagged: give the source a pred.
+        let (states, _) = imbalanced();
+        let ring = vec![(0, 1), (1, 0)];
+        assert!(hazards(&model, &states, &ring, 1.08).is_empty());
+
+        // A self-loop counts as a predecessor.
+        let (states, _) = imbalanced();
+        let looped = vec![(0, 1), (0, 0)];
+        assert!(hazards(&model, &states, &looped, 1.08).is_empty());
+    }
+
+    #[test]
+    fn planner_deepens_within_budget() {
+        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let (mut states, edges) = imbalanced();
+        let repairs =
+            plan_repairs(&model, &mut states, &edges, 10.0, 1.08, false, |_| Ok(true)).unwrap();
+        assert_eq!(repairs.len(), 1, "{repairs:?}");
+        let r = &repairs[0];
+        assert_eq!(r.region, "g0");
+        match &r.action {
+            LivenessAction::DeepenSuccessor { successor, from_levels, to_levels } => {
+                assert_eq!(successor, "g1");
+                assert_eq!(*from_levels, 2);
+                // Sized so the successor's response covers margin × rise.
+                assert!(model.response_ns(*to_levels) >= r.rise_ns * 1.08, "{repairs:?}");
+                assert_eq!(states[1].levels, *to_levels);
+            }
+            other => panic!("expected a deepen, got {other:?}"),
+        }
+        // The repaired state screens clean.
+        assert!(hazards(&model, &states, &edges, 1.08).is_empty());
+    }
+
+    #[test]
+    fn planner_latches_when_deepening_breaks_the_budget() {
+        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let (mut states, edges) = imbalanced();
+        // Budget below even the source's own chain: deepening impossible.
+        let repairs =
+            plan_repairs(&model, &mut states, &edges, 1.0, 1.08, false, |_| Ok(true)).unwrap();
+        assert_eq!(repairs.len(), 1, "{repairs:?}");
+        assert_eq!(repairs[0].action, LivenessAction::RequestLatch);
+        assert!(states[0].latched);
+        assert_eq!(states[1].levels, 2, "successor untouched");
+    }
+
+    #[test]
+    fn planner_latches_then_degrades_on_persistent_deadlock() {
+        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        // Statically clean (balanced) but the validator insists on a
+        // wedge until the source is degraded — the unreachable-in-flow
+        // rung, exercised through the injected validator.
+        let mut states = vec![st("g0", 4), st("g1", 4)];
+        let edges = vec![(0, 1)];
+        let mut calls = 0usize;
+        let repairs = plan_repairs(&model, &mut states, &edges, 10.0, 1.08, false, |s| {
+            calls += 1;
+            Ok(!s[0].controlled)
+        })
+        .unwrap();
+        assert!(calls >= 3, "validated after every rung: {calls}");
+        assert_eq!(
+            repairs.iter().map(|r| &r.action).collect::<Vec<_>>(),
+            vec![&LivenessAction::RequestLatch, &LivenessAction::Degrade],
+            "{repairs:?}"
+        );
+        assert!(!states[0].controlled);
+    }
+
+    #[test]
+    fn strict_mode_turns_degrade_into_a_liveness_error() {
+        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let mut states = vec![st("g0", 4), st("g1", 4)];
+        let edges = vec![(0, 1)];
+        let err = plan_repairs(&model, &mut states, &edges, 10.0, 1.08, true, |s| {
+            Ok(!s[0].controlled)
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, DesyncError::Liveness { region, .. } if region == "g0"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn unrepairable_deadlock_is_a_structured_error() {
+        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        // A ring has no source at all: nothing to latch or degrade.
+        let mut states = vec![st("g0", 4), st("g1", 4)];
+        let edges = vec![(0, 1), (1, 0)];
+        let err = plan_repairs(&model, &mut states, &edges, 10.0, 1.08, false, |_| Ok(false))
+            .unwrap_err();
+        match err {
+            DesyncError::Liveness { region, message } => {
+                assert_eq!(region, "<network>");
+                assert!(message.contains("still deadlocks"), "{message}");
+            }
+            other => panic!("expected Liveness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_display_names_the_rungs() {
+        let r = LivenessRepair {
+            region: "g0".into(),
+            rise_ns: 2.16,
+            response_bound_ns: 0.48,
+            action: LivenessAction::DeepenSuccessor {
+                successor: "g1".into(),
+                from_levels: 2,
+                to_levels: 26,
+            },
+        };
+        let text = r.to_string();
+        assert!(text.contains("`g0`") && text.contains("2 → 26"), "{text}");
+        let l = LivenessRepair { action: LivenessAction::RequestLatch, ..r.clone() };
+        assert!(l.to_string().contains("latch"), "{l}");
+        let d = LivenessRepair { action: LivenessAction::Degrade, ..r };
+        assert!(d.to_string().contains("synchronous"), "{d}");
+    }
+}

@@ -387,7 +387,10 @@ fn buffer_enable_tree(
     Ok(inserted)
 }
 
-fn delem_module_name(muxed: bool, levels: usize) -> String {
+/// Module name of a delay element: `drd_delem_<levels>` (fixed) or
+/// `drd_delemx_<levels>` (muxed). Shared with the liveness guard's
+/// deepen surgery and the structural checks.
+pub fn delem_module_name(muxed: bool, levels: usize) -> String {
     if muxed {
         format!("drd_delemx_{levels}")
     } else {

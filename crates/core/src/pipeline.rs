@@ -20,6 +20,7 @@ use crate::ddg::{self, Ddg};
 use crate::desync::{DesyncOptions, DesyncReport, DesyncResult, RegionSummary};
 use crate::ffsub;
 use crate::network::{self, enable_net_names, NetworkReport};
+use crate::liveness::{self, LivenessAction, LivenessRepair, RegionState};
 use crate::region::{self, Regions};
 use crate::sdc;
 use crate::{DegradeReason, Degradation, DesyncError};
@@ -54,6 +55,7 @@ pub struct FlowContext<'a> {
     network: Option<NetworkReport>,
     sdc: Option<String>,
     degradations: Vec<Degradation>,
+    liveness_repairs: Vec<LivenessRepair>,
 }
 
 impl<'a> FlowContext<'a> {
@@ -80,6 +82,7 @@ impl<'a> FlowContext<'a> {
             network: None,
             sdc: None,
             degradations: Vec::new(),
+            liveness_repairs: Vec::new(),
         }
     }
 
@@ -144,6 +147,12 @@ impl<'a> FlowContext<'a> {
         &self.degradations
     }
 
+    /// Repairs the liveness guard applied (after `liveness`). Empty when
+    /// no pulse-swallowing hazard was found.
+    pub fn liveness_repairs(&self) -> &[LivenessRepair] {
+        &self.liveness_repairs
+    }
+
     /// `(cells, nets)` of the current working top module. Generated
     /// controller/delay-element modules are not counted: the deltas
     /// describe what each pass does to the design under transformation.
@@ -191,6 +200,15 @@ impl<'a> FlowContext<'a> {
         match &self.netlist {
             Netlist::Module(m) => Ok(m),
             Netlist::Design { .. } => Err(missing("a pre-network module", "control-network")),
+        }
+    }
+
+    fn design_mut(&mut self) -> Result<(&mut Design, ModuleId), DesyncError> {
+        match &mut self.netlist {
+            Netlist::Design { design, top } => Ok((design, *top)),
+            Netlist::Module(_) => {
+                Err(missing("the desynchronized design", "control-network"))
+            }
         }
     }
 
@@ -250,6 +268,7 @@ impl<'a> FlowContext<'a> {
                 celements: net_report.celements,
                 cleaned_cells: self.cleaned_cells,
                 degradations: self.degradations,
+                liveness_repairs: self.liveness_repairs,
             },
         })
     }
@@ -318,7 +337,7 @@ pub trait Pass {
 }
 
 // ---------------------------------------------------------------------------
-// The eight standard passes (§3.2, in flow order)
+// The nine standard passes (§3.2 plus the liveness guard, in flow order)
 // ---------------------------------------------------------------------------
 
 /// Logic cleaning (§3.2.2): remove synthesis buffering before grouping.
@@ -636,6 +655,181 @@ impl Pass for ControlNetworkPass {
     }
 }
 
+/// Liveness guard (DESIGN.md §3i): flags loopback source regions whose
+/// request pulse can be swallowed by a faster successor's asymmetric
+/// delay element, repairs each hazard with the deepen → latch → degrade
+/// ladder, and validates the repaired network with the handshake-level
+/// simulator — a desynchronized result is never silently wedged.
+pub struct LivenessGuardPass;
+
+impl Pass for LivenessGuardPass {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<PassReport, DesyncError> {
+        let lib = cx.lib;
+        let clock_name = cx
+            .clock_net
+            .clone()
+            .ok_or_else(|| missing("clock net", "clock-id"))?;
+        let delays = cx
+            .region_delays
+            .as_deref()
+            .ok_or_else(|| missing("region delays", "region-delays"))?
+            .to_vec();
+        let (edges, seq_cells) = {
+            let regions =
+                cx.regions.as_ref().ok_or_else(|| missing("regions", "group"))?;
+            let graph = cx.ddg.as_ref().ok_or_else(|| missing("DDG", "ddg"))?;
+            let seq: Vec<Vec<String>> =
+                regions.regions.iter().map(|r| r.seq_cells.clone()).collect();
+            (graph.edges.clone(), seq)
+        };
+        let mut states: Vec<RegionState> = {
+            let regions =
+                cx.regions.as_ref().ok_or_else(|| missing("regions", "group"))?;
+            let net_report = cx
+                .network
+                .as_ref()
+                .ok_or_else(|| missing("network report", "control-network"))?;
+            regions
+                .regions
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RegionState {
+                    name: r.name.clone(),
+                    controlled: net_report.delem_levels[i] > 0,
+                    levels: net_report.delem_levels[i],
+                    latched: false,
+                })
+                .collect()
+        };
+        let mut replay = states.clone();
+
+        let model = liveness::ResponseModel::probe(lib)?;
+        // The spec projection's FF overhead only shapes the synchronous
+        // comparison inside the simulator, never the deadlock verdict —
+        // a missing DFFX1 must not fail the guard.
+        let ff_overhead_ns = lib
+            .cell("DFFX1")
+            .map_or(0.0, |c| c.max_intrinsic_delay() + c.setup);
+        let validate_edges = edges.clone();
+        let validate_delays = delays.clone();
+        let repairs = liveness::plan_repairs(
+            &model,
+            &mut states,
+            &edges,
+            cx.opts.clock_period_ns,
+            cx.opts.delay_margin,
+            cx.opts.strict,
+            |s| {
+                liveness::validate_with_sim(
+                    s,
+                    &validate_edges,
+                    &validate_delays,
+                    lib,
+                    model.level_delay_ns,
+                    ff_overhead_ns,
+                )
+            },
+        )?;
+        if repairs.is_empty() {
+            return Ok(PassReport::new(
+                vec!["liveness-repairs"],
+                "no pulse-swallowing hazards".into(),
+            ));
+        }
+
+        // Apply the planned surgery serially, in record order, replaying
+        // the spec-level state so later records see earlier effects.
+        let muxed = cx.opts.muxed_delay_elements;
+        let idx_of = |replay: &[RegionState], name: &str| {
+            replay
+                .iter()
+                .position(|s| s.name == name)
+                .ok_or_else(|| DesyncError::Pipeline {
+                    message: format!("liveness repair names unknown region `{name}`"),
+                })
+        };
+        for rep in &repairs {
+            let i = idx_of(&replay, &rep.region)?;
+            match &rep.action {
+                LivenessAction::DeepenSuccessor { successor, to_levels, .. } => {
+                    let (design, top) = cx.design_mut()?;
+                    liveness::apply_deepen(design, top, successor, *to_levels, muxed, lib)?;
+                    let si = idx_of(&replay, successor)?;
+                    replay[si].levels = *to_levels;
+                    if let Some(nr) = cx.network.as_mut() {
+                        nr.delem_levels[si] = *to_levels;
+                    }
+                }
+                LivenessAction::RequestLatch => {
+                    let (design, top) = cx.design_mut()?;
+                    liveness::apply_latch(design, top, &rep.region)?;
+                    replay[i].latched = true;
+                    if let Some(nr) = cx.network.as_mut() {
+                        nr.celements += 1;
+                        nr.celement_instances.push(format!("drd_{}_reqext", rep.region));
+                    }
+                }
+                LivenessAction::Degrade => {
+                    let succs: Vec<String> = edges
+                        .iter()
+                        .filter(|&&(p, s)| p == i && s != i && replay[s].controlled)
+                        .map(|&(_, s)| replay[s].name.clone())
+                        .collect();
+                    let (design, top) = cx.design_mut()?;
+                    let stats = liveness::apply_degrade(
+                        design,
+                        top,
+                        &rep.region,
+                        &succs,
+                        &clock_name,
+                    )?;
+                    replay[i].controlled = false;
+                    replay[i].latched = false;
+                    if let Some(nr) = cx.network.as_mut() {
+                        nr.delem_levels[i] = 0;
+                        nr.controllers = nr.controllers.saturating_sub(2);
+                        nr.delay_elements = nr.delay_elements.saturating_sub(1);
+                        nr.celements =
+                            nr.celements.saturating_sub(stats.removed_celements);
+                        nr.controller_instances[i] = (String::new(), String::new());
+                        let delem = format!("drd_{}_delem", rep.region);
+                        nr.delay_element_instances.retain(|d| d != &delem);
+                        nr.celement_instances
+                            .retain(|c| !stats.removed_cells.contains(c));
+                    }
+                    cx.degradations.push(Degradation {
+                        region: rep.region.clone(),
+                        reason: DegradeReason::Liveness {
+                            message: format!(
+                                "request pulse {:.3} ns vs successor response {:.3} ns; \
+                                 deepen and latch repairs did not restore liveness",
+                                rep.rise_ns, rep.response_bound_ns
+                            ),
+                        },
+                        cells: seq_cells[i].clone(),
+                    });
+                }
+            }
+        }
+        let count = |action: fn(&LivenessAction) -> bool| {
+            repairs.iter().filter(|r| action(&r.action)).count()
+        };
+        let detail = format!(
+            "{} repair(s): {} deepened, {} latched, {} degraded",
+            repairs.len(),
+            count(|a| matches!(a, LivenessAction::DeepenSuccessor { .. })),
+            count(|a| matches!(a, LivenessAction::RequestLatch)),
+            count(|a| matches!(a, LivenessAction::Degrade)),
+        );
+        cx.liveness_repairs.extend(repairs);
+        Ok(PassReport::new(vec!["liveness-repairs"], detail))
+    }
+}
+
 /// Backend constraint generation (§4.4–§4.6, Figs. 4.2/4.5).
 pub struct SdcPass;
 
@@ -754,6 +948,10 @@ pub struct FlowTrace {
     /// for a fully desynchronized run — the JSON rendering omits the
     /// section entirely then, keeping clean-flow traces byte-identical.
     pub degradations: Vec<Degradation>,
+    /// Repairs the liveness guard applied. Empty when no
+    /// pulse-swallowing hazard was found — the JSON rendering omits the
+    /// section then, like `degradations`.
+    pub liveness_repairs: Vec<LivenessRepair>,
 }
 
 impl FlowTrace {
@@ -842,6 +1040,32 @@ impl FlowTrace {
             }
             out.push_str("  ]");
         }
+        if !self.liveness_repairs.is_empty() {
+            out.push_str(",\n  \"liveness_repairs\": [\n");
+            for (i, r) in self.liveness_repairs.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"region\": \"{}\", \"rise_ns\": {:.4}, \"response_bound_ns\": {:.4}, ",
+                    escape(&r.region),
+                    r.rise_ns,
+                    r.response_bound_ns
+                ));
+                match &r.action {
+                    LivenessAction::DeepenSuccessor { successor, from_levels, to_levels } => {
+                        out.push_str(&format!(
+                            "\"action\": \"deepen\", \"successor\": \"{}\", \
+                             \"from_levels\": {from_levels}, \"to_levels\": {to_levels}}}",
+                            escape(successor)
+                        ));
+                    }
+                    LivenessAction::RequestLatch => {
+                        out.push_str("\"action\": \"request-latch\"}");
+                    }
+                    LivenessAction::Degrade => out.push_str("\"action\": \"degrade\"}"),
+                }
+                out.push_str(if i + 1 == self.liveness_repairs.len() { "\n" } else { ",\n" });
+            }
+            out.push_str("  ]");
+        }
         if with_times {
             out.push_str(&format!(",\n  \"total_wall_ns\": {}", self.total_wall_ns));
         }
@@ -864,8 +1088,11 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// The paper's eight-stage flow, in order: `clean`, `clock-id`,
-    /// `group`, `ddg`, `region-delays`, `ffsub`, `control-network`, `sdc`.
+    /// The standard nine-stage flow, in order: `clean`, `clock-id`,
+    /// `group`, `ddg`, `region-delays`, `ffsub`, `control-network`,
+    /// `liveness`, `sdc` — the paper's eight stages plus the liveness
+    /// guard between network insertion and constraint generation (so the
+    /// SDC sees repaired delay-element levels and liveness degradations).
     pub fn standard() -> Pipeline {
         Pipeline {
             passes: vec![
@@ -876,6 +1103,7 @@ impl Pipeline {
                 Box::new(RegionDelaysPass),
                 Box::new(FfSubPass),
                 Box::new(ControlNetworkPass),
+                Box::new(LivenessGuardPass),
                 Box::new(SdcPass),
             ],
         }
@@ -1007,6 +1235,7 @@ impl Pipeline {
                         message: e.to_string(),
                     });
                     trace.degradations = cx.degradations.clone();
+            trace.liveness_repairs = cx.liveness_repairs.clone();
                     return (trace, Some(e));
                 }
             };
@@ -1035,6 +1264,7 @@ impl Pipeline {
                     message: e.to_string(),
                 });
                 trace.degradations = cx.degradations.clone();
+            trace.liveness_repairs = cx.liveness_repairs.clone();
                 return (trace, Some(e));
             }
             if let Err(e) = observer(pass.name(), cx) {
@@ -1043,6 +1273,7 @@ impl Pipeline {
                     message: e.to_string(),
                 });
                 trace.degradations = cx.degradations.clone();
+            trace.liveness_repairs = cx.liveness_repairs.clone();
                 return (trace, Some(e));
             }
             if stop_after == Some(pass.name()) {
@@ -1050,6 +1281,7 @@ impl Pipeline {
             }
         }
         trace.degradations = cx.degradations.clone();
+        trace.liveness_repairs = cx.liveness_repairs.clone();
         (trace, None)
     }
 }
@@ -1129,7 +1361,7 @@ mod tests {
     }
 
     #[test]
-    fn standard_pipeline_has_the_eight_paper_stages() {
+    fn standard_pipeline_has_the_nine_stages() {
         assert_eq!(
             Pipeline::standard().pass_names(),
             vec![
@@ -1140,6 +1372,7 @@ mod tests {
                 "region-delays",
                 "ffsub",
                 "control-network",
+                "liveness",
                 "sdc"
             ]
         );
@@ -1156,7 +1389,7 @@ mod tests {
             DesyncOptions::default(),
         );
         let trace = Pipeline::standard().run(&mut cx).unwrap();
-        assert_eq!(trace.passes.len(), 8);
+        assert_eq!(trace.passes.len(), 9);
         assert!(trace.passes.iter().all(|p| p.wall_ns > 0));
         let result = cx.into_result().unwrap();
         assert!(result.sdc.contains("create_clock"));

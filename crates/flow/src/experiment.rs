@@ -489,6 +489,10 @@ pub fn handshake_spec(
             controlled: r.ffs > 0 && r.delem_levels > 0,
             matched_levels: r.delem_levels,
             critical_delay_ns: r.critical_delay_ns,
+            loopback_latch: report.liveness_repairs.iter().any(|lr| {
+                lr.region == r.name
+                    && matches!(lr.action, drd_core::LivenessAction::RequestLatch)
+            }),
         })
         .collect();
     let slot = |name: &str| report.regions.iter().position(|r| r.name == name);

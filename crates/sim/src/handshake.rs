@@ -67,6 +67,12 @@ pub struct RegionSpec {
     pub matched_levels: usize,
     /// Region critical path through the combinational cloud (ns).
     pub critical_delay_ns: f64,
+    /// True when the flow's liveness guard inserted a request-extending
+    /// latch on this region's loopback: the request is held by a
+    /// C-element until the master controller acknowledges, so the
+    /// asymmetric delay element can never swallow it. Only meaningful
+    /// for source regions (no controlled predecessors).
+    pub loopback_latch: bool,
 }
 
 /// The control-network shape the simulator elaborates.
@@ -244,6 +250,7 @@ impl HandshakeNet {
         // Pass 1: allocate every controller in region order with
         // intra-region wiring; cross-region inputs stay PENDING.
         let mut handles: Vec<RegionNodes> = Vec::new();
+        let mut ext_handles: Vec<Option<(usize, usize)>> = Vec::new();
         let mut matched_fs = Vec::new();
         let mut region_names = Vec::new();
         for &ri in &controlled {
@@ -284,6 +291,19 @@ impl HandshakeNet {
             push(&mut nodes, NodeKind::Buf(h.s_g1), vec![buf2]);
             push(&mut nodes, NodeKind::Buf(h.s_a), vec![buf1]);
             push(&mut nodes, NodeKind::Delay(PENDING), vec![level; levels]); // req join, pass 2
+            // Request-extending latch (liveness repair, DESIGN.md §3i):
+            // an inverter on the master acknowledge plus a C-element that
+            // holds the raw request high until the ack arrives. Allocated
+            // here in region order; wired in pass 2.
+            let ext = if r.loopback_latch {
+                let e_inv = push(&mut nodes, NodeKind::Inv(PENDING), vec![inv]);
+                let e_c2 =
+                    push(&mut nodes, NodeKind::C2 { a: PENDING, b: e_inv, reset: None }, vec![c2]);
+                Some((e_inv, e_c2))
+            } else {
+                None
+            };
+            ext_handles.push(ext);
             matched_fs.push(level.saturating_mul(levels as TimeFs));
             region_names.push(r.name.clone());
             handles.push(h);
@@ -325,12 +345,23 @@ impl HandshakeNet {
 
             // Request side: join controlled predecessors' `ros`, or loop
             // the region's own request back when it has none.
-            let raw_req = if preds.is_empty() {
+            let mut raw_req = if preds.is_empty() {
                 handles[slot].s_ro
             } else {
                 let inputs: Vec<usize> = preds.iter().map(|&p| handles[p].s_ro).collect();
                 join(&mut nodes, &inputs)
             };
+            // Liveness repair: interpose the request-extending latch. At
+            // reset both inputs are high (slave request set, master ack
+            // low), so the no-reset C-element settles to the same value
+            // the bare loopback wire has.
+            if let Some((e_inv, e_c2)) = ext_handles[slot] {
+                nodes[e_inv].kind = NodeKind::Inv(handles[slot].m_ai);
+                if let NodeKind::C2 { a, .. } = &mut nodes[e_c2].kind {
+                    *a = raw_req;
+                }
+                raw_req = e_c2;
+            }
             nodes[h.delay].kind = NodeKind::Delay(raw_req);
 
             // Acknowledge side: join controlled successors' `aim`, or
@@ -752,6 +783,7 @@ mod tests {
                 controlled: true,
                 matched_levels: levels,
                 critical_delay_ns: levels as f64 * 0.08,
+                loopback_latch: false,
             }],
             edges: vec![(0, 0)],
             level_delay_ns: 0.09,
@@ -766,6 +798,7 @@ mod tests {
                 controlled: true,
                 matched_levels: 3 + i % 4,
                 critical_delay_ns: 0.2 + 0.05 * i as f64,
+                loopback_latch: false,
             })
             .collect();
         HandshakeSpec {
@@ -907,6 +940,52 @@ mod tests {
             r.controlled = false;
         }
         assert!(HandshakeNet::elaborate(&spec, &lib).is_err());
+    }
+
+    /// An open chain whose source's matched delay dwarfs the sink's
+    /// response time wedges (the pulse-swallowing hazard) — and the
+    /// request-extending latch of the liveness repair un-wedges it
+    /// without touching the delay imbalance.
+    #[test]
+    fn loopback_latch_unwedges_the_imbalanced_open_chain() {
+        let lib = vlib90::high_speed();
+        let mut spec = HandshakeSpec {
+            regions: vec![
+                RegionSpec {
+                    name: "src".into(),
+                    controlled: true,
+                    matched_levels: 24,
+                    critical_delay_ns: 24.0 * 0.08,
+                    loopback_latch: false,
+                },
+                RegionSpec {
+                    name: "sink".into(),
+                    controlled: true,
+                    matched_levels: 2,
+                    critical_delay_ns: 2.0 * 0.08,
+                    loopback_latch: false,
+                },
+            ],
+            edges: vec![(0, 1)],
+            level_delay_ns: 0.09,
+            ff_overhead_ns: 0.15,
+        };
+        let wedged = HandshakeNet::elaborate(&spec, &lib).unwrap();
+        let err = wedged.nominal_cycle_times().expect_err("imbalance wedges");
+        assert!(err.to_string().contains("deadlock"), "{err}");
+
+        spec.regions[0].loopback_latch = true;
+        let repaired = HandshakeNet::elaborate(&spec, &lib).unwrap();
+        let cycles = repaired.nominal_cycle_times().expect("latched loopback settles");
+        assert_eq!(cycles.len(), 2);
+        // The source still has to traverse its full matched delay.
+        assert!(cycles[0].cycle_ns >= cycles[0].matched_delay_ns);
+        // The extender must not perturb a healthy balanced topology's
+        // liveness either.
+        let mut balanced = pipeline_spec(3);
+        balanced.regions[0].loopback_latch = true;
+        let net = HandshakeNet::elaborate(&balanced, &lib).unwrap();
+        net.nominal_cycle_times().expect("balanced chain still settles");
     }
 
     #[test]

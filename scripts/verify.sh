@@ -32,7 +32,12 @@
 #    and gates the streaming Verilog front end against the frozen
 #    pre-streaming baseline (>= 4x parse, >= 2x write on the full DLX),
 #    then re-runs the differential parser-equivalence, hostile-corpus
-#    replay and diagnostics suites that pin its behaviour.
+#    replay and diagnostics suites that pin its behaviour,
+# 12. runs the liveness-guard campaign (results/BENCH_liveness.json):
+#    fuzzed imbalanced open-chain designs through the flow, gated on
+#    zero undiagnosed deadlocks (every shipped design re-verified by the
+#    structural liveness oracle and the handshake simulation), then
+#    re-runs the liveness suites that pin the guard's behaviour.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -83,7 +88,7 @@ if [ ! -s "$trace_json" ]; then
   echo "error: $trace_json missing or empty" >&2
   exit 1
 fi
-for pass in clean clock-id group ddg region-delays ffsub control-network sdc; do
+for pass in clean clock-id group ddg region-delays ffsub control-network liveness sdc; do
   if ! grep -q "\"label\": \"$pass\"" "$trace_json"; then
     echo "error: $trace_json does not list pass \`$pass\`" >&2
     exit 1
@@ -95,7 +100,7 @@ if [ "$open_braces" -ne "$close_braces" ]; then
   echo "error: $trace_json is not well-formed (unbalanced braces)" >&2
   exit 1
 fi
-echo "ok: $trace_json lists all eight passes"
+echo "ok: $trace_json lists all nine passes"
 
 echo "== mutation score gate (offline) =="
 cargo run --release --offline -p drd-bench --bin mutation
@@ -346,5 +351,41 @@ echo "ok: parse ${parse_min} ns (<= 8778250), write ${write_min} ns (<= 5626800)
 cargo test -q --offline --test differential_frontend --test corpus_replay
 cargo test -q --offline -p drd-netlist --test diagnostics
 echo "ok: differential equivalence, corpus replay and diagnostics suites pass"
+
+echo "== liveness-guard campaign gate (offline) =="
+# The binary itself exits non-zero when any shipped design fails the
+# structural liveness oracle or deadlocks in the handshake simulation —
+# an undiagnosed wedge, the exact failure the guard exists to prevent.
+cargo run --release --offline -p drd-bench --bin liveness
+live_json=results/BENCH_liveness.json
+if [ ! -s "$live_json" ]; then
+  echo "error: $live_json missing or empty" >&2
+  exit 1
+fi
+for field in '"name": "liveness"' '"designs"' '"completed"' \
+             '"hazardous_designs"' '"repaired_deepen"' '"repaired_latch"' \
+             '"degraded"' '"diagnosed_errors"' '"undiagnosed_deadlocks"' \
+             '"guard_wall_ns"' '"flow_wall_ns"' '"guard_fraction"'; do
+  if ! grep -q "$field" "$live_json"; then
+    echo "error: $live_json misses field $field" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"undiagnosed_deadlocks": 0' "$live_json"; then
+  echo "error: a design shipped wedged without a diagnosis:" >&2
+  grep '"undiagnosed_deadlocks"' "$live_json" >&2
+  exit 1
+fi
+hazardous=$(sed -n 's/^[[:space:]]*"hazardous_designs": \([0-9]*\),.*/\1/p' "$live_json")
+if [ -z "$hazardous" ] || [ "$hazardous" -lt 1 ]; then
+  echo "error: campaign found $hazardous hazardous designs — generator lost the hazard" >&2
+  exit 1
+fi
+# The behavioural pins for the guard: the repaired classic stall, the
+# fuzzed repaired-or-diagnosed property, and the structural oracle's
+# own unit suite.
+cargo test -q --offline -p drd-check --test handshake_stall --test liveness_props
+cargo test -q --offline -p drd-check --lib liveness
+echo "ok: $hazardous hazardous design(s) repaired, zero undiagnosed deadlocks"
 
 echo "verify: OK"

@@ -12,12 +12,14 @@
 //! drdesync gatefile [--lib hs|ll]
 //! drdesync regions <input.v> [--lib hs|ll]
 //! drdesync simulate <input.v> [--lib hs|ll] [--seeds N] [--sigma S]
-//!                   [--seed HEX] [--jobs N]
+//!                   [--seed HEX] [--jobs N] [--check-liveness]
 //! ```
 //!
 //! Exit codes: `0` success (including degraded-but-completed flows, which
 //! print a warning summary on stderr), `1` usage or I/O errors, `2` parse
-//! errors in the input netlist, `3` flow errors.
+//! errors in the input netlist, `3` flow errors (including an
+//! unrepairable liveness deadlock, which surfaces as a structured
+//! `liveness guard failed` diagnostic).
 
 use std::process::ExitCode;
 
@@ -44,7 +46,7 @@ fn usage() -> &'static str {
        drdesync gatefile [--lib hs|ll]\n\
        drdesync regions <input.v> [--lib hs|ll]\n\
        drdesync simulate <input.v> [--lib hs|ll] [--seeds N] [--sigma S]\n\
-                         [--seed HEX] [--jobs N]\n\
+                         [--seed HEX] [--jobs N] [--check-liveness]\n\
      \n\
      SIMULATE:\n\
        desynchronizes the input, elaborates the handshake control network\n\
@@ -53,9 +55,14 @@ fn usage() -> &'static str {
        Monte-Carlo campaign of N chips at per-gate sigma S (default 0.15,\n\
        campaign seed --seed, workers --jobs). Data goes to stdout and is\n\
        byte-identical for any worker count; progress goes to stderr.\n\
+       --check-liveness prints a per-region liveness verdict (source /\n\
+       interior topology, request rise vs successor response bound, and\n\
+       which repair the guard applied, if any).\n\
      \n\
      ROBUSTNESS:\n\
        --strict             fail fast instead of degrading unsupported regions\n\
+                            (and instead of the liveness guard's synchronous\n\
+                            fallback rung)\n\
        --keep-sync-ff KIND  treat flip-flop KIND as unsupported: regions\n\
                             containing it stay synchronous (repeatable)\n\
        --max-cells N        abort the flow if the netlist exceeds N cells\n\
@@ -155,6 +162,71 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Opti
     }
 }
 
+/// `simulate --check-liveness`: a per-region verdict under the liveness
+/// guard's response-bound model (DESIGN.md §3i) — topology class, rise
+/// time vs the fastest successor's response bound, and the repair the
+/// flow recorded for the region, if any.
+fn print_liveness_verdicts(
+    report: &drd_core::DesyncReport,
+    lib: &Library,
+) -> Result<(), CliError> {
+    use drd_core::liveness::{is_source, RegionState, ResponseModel};
+    let model = ResponseModel::probe(lib)?;
+    let states: Vec<RegionState> = report
+        .regions
+        .iter()
+        .map(|r| RegionState {
+            name: r.name.clone(),
+            controlled: r.ffs > 0 && r.delem_levels > 0,
+            levels: r.delem_levels,
+            latched: report.liveness_repairs.iter().any(|lr| {
+                lr.region == r.name
+                    && matches!(lr.action, drd_core::LivenessAction::RequestLatch)
+            }),
+        })
+        .collect();
+    let slot = |name: &str| report.regions.iter().position(|r| r.name == name);
+    let edges: Vec<(usize, usize)> = report
+        .ddg_edges
+        .iter()
+        .filter_map(|(a, b)| Some((slot(a)?, slot(b)?)))
+        .collect();
+    for (i, s) in states.iter().enumerate() {
+        if !s.controlled {
+            println!("liveness {}: synchronous (not handshake-controlled)", s.name);
+            continue;
+        }
+        if !is_source(&states, &edges, i) {
+            println!(
+                "liveness {}: interior — requests held by C-element joins, no pulse hazard",
+                s.name
+            );
+            continue;
+        }
+        let rise = model.rise_ns(s.levels);
+        let bound = edges
+            .iter()
+            .filter(|&&(p, q)| p == i && q != i && states[q].controlled)
+            .map(|&(_, q)| model.response_ns(states[q].levels))
+            .fold(f64::INFINITY, f64::min);
+        let verdict = if s.latched {
+            "request latch holds the loopback"
+        } else if rise < bound {
+            "rise inside the response window"
+        } else {
+            "HAZARD — pulse can be swallowed"
+        };
+        println!(
+            "liveness {}: source — rise {:.3} ns vs successor response {:.3} ns: {verdict}",
+            s.name, rise, bound
+        );
+    }
+    for lr in &report.liveness_repairs {
+        println!("liveness repair: {lr}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -212,6 +284,9 @@ fn run() -> Result<(), CliError> {
                 ..DesyncOptions::default()
             };
             let result = tool.run(&module, &opts)?;
+            if args.iter().any(|a| a == "--check-liveness") {
+                print_liveness_verdicts(&result.report, &lib)?;
+            }
             let spec = drd_flow::handshake_spec(&result.report, &lib)?;
             if !spec.regions.iter().any(|r| r.controlled) {
                 println!("no controlled regions — nothing to simulate");
@@ -392,6 +467,15 @@ fn run() -> Result<(), CliError> {
                 rep.controllers,
                 rep.celements
             );
+            if !rep.liveness_repairs.is_empty() {
+                eprintln!(
+                    "warning: liveness guard repaired {} pulse-swallowing hazard record(s):",
+                    rep.liveness_repairs.len()
+                );
+                for lr in &rep.liveness_repairs {
+                    eprintln!("  {lr}");
+                }
+            }
             if !rep.degradations.is_empty() {
                 eprintln!(
                     "warning: {} region(s) left synchronous (run with --strict to fail instead):",

@@ -27,6 +27,7 @@ fn mc_sample_vectors_are_byte_identical_for_any_worker_count() {
                 controlled: true,
                 matched_levels: 4 + 3 * i,
                 critical_delay_ns: 0.2 + 0.1 * i as f64,
+                loopback_latch: false,
             })
             .collect(),
         edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
@@ -114,6 +115,7 @@ fn flow_artifacts_are_byte_identical_for_any_worker_count() {
         max_cloud: 12,
         max_inputs: 4,
         scan_set_reset: true,
+        source_imbalance: 0,
     };
     prop_par_with(
         Config::new(25).seed(0xDE7E_2313_57A8_1E01),

@@ -52,6 +52,7 @@ fn differential_fuzz_scan_set_reset_mix() {
         max_cloud: 4,
         max_inputs: 6,
         scan_set_reset: true,
+        source_imbalance: 0,
     };
     let config = DiffConfig::default();
     prop_par_with(

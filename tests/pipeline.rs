@@ -15,7 +15,7 @@ use drdesync::core::{DesyncError, DesyncOptions, Desynchronizer, FlowContext, Pi
 use drdesync::flow::experiment::CaseStudy;
 use drdesync::netlist::{Conn, Module, PortDir};
 
-const STAGES: [&str; 8] = [
+const STAGES: [&str; 9] = [
     "clean",
     "clock-id",
     "group",
@@ -23,6 +23,7 @@ const STAGES: [&str; 8] = [
     "region-delays",
     "ffsub",
     "control-network",
+    "liveness",
     "sdc",
 ];
 
