@@ -1,0 +1,215 @@
+//! Serve-mode throughput campaign: a fuzzed corpus of vetted netlists
+//! driven through an in-process [`drd_serve::Server`] by 1, 8 and 64
+//! concurrent clients, cold cache (every job runs the full flow) and
+//! warm cache (every job replays a prior result). Reports jobs/sec and
+//! p50/p99 response latency per configuration.
+//!
+//! Emits `BENCH_serve.json` (directory overridable via `DRD_BENCH_DIR`,
+//! default `results/` at the workspace root). Corpus size defaults to
+//! 96 jobs, overridable via `DRD_SERVE_JOBS`.
+//!
+//! Two self-gates make the campaign a verification artifact, consumed
+//! by `scripts/verify.sh`:
+//!
+//! * `failed_jobs` — every response of every run must be `status:"ok"`
+//!   with the expected cache disposition; anything else is a wedged or
+//!   failed job and the bench exits non-zero.
+//! * `identity_mismatches` — every warm-cache artifact (report, SDC,
+//!   Verilog, trace) must be byte-identical to its cold-path original;
+//!   a divergence means the cache broke the determinism contract.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use drd_check::netgen::{NetGenParams, NetRecipe};
+use drd_check::Rng;
+use drd_core::{DesyncOptions, Desynchronizer};
+use drd_liberty::vlib90;
+use drd_serve::{json, Server};
+
+fn out_dir() -> PathBuf {
+    std::env::var("DRD_BENCH_DIR").map_or_else(
+        |_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+        PathBuf::from,
+    )
+}
+
+/// Seeded, in-process-vetted corpus: only netlists whose flow succeeds
+/// are kept, so a non-ok response is always a server bug, never a
+/// hostile input.
+fn corpus(jobs: usize) -> Vec<String> {
+    let lib = vlib90::high_speed();
+    let tool = Desynchronizer::new(&lib).expect("tool builds");
+    let mut rng = Rng::new(0xBE7C_5E12_7E00);
+    let params = NetGenParams::default();
+    let mut kept = Vec::new();
+    while kept.len() < jobs {
+        let recipe = NetRecipe::sample(&mut rng, &params);
+        let Ok(module) = recipe.build() else { continue };
+        if tool.run(&module, &DesyncOptions::default()).is_ok() {
+            kept.push(recipe.verilog());
+        }
+    }
+    kept
+}
+
+/// The artifact triple a response carries; compared byte-for-byte
+/// between cold and warm passes.
+type Artifacts = (String, String, String, String);
+
+struct RunStats {
+    clients: usize,
+    cache: &'static str,
+    jobs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile_us(sorted: &[u128], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[idx] as f64 / 1_000.0
+}
+
+/// Drives every request through `server` with `clients` worker threads
+/// pulling from a shared queue; returns latency stats and the artifact
+/// triple per job index.
+fn drive(
+    server: &Server<'_>,
+    requests: &[String],
+    clients: usize,
+    want_cached: bool,
+    cache: &'static str,
+    failed: &mut usize,
+) -> (RunStats, Vec<Artifacts>) {
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<u128>> = Mutex::new(Vec::with_capacity(requests.len()));
+    let results: Mutex<Vec<(usize, Artifacts, bool)>> =
+        Mutex::new(Vec::with_capacity(requests.len()));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        return;
+                    }
+                    let t0 = Instant::now();
+                    let line = server.handle_line(&requests[i]);
+                    let dt = t0.elapsed().as_nanos();
+                    let v = json::parse(&line).expect("response parses");
+                    let str_of = |k: &str| {
+                        v.get(k)
+                            .and_then(json::Value::as_str)
+                            .unwrap_or_default()
+                            .to_owned()
+                    };
+                    let ok = v.get("status").and_then(json::Value::as_str) == Some("ok")
+                        && v.get("cached").and_then(json::Value::as_bool) == Some(want_cached);
+                    let art =
+                        (str_of("report"), str_of("sdc"), str_of("verilog"), str_of("trace"));
+                    latencies.lock().unwrap().push(dt);
+                    results.lock().unwrap().push((i, art, ok));
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let mut res = results.into_inner().unwrap();
+    res.sort_by_key(|&(i, ..)| i);
+    *failed += res.iter().filter(|&&(.., ok)| !ok).count();
+    let artifacts = res.into_iter().map(|(_, a, _)| a).collect();
+    let stats = RunStats {
+        clients,
+        cache,
+        jobs_per_sec: requests.len() as f64 / wall.max(1e-9),
+        p50_us: percentile_us(&lat, 50),
+        p99_us: percentile_us(&lat, 99),
+    };
+    (stats, artifacts)
+}
+
+fn main() {
+    let lib = vlib90::high_speed();
+    let jobs: usize = std::env::var("DRD_SERVE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+    let tokens = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let corpus = corpus(jobs);
+    let requests: Vec<String> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            format!(
+                "{{\"id\":\"j{i}\",\"kind\":\"desync\",\"verilog\":{},\"options\":{{}}}}",
+                json::escape(v)
+            )
+        })
+        .collect();
+
+    let mut failed = 0usize;
+    let mut identity_mismatches = 0usize;
+    let mut runs: Vec<RunStats> = Vec::new();
+    let start = Instant::now();
+    for &clients in &[1usize, 8, 64] {
+        // Fresh server per level: the cold pass really runs the flow,
+        // the warm pass replays the exact artifacts just cached.
+        let server = Server::new(&lib, tokens).expect("server builds");
+        let (cold, cold_art) =
+            drive(&server, &requests, clients, false, "cold", &mut failed);
+        let (warm, warm_art) = drive(&server, &requests, clients, true, "warm", &mut failed);
+        identity_mismatches += cold_art
+            .iter()
+            .zip(&warm_art)
+            .filter(|(c, w)| c != w)
+            .count();
+        eprintln!(
+            "{clients:>2} client(s): cold {:8.1} jobs/s (p50 {:9.1} us, p99 {:9.1} us), \
+             warm {:8.1} jobs/s (p50 {:9.1} us, p99 {:9.1} us)",
+            cold.jobs_per_sec, cold.p50_us, cold.p99_us, warm.jobs_per_sec, warm.p50_us,
+            warm.p99_us
+        );
+        runs.push(cold);
+        runs.push(warm);
+    }
+    let wall_ns = start.elapsed().as_nanos();
+
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"clients\": {}, \"cache\": \"{}\", \"jobs_per_sec\": {:.3}, \
+                 \"p50_us\": {:.3}, \"p99_us\": {:.3}}}",
+                r.clients, r.cache, r.jobs_per_sec, r.p50_us, r.p99_us
+            )
+        })
+        .collect();
+    let out = format!(
+        "{{\n  \"name\": \"serve\",\n  \"jobs\": {jobs},\n  \"tokens\": {tokens},\n  \
+         \"failed_jobs\": {failed},\n  \"identity_mismatches\": {identity_mismatches},\n  \
+         \"campaign_wall_ns\": {wall_ns},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, out).expect("bench json written");
+    eprintln!("wrote {}", path.display());
+
+    if failed > 0 || identity_mismatches > 0 {
+        eprintln!(
+            "error: {failed} failed/wedged job(s), {identity_mismatches} cache identity \
+             mismatch(es)"
+        );
+        std::process::exit(1);
+    }
+}

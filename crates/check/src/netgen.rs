@@ -116,6 +116,15 @@ pub struct NetGenParams {
     /// topology the liveness guard must repair
     /// (see [`NetRecipe::imbalance`]).
     pub source_imbalance: usize,
+    /// When positive, manufacture a *deepening-infeasible* hazard on top
+    /// of the imbalanced shape: the source chain is this many gates deep
+    /// and the successor stage grows its own chain an eighth as deep
+    /// (see [`NetRecipe::deepen_infeasible`]). Covering the source's
+    /// rise would need a successor delay element deeper than any clock
+    /// budget the successor's own floor fits, so the repair ladder must
+    /// skip the deepen rung and fall through to latch / degrade.
+    /// Overrides `source_imbalance` when both are set.
+    pub deepen_infeasible: usize,
 }
 
 impl Default for NetGenParams {
@@ -127,6 +136,7 @@ impl Default for NetGenParams {
             max_inputs: 4,
             scan_set_reset: true,
             source_imbalance: 0,
+            deepen_infeasible: 0,
         }
     }
 }
@@ -174,7 +184,9 @@ impl NetRecipe {
             input_bits,
             stages,
         };
-        if params.source_imbalance > 0 {
+        if params.deepen_infeasible > 0 {
+            recipe.deepen_infeasible(params.deepen_infeasible);
+        } else if params.source_imbalance > 0 {
             recipe.imbalance(params.source_imbalance);
         }
         recipe
@@ -216,6 +228,34 @@ impl NetRecipe {
         if let Some(ff) = stage1.ffs.first_mut() {
             ff.kind = FfKind::Plain;
             ff.d = base;
+        }
+    }
+
+    /// Rewires this recipe into a *deepening-infeasible* imbalanced
+    /// chain: the [`Self::imbalance`] shape with a `levels`-deep source
+    /// chain, plus a NAND chain an eighth as deep grown inside the
+    /// successor stage (between the region-splitting inverter and its
+    /// register). The successor's response stays deficient against the
+    /// source's rise, but the deepen target the hazard demands — a
+    /// delay element covering `margin ×` that rise — overshoots any
+    /// clock budget the successor's own floor fits, so the repair
+    /// ladder's deepen rung is rejected and the latch (and, if the
+    /// network still wedges, degrade) rungs take over.
+    pub fn deepen_infeasible(&mut self, levels: usize) {
+        self.imbalance(levels);
+        let total_ffs: usize = self.stages.iter().map(|s| s.ffs.len()).sum();
+        let base = self.inputs.max(1) + total_ffs; // first local cloud-net index
+        // After `imbalance`, stage 1's cloud slot 0 is the inverter on
+        // `q0_0` (local net `base`); the chain continues from it, every
+        // gate also fed by `din` like the source chain.
+        let succ_levels = (levels / 8).max(2);
+        let chain: Vec<GateOp> = (0..succ_levels)
+            .map(|c| GateOp { kind: 2, a: base + c, b: 0 })
+            .collect();
+        let stage1 = &mut self.stages[1];
+        stage1.cloud.splice(1..1, chain);
+        if let Some(ff) = stage1.ffs.first_mut() {
+            ff.d = base + succ_levels;
         }
     }
 

@@ -119,3 +119,38 @@ fn liveness_guard_repairs_the_gate_level_stall() {
         assert_eq!(serial, bundle(jobs), "artifacts diverged at jobs={jobs}");
     }
 }
+
+#[test]
+fn per_edge_sta_bound_never_deepens_beyond_the_linear_model() {
+    // ROADMAP liveness follow-on (a) regression: the per-edge STA-derived
+    // response bound repairs no more aggressively than the load-blind
+    // linear model it replaced. Each deepen on the 24-NAND stall design
+    // is checked against the old closed-form linear target, and the
+    // shipped design still re-screens clean (the oracle re-runs the
+    // hazard screen at margin 1.0).
+    let lib = vlib90::high_speed();
+    let module = imbalanced_recipe().build().unwrap();
+    let tool = Desynchronizer::new(&lib).unwrap();
+    let result = tool.run(&module, &DesyncOptions::default()).unwrap();
+
+    let model = drd_core::liveness::ResponseModel::probe(&lib).unwrap();
+    let margin = DesyncOptions::default().delay_margin;
+    let mut deepens = 0usize;
+    for lr in &result.report.liveness_repairs {
+        if let LivenessAction::DeepenSuccessor { from_levels, to_levels, .. } = &lr.action {
+            deepens += 1;
+            let linear = (((lr.rise_ns * margin - model.ctrl_response_ns)
+                / model.level_delay_ns)
+                .ceil() as usize)
+                .max(from_levels + 1);
+            assert!(
+                *to_levels <= linear,
+                "per-edge bound deepened to {to_levels}, past the linear target {linear}"
+            );
+        }
+    }
+    assert!(deepens > 0, "the stall design must still be repaired by deepening");
+
+    drd_check::liveness::verify_liveness(&result.report, &result.design, &lib)
+        .expect("repaired design re-screens clean");
+}

@@ -21,7 +21,8 @@ use drd_check::handshake::{handshake_spec, verify_handshake_timing};
 use drd_check::liveness::verify_liveness;
 use drd_check::netgen::{NetGenParams, NetRecipe};
 use drd_check::{prop_par_with, Config, Rng};
-use drd_core::{DesyncError, DesyncOptions, Desynchronizer};
+use drd_core::liveness::{plan_repairs, RegionState, ResponseModel};
+use drd_core::{DesyncError, DesyncOptions, Desynchronizer, LivenessAction};
 use drd_liberty::vlib90;
 
 #[test]
@@ -63,6 +64,100 @@ fn imbalanced_open_chains_are_repaired_or_diagnosed_never_wedged() {
     );
     let hits = repaired.load(Ordering::Relaxed);
     assert!(hits >= 5, "guard fired on only {hits} designs — generator lost the hazard");
+}
+
+/// Every rung of the repair ladder must actually fire across a corpus
+/// of deepening-infeasible topologies ([`NetGenParams::deepen_infeasible`]):
+/// the successor's deepen target overshoots the clock budget, so the
+/// flow is forced past the deepen rung onto the **latch** rung. The
+/// **degrade** rung is unreachable in-flow — a latched loopback no
+/// longer swallows its pulse, so the handshake-sim validator always
+/// settles after latching — and is covered at the planner level on the
+/// same fuzzed topologies with an injected validator that keeps
+/// reporting deadlock until a region has been degraded.
+#[test]
+fn deepening_infeasible_corpus_exercises_latch_and_degrade_rungs() {
+    let lib = vlib90::high_speed();
+    let tool = Desynchronizer::new(&lib).expect("tool builds");
+    let model = ResponseModel::probe(&lib).expect("model probes");
+    // Budget: a 24-level element fits, the margin-scaled target of a
+    // 48..96-level source rise never does — deepening is infeasible by
+    // construction, independent of the library's absolute level delay.
+    let period = model.rise_ns(24);
+    let latched = AtomicUsize::new(0);
+    let degraded = AtomicUsize::new(0);
+    prop_par_with(
+        Config::new(24).seed(0x9A7C_44D1_03EB),
+        |rng: &mut Rng| {
+            let params = NetGenParams {
+                max_stages: 2,
+                max_width: 2,
+                deepen_infeasible: rng.range(48, 96),
+                ..NetGenParams::default()
+            };
+            NetRecipe::sample(rng, &params)
+        },
+        |recipe: &NetRecipe| {
+            let module = recipe.build().map_err(|e| e.to_string())?;
+            let opts = DesyncOptions { clock_period_ns: period, ..DesyncOptions::default() };
+            // A typed rejection (`DesyncError::Liveness` or any other
+            // flow error) is a diagnosis, not a wedge — only completed
+            // flows are checked further.
+            if let Ok(result) = tool.run(&module, &opts) {
+                for lr in &result.report.liveness_repairs {
+                    match lr.action {
+                        LivenessAction::RequestLatch => {
+                            latched.fetch_add(1, Ordering::Relaxed);
+                        }
+                        LivenessAction::Degrade => {
+                            degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        LivenessAction::DeepenSuccessor { .. } => {}
+                    }
+                }
+                verify_liveness(&result.report, &result.design, &lib)?;
+                let spec = handshake_spec(&result.report, &lib).map_err(|e| e.to_string())?;
+                verify_handshake_timing(&spec, &lib)
+                    .map_err(|e| format!("undiagnosed deadlock shipped: {e}"))?;
+            }
+
+            // Planner-level degrade coverage on the same fuzzed shape:
+            // one region per stage in a chain, the injected validator
+            // deadlocks until something has been degraded, so the
+            // ladder must walk latch → degrade to terminate.
+            let mut states: Vec<RegionState> = recipe
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(i, s)| RegionState {
+                    name: format!("g{i}"),
+                    controlled: true,
+                    levels: s.cloud.len().max(1),
+                    latched: false,
+                })
+                .collect();
+            let edges: Vec<(usize, usize)> = (1..states.len()).map(|i| (i - 1, i)).collect();
+            let repairs = plan_repairs(
+                &model,
+                &mut states,
+                &edges,
+                period,
+                1.08,
+                false,
+                |st: &[RegionState]| Ok(st.iter().any(|s| !s.controlled)),
+            )
+            .map_err(|e| format!("planner wedged instead of degrading: {e}"))?;
+            if !repairs.iter().any(|r| matches!(r.action, LivenessAction::Degrade)) {
+                return Err("injected deadlock never reached the degrade rung".to_owned());
+            }
+            degraded.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        },
+    );
+    let l = latched.load(Ordering::Relaxed);
+    let d = degraded.load(Ordering::Relaxed);
+    assert!(l >= 1, "latch rung never fired in-flow across the corpus");
+    assert!(d >= 1, "degrade rung never fired across the corpus");
 }
 
 /// Strict mode turns the degrade rung into a hard error; whatever the

@@ -13,7 +13,7 @@ use crate::region::{GroupingOptions, Regions};
 use crate::DesyncError;
 
 /// Options for a desynchronization run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesyncOptions {
     /// Region-creation options (§3.2.2).
     pub grouping: GroupingOptions,
@@ -60,6 +60,39 @@ impl DesyncOptions {
     /// parallelism).
     pub fn workers(&self) -> usize {
         self.jobs.map_or_else(drd_runner::worker_count, |j| j.max(1))
+    }
+
+    /// Canonical serialization of every option that can change the
+    /// flow's artifacts — the options half of a flow-cache key.
+    ///
+    /// `jobs` is deliberately excluded: artifacts are byte-identical for
+    /// every worker count (the PR 5 determinism invariant), so the worker
+    /// count must not split cache entries. `false_path_nets` is sorted
+    /// and deduplicated (grouping consumes it as a set). Field order is
+    /// fixed, strings are debug-escaped and floats render in round-trip
+    /// form, so equal keys mean equal flow behaviour.
+    pub fn cache_key(&self) -> String {
+        let mut nets = self.grouping.false_path_nets.clone();
+        nets.sort();
+        nets.dedup();
+        format!(
+            "bus={};false_paths={:?};single={};clean={};margin={:?};muxed={};\
+             clock={:?};period={:?};strict={};max_cells={:?};max_nets={:?};\
+             stg_limit={:?};deadline_ms={:?}",
+            self.grouping.bus_grouping,
+            nets,
+            self.grouping.single_group,
+            self.clean_logic,
+            self.delay_margin,
+            self.muxed_delay_elements,
+            self.clock_port,
+            self.clock_period_ns,
+            self.strict,
+            self.max_cells,
+            self.max_nets,
+            self.stg_state_limit,
+            self.pass_deadline_ms,
+        )
     }
 }
 

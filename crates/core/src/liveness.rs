@@ -33,39 +33,77 @@
 //!
 //! Determinism: hazards are processed one per round in region-index
 //! order, all netlist surgery is serial in record order, and the bound
-//! math uses only library constants — the records and the repaired
-//! netlist are byte-identical for every worker count.
+//! math uses only library constants and one deterministic STA probe —
+//! the records and the repaired netlist are byte-identical for every
+//! worker count.
 
 use std::fmt;
 
-use drd_liberty::Library;
+use drd_liberty::{Corner, Library};
 use drd_netlist::{CellId, Conn, Design, ModuleId};
 use drd_sim::{HandshakeNet, HandshakeSpec, RegionSpec};
+use drd_sta::{GraphOptions, TimingGraph};
 
 use crate::delay_element;
 use crate::network::{delem_module_name, enable_net_names};
 use crate::DesyncError;
 
+/// Stages of the probe chain whose per-stage STA arrivals seed
+/// [`ResponseModel::chain_delay_ns`]; deeper chains extrapolate with the
+/// last measured stage-to-stage gap.
+const CHAIN_PROBE_LEVELS: usize = 40;
+
 /// Library-derived constants of the response-bound model.
 ///
 /// A successor's response time to a rising request is its own matched
-/// delay (the request must traverse the deepened chain) plus the
-/// controller round trip — request C-element, master latch controller,
-/// acknowledge inverter, slave controller — approximated by one
-/// worst-case intrinsic delay of each gate in that path.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// delay (the request must traverse the deepened chain) plus its request
+/// join tree (one C-element stage per `log2` of the controlled fan-in)
+/// plus the controller round trip — request C-element, master latch
+/// controller, acknowledge inverter, slave controller — approximated by
+/// one worst-case intrinsic delay of each gate in that path.
+///
+/// The chain term is per-edge STA, not a linear average: [`Self::probe`]
+/// runs one timing analysis over a [`CHAIN_PROBE_LEVELS`]-stage delay
+/// element and records the arrival at every stage output, so wire/fanout
+/// load (the BUFX2 feed segmentation, the shared fast-fall net) is in
+/// the bound. The table only ever *raises* the response bound over the
+/// old `levels × level_delay_ns` floor, so hazards can only shrink and
+/// deepen targets never increase relative to the linear model.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResponseModel {
     /// Typical-corner delay of one AND level of a delay element (ns).
     pub level_delay_ns: f64,
     /// Controller round-trip delay: `C2RX1 + BUFX1 + INVX1 + C2SX1` (ns).
     pub ctrl_response_ns: f64,
+    /// Typical-corner delay of one C2X1 join-tree stage (ns); 0 in flat
+    /// models.
+    join_stage_ns: f64,
+    /// `chain_arrival_ns[i]` = STA arrival at stage `i`'s output of the
+    /// probe chain — the measured delay of an `(i+1)`-level element with
+    /// its real wire load. Empty in flat models.
+    chain_arrival_ns: Vec<f64>,
 }
 
 impl ResponseModel {
-    /// Probes the model's constants from `lib` by STA.
+    /// A load-blind linear model: `response = levels × level_delay +
+    /// ctrl_response`, no join-tree credit. This is the conservative
+    /// floor [`Self::probe`] refines; tests use it for closed-form
+    /// arithmetic.
+    pub fn flat(level_delay_ns: f64, ctrl_response_ns: f64) -> Self {
+        ResponseModel {
+            level_delay_ns,
+            ctrl_response_ns,
+            join_stage_ns: 0.0,
+            chain_arrival_ns: Vec::new(),
+        }
+    }
+
+    /// Probes the model's constants from `lib` by STA, including the
+    /// per-stage arrival table of a [`CHAIN_PROBE_LEVELS`]-deep chain.
     ///
     /// # Errors
-    /// [`DesyncError::UnknownCell`] when a controller gate is missing.
+    /// [`DesyncError::UnknownCell`] when a controller gate is missing;
+    /// propagates STA errors from the chain probe.
     pub fn probe(lib: &Library) -> Result<Self, DesyncError> {
         let level_delay_ns = delay_element::level_delay_ns(lib)?;
         let d = |name: &str| {
@@ -74,21 +112,96 @@ impl ResponseModel {
                 .ok_or_else(|| DesyncError::UnknownCell { name: name.to_owned() })
         };
         let ctrl_response_ns = d("C2RX1")? + d("BUFX1")? + d("INVX1")? + d("C2SX1")?;
-        Ok(ResponseModel { level_delay_ns, ctrl_response_ns })
+        let join_stage_ns = d("C2X1")?;
+
+        let probe = delay_element::build_fixed("drd_delem_edge_probe", CHAIN_PROBE_LEVELS);
+        let graph = TimingGraph::build(&probe, lib, &GraphOptions::default())?;
+        let arrivals = graph.arrivals(Corner::typical())?;
+        let mut chain_arrival_ns = Vec::with_capacity(CHAIN_PROBE_LEVELS);
+        for i in 0..CHAIN_PROBE_LEVELS {
+            let node = graph.find_pin(&format!("u{i}"), "Z").ok_or_else(|| {
+                DesyncError::Pipeline {
+                    message: format!("response-model probe: chain stage u{i} missing"),
+                }
+            })?;
+            chain_arrival_ns.push(arrivals.at(node));
+        }
+        Ok(ResponseModel {
+            level_delay_ns,
+            ctrl_response_ns,
+            join_stage_ns,
+            chain_arrival_ns,
+        })
     }
 
-    /// Rise time of a `levels`-deep request chain (ns).
+    /// Rise time of a `levels`-deep request chain (ns). Deliberately the
+    /// linear floor, never the STA table: over-estimating the *source's*
+    /// pulse length would under-flag, so only the successor side gets the
+    /// refined (larger) number.
     pub fn rise_ns(&self, levels: usize) -> f64 {
         levels as f64 * self.level_delay_ns
     }
 
-    /// Conservative response time of a successor with a `levels`-deep
-    /// delay element (ns). Join trees are deliberately excluded — the
-    /// bound under-estimates the real response, so the guard over-flags
-    /// rather than misses hazards; simulation is the final arbiter.
-    pub fn response_ns(&self, levels: usize) -> f64 {
-        self.rise_ns(levels) + self.ctrl_response_ns
+    /// STA-measured propagation delay of a `levels`-deep chain (ns),
+    /// clamped from below by the linear estimate so refining the model
+    /// can only raise response bounds, never lower them.
+    fn chain_delay_ns(&self, levels: usize) -> f64 {
+        let linear = self.rise_ns(levels);
+        if levels == 0 || self.chain_arrival_ns.is_empty() {
+            return linear;
+        }
+        let n = self.chain_arrival_ns.len();
+        let sta = if levels <= n {
+            self.chain_arrival_ns[levels - 1]
+        } else {
+            // Beyond the probe: extend with the last stage-to-stage gap
+            // (the chain is periodic past the first feed segment).
+            let slope = if n >= 2 {
+                self.chain_arrival_ns[n - 1] - self.chain_arrival_ns[n - 2]
+            } else {
+                self.level_delay_ns
+            };
+            self.chain_arrival_ns[n - 1] + (levels - n) as f64 * slope
+        };
+        linear.max(sta)
     }
+
+    /// C-element stages in the request join tree of a successor fed by
+    /// `fanin` controlled predecessors (balanced pairwise reduction:
+    /// `⌈log2 fanin⌉`, 0 for a single raw-wire predecessor).
+    pub fn join_levels(fanin: usize) -> usize {
+        if fanin < 2 {
+            0
+        } else {
+            (usize::BITS - (fanin - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Per-edge response time of a successor with a `levels`-deep delay
+    /// element whose request join is fed by `join_fanin` controlled
+    /// predecessors (ns): STA chain delay + join-tree stages + controller
+    /// round trip.
+    pub fn edge_response_ns(&self, levels: usize, join_fanin: usize) -> f64 {
+        self.chain_delay_ns(levels)
+            + Self::join_levels(join_fanin) as f64 * self.join_stage_ns
+            + self.ctrl_response_ns
+    }
+
+    /// Response time of a successor with a `levels`-deep delay element
+    /// and no join-tree credit (ns) — the single-predecessor edge bound.
+    pub fn response_ns(&self, levels: usize) -> f64 {
+        self.edge_response_ns(levels, 0)
+    }
+}
+
+/// Number of controlled predecessors feeding region `s`'s request join —
+/// the fan-in that sizes its C-element join tree in the elaborated
+/// control network.
+pub fn join_fanin(states: &[RegionState], edges: &[(usize, usize)], s: usize) -> usize {
+    edges
+        .iter()
+        .filter(|&&(p, q)| q == s && p != s && states[p].controlled)
+        .count()
 }
 
 /// The planner's view of one region — the spec-level state the ladder
@@ -146,18 +259,15 @@ pub fn hazards(
                 .filter(|&&(p, s)| p == i && s != i && states[s].controlled)
                 .map(|&(_, s)| s)
                 .collect();
-            let bound = succs
-                .iter()
-                .map(|&s| model.response_ns(states[s].levels))
-                .fold(f64::INFINITY, f64::min);
+            let edge = |s: usize| {
+                model.edge_response_ns(states[s].levels, join_fanin(states, edges, s))
+            };
+            let bound = succs.iter().map(|&s| edge(s)).fold(f64::INFINITY, f64::min);
             if rise < bound {
                 return None;
             }
-            let deficient: Vec<usize> = succs
-                .iter()
-                .copied()
-                .filter(|&s| model.response_ns(states[s].levels) < rise * margin)
-                .collect();
+            let deficient: Vec<usize> =
+                succs.iter().copied().filter(|&s| edge(s) < rise * margin).collect();
             Some(Hazard { region: i, rise_ns: rise, bound_ns: bound, deficient })
         })
         .collect()
@@ -226,7 +336,7 @@ fn rise_and_bound(
     let bound = edges
         .iter()
         .filter(|&&(p, s)| p == i && s != i && states[s].controlled)
-        .map(|&(_, s)| model.response_ns(states[s].levels))
+        .map(|&(_, s)| model.edge_response_ns(states[s].levels, join_fanin(states, edges, s)))
         .fold(f64::INFINITY, f64::min);
     (rise, bound)
 }
@@ -269,13 +379,27 @@ pub fn plan_repairs(
         let Some(h) = hazards(model, states, edges, margin).into_iter().next() else {
             break;
         };
-        let target = (((h.rise_ns * margin - model.ctrl_response_ns) / model.level_delay_ns)
-            .ceil() as usize)
-            .max(1);
+        // Per-successor deepen target: the smallest depth whose per-edge
+        // response covers margin × rise. The upward search replaces the
+        // old closed-form linear target; because the STA table only
+        // raises the bound, the search can only stop earlier — targets
+        // never increase relative to the linear model. The search quits
+        // at the clock budget (the `within_budget` check then latches).
         let wanted: Vec<(usize, usize)> = h
             .deficient
             .iter()
-            .map(|&s| (s, target.max(states[s].levels + 1)))
+            .map(|&s| {
+                let fanin = join_fanin(states, edges, s);
+                let floor = states[s].levels + 1;
+                let mut to = floor;
+                while model.edge_response_ns(to, fanin) < h.rise_ns * margin
+                    && model.rise_ns(to) <= clock_period_ns
+                    && to < floor + 100_000
+                {
+                    to += 1;
+                }
+                (s, to)
+            })
             .collect();
         let within_budget =
             wanted.iter().all(|&(_, to)| model.rise_ns(to) <= clock_period_ns);
@@ -671,8 +795,69 @@ mod tests {
     }
 
     #[test]
+    fn probed_bound_never_below_the_linear_floor() {
+        let model = ResponseModel::probe(&vlib90::high_speed()).unwrap();
+        let flat = ResponseModel::flat(model.level_delay_ns, model.ctrl_response_ns);
+        for levels in 1..64 {
+            assert!(
+                model.response_ns(levels) >= flat.response_ns(levels) - 1e-12,
+                "levels {levels}: {} < {}",
+                model.response_ns(levels),
+                flat.response_ns(levels)
+            );
+        }
+    }
+
+    #[test]
+    fn join_fanin_credit_raises_the_edge_bound() {
+        assert_eq!(ResponseModel::join_levels(0), 0);
+        assert_eq!(ResponseModel::join_levels(1), 0);
+        assert_eq!(ResponseModel::join_levels(2), 1);
+        assert_eq!(ResponseModel::join_levels(3), 2);
+        assert_eq!(ResponseModel::join_levels(4), 2);
+        assert_eq!(ResponseModel::join_levels(5), 3);
+        let model = ResponseModel::probe(&vlib90::high_speed()).unwrap();
+        assert!(model.edge_response_ns(4, 2) > model.edge_response_ns(4, 1));
+        assert!(
+            (model.edge_response_ns(4, 1) - model.edge_response_ns(4, 0)).abs() < 1e-12,
+            "a single raw-wire predecessor has no join tree"
+        );
+    }
+
+    #[test]
+    fn join_fanin_counts_controlled_predecessors_only() {
+        let states = vec![st("g0", 4), st("g1", 4), st("g2", 4)];
+        let edges = vec![(0, 2), (1, 2), (2, 2)];
+        assert_eq!(join_fanin(&states, &edges, 2), 2, "self-loop excluded");
+        let mut half = states;
+        half[1].controlled = false;
+        assert_eq!(join_fanin(&half, &edges, 2), 1);
+    }
+
+    #[test]
+    fn probed_model_never_deepens_more_than_the_linear_model() {
+        // ROADMAP liveness follow-on (a): the per-edge STA bound repairs
+        // *less* aggressively — the stall-shape deepen target under the
+        // probed model is never deeper than under the load-blind linear
+        // model it replaces.
+        let probed = ResponseModel::probe(&vlib90::high_speed()).unwrap();
+        let flat = ResponseModel::flat(probed.level_delay_ns, probed.ctrl_response_ns);
+        let to_levels = |model: &ResponseModel| {
+            let (mut states, edges) = imbalanced();
+            let repairs =
+                plan_repairs(model, &mut states, &edges, 10.0, 1.08, false, |_| Ok(true))
+                    .unwrap();
+            match &repairs[0].action {
+                LivenessAction::DeepenSuccessor { to_levels, .. } => *to_levels,
+                other => panic!("expected a deepen, got {other:?}"),
+            }
+        };
+        assert!(to_levels(&probed) <= to_levels(&flat));
+    }
+
+    #[test]
     fn hazard_classification_flags_the_imbalanced_source_only() {
-        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let model = ResponseModel::flat(0.09, 0.3);
         let (states, edges) = imbalanced();
         let found = hazards(&model, &states, &edges, 1.08);
         assert_eq!(found.len(), 1);
@@ -697,7 +882,7 @@ mod tests {
 
     #[test]
     fn planner_deepens_within_budget() {
-        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let model = ResponseModel::flat(0.09, 0.3);
         let (mut states, edges) = imbalanced();
         let repairs =
             plan_repairs(&model, &mut states, &edges, 10.0, 1.08, false, |_| Ok(true)).unwrap();
@@ -720,7 +905,7 @@ mod tests {
 
     #[test]
     fn planner_latches_when_deepening_breaks_the_budget() {
-        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let model = ResponseModel::flat(0.09, 0.3);
         let (mut states, edges) = imbalanced();
         // Budget below even the source's own chain: deepening impossible.
         let repairs =
@@ -733,7 +918,7 @@ mod tests {
 
     #[test]
     fn planner_latches_then_degrades_on_persistent_deadlock() {
-        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let model = ResponseModel::flat(0.09, 0.3);
         // Statically clean (balanced) but the validator insists on a
         // wedge until the source is degraded — the unreachable-in-flow
         // rung, exercised through the injected validator.
@@ -756,7 +941,7 @@ mod tests {
 
     #[test]
     fn strict_mode_turns_degrade_into_a_liveness_error() {
-        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let model = ResponseModel::flat(0.09, 0.3);
         let mut states = vec![st("g0", 4), st("g1", 4)];
         let edges = vec![(0, 1)];
         let err = plan_repairs(&model, &mut states, &edges, 10.0, 1.08, true, |s| {
@@ -771,7 +956,7 @@ mod tests {
 
     #[test]
     fn unrepairable_deadlock_is_a_structured_error() {
-        let model = ResponseModel { level_delay_ns: 0.09, ctrl_response_ns: 0.3 };
+        let model = ResponseModel::flat(0.09, 0.3);
         // A ring has no source at all: nothing to latch or degrade.
         let mut states = vec![st("g0", 4), st("g1", 4)];
         let edges = vec![(0, 1), (1, 0)];

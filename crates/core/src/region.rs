@@ -26,7 +26,7 @@ use drd_netlist::{Cell, CellId, Conn, Endpoint, Module, NetId, Symbol, SymbolTab
 use crate::DesyncError;
 
 /// Options for the grouping pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupingOptions {
     /// Use the by-name bus heuristic (Fig. 3.6). Default: true via
     /// [`GroupingOptions::default`]? No — all fields default off except

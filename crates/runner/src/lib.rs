@@ -15,6 +15,7 @@
 //! SDC) can fan out per-region work without the core depending on the
 //! verification kit.
 
+pub mod governor;
 pub mod rng;
 pub mod runner;
 

@@ -26,6 +26,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::governor;
 use crate::rng::Rng;
 
 /// Scheduler seed for the per-worker victim-selection streams. Fixed so
@@ -64,7 +65,7 @@ where
         return Vec::new();
     }
     if workers == 1 {
-        return (0..tasks).map(work).collect();
+        return (0..tasks).map(|i| governor::with_token(|| work(i))).collect();
     }
 
     // Round-robin initial distribution: task i starts on deque i % workers.
@@ -121,7 +122,9 @@ where
                     std::thread::yield_now();
                     continue;
                 };
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(task))) {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    governor::with_token(|| work(task))
+                })) {
                     Ok(r) => *slots[task].lock().unwrap() = Some(r),
                     Err(p) => panics.lock().unwrap().push((task, p)),
                 }

@@ -1,0 +1,28 @@
+//! # drd-serve — desynchronization as a long-running service
+//!
+//! `drdesync serve` turns the one-shot CLI flow into a resident server:
+//! many concurrent desynchronization jobs over newline-delimited JSON,
+//! on stdin/stdout (`--stdio`) or a Unix domain socket. The pieces:
+//!
+//! * [`json`] — a dependency-free RFC 8259 reader/writer (the workspace
+//!   has no serde by policy);
+//! * [`protocol`] — request/response grammar, the [`drd_core::DesyncError`]
+//!   → `error_class` mapping and the CLI exit-code taxonomy in response
+//!   `exit_code` fields;
+//! * [`server`] — the [`server::Server`]: shared gatefile, content-hash
+//!   flow cache, per-job deadlines, cross-job core-token scheduling via
+//!   [`drd_runner::governor`], stats, and graceful drain on shutdown.
+//!
+//! The load-bearing invariant, inherited from the one-shot flow: a job's
+//! report, SDC, Verilog and deterministic trace are **byte-identical**
+//! whether it runs through the CLI or the server, alone or next to 63
+//! other jobs, cold or out of the cache. The differential oracle in the
+//! workspace root (`tests/serve_differential.rs`) holds the server to
+//! that.
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{parse_request, DesyncJob, Request, RequestError};
+pub use server::{serve_stream, serve_unix, Server};

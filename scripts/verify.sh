@@ -37,7 +37,14 @@
 #    fuzzed imbalanced open-chain designs through the flow, gated on
 #    zero undiagnosed deadlocks (every shipped design re-verified by the
 #    structural liveness oracle and the handshake simulation), then
-#    re-runs the liveness suites that pin the guard's behaviour.
+#    re-runs the liveness suites that pin the guard's behaviour,
+# 13. runs the serve-mode throughput campaign (results/BENCH_serve.json):
+#    a fuzzed corpus through the concurrent job server at 1/8/64
+#    clients, cold and warm cache, gated on zero failed or wedged jobs,
+#    on every cache-hit artifact being byte-identical to its cold-path
+#    original, and on the warm-cache p50 latency sitting >= 10x below
+#    the cold-path p50; then re-runs the serve-vs-CLI differential
+#    oracle that pins the server's artifacts to the one-shot flow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -387,5 +394,66 @@ fi
 cargo test -q --offline -p drd-check --test handshake_stall --test liveness_props
 cargo test -q --offline -p drd-check --lib liveness
 echo "ok: $hazardous hazardous design(s) repaired, zero undiagnosed deadlocks"
+
+echo "== serve-mode throughput campaign gate (offline) =="
+# The binary itself exits non-zero when any job fails or wedges, or when
+# a warm-cache artifact diverges byte-wise from its cold-path original.
+cargo run --release --offline -p drd-bench --bin serve
+serve_json=results/BENCH_serve.json
+if [ ! -s "$serve_json" ]; then
+  echo "error: $serve_json missing or empty" >&2
+  exit 1
+fi
+for field in '"name": "serve"' '"jobs"' '"tokens"' '"failed_jobs"' \
+             '"identity_mismatches"' '"runs"' '"clients"' '"cache"' \
+             '"jobs_per_sec"' '"p50_us"' '"p99_us"'; do
+  if ! grep -q "$field" "$serve_json"; then
+    echo "error: $serve_json misses field $field" >&2
+    exit 1
+  fi
+done
+open_braces=$(grep -o '{' "$serve_json" | wc -l)
+close_braces=$(grep -o '}' "$serve_json" | wc -l)
+if [ "$open_braces" -ne "$close_braces" ]; then
+  echo "error: $serve_json is not well-formed (unbalanced braces)" >&2
+  exit 1
+fi
+if ! grep -q '"failed_jobs": 0' "$serve_json"; then
+  echo "error: serve campaign had failed or wedged jobs:" >&2
+  grep '"failed_jobs"' "$serve_json" >&2
+  exit 1
+fi
+if ! grep -q '"identity_mismatches": 0' "$serve_json"; then
+  echo "error: a cache-hit response diverged from its cold-path artifacts:" >&2
+  grep '"identity_mismatches"' "$serve_json" >&2
+  exit 1
+fi
+for c in 1 8 64; do
+  if ! grep -q "\"clients\": $c, \"cache\": \"cold\"" "$serve_json" ||
+     ! grep -q "\"clients\": $c, \"cache\": \"warm\"" "$serve_json"; then
+    echo "error: $serve_json misses the $c-client cold/warm rows" >&2
+    exit 1
+  fi
+done
+# The flow cache must actually pay: a warm hit replays stored bytes, so
+# its p50 latency has to sit at least 10x below the cold-path p50. Gated
+# on the 1-client rows — the least scheduler-noisy configuration.
+cold_p50=$(sed -n 's/.*"clients": 1, "cache": "cold".*"p50_us": \([0-9.]*\),.*/\1/p' "$serve_json")
+warm_p50=$(sed -n 's/.*"clients": 1, "cache": "warm".*"p50_us": \([0-9.]*\),.*/\1/p' "$serve_json")
+if [ -z "$cold_p50" ] || [ -z "$warm_p50" ]; then
+  echo "error: $serve_json misses the 1-client p50 latencies" >&2
+  exit 1
+fi
+if ! awk -v c="$cold_p50" -v w="$warm_p50" 'BEGIN { exit !(w * 10.0 <= c) }'; then
+  echo "error: warm-cache p50 ${warm_p50} us not 10x below cold p50 ${cold_p50} us" >&2
+  exit 1
+fi
+echo "ok: warm p50 ${warm_p50} us vs cold p50 ${cold_p50} us (>= 10x)"
+# The behavioural pin for the server: every artifact byte-identical to
+# the one-shot CLI across 1/8 in-flight jobs, cold and warm cache, plus
+# the serve protocol suites.
+cargo test -q --offline --test serve_differential --test cli
+cargo test -q --offline -p drd-serve
+echo "ok: serve-vs-CLI differential and serve protocol suites pass"
 
 echo "verify: OK"

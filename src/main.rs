@@ -13,11 +13,13 @@
 //! drdesync regions <input.v> [--lib hs|ll]
 //! drdesync simulate <input.v> [--lib hs|ll] [--seeds N] [--sigma S]
 //!                   [--seed HEX] [--jobs N] [--check-liveness]
+//! drdesync serve (--stdio | --socket PATH) [--lib hs|ll] [--jobs N]
 //! ```
 //!
 //! Exit codes: `0` success (including degraded-but-completed flows, which
 //! print a warning summary on stderr), `1` usage or I/O errors, `2` parse
-//! errors in the input netlist, `3` flow errors (including an
+//! errors in the input netlist (and invalid `--jobs` values, which are
+//! rejected before any flow starts), `3` flow errors (including an
 //! unrepairable liveness deadlock, which surfaces as a structured
 //! `liveness guard failed` diagnostic).
 
@@ -33,20 +35,33 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
        drdesync desync <input.v> [-o OUT.v] [--sdc OUT.sdc] [--blif OUT.blif]\n\
-                       [--lib hs|ll] [--single-group] [--muxed] [--strict]\n\
-                       [--keep-sync-ff KIND]... [--jobs N]\n\
+                       [--report OUT.report] [--lib hs|ll] [--single-group]\n\
+                       [--muxed] [--strict] [--keep-sync-ff KIND]... [--jobs N]\n\
                        [--max-cells N] [--max-nets N] [--pass-deadline-ms N]\n\
                        [--false-path NET]... [--clock PORT] [--period NS]\n\
                        [--trace FILE] [--stop-after PASS] [--dump-after PASS[=FILE]]\n\
      \n\
      PARALLELISM:\n\
        --jobs N             worker threads for the per-region pass fan-out\n\
-                            (default: DRD_WORKERS, else available cores;\n\
-                            outputs are byte-identical for any worker count)\n\
+                            (N >= 1; default: DRD_WORKERS, else available\n\
+                            cores; outputs are byte-identical for any count)\n\
        drdesync gatefile [--lib hs|ll]\n\
        drdesync regions <input.v> [--lib hs|ll]\n\
        drdesync simulate <input.v> [--lib hs|ll] [--seeds N] [--sigma S]\n\
                          [--seed HEX] [--jobs N] [--check-liveness]\n\
+       drdesync serve (--stdio | --socket PATH) [--lib hs|ll] [--jobs N]\n\
+     \n\
+     SERVE:\n\
+       long-running server accepting concurrent desynchronization jobs as\n\
+       newline-delimited JSON requests on stdin/stdout (--stdio) or a Unix\n\
+       domain socket (--socket PATH). One request per line:\n\
+         {\"id\":\"j1\",\"kind\":\"desync\",\"verilog\":\"...\",\"options\":{...}}\n\
+         {\"id\":\"s1\",\"kind\":\"stats\"}   {\"id\":\"bye\",\"kind\":\"shutdown\"}\n\
+       Responses echo the id and carry the CLI exit-code taxonomy in an\n\
+       exit_code field; artifacts are byte-identical to a one-shot CLI run.\n\
+       Repeat submissions answer from an in-memory flow cache keyed on the\n\
+       netlist content hash and the canonicalized options. --jobs N sets\n\
+       the cross-job core-token pool (default: all cores). See README.\n\
      \n\
      SIMULATE:\n\
        desynchronizes the input, elaborates the handshake control network\n\
@@ -162,6 +177,20 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Opti
     }
 }
 
+/// Parses `--jobs N`, rejecting `0`: a zero-worker pool cannot run any
+/// task, and silently clamping it up would hide the typo. Rejected as a
+/// [`CliError::Parse`] (exit 2) before any flow work starts.
+fn validated_jobs(args: &[String]) -> Result<Option<usize>, CliError> {
+    match parsed_flag::<usize>(args, "--jobs")? {
+        Some(0) => Err(CliError::Parse(
+            "--jobs must be at least 1 (a zero-worker pool can run nothing); \
+             pass --jobs N with N >= 1, or omit --jobs to use all cores"
+                .to_owned(),
+        )),
+        other => Ok(other),
+    }
+}
+
 /// `simulate --check-liveness`: a per-region verdict under the liveness
 /// guard's response-bound model (DESIGN.md §3i) — topology class, rise
 /// time vs the fastest successor's response bound, and the repair the
@@ -170,7 +199,7 @@ fn print_liveness_verdicts(
     report: &drd_core::DesyncReport,
     lib: &Library,
 ) -> Result<(), CliError> {
-    use drd_core::liveness::{is_source, RegionState, ResponseModel};
+    use drd_core::liveness::{is_source, join_fanin, RegionState, ResponseModel};
     let model = ResponseModel::probe(lib)?;
     let states: Vec<RegionState> = report
         .regions
@@ -207,7 +236,9 @@ fn print_liveness_verdicts(
         let bound = edges
             .iter()
             .filter(|&&(p, q)| p == i && q != i && states[q].controlled)
-            .map(|&(_, q)| model.response_ns(states[q].levels))
+            .map(|&(_, q)| {
+                model.edge_response_ns(states[q].levels, join_fanin(&states, &edges, q))
+            })
             .fold(f64::INFINITY, f64::min);
         let verdict = if s.latched {
             "request latch holds the loopback"
@@ -275,7 +306,7 @@ fn run() -> Result<(), CliError> {
                     })?
                 }
             };
-            let jobs: Option<usize> = parsed_flag(&args, "--jobs")?;
+            let jobs: Option<usize> = validated_jobs(&args)?;
             let workers = jobs.unwrap_or_else(drd_runner::runner::worker_count);
 
             let tool = Desynchronizer::new(&lib)?;
@@ -356,6 +387,25 @@ fn run() -> Result<(), CliError> {
             }
             Ok(())
         }
+        "serve" => {
+            let lib = pick_lib(&args);
+            let tokens = validated_jobs(&args)?.unwrap_or_else(drd_runner::runner::worker_count);
+            let server = drd_serve::Server::new(&lib, tokens)?;
+            if args.iter().any(|a| a == "--stdio") {
+                let stdin = std::io::stdin().lock();
+                // `Stdout` (not the non-Send lock) — job threads share it.
+                let stdout = std::io::stdout();
+                let stop = std::sync::atomic::AtomicBool::new(false);
+                drd_serve::serve_stream(&server, stdin, stdout, &stop)?;
+                Ok(())
+            } else if let Some(path) = flag_value(&args, "--socket") {
+                eprintln!("serving on unix socket `{path}` with {tokens} core token(s)");
+                drd_serve::serve_unix(&server, std::path::Path::new(path))?;
+                Ok(())
+            } else {
+                Err("serve needs --stdio or --socket PATH".into())
+            }
+        }
         "desync" => {
             let input = args.get(1).ok_or("missing input netlist")?;
             let lib = pick_lib(&args);
@@ -381,7 +431,7 @@ fn run() -> Result<(), CliError> {
                 opts.clock_period_ns = period;
             }
             opts.strict = args.iter().any(|a| a == "--strict");
-            opts.jobs = parsed_flag(&args, "--jobs")?;
+            opts.jobs = validated_jobs(&args)?;
             opts.max_cells = parsed_flag(&args, "--max-cells")?;
             opts.max_nets = parsed_flag(&args, "--max-nets")?;
             opts.pass_deadline_ms = parsed_flag(&args, "--pass-deadline-ms")?;
@@ -498,6 +548,11 @@ fn run() -> Result<(), CliError> {
             }
             if let Some(path) = flag_value(&args, "--sdc") {
                 std::fs::write(path, &result.sdc)?;
+            }
+            if let Some(path) = flag_value(&args, "--report") {
+                // Identical bytes to a serve response's `report` field —
+                // the differential oracle compares the two directly.
+                std::fs::write(path, format!("{:?}", result.report))?;
             }
             if let Some(path) = flag_value(&args, "--blif") {
                 let flat = drd_netlist::flatten(&result.design, result.design.top())?;

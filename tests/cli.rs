@@ -282,6 +282,93 @@ fn cli_strict_turns_degradation_into_flow_error() {
 }
 
 #[test]
+fn cli_jobs_zero_is_rejected_before_any_flow_runs() {
+    // `--jobs 0` used to flow through `parsed_flag` into a zero-worker
+    // pool; it must be rejected up front with exit 2 and a usage-style
+    // message, uniformly across the commands that take --jobs.
+    let dir = std::env::temp_dir().join("drdesync_cli_jobs0");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_sample(&dir);
+    let invocations: [&[&str]; 3] = [
+        &["desync", input.to_str().unwrap(), "--jobs", "0"],
+        &["simulate", input.to_str().unwrap(), "--seeds", "1", "--jobs", "0"],
+        &["serve", "--stdio", "--jobs", "0"],
+    ];
+    for args in invocations {
+        let out = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+            .args(args)
+            .stdin(std::process::Stdio::null())
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--jobs must be at least 1"), "{args:?}: {stderr}");
+        assert!(stderr.contains("omit --jobs"), "{args:?}: {stderr}");
+    }
+    // `--jobs 1` stays valid.
+    let status = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["desync", input.to_str().unwrap(), "-o", dir.join("j1.v").to_str().unwrap()])
+        .args(["--jobs", "1"])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+}
+
+#[test]
+fn cli_serve_stdio_answers_jobs_stats_and_shutdown() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join("drdesync_cli_serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_sample(&dir);
+    let verilog = std::fs::read_to_string(&input).unwrap();
+    let escaped: String = verilog
+        .chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_drdesync"))
+        .args(["serve", "--stdio"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // One request at a time, so the second identical job deterministically
+    // hits the cache (two *concurrent* identical jobs would both miss).
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut ask = move |request: &str| -> String {
+        use std::io::BufRead;
+        writeln!(stdin, "{request}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+    let cold = ask(&format!("{{\"id\":\"a\",\"kind\":\"desync\",\"verilog\":\"{escaped}\"}}"));
+    assert!(cold.contains("\"id\":\"a\"") && cold.contains("\"cached\":false"), "{cold}");
+    let warm = ask(&format!("{{\"id\":\"b\",\"kind\":\"desync\",\"verilog\":\"{escaped}\"}}"));
+    assert!(warm.contains("\"id\":\"b\"") && warm.contains("\"cached\":true"), "{warm}");
+    let bad = ask("this is not json");
+    assert!(
+        bad.contains("\"error_kind\":\"request\"") && bad.contains("\"exit_code\":1"),
+        "malformed line must be answered, not fatal: {bad}"
+    );
+    let stats = ask("{\"id\":\"s\",\"kind\":\"stats\"}");
+    assert!(stats.contains("\"kind\":\"stats\""), "{stats}");
+    assert!(stats.contains("\"cache_hits\":1"), "{stats}");
+    let bye = ask("{\"id\":\"bye\",\"kind\":\"shutdown\"}");
+    assert!(bye.contains("\"kind\":\"shutdown\""), "{bye}");
+    assert!(bye.contains("\"jobs_served\":2"), "{bye}");
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "{status:?}");
+}
+
+#[test]
 fn cli_budget_flags_abort_with_flow_error() {
     let dir = std::env::temp_dir().join("drdesync_cli_budget");
     std::fs::create_dir_all(&dir).unwrap();

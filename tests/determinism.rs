@@ -116,6 +116,7 @@ fn flow_artifacts_are_byte_identical_for_any_worker_count() {
         max_inputs: 4,
         scan_set_reset: true,
         source_imbalance: 0,
+        deepen_infeasible: 0,
     };
     prop_par_with(
         Config::new(25).seed(0xDE7E_2313_57A8_1E01),

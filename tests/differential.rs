@@ -53,6 +53,7 @@ fn differential_fuzz_scan_set_reset_mix() {
         max_inputs: 6,
         scan_set_reset: true,
         source_imbalance: 0,
+        deepen_infeasible: 0,
     };
     let config = DiffConfig::default();
     prop_par_with(
